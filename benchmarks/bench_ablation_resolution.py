@@ -1,0 +1,73 @@
+"""Ablation A2: Louvain resolution sweep and random-k accuracy decay.
+
+Two design-choice ablations that the paper motivates but does not plot:
+
+* how the Louvain resolution parameter (footnote 8 uses 1.0) changes the
+  number of communities and the resulting accuracy of PR_Dep;
+* how quickly random partitioning loses accuracy as the number of chunks
+  grows (the trend behind Figures 8 and 10).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_window_sizes, write_result_table
+from repro.experiments.ablations import partition_count_sweep, resolution_sweep
+
+ABLATION_WINDOW = bench_window_sizes()[1]
+RESOLUTIONS = (0.5, 1.0, 2.0, 4.0)
+PARTITION_COUNTS = (2, 3, 4, 5, 8)
+
+
+def test_ablation_resolution_sweep(benchmark):
+    """Sweep the modularity resolution on P' and record communities/accuracy."""
+    records = benchmark.pedantic(
+        resolution_sweep,
+        kwargs={
+            "program_name": "P_prime",
+            "resolutions": RESOLUTIONS,
+            "window_size": ABLATION_WINDOW,
+            "seed": 2017,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["resolution  communities  duplicated                accuracy"]
+    for record in records:
+        duplicated = ",".join(record.duplicated_predicates) or "-"
+        lines.append(
+            f"{record.resolution:10.2f}  {record.community_count:11d}  {duplicated:24s}  {record.accuracy:8.3f}"
+        )
+    write_result_table("ablation_resolution.txt", "\n".join(lines))
+
+    benchmark.group = "ablation: louvain resolution"
+    benchmark.extra_info["window_size"] = ABLATION_WINDOW
+    # The paper's setting (resolution 1.0) must preserve full accuracy.
+    baseline = [record for record in records if record.resolution == 1.0]
+    assert baseline and baseline[0].accuracy == 1.0
+
+
+def test_ablation_random_partition_count(benchmark):
+    """Accuracy of random partitioning as k grows (paper: k=2..5 in Figs 8/10)."""
+    accuracies = benchmark.pedantic(
+        partition_count_sweep,
+        kwargs={
+            "program_name": "P",
+            "partition_counts": PARTITION_COUNTS,
+            "window_size": ABLATION_WINDOW,
+            "seed": 2017,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["k  accuracy"]
+    for k in PARTITION_COUNTS:
+        lines.append(f"{k}  {accuracies[k]:8.3f}")
+    write_result_table("ablation_random_k.txt", "\n".join(lines))
+
+    benchmark.group = "ablation: random partition count"
+    benchmark.extra_info["window_size"] = ABLATION_WINDOW
+    assert all(0.0 <= value <= 1.0 for value in accuracies.values())
+    # Strong fan-out should not beat mild fan-out by much (decreasing trend).
+    assert accuracies[max(PARTITION_COUNTS)] <= accuracies[min(PARTITION_COUNTS)] + 0.05

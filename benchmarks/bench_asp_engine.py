@@ -1,0 +1,88 @@
+"""Ablation A3: scaling of the ASP substrate itself.
+
+The paper's reasoner is Clingo; ours is a pure-Python engine, so this module
+documents how the substrate scales: grounding and solving time versus the
+number of input facts, for the traffic program P and for a recursive
+transitive-closure program.  These numbers justify the 10x scaled-down
+default window sizes used by the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_window
+from repro.asp.control import Control
+from repro.asp.grounding.grounder import Grounder
+from repro.asp.solving.solver import StableModelSolver
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.terms import Constant
+from repro.programs.traffic import INPUT_PREDICATES, traffic_program
+from repro.streamrule.reasoner import Reasoner
+
+FACT_COUNTS = (250, 500, 1000, 2000)
+
+
+@pytest.mark.parametrize("fact_count", FACT_COUNTS)
+def test_engine_grounding_scaling(benchmark, fact_count):
+    """Grounding cost of the traffic program versus window size."""
+    reasoner = Reasoner(traffic_program(), INPUT_PREDICATES)
+    facts = reasoner.to_atoms(make_window(fact_count))
+    program = traffic_program().with_facts(facts)
+
+    ground = benchmark.pedantic(lambda: Grounder(program).ground(), rounds=1, iterations=1, warmup_rounds=0)
+
+    benchmark.group = "asp engine: grounding"
+    benchmark.extra_info["fact_count"] = fact_count
+    benchmark.extra_info["ground_rules"] = len(ground.rules)
+    benchmark.extra_info["possible_atoms"] = len(ground.possible_atoms)
+    # The synthetic window may contain duplicate readings, so the number of
+    # distinct EDB facts can be slightly below the raw triple count.
+    assert len(ground.facts) >= len(set(facts))
+
+
+@pytest.mark.parametrize("fact_count", FACT_COUNTS)
+def test_engine_solving_scaling(benchmark, fact_count):
+    """Solving cost (well-founded fast path) versus window size."""
+    reasoner = Reasoner(traffic_program(), INPUT_PREDICATES)
+    facts = reasoner.to_atoms(make_window(fact_count))
+    ground = Grounder(traffic_program().with_facts(facts)).ground()
+
+    models = benchmark.pedantic(
+        lambda: list(StableModelSolver(ground).models()), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    benchmark.group = "asp engine: solving"
+    benchmark.extra_info["fact_count"] = fact_count
+    assert len(models) == 1
+
+
+@pytest.mark.parametrize("node_count", (20, 40, 60))
+def test_engine_recursive_grounding(benchmark, node_count):
+    """Transitive closure over a chain: quadratic ground program growth."""
+    control = Control()
+    control.add("path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).")
+    control.add_facts(
+        [Atom("edge", (Constant(index), Constant(index + 1))) for index in range(node_count)]
+    )
+
+    result = benchmark.pedantic(control.solve, rounds=1, iterations=1, warmup_rounds=0)
+
+    benchmark.group = "asp engine: recursion"
+    benchmark.extra_info["node_count"] = node_count
+    [model] = result.models
+    expected_paths = node_count * (node_count + 1) // 2
+    assert len(model.atoms_of("path")) == expected_paths
+
+
+def test_engine_nonstratified_search(benchmark):
+    """Completion + DPLL search path on a choice-style program."""
+    control = Control()
+    control.add("q(X) :- p(X), not r(X). r(X) :- p(X), not q(X). :- r(1).")
+    control.add_facts([Atom("p", (Constant(index),)) for index in range(1, 7)])
+
+    result = benchmark.pedantic(lambda: control.solve(models=0), rounds=1, iterations=1, warmup_rounds=0)
+
+    benchmark.group = "asp engine: non-stratified search"
+    benchmark.extra_info["answer_sets"] = len(result.models)
+    assert len(result.models) == 2 ** 5

@@ -1,0 +1,56 @@
+"""Regenerate all four figures of the paper as plain-text series tables.
+
+One benchmarked sweep per program (so the table generation itself is timed
+and runs under ``--benchmark-only``); the rendered tables are written to
+``benchmarks/results/figure07.txt`` .. ``figure10.txt`` and mirrored in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import RANDOM_KS, bench_window_sizes, write_result_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import run_figure, run_window_sweep
+from repro.experiments.reporting import records_to_csv, render_figure
+
+WINDOW_SIZES = bench_window_sizes()
+
+
+def _sweep(program: str):
+    config = ExperimentConfig(
+        program=program,
+        window_sizes=WINDOW_SIZES,
+        random_partition_counts=RANDOM_KS,
+        seed=2017,
+    )
+    return run_window_sweep(config)
+
+
+@pytest.mark.parametrize("program,latency_figure,accuracy_figure", [("P", 7, 8), ("P_prime", 9, 10)])
+def test_report_regenerates_paper_figures(benchmark, program, latency_figure, accuracy_figure):
+    """Run the full window sweep for one program and write its two figures."""
+    records = benchmark.pedantic(_sweep, args=(program,), rounds=1, iterations=1, warmup_rounds=0)
+
+    latency_series = run_figure(latency_figure, records=records)
+    accuracy_series = run_figure(accuracy_figure, records=records)
+
+    write_result_table(f"figure{latency_figure:02d}.txt", render_figure(latency_series))
+    write_result_table(f"figure{accuracy_figure:02d}.txt", render_figure(accuracy_series))
+    write_result_table(f"sweep_{program}.csv", records_to_csv(records))
+
+    benchmark.group = "paper figure regeneration"
+    benchmark.extra_info["program"] = program
+    benchmark.extra_info["window_sizes"] = list(WINDOW_SIZES)
+
+    # Qualitative claims of the evaluation section.
+    for record in records:
+        assert record.accuracy["PR_Dep"] == 1.0
+        for k in RANDOM_KS:
+            assert record.accuracy[f"PR_Ran_k{k}"] <= 1.0
+    # Latencies are single-shot and noisy per window, so the latency claim is
+    # asserted over the whole sweep: PR_Dep is cheaper than R in aggregate.
+    total_dep = sum(record.latency_ms["PR_Dep"] for record in records)
+    total_r = sum(record.latency_ms["R"] for record in records)
+    assert total_dep < total_r

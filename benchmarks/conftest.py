@@ -1,0 +1,90 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure of the paper's evaluation (Figures 7-10) has a dedicated
+benchmark module.  The latency benchmarks time the actual reasoner calls via
+pytest-benchmark; the accuracy benchmarks score the partitioned answers
+against the unpartitioned reasoner.  Each module also renders the paper-style
+series table into ``benchmarks/results/`` so a complete run regenerates the
+figures as plain text (see EXPERIMENTS.md for the recorded output).
+
+Window sizes default to a 10x scaled-down sweep of the paper's 5k..40k (the
+pure-Python grounder is roughly an order of magnitude slower per item than
+Clingo's C++ grounder).  Set ``REPRO_PAPER_SCALE=1`` to run the original
+sizes, or ``REPRO_BENCH_WINDOWS=500,1000,...`` for a custom sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.experiments.config import PAPER_WINDOW_SIZES, paper_scale_enabled
+from repro.experiments.figures import SweepRecord
+from repro.experiments.runner import ReasonerSuite, build_reasoner_suite
+from repro.programs.traffic import INPUT_PREDICATES
+from repro.streaming.generator import SyntheticStreamConfig, generate_window
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
+
+#: Default benchmark sweep: the paper's sweep scaled down by 10x.
+DEFAULT_BENCH_WINDOWS: Tuple[int, ...] = (500, 1000, 1500, 2000, 2500, 3000, 3500, 4000)
+
+#: Random partition counts compared in the paper.
+RANDOM_KS: Tuple[int, ...] = (2, 3, 4, 5)
+
+BENCH_SEED = 2017
+
+
+def bench_window_sizes() -> Tuple[int, ...]:
+    """Resolve the window sizes used by the benchmark harness."""
+    custom = os.environ.get("REPRO_BENCH_WINDOWS", "").strip()
+    if custom:
+        return tuple(int(part) for part in custom.split(",") if part.strip())
+    if paper_scale_enabled():
+        return PAPER_WINDOW_SIZES
+    return DEFAULT_BENCH_WINDOWS
+
+
+def make_window(window_size: int, seed: int = BENCH_SEED) -> list:
+    """One reproducible synthetic traffic window of ``window_size`` triples."""
+    config = SyntheticStreamConfig(
+        window_size=window_size,
+        input_predicates=INPUT_PREDICATES,
+        scheme="traffic",
+        seed=seed + window_size,
+    )
+    return generate_window(config)
+
+
+def write_result_table(filename: str, content: str) -> Path:
+    """Persist a rendered series table under benchmarks/results/."""
+    RESULTS_DIRECTORY.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIRECTORY / filename
+    path.write_text(content + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def window_sizes() -> Tuple[int, ...]:
+    return bench_window_sizes()
+
+
+@pytest.fixture(scope="session")
+def suite_p() -> ReasonerSuite:
+    """R, PR_Dep and PR_Ran_k2..k5 over program P."""
+    return build_reasoner_suite("P", random_partition_counts=RANDOM_KS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def suite_p_prime() -> ReasonerSuite:
+    """R, PR_Dep and PR_Ran_k2..k5 over program P'."""
+    return build_reasoner_suite("P_prime", random_partition_counts=RANDOM_KS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def windows(window_sizes) -> Dict[int, list]:
+    """Pre-generated windows shared by all benchmarks (generation excluded from timing)."""
+    return {size: make_window(size) for size in window_sizes}

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Regenerate any of the paper's figures (7-10) from the command line.
+
+Examples
+--------
+Regenerate Figure 7 (latency, program P) with the default scaled-down sweep::
+
+    python examples/paper_experiments.py --figure 7
+
+Regenerate Figures 9 and 10 with a custom sweep and CSV output::
+
+    python examples/paper_experiments.py --figure 9 --figure 10 \
+        --window-sizes 500,1000,2000 --csv results.csv
+
+Run the paper's original window sizes (slow with the pure-Python engine)::
+
+    REPRO_PAPER_SCALE=1 python examples/paper_experiments.py --figure 7
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig, effective_window_sizes
+from repro.experiments.figures import FIGURES, run_figure, run_window_sweep
+from repro.experiments.reporting import records_to_csv, render_figure
+
+
+def build_arguments() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "--figure",
+        type=int,
+        action="append",
+        choices=sorted(FIGURES),
+        help="figure number to regenerate (may be given multiple times; default: all four)",
+    )
+    parser.add_argument("--window-sizes", type=str, default=None, help="comma-separated window sizes")
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--repetitions", type=int, default=1, help="windows averaged per size")
+    parser.add_argument("--csv", type=Path, default=None, help="optionally write the sweep as CSV")
+    return parser.parse_args()
+
+
+def main() -> None:
+    arguments = build_arguments()
+    figures = arguments.figure or sorted(FIGURES)
+    window_sizes = (
+        tuple(int(part) for part in arguments.window_sizes.split(",")) if arguments.window_sizes else None
+    )
+
+    # Group requested figures by program so each sweep runs only once.
+    programs = {FIGURES[figure][0] for figure in figures}
+    sweeps = {}
+    for program in sorted(programs):
+        config = ExperimentConfig(
+            program=program,
+            window_sizes=effective_window_sizes(window_sizes),
+            seed=arguments.seed,
+            repetitions=arguments.repetitions,
+        )
+        print(f"Running window sweep for program {program} (sizes {config.window_sizes}) ...")
+        sweeps[program] = run_window_sweep(config)
+
+    for figure in figures:
+        program, _ = FIGURES[figure]
+        series = run_figure(figure, records=sweeps[program])
+        print()
+        print(render_figure(series))
+
+    if arguments.csv is not None:
+        csv_text = "".join(records_to_csv(records) for records in sweeps.values())
+        arguments.csv.write_text(csv_text)
+        print(f"\nSweep written to {arguments.csv}")
+
+
+if __name__ == "__main__":
+    main()

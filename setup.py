@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e .`` / ``python setup.py develop`` work on
+offline environments whose setuptools lacks the PEP 660 editable-wheel hook
+(which requires the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Pure-Python Answer Set Programming (ASP) engine.
+
+This subpackage is the substrate that replaces Clingo 4.3.0 used by the
+paper.  It provides:
+
+* :mod:`repro.asp.syntax` -- terms, atoms, literals, rules, programs and an
+  ASP-Core-ish parser.
+* :mod:`repro.asp.grounding` -- safety checking, predicate dependency
+  analysis and a semi-naive grounder.
+* :mod:`repro.asp.solving` -- well-founded semantics, Clark completion, a
+  DPLL-style SAT core with unfounded-set (loop) checks, stable-model
+  enumeration and disjunctive minimality checking.
+* :mod:`repro.asp.control` -- a small Clingo-like facade (``Control``)
+  exposing ``add`` / ``ground`` / ``solve``.
+
+The public convenience API is re-exported here::
+
+    from repro.asp import parse_program, solve, Control
+
+    program = parse_program("a :- not b.  b :- not a.")
+    models = solve(program)
+"""
+
+from repro.asp.control import Control, Model, solve, solve_program
+from repro.asp.errors import (
+    ASPError,
+    GroundingError,
+    ParseError,
+    SafetyError,
+    SolvingError,
+)
+from repro.asp.syntax.atoms import Atom, Comparison, Literal
+from repro.asp.syntax.parser import parse_program, parse_rule, parse_term
+from repro.asp.syntax.program import Program
+from repro.asp.syntax.rules import Rule
+from repro.asp.syntax.terms import Constant, FunctionTerm, Term, Variable
+
+__all__ = [
+    "ASPError",
+    "Atom",
+    "Comparison",
+    "Constant",
+    "Control",
+    "FunctionTerm",
+    "GroundingError",
+    "Literal",
+    "Model",
+    "ParseError",
+    "Program",
+    "Rule",
+    "SafetyError",
+    "SolvingError",
+    "Term",
+    "Variable",
+    "parse_program",
+    "parse_rule",
+    "parse_term",
+    "solve",
+    "solve_program",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ASP engine."""
+
+
+class ASPError(Exception):
+    """Base class for every error raised by :mod:`repro.asp`."""
+
+
+class ParseError(ASPError):
+    """Raised when a program, rule, or term cannot be parsed.
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending token, when known.
+    column:
+        1-based column number of the offending token, when known.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SafetyError(ASPError):
+    """Raised when a rule is unsafe (a variable occurs only in negative
+    literals, comparisons, or the head)."""
+
+    def __init__(self, rule, variables):
+        names = ", ".join(sorted(variables))
+        super().__init__(f"unsafe rule (unbound variables {names}): {rule}")
+        self.rule = rule
+        self.variables = frozenset(variables)
+
+
+class GroundingError(ASPError):
+    """Raised when instantiation fails (e.g. non-evaluable comparison)."""
+
+
+class SolvingError(ASPError):
+    """Raised when the solver is mis-used or hits an internal limit."""

@@ -1,0 +1,467 @@
+"""Semi-naive grounder (instantiation phase).
+
+The grounder turns a safe program plus input facts into a ground program
+whose stable models coincide with those of the original program.  It follows
+the standard intelligent-grounding recipe used by DLV and gringo:
+
+1. build the predicate dependency graph and evaluate its strongly connected
+   components bottom-up,
+2. within a component, iterate semi-naively (re-evaluating recursive rules
+   only against newly derived atoms),
+3. instantiate rule bodies by indexed joins over the *possible atoms*
+   derived so far, evaluating builtin comparisons as soon as their variables
+   are bound,
+4. simplify ground rules: positive body atoms that are certainly true are
+   removed, negative literals over atoms that can never be derived are
+   removed, and rules whose body is certainly false are dropped.
+
+Atoms derived by non-disjunctive rules whose body contains no negation and
+only certain atoms are tracked as *certain facts*; for stratified programs
+without disjunction (such as the paper's traffic programs ``P`` and ``P'``)
+this is not the complete answer set because rules with default negation are
+deliberately left to the solving phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.asp.errors import GroundingError
+from repro.asp.grounding.dependency import (
+    PredicateDependencyGraph,
+    strongly_connected_components,
+)
+from repro.asp.grounding.safety import check_safety
+from repro.asp.grounding.substitution import Substitution, match_atom
+from repro.asp.syntax.atoms import Atom, Comparison, Literal
+from repro.asp.syntax.program import Program
+from repro.asp.syntax.rules import Rule
+
+__all__ = ["GroundProgram", "GroundRule", "Grounder", "ground_program"]
+
+
+# --------------------------------------------------------------------------- #
+# Ground program representation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class GroundRule:
+    """A variable-free rule with comparisons already evaluated away."""
+
+    head: Tuple[Atom, ...]
+    positive_body: Tuple[Atom, ...]
+    negative_body: Tuple[Atom, ...]
+
+    @property
+    def is_fact(self) -> bool:
+        return len(self.head) == 1 and not self.positive_body and not self.negative_body
+
+    @property
+    def is_constraint(self) -> bool:
+        return not self.head
+
+    @property
+    def is_disjunctive(self) -> bool:
+        return len(self.head) > 1
+
+    def atoms(self) -> Iterable[Atom]:
+        yield from self.head
+        yield from self.positive_body
+        yield from self.negative_body
+
+    def __str__(self) -> str:
+        head_text = " | ".join(str(atom) for atom in self.head)
+        body_parts = [str(atom) for atom in self.positive_body]
+        body_parts += [f"not {atom}" for atom in self.negative_body]
+        if not body_parts:
+            return f"{head_text}."
+        body_text = ", ".join(body_parts)
+        if head_text:
+            return f"{head_text} :- {body_text}."
+        return f":- {body_text}."
+
+
+@dataclass
+class GroundProgram:
+    """Result of grounding: certain facts plus residual ground rules."""
+
+    facts: Set[Atom] = field(default_factory=set)
+    rules: List[GroundRule] = field(default_factory=list)
+    possible_atoms: Set[Atom] = field(default_factory=set)
+
+    @property
+    def atoms(self) -> Set[Atom]:
+        """All atoms that may appear in some answer set."""
+        return set(self.possible_atoms)
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "facts": len(self.facts),
+            "rules": len(self.rules),
+            "possible_atoms": len(self.possible_atoms),
+        }
+
+    def __str__(self) -> str:
+        lines = [f"{atom}." for atom in sorted(self.facts, key=str)]
+        lines += [str(rule) for rule in self.rules]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------------------- #
+# Indexed atom store
+# --------------------------------------------------------------------------- #
+class _AtomStore:
+    """Per-predicate store of ground atoms with lazily built join indexes."""
+
+    def __init__(self) -> None:
+        self._by_signature: Dict[Tuple[str, int], List[Atom]] = {}
+        self._members: Set[Atom] = set()
+        # (signature, bound positions) -> (indexed_upto, {key values -> [atoms]})
+        self._indexes: Dict[Tuple[Tuple[str, int], Tuple[int, ...]], Tuple[int, Dict[Tuple, List[Atom]]]] = {}
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def atoms(self) -> Set[Atom]:
+        return set(self._members)
+
+    def add(self, atom: Atom) -> bool:
+        """Add a ground atom; return True when it was not present before."""
+        if atom in self._members:
+            return False
+        self._members.add(atom)
+        self._by_signature.setdefault(atom.signature, []).append(atom)
+        return True
+
+    def by_signature(self, signature: Tuple[str, int]) -> List[Atom]:
+        return self._by_signature.get(signature, [])
+
+    def candidates(self, pattern: Atom, binding: Substitution) -> List[Atom]:
+        """Atoms that could match ``pattern`` under ``binding``.
+
+        Uses a hash index on the argument positions that are already ground
+        after applying the binding; falls back to a full predicate scan when
+        no position is bound.
+        """
+        instantiated = pattern.substitute(binding) if binding else pattern
+        bound_positions: List[int] = []
+        bound_values: List[object] = []
+        for position, argument in enumerate(instantiated.arguments):
+            if argument.is_ground():
+                bound_positions.append(position)
+                bound_values.append(argument)
+        signature = pattern.signature
+        population = self._by_signature.get(signature, [])
+        if not bound_positions:
+            return population
+        key_positions = tuple(bound_positions)
+        index_key = (signature, key_positions)
+        indexed_upto, table = self._indexes.get(index_key, (0, {}))
+        if indexed_upto < len(population):
+            for atom in population[indexed_upto:]:
+                key = tuple(atom.arguments[position] for position in key_positions)
+                table.setdefault(key, []).append(atom)
+            self._indexes[index_key] = (len(population), table)
+        return table.get(tuple(bound_values), [])
+
+
+# --------------------------------------------------------------------------- #
+# Grounder
+# --------------------------------------------------------------------------- #
+class Grounder:
+    """Instantiates a program bottom-up along its predicate dependency SCCs."""
+
+    def __init__(self, program: Program, extra_facts: Optional[Iterable[Atom]] = None):
+        self.program = program.copy()
+        if extra_facts is not None:
+            self.program.add_facts(extra_facts)
+        check_safety(self.program)
+
+    # ------------------------------------------------------------------ #
+    def ground(self) -> GroundProgram:
+        possible = _AtomStore()
+        certain: Set[Atom] = set()
+        ground_rules: List[GroundRule] = []
+        seen_rules: Set[Tuple] = set()
+
+        # 1. Facts -------------------------------------------------------- #
+        proper_rules: List[Rule] = []
+        for rule in self.program.rules:
+            if rule.is_fact:
+                atom = rule.head[0]
+                if not atom.is_ground():
+                    raise GroundingError(f"non-ground fact {atom} (facts must be variable-free)")
+                possible.add(atom)
+                certain.add(atom)
+            else:
+                proper_rules.append(rule)
+
+        # 2. Component evaluation order ----------------------------------- #
+        graph = PredicateDependencyGraph.from_program(self.program)
+        # Tarjan emits sink components first; reverse for bottom-up evaluation
+        # (predicates a rule depends on must be instantiated before the rule).
+        components = list(reversed(strongly_connected_components(graph.adjacency())))
+        component_of: Dict[str, int] = {}
+        for component_index, component in enumerate(components):
+            for predicate in component:
+                component_of[predicate] = component_index
+
+        rules_by_component: Dict[int, List[Rule]] = {}
+        constraint_rules: List[Rule] = []
+        for rule in proper_rules:
+            if rule.is_constraint:
+                constraint_rules.append(rule)
+                continue
+            # A rule is evaluated with the highest component among its head
+            # predicates (they are in the same SCC for disjunctive rules that
+            # are mutually recursive; otherwise max is a sound choice).
+            component_index = max(component_of.get(predicate, 0) for predicate in rule.head_predicates())
+            rules_by_component.setdefault(component_index, []).append(rule)
+
+        # 3. Bottom-up semi-naive evaluation ------------------------------ #
+        for component_index, component in enumerate(components):
+            rules = rules_by_component.get(component_index, [])
+            if not rules:
+                continue
+            self._evaluate_component(
+                rules, component, possible, certain, ground_rules, seen_rules
+            )
+
+        # 4. Constraints are instantiated last over all possible atoms ---- #
+        for rule in constraint_rules:
+            self._instantiate_rule(rule, possible, certain, ground_rules, seen_rules, delta=None, restrict=None)
+
+        # 5. Final simplification ----------------------------------------- #
+        possible_atoms = possible.atoms()
+        simplified: List[GroundRule] = []
+        for rule in ground_rules:
+            cleaned = _simplify(rule, certain, possible_atoms)
+            if cleaned is not None:
+                simplified.append(cleaned)
+
+        return GroundProgram(facts=set(certain), rules=simplified, possible_atoms=possible_atoms | set(certain))
+
+    # ------------------------------------------------------------------ #
+    def _evaluate_component(
+        self,
+        rules: Sequence[Rule],
+        component: Set[str],
+        possible: _AtomStore,
+        certain: Set[Atom],
+        ground_rules: List[GroundRule],
+        seen_rules: Set[Tuple],
+    ) -> None:
+        """Semi-naive fixpoint over one strongly connected component."""
+        recursive = [
+            rule for rule in rules if any(literal.predicate in component for literal in rule.positive_body)
+        ]
+        non_recursive = [rule for rule in rules if rule not in recursive]
+
+        delta: Set[Atom] = set()
+        for rule in non_recursive:
+            delta.update(
+                self._instantiate_rule(rule, possible, certain, ground_rules, seen_rules, delta=None, restrict=None)
+            )
+        if not recursive:
+            return
+        # First pass of recursive rules against everything derived so far.
+        for rule in recursive:
+            delta.update(
+                self._instantiate_rule(rule, possible, certain, ground_rules, seen_rules, delta=None, restrict=None)
+            )
+        # Subsequent passes only need bindings that use at least one new atom.
+        while delta:
+            new_delta: Set[Atom] = set()
+            for rule in recursive:
+                new_delta.update(
+                    self._instantiate_rule(
+                        rule, possible, certain, ground_rules, seen_rules, delta=delta, restrict=component
+                    )
+                )
+            delta = new_delta
+
+    # ------------------------------------------------------------------ #
+    def _instantiate_rule(
+        self,
+        rule: Rule,
+        possible: _AtomStore,
+        certain: Set[Atom],
+        ground_rules: List[GroundRule],
+        seen_rules: Set[Tuple],
+        delta: Optional[Set[Atom]],
+        restrict: Optional[Set[str]],
+    ) -> Set[Atom]:
+        """Instantiate one rule and record its ground instances.
+
+        When ``delta`` is given, only substitutions where at least one
+        positive body literal over a predicate in ``restrict`` matches an
+        atom in ``delta`` are produced (semi-naive evaluation).
+
+        Returns the set of newly derived *possible* head atoms.
+        """
+        new_atoms: Set[Atom] = set()
+        positive_literals = list(rule.positive_body)
+        comparisons = list(rule.comparisons)
+
+        seed_indices: List[Optional[int]]
+        if delta is None:
+            seed_indices = [None]
+        else:
+            seed_indices = [
+                index
+                for index, literal in enumerate(positive_literals)
+                if restrict is not None and literal.predicate in restrict
+            ]
+            if not seed_indices:
+                return new_atoms
+
+        for seed in seed_indices:
+            for binding in self._join(positive_literals, comparisons, possible, delta, seed):
+                derived = self._emit_ground_rule(rule, binding, possible, certain, ground_rules, seen_rules)
+                new_atoms.update(derived)
+        return new_atoms
+
+    # ------------------------------------------------------------------ #
+    def _join(
+        self,
+        literals: List[Literal],
+        comparisons: List[Comparison],
+        possible: _AtomStore,
+        delta: Optional[Set[Atom]],
+        seed: Optional[int],
+    ) -> Iterable[Substitution]:
+        """Enumerate substitutions satisfying the positive body and comparisons.
+
+        The join is a depth-first nested-loop join with a greedy
+        most-bound-first literal ordering and early evaluation of
+        comparisons.
+        """
+        pending_comparisons = list(comparisons)
+        remaining = list(range(len(literals)))
+
+        def ready_comparisons(binding: Substitution) -> Optional[List[Comparison]]:
+            """Evaluate comparisons whose variables are all bound.
+
+            Returns the still-pending comparisons or None if one failed.
+            """
+            still_pending = []
+            for comparison in pending_stack[-1]:
+                instantiated = comparison.substitute(binding)
+                if instantiated.is_ground():
+                    if not instantiated.evaluate():
+                        return None
+                else:
+                    still_pending.append(comparison)
+            return still_pending
+
+        # Depth-first search over literal orderings.
+        results: List[Substitution] = []
+        pending_stack: List[List[Comparison]] = [pending_comparisons]
+
+        def descend(binding: Substitution, todo: List[int]) -> Iterable[Substitution]:
+            still_pending = ready_comparisons(binding)
+            if still_pending is None:
+                return
+            pending_stack.append(still_pending)
+            try:
+                if not todo:
+                    if still_pending:
+                        # Unsafe comparisons should have been rejected earlier.
+                        raise GroundingError(
+                            f"comparison {still_pending[0]} has unbound variables after the join"
+                        )
+                    yield dict(binding)
+                    return
+                # Pick the next literal: prefer the seed (must consume delta),
+                # then the literal with the most bound arguments.
+                chosen = None
+                if seed is not None and seed in todo:
+                    chosen = seed
+                else:
+                    def bound_count(index: int) -> int:
+                        literal = literals[index]
+                        pattern = literal.atom.substitute(binding) if binding else literal.atom
+                        return sum(1 for argument in pattern.arguments if argument.is_ground())
+
+                    chosen = max(todo, key=bound_count)
+                literal = literals[chosen]
+                rest = [index for index in todo if index != chosen]
+                if seed is not None and chosen == seed and delta is not None:
+                    candidates = [atom for atom in possible.candidates(literal.atom, binding) if atom in delta]
+                else:
+                    candidates = possible.candidates(literal.atom, binding)
+                for candidate in candidates:
+                    extended = match_atom(literal.atom, candidate, binding)
+                    if extended is None:
+                        continue
+                    yield from descend(extended, rest)
+            finally:
+                pending_stack.pop()
+
+        yield from descend({}, remaining)
+
+    # ------------------------------------------------------------------ #
+    def _emit_ground_rule(
+        self,
+        rule: Rule,
+        binding: Substitution,
+        possible: _AtomStore,
+        certain: Set[Atom],
+        ground_rules: List[GroundRule],
+        seen_rules: Set[Tuple],
+    ) -> Set[Atom]:
+        """Create the ground instance of ``rule`` under ``binding``."""
+        head = tuple(atom.substitute(binding) for atom in rule.head)
+        positive = tuple(literal.atom.substitute(binding) for literal in rule.positive_body)
+        negative = tuple(literal.atom.substitute(binding) for literal in rule.negative_body)
+
+        for atom in head + positive + negative:
+            if not atom.is_ground():
+                raise GroundingError(f"incomplete instantiation of {rule}: {atom} is not ground")
+
+        # A negative literal over a certainly-true atom falsifies the body
+        # outright: the instance can never fire, so do not even register its
+        # head atoms as possible.
+        if any(atom in certain for atom in negative):
+            return set()
+
+        new_atoms: Set[Atom] = set()
+        for atom in head:
+            if possible.add(atom):
+                new_atoms.add(atom)
+
+        ground = GroundRule(head=head, positive_body=positive, negative_body=negative)
+        key = (head, positive, negative)
+        if key not in seen_rules:
+            seen_rules.add(key)
+            ground_rules.append(ground)
+
+        # Track certainly-true atoms (definite consequences).
+        if len(head) == 1 and not negative and all(atom in certain for atom in positive):
+            certain.add(head[0])
+        return new_atoms
+
+
+def _simplify(rule: GroundRule, certain: Set[Atom], possible: Set[Atom]) -> Optional[GroundRule]:
+    """Simplify a ground rule against certain and possible atom sets.
+
+    Returns ``None`` when the rule can never fire or is trivially satisfied.
+    """
+    # A negative literal over a certainly true atom falsifies the body.
+    for atom in rule.negative_body:
+        if atom in certain:
+            return None
+    positive = tuple(atom for atom in rule.positive_body if atom not in certain)
+    negative = tuple(atom for atom in rule.negative_body if atom in possible)
+    # A rule whose single head atom is already certain adds no information.
+    if len(rule.head) == 1 and rule.head[0] in certain and not positive and not negative:
+        return None
+    return GroundRule(head=rule.head, positive_body=positive, negative_body=negative)
+
+
+def ground_program(program: Program, facts: Optional[Iterable[Atom]] = None) -> GroundProgram:
+    """Convenience wrapper: ground ``program`` (optionally with extra facts)."""
+    return Grounder(program, extra_facts=facts).ground()

@@ -1,0 +1,47 @@
+"""Rule safety checking.
+
+A rule is *safe* when every variable occurring anywhere in the rule also
+occurs in at least one positive body atom literal.  Unsafe rules cannot be
+finitely instantiated and are rejected before grounding, exactly as clingo
+and DLV do.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.asp.errors import SafetyError
+from repro.asp.syntax.program import Program
+from repro.asp.syntax.rules import Rule
+from repro.asp.syntax.terms import Variable
+
+__all__ = ["check_safety", "is_safe", "unsafe_variables"]
+
+
+def unsafe_variables(rule: Rule) -> Set[str]:
+    """Return the names of variables that violate safety in ``rule``."""
+    bound: Set[Variable] = set()
+    for literal in rule.positive_body:
+        bound.update(literal.variables())
+    unsafe: Set[str] = set()
+    for atom in rule.head:
+        unsafe.update(variable.name for variable in atom.variables() if variable not in bound)
+    for literal in rule.negative_body:
+        unsafe.update(variable.name for variable in literal.variables() if variable not in bound)
+    for comparison in rule.comparisons:
+        unsafe.update(variable.name for variable in comparison.variables() if variable not in bound)
+    return unsafe
+
+
+def is_safe(rule: Rule) -> bool:
+    """True when the rule is safe."""
+    return not unsafe_variables(rule)
+
+
+def check_safety(program_or_rules: "Program | Iterable[Rule]") -> None:
+    """Raise :class:`SafetyError` for the first unsafe rule found."""
+    rules = program_or_rules.rules if isinstance(program_or_rules, Program) else program_or_rules
+    for rule in rules:
+        violating = unsafe_variables(rule)
+        if violating:
+            raise SafetyError(rule, violating)

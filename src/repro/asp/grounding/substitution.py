@@ -1,0 +1,64 @@
+"""Substitutions (variable bindings) and atom matching.
+
+A substitution maps variables to ground terms.  ``match_atom`` unifies a
+possibly non-ground atom against a ground atom, extending a given binding;
+this is the primitive the semi-naive grounder builds joins out of.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.terms import Constant, FunctionTerm, Term, Variable
+
+__all__ = ["Substitution", "match_atom", "match_term"]
+
+Substitution = Dict[Variable, Term]
+
+
+def match_term(pattern: Term, target: Term, binding: Substitution) -> Optional[Substitution]:
+    """Match ``pattern`` (may contain variables) against ground ``target``.
+
+    Returns an extended copy of ``binding`` on success, ``None`` on failure.
+    The input binding is never mutated.
+    """
+    if isinstance(pattern, Variable):
+        bound = binding.get(pattern)
+        if bound is None:
+            extended = dict(binding)
+            extended[pattern] = target
+            return extended
+        return binding if bound == target else None
+    if isinstance(pattern, Constant):
+        return binding if pattern == target else None
+    if isinstance(pattern, FunctionTerm):
+        if not isinstance(target, FunctionTerm):
+            return None
+        if pattern.name != target.name or pattern.arity != target.arity:
+            return None
+        current: Optional[Substitution] = binding
+        for sub_pattern, sub_target in zip(pattern.arguments, target.arguments):
+            current = match_term(sub_pattern, sub_target, current)
+            if current is None:
+                return None
+        return current
+    raise TypeError(f"unsupported term type {type(pattern)!r}")
+
+
+def match_atom(pattern: Atom, target: Atom, binding: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Match a (non-ground) atom pattern against a ground atom.
+
+    Returns the extended substitution, or ``None`` when the atoms do not
+    unify under the given binding.
+    """
+    if binding is None:
+        binding = {}
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    current: Optional[Substitution] = binding
+    for pattern_argument, target_argument in zip(pattern.arguments, target.arguments):
+        current = match_term(pattern_argument, target_argument, current)
+        if current is None:
+            return None
+    return current

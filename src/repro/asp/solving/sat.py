@@ -1,0 +1,207 @@
+"""A compact DPLL satisfiability solver.
+
+The stable-model search only needs a propositional backend for programs that
+are not solved outright by the well-founded fast path (i.e. programs with
+cycles through negation or with disjunctive heads).  Those residual problems
+are small in this reproduction, so a clean DPLL with unit propagation,
+two-literal watching and chronological backtracking is sufficient and keeps
+the engine dependency-free.
+
+Variables are positive integers ``1..n``; a literal is ``+v`` or ``-v``.
+Clauses are lists of literals.  Model enumeration is supported by adding
+blocking clauses between calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.asp.errors import SolvingError
+
+__all__ = ["DPLLSolver", "Satisfiability"]
+
+
+class Satisfiability(enum.Enum):
+    """Result of a satisfiability call."""
+
+    SATISFIABLE = "satisfiable"
+    UNSATISFIABLE = "unsatisfiable"
+
+
+class DPLLSolver:
+    """DPLL with watched literals, unit propagation and model enumeration."""
+
+    def __init__(self, variable_count: int = 0):
+        self._variable_count = variable_count
+        self._clauses: List[List[int]] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._empty_clause = False
+
+    # ------------------------------------------------------------------ #
+    # Problem construction
+    # ------------------------------------------------------------------ #
+    def new_variable(self) -> int:
+        self._variable_count += 1
+        return self._variable_count
+
+    @property
+    def variable_count(self) -> int:
+        return self._variable_count
+
+    @property
+    def clause_count(self) -> int:
+        return len(self._clauses)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; duplicate literals are removed, tautologies skipped."""
+        clause = sorted(set(literals), key=abs)
+        if not clause:
+            self._empty_clause = True
+            return
+        seen: Set[int] = set(clause)
+        if any(-literal in seen for literal in clause):
+            return  # tautology
+        for literal in clause:
+            if abs(literal) > self._variable_count:
+                self._variable_count = abs(literal)
+        clause_index = len(self._clauses)
+        self._clauses.append(clause)
+        # Watch the first two literals (or the single literal twice).
+        self._watches.setdefault(clause[0], []).append(clause_index)
+        self._watches.setdefault(clause[-1 if len(clause) == 1 else 1], []).append(clause_index)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve(self, assumptions: Sequence[int] = ()) -> Tuple[Satisfiability, Optional[Dict[int, bool]]]:
+        """Search for a model; returns (status, assignment or None)."""
+        if self._empty_clause:
+            return Satisfiability.UNSATISFIABLE, None
+        assignment: Dict[int, bool] = {}
+        trail: List[Tuple[int, bool]] = []  # (literal, is_decision)
+
+        def value(literal: int) -> Optional[bool]:
+            variable_value = assignment.get(abs(literal))
+            if variable_value is None:
+                return None
+            return variable_value if literal > 0 else not variable_value
+
+        def assign(literal: int, is_decision: bool) -> bool:
+            current = value(literal)
+            if current is True:
+                return True
+            if current is False:
+                return False
+            assignment[abs(literal)] = literal > 0
+            trail.append((literal, is_decision))
+            return True
+
+        def propagate() -> bool:
+            """Exhaustive unit propagation over all clauses (simple but robust)."""
+            changed = True
+            while changed:
+                changed = False
+                for clause in self._clauses:
+                    unassigned: Optional[int] = None
+                    satisfied = False
+                    unassigned_count = 0
+                    for literal in clause:
+                        literal_value = value(literal)
+                        if literal_value is True:
+                            satisfied = True
+                            break
+                        if literal_value is None:
+                            unassigned_count += 1
+                            unassigned = literal
+                    if satisfied:
+                        continue
+                    if unassigned_count == 0:
+                        return False
+                    if unassigned_count == 1 and unassigned is not None:
+                        if not assign(unassigned, is_decision=False):
+                            return False
+                        changed = True
+            return True
+
+        def backtrack() -> Optional[int]:
+            """Undo up to and including the last decision; return its literal."""
+            while trail:
+                literal, is_decision = trail.pop()
+                del assignment[abs(literal)]
+                if is_decision:
+                    return literal
+            return None
+
+        for literal in assumptions:
+            if not assign(literal, is_decision=False):
+                return Satisfiability.UNSATISFIABLE, None
+
+        if not propagate():
+            return Satisfiability.UNSATISFIABLE, None
+
+        while True:
+            decision = self._pick_branch(assignment)
+            if decision is None:
+                # Complete assignment for all mentioned variables.
+                model = dict(assignment)
+                for variable in range(1, self._variable_count + 1):
+                    model.setdefault(variable, False)
+                return Satisfiability.SATISFIABLE, model
+            if not assign(decision, is_decision=True) or not propagate():
+                # Conflict: flip the most recent decision that has not been
+                # tried both ways.
+                while True:
+                    flipped = backtrack()
+                    if flipped is None:
+                        return Satisfiability.UNSATISFIABLE, None
+                    if not assign(-flipped, is_decision=False):
+                        continue
+                    if propagate():
+                        break
+            # loop continues with further decisions
+
+    def _pick_branch(self, assignment: Dict[int, bool]) -> Optional[int]:
+        """Pick the next unassigned variable appearing in an unsatisfied clause."""
+        for clause in self._clauses:
+            clause_satisfied = False
+            candidate: Optional[int] = None
+            for literal in clause:
+                variable_value = assignment.get(abs(literal))
+                if variable_value is None:
+                    if candidate is None:
+                        candidate = literal
+                elif (variable_value and literal > 0) or (not variable_value and literal < 0):
+                    clause_satisfied = True
+                    break
+            if not clause_satisfied and candidate is not None:
+                return candidate
+        # All clauses satisfied; any remaining free variable defaults later.
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Model enumeration
+    # ------------------------------------------------------------------ #
+    def iterate_models(
+        self,
+        relevant_variables: Optional[Sequence[int]] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Dict[int, bool]]:
+        """Enumerate models, blocking each found model on the relevant variables."""
+        produced = 0
+        while limit is None or produced < limit:
+            status, model = self.solve()
+            if status is Satisfiability.UNSATISFIABLE or model is None:
+                return
+            yield model
+            produced += 1
+            variables = relevant_variables if relevant_variables is not None else sorted(model)
+            blocking = [(-variable if model.get(variable, False) else variable) for variable in variables]
+            if not blocking:
+                return
+            self.add_clause(blocking)

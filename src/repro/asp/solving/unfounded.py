@@ -1,0 +1,69 @@
+"""Unfounded-set detection (external support / loop checking).
+
+The Clark completion admits classical models that are not stable when a
+program has cycles through positive literals (e.g. ``a :- b. b :- a.``).
+The standard remedy is to check a candidate model for *unfounded* atoms:
+true atoms that cannot be derived from outside their own positive loop.  A
+model with a non-empty unfounded set is not stable; blocking it (or adding
+its loop formula) and continuing the search yields exactly the stable
+models.
+
+``greatest_unfounded_set`` computes, for a candidate set of true atoms
+``model``, the largest set of true atoms lacking a non-circular derivation.
+For normal programs this characterises stability:
+
+    model is a stable model  <=>  model satisfies the program
+                                  and its greatest unfounded set is empty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.asp.grounding.grounder import GroundProgram, GroundRule
+from repro.asp.syntax.atoms import Atom
+
+__all__ = ["greatest_unfounded_set", "is_founded"]
+
+
+def greatest_unfounded_set(ground: GroundProgram, model: Set[Atom]) -> Set[Atom]:
+    """Return the true atoms of ``model`` that lack external support.
+
+    An atom is *founded* when it is a fact, or when some rule with the atom
+    in its head has: all positive body atoms founded (and true in the
+    model), all negative body atoms false in the model, and -- for
+    disjunctive rules -- no other head atom true in the model (otherwise the
+    rule supports that other atom instead).
+    """
+    founded: Set[Atom] = {atom for atom in ground.facts if atom in model}
+    candidate_rules: List[GroundRule] = [
+        rule
+        for rule in ground.rules
+        if not rule.is_constraint and any(atom in model for atom in rule.head)
+    ]
+
+    changed = True
+    while changed:
+        changed = False
+        for rule in candidate_rules:
+            if any(atom in model for atom in rule.negative_body):
+                continue
+            if not all(atom in model and atom in founded for atom in rule.positive_body):
+                continue
+            true_heads = [atom for atom in rule.head if atom in model]
+            if len(true_heads) != 1:
+                # Disjunctive rule satisfied by several true heads does not
+                # provide unambiguous support to any single one of them.
+                if not true_heads:
+                    continue
+                continue
+            head = true_heads[0]
+            if head not in founded:
+                founded.add(head)
+                changed = True
+    return {atom for atom in model if atom not in founded}
+
+
+def is_founded(ground: GroundProgram, model: Set[Atom]) -> bool:
+    """True when ``model`` has no unfounded atoms."""
+    return not greatest_unfounded_set(ground, model)

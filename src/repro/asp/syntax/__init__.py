@@ -1,0 +1,22 @@
+"""Abstract syntax for ASP programs: terms, atoms, literals, rules."""
+
+from repro.asp.syntax.atoms import Atom, Comparison, Literal
+from repro.asp.syntax.parser import parse_program, parse_rule, parse_term
+from repro.asp.syntax.program import Program
+from repro.asp.syntax.rules import Rule
+from repro.asp.syntax.terms import Constant, FunctionTerm, Term, Variable
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "Constant",
+    "FunctionTerm",
+    "Literal",
+    "Program",
+    "Rule",
+    "Term",
+    "Variable",
+    "parse_program",
+    "parse_rule",
+    "parse_term",
+]

@@ -1,0 +1,293 @@
+"""Parser for a practical subset of the ASP-Core-2 input language.
+
+Supported syntax::
+
+    % comments run to the end of the line
+    fact(a, 1).
+    head(X) :- body(X, Y), Y < 20, not excluded(X).
+    a(X) | b(X) :- c(X).          % disjunctive heads ('|' or ';')
+    :- a(X), b(X).                % integrity constraints
+
+Terms may be integers (optionally negative), symbolic constants
+(lowercase-initial identifiers), quoted strings, variables
+(uppercase-initial or '_'-initial identifiers), the anonymous variable
+``_`` and uninterpreted function terms ``f(t1, ..., tn)``.
+
+Comparisons between terms use ``= == != <> < <= > >=``.
+
+This covers everything the paper's programs (Listing 1 plus rule r7) and the
+synthetic workloads need, while remaining a faithful miniature of the
+language clingo accepts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.asp.errors import ParseError
+from repro.asp.syntax.atoms import Atom, Comparison, Literal
+from repro.asp.syntax.program import Program
+from repro.asp.syntax.rules import BodyElement, Rule
+from repro.asp.syntax.terms import Constant, FunctionTerm, Term, Variable
+
+__all__ = ["parse_program", "parse_rule", "parse_term", "tokenize"]
+
+
+# --------------------------------------------------------------------------- #
+# Tokenizer
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"%[^\n]*"),
+    ("STRING", r'"(?:\\.|[^"\\])*"'),
+    ("IF", r":-"),
+    ("NUMBER", r"-?\d+"),
+    ("IDENTIFIER", r"[a-z_][A-Za-z0-9_]*"),
+    ("VARIABLE", r"[A-Z][A-Za-z0-9_]*"),
+    ("COMPARE", r"==|!=|<>|<=|>=|<|>|="),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("OR", r"\||;"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("MISMATCH", r"."),
+]
+
+_TOKEN_REGEX = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ASP source text, dropping comments and whitespace."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_REGEX.finditer(text):
+        kind = match.lastgroup or "MISMATCH"
+        value = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise ParseError(f"unexpected character {value!r}", line=line, column=column)
+        tokens.append(Token(kind, value, line, column))
+    return tokens
+
+
+# --------------------------------------------------------------------------- #
+# Recursive-descent parser
+# --------------------------------------------------------------------------- #
+class _Parser:
+    """Parses a token stream into rules."""
+
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens = list(tokens)
+        self._position = 0
+
+    # -- token helpers -------------------------------------------------- #
+    def _peek(self) -> Optional[Token]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"expected {kind}, found end of input")
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} ({token.value!r})",
+                line=token.line,
+                column=token.column,
+            )
+        return self._advance()
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return False
+        if value is not None and token.value != value:
+            return False
+        return True
+
+    def at_end(self) -> bool:
+        return self._peek() is None
+
+    # -- grammar -------------------------------------------------------- #
+    def parse_program(self, name: str = "program") -> Program:
+        program = Program(name=name)
+        while not self.at_end():
+            program.add_rule(self.parse_rule())
+        return program
+
+    def parse_rule(self) -> Rule:
+        head: Tuple[Atom, ...] = ()
+        body: Tuple[BodyElement, ...] = ()
+        if self._check("IF"):
+            # Constraint: ":- body."
+            self._advance()
+            body = self._parse_body()
+        else:
+            head = self._parse_head()
+            if self._check("IF"):
+                self._advance()
+                body = self._parse_body()
+        self._expect("DOT")
+        return Rule(head=head, body=body)
+
+    def _parse_head(self) -> Tuple[Atom, ...]:
+        atoms = [self._parse_atom()]
+        while self._check("OR"):
+            self._advance()
+            atoms.append(self._parse_atom())
+        return tuple(atoms)
+
+    def _parse_body(self) -> Tuple[BodyElement, ...]:
+        elements = [self._parse_body_element()]
+        while self._check("COMMA"):
+            self._advance()
+            elements.append(self._parse_body_element())
+        return tuple(elements)
+
+    def _parse_body_element(self) -> BodyElement:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in rule body")
+        if token.kind == "IDENTIFIER" and token.value == "not":
+            self._advance()
+            atom = self._parse_atom()
+            return Literal(atom, positive=False)
+        # Either a comparison (term OP term) or a positive atom literal.
+        saved_position = self._position
+        term = self._try_parse_term()
+        if term is not None and self._check("COMPARE"):
+            operator = self._advance().value
+            right = self._parse_term()
+            return Comparison(operator, term, right)
+        self._position = saved_position
+        atom = self._parse_atom()
+        if self._check("COMPARE"):
+            # e.g. "f(X) < 3" where the left side parsed as an atom.
+            operator = self._advance().value
+            right = self._parse_term()
+            left = FunctionTerm(atom.predicate, atom.arguments) if atom.arguments else Constant(atom.predicate)
+            return Comparison(operator, left, right)
+        return Literal(atom, positive=True)
+
+    def _parse_atom(self) -> Atom:
+        token = self._expect("IDENTIFIER")
+        if token.value == "not":
+            raise ParseError("'not' is not a valid predicate name", line=token.line, column=token.column)
+        arguments: Tuple[Term, ...] = ()
+        if self._check("LPAREN"):
+            self._advance()
+            arguments = self._parse_term_list()
+            self._expect("RPAREN")
+        return Atom(token.value, arguments)
+
+    def _parse_term_list(self) -> Tuple[Term, ...]:
+        terms = [self._parse_term()]
+        while self._check("COMMA"):
+            self._advance()
+            terms.append(self._parse_term())
+        return tuple(terms)
+
+    def _try_parse_term(self) -> Optional[Term]:
+        """Parse a term if the upcoming tokens form one followed by a comparison."""
+        saved_position = self._position
+        try:
+            term = self._parse_term()
+        except ParseError:
+            self._position = saved_position
+            return None
+        return term
+
+    def _parse_term(self) -> Term:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input while reading a term")
+        if token.kind == "NUMBER":
+            self._advance()
+            return Constant(int(token.value))
+        if token.kind == "STRING":
+            self._advance()
+            raw = token.value[1:-1]
+            unescaped = raw.replace('\\"', '"').replace("\\\\", "\\")
+            return Constant(unescaped, quoted=True)
+        if token.kind == "VARIABLE":
+            self._advance()
+            return Variable(token.value)
+        if token.kind == "IDENTIFIER":
+            self._advance()
+            if token.value == "_":
+                return Variable.anonymous()
+            if token.value.startswith("_"):
+                return Variable(token.value)
+            if self._check("LPAREN"):
+                self._advance()
+                arguments = self._parse_term_list()
+                self._expect("RPAREN")
+                return FunctionTerm(token.value, arguments)
+            return Constant(token.value)
+        raise ParseError(
+            f"unexpected token {token.value!r} while reading a term",
+            line=token.line,
+            column=token.column,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Public helpers
+# --------------------------------------------------------------------------- #
+def parse_program(text: str, name: str = "program") -> Program:
+    """Parse ASP source ``text`` into a :class:`Program`."""
+    return _Parser(tokenize(text)).parse_program(name=name)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (trailing '.' required)."""
+    parser = _Parser(tokenize(text))
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(
+            "trailing input after rule",
+            line=token.line if token else None,
+            column=token.column if token else None,
+        )
+    return rule
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term."""
+    parser = _Parser(tokenize(text))
+    term = parser._parse_term()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(
+            "trailing input after term",
+            line=token.line if token else None,
+            column=token.column if token else None,
+        )
+    return term

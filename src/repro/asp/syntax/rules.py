@@ -1,0 +1,132 @@
+"""Rules of an ASP program.
+
+A rule has the general disjunctive form::
+
+    q1 | ... | qn :- p1, ..., pk, not pk+1, ..., not pm, c1, ..., cj.
+
+where the ``qi`` are head atoms, the ``pi`` are body atom literals and the
+``ci`` are builtin comparison literals.  Special cases:
+
+* *fact*: a single head atom and an empty body (``q.``),
+* *constraint*: an empty head (``:- body.``),
+* *normal rule*: exactly one head atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Set, Tuple, Union
+
+from repro.asp.syntax.atoms import Atom, Comparison, Literal
+from repro.asp.syntax.terms import Variable
+
+__all__ = ["BodyElement", "Rule"]
+
+BodyElement = Union[Literal, Comparison]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A (possibly non-ground) disjunctive rule."""
+
+    head: Tuple[Atom, ...] = ()
+    body: Tuple[BodyElement, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "head", tuple(self.head))
+        object.__setattr__(self, "body", tuple(self.body))
+        for atom in self.head:
+            if not isinstance(atom, Atom):
+                raise TypeError(f"head elements must be atoms, got {atom!r}")
+        for element in self.body:
+            if not isinstance(element, (Literal, Comparison)):
+                raise TypeError(f"body elements must be literals or comparisons, got {element!r}")
+
+    # ------------------------------------------------------------------ #
+    # Classification helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fact(self) -> bool:
+        """True for ``q.`` -- one head atom and no body."""
+        return len(self.head) == 1 and not self.body
+
+    @property
+    def is_constraint(self) -> bool:
+        """True for integrity constraints ``:- body.``"""
+        return not self.head
+
+    @property
+    def is_normal(self) -> bool:
+        """True when the head has at most one atom (non-disjunctive)."""
+        return len(self.head) <= 1
+
+    @property
+    def is_disjunctive(self) -> bool:
+        return len(self.head) > 1
+
+    def is_ground(self) -> bool:
+        return all(atom.is_ground() for atom in self.head) and all(
+            element.is_ground() for element in self.body
+        )
+
+    # ------------------------------------------------------------------ #
+    # Body views
+    # ------------------------------------------------------------------ #
+    @property
+    def body_literals(self) -> Tuple[Literal, ...]:
+        """Atom literals of the body (positive and negative), no comparisons."""
+        return tuple(element for element in self.body if isinstance(element, Literal))
+
+    @property
+    def positive_body(self) -> Tuple[Literal, ...]:
+        """``body+(r)``: positive atom literals."""
+        return tuple(element for element in self.body_literals if element.positive)
+
+    @property
+    def negative_body(self) -> Tuple[Literal, ...]:
+        """``body-(r)``: default-negated atom literals."""
+        return tuple(element for element in self.body_literals if element.negative)
+
+    @property
+    def comparisons(self) -> Tuple[Comparison, ...]:
+        return tuple(element for element in self.body if isinstance(element, Comparison))
+
+    # ------------------------------------------------------------------ #
+    # Predicates and variables
+    # ------------------------------------------------------------------ #
+    def head_predicates(self) -> Set[str]:
+        return {atom.predicate for atom in self.head}
+
+    def body_predicates(self) -> Set[str]:
+        return {literal.predicate for literal in self.body_literals}
+
+    def predicates(self) -> Set[str]:
+        return self.head_predicates() | self.body_predicates()
+
+    def variables(self) -> Set[Variable]:
+        found: Set[Variable] = set()
+        for atom in self.head:
+            found.update(atom.variables())
+        for element in self.body:
+            found.update(element.variables())
+        return found
+
+    def substitute(self, mapping) -> "Rule":
+        return Rule(
+            tuple(atom.substitute(mapping) for atom in self.head),
+            tuple(element.substitute(mapping) for element in self.body),
+        )
+
+    def __str__(self) -> str:
+        head_text = " | ".join(str(atom) for atom in self.head)
+        if not self.body:
+            return f"{head_text}." if head_text else ":-."
+        body_text = ", ".join(str(element) for element in self.body)
+        if head_text:
+            return f"{head_text} :- {body_text}."
+        return f":- {body_text}."
+
+
+def fact(atom: Atom) -> Rule:
+    """Convenience constructor for a fact rule."""
+    return Rule(head=(atom,), body=())

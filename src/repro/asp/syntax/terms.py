@@ -1,0 +1,141 @@
+"""Terms of the ASP language.
+
+A term is one of:
+
+* :class:`Constant` -- a symbolic constant (``newcastle``), an integer
+  (``20``), or a quoted string (``"high speed"``).
+* :class:`Variable` -- an uppercase-initial identifier (``X``) or the
+  anonymous variable ``_``.
+* :class:`FunctionTerm` -- an uninterpreted function symbol applied to terms
+  (``loc(1, 2)``).
+
+All term classes are immutable and hashable so they can be used freely as
+dictionary keys and set members, which the grounder relies on heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+__all__ = ["Constant", "FunctionTerm", "Term", "Variable"]
+
+
+_ANONYMOUS_COUNTER = 0
+
+
+def _next_anonymous_name() -> str:
+    """Return a fresh name for an anonymous variable ``_``."""
+    global _ANONYMOUS_COUNTER
+    _ANONYMOUS_COUNTER += 1
+    return f"_Anon{_ANONYMOUS_COUNTER}"
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A ground constant: integer, symbolic constant, or quoted string."""
+
+    value: Union[int, str]
+    quoted: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool):
+            raise TypeError("boolean constants are not part of the language")
+        if not isinstance(self.value, (int, str)):
+            raise TypeError(f"constant value must be int or str, got {type(self.value)!r}")
+
+    @property
+    def is_integer(self) -> bool:
+        """True when the constant is an integer."""
+        return isinstance(self.value, int)
+
+    def is_ground(self) -> bool:
+        return True
+
+    def variables(self) -> Iterator["Variable"]:
+        return iter(())
+
+    def substitute(self, mapping) -> "Constant":
+        return self
+
+    def __str__(self) -> str:
+        if self.quoted:
+            escaped = str(self.value).replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return str(self.value)
+
+    def __lt__(self, other: "Constant") -> bool:
+        """Total order used by comparison builtins: integers before symbols."""
+        if not isinstance(other, Constant):
+            return NotImplemented
+        return _order_key(self) < _order_key(other)
+
+
+def _order_key(constant: Constant) -> Tuple[int, object]:
+    if constant.is_integer:
+        return (0, constant.value)
+    return (1, str(constant.value))
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logic variable (uppercase-initial or ``_``-prefixed identifier)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    @classmethod
+    def anonymous(cls) -> "Variable":
+        """Create a fresh anonymous variable (each ``_`` is distinct)."""
+        return cls(_next_anonymous_name())
+
+    def is_ground(self) -> bool:
+        return False
+
+    def variables(self) -> Iterator["Variable"]:
+        yield self
+
+    def substitute(self, mapping) -> "Term":
+        return mapping.get(self, self)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionTerm:
+    """An uninterpreted function symbol applied to argument terms."""
+
+    name: str
+    arguments: Tuple["Term", ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("function name must be non-empty")
+        object.__setattr__(self, "arguments", tuple(self.arguments))
+
+    @property
+    def arity(self) -> int:
+        return len(self.arguments)
+
+    def is_ground(self) -> bool:
+        return all(argument.is_ground() for argument in self.arguments)
+
+    def variables(self) -> Iterator[Variable]:
+        for argument in self.arguments:
+            yield from argument.variables()
+
+    def substitute(self, mapping) -> "FunctionTerm":
+        return FunctionTerm(self.name, tuple(argument.substitute(mapping) for argument in self.arguments))
+
+    def __str__(self) -> str:
+        if not self.arguments:
+            return self.name
+        inner = ",".join(str(argument) for argument in self.arguments)
+        return f"{self.name}({inner})"
+
+
+Term = Union[Constant, Variable, FunctionTerm]

@@ -1,0 +1,55 @@
+"""Input dependency analysis -- the paper's primary contribution.
+
+The package follows Section II and III of the paper:
+
+* :mod:`repro.core.extended_dependency` -- the extended dependency graph
+  ``G_P`` (Definition 1) over *all* predicates of a program, with undirected
+  body-body edges (``E_P1``) and directed body-head edges (``E_P2``).
+* :mod:`repro.core.input_dependency` -- the input dependency graph
+  ``G_P^{inpre(P)}`` (Definitions 2 and 3) over the input predicates only.
+* :mod:`repro.core.decomposition` -- the decomposing (duplication) process
+  that turns the input dependency graph into a :class:`PartitioningPlan`,
+  using connected components when the graph is disconnected and Louvain
+  modularity plus boundary-node duplication otherwise.
+* :mod:`repro.core.plan` -- the partitioning plan data structure (predicate
+  -> community ids).
+* :mod:`repro.core.partitioner` -- Algorithm 1 (dependency-aware window
+  partitioning) and the random-partitioning baseline of [12].
+* :mod:`repro.core.combining` -- the combining handler semantics
+  ``Ans_P(W) = { U ans_i }``.
+* :mod:`repro.core.accuracy` -- the non-monotonic accuracy metric of
+  Section III.
+"""
+
+from repro.core.accuracy import accuracy_of_answer, accuracy_of_answers, mean_accuracy
+from repro.core.combining import combine_answer_sets
+from repro.core.decomposition import DecompositionResult, decompose
+from repro.core.extended_dependency import ExtendedDependencyGraph
+from repro.core.input_dependency import InputDependencyGraph, build_input_dependency_graph
+from repro.core.partitioner import (
+    DependencyPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RandomPartitioner,
+)
+from repro.core.plan import PartitioningPlan
+from repro.core.validation import PlanValidationReport, validate_plan
+
+__all__ = [
+    "PlanValidationReport",
+    "validate_plan",
+    "DecompositionResult",
+    "DependencyPartitioner",
+    "ExtendedDependencyGraph",
+    "HashPartitioner",
+    "InputDependencyGraph",
+    "PartitioningPlan",
+    "Partitioner",
+    "RandomPartitioner",
+    "accuracy_of_answer",
+    "accuracy_of_answers",
+    "build_input_dependency_graph",
+    "combine_answer_sets",
+    "decompose",
+    "mean_accuracy",
+]

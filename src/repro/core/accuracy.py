@@ -1,0 +1,62 @@
+"""Accuracy of partitioned answers (Section III).
+
+The accuracy of one answer ``ans_i`` produced by the parallel reasoner
+``PR`` against the reference answers ``Ans_R`` of the unpartitioned reasoner
+``R`` is::
+
+    accuracy(ans_i) = max over ans_j in Ans_R of |ans_i  intersect  ans_j| / |ans_j|
+
+i.e. the best recall of ``ans_i`` against any reference answer set; this is
+the adaptation the paper gives for non-monotonic reasoners that may return
+several answer sets for the same input.  When both reasoners return a single
+answer set this reduces to the ordinary ratio the paper states first.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.asp.syntax.atoms import Atom
+
+__all__ = ["accuracy_of_answer", "accuracy_of_answers", "mean_accuracy"]
+
+
+def accuracy_of_answer(answer: Iterable[Atom], reference_answers: Sequence[Iterable[Atom]]) -> float:
+    """Accuracy of one partitioned answer against the reference answers.
+
+    Edge cases: with no reference answers the accuracy is defined as 0.0
+    (the reference reasoner found the input inconsistent, the partitioned
+    one did not); an *empty* reference answer set is matched perfectly by
+    any answer (ratio 1.0), mirroring the limit of the formula.
+    """
+    answer_set = set(answer)
+    references = [set(reference) for reference in reference_answers]
+    if not references:
+        return 0.0
+    best = 0.0
+    for reference in references:
+        if not reference:
+            best = max(best, 1.0)
+            continue
+        overlap = len(answer_set & reference) / len(reference)
+        best = max(best, overlap)
+    return best
+
+
+def accuracy_of_answers(
+    answers: Sequence[Iterable[Atom]],
+    reference_answers: Sequence[Iterable[Atom]],
+) -> List[float]:
+    """Per-answer accuracies of all partitioned answers."""
+    return [accuracy_of_answer(answer, reference_answers) for answer in answers]
+
+
+def mean_accuracy(
+    answers: Sequence[Iterable[Atom]],
+    reference_answers: Sequence[Iterable[Atom]],
+) -> float:
+    """Average accuracy over the partitioned answers (0.0 when there are none)."""
+    scores = accuracy_of_answers(answers, reference_answers)
+    if not scores:
+        return 0.0
+    return sum(scores) / len(scores)

@@ -1,0 +1,64 @@
+"""The combining handler semantics.
+
+For a window ``W`` split into partitions ``W_1 .. W_n`` the answers of the
+parallel reasoner are (Section III)::
+
+    Ans_P(W) = { ans_1 U ... U ans_n  :  ans_i in Ans_P(W_i) }
+
+i.e. every way of picking one answer set per partition, unioned.  Because a
+non-monotonic program may have several answer sets per partition, the number
+of combinations can grow multiplicatively; ``max_combinations`` caps the
+enumeration (the paper's evaluation programs have a single answer set per
+partition, so the cap never binds there).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.asp.syntax.atoms import Atom
+
+__all__ = ["combine_answer_sets"]
+
+AnswerSet = FrozenSet[Atom]
+
+
+def combine_answer_sets(
+    per_partition_answers: Sequence[Sequence[Iterable[Atom]]],
+    max_combinations: Optional[int] = 64,
+) -> List[AnswerSet]:
+    """Union one answer set from every partition, in all combinations.
+
+    Parameters
+    ----------
+    per_partition_answers:
+        For each partition, the list of its answer sets.  A partition with
+        *no* answer set (inconsistent sub-program) contributes nothing and is
+        skipped -- its data cannot invalidate the other partitions under the
+        paper's union semantics.
+    max_combinations:
+        Upper bound on the number of produced combinations (``None`` for no
+        bound).
+
+    Returns
+    -------
+    list of frozensets of atoms, duplicates removed, deterministic order.
+    """
+    contributing = [list(answers) for answers in per_partition_answers if list(answers)]
+    if not contributing:
+        return []
+
+    combined: List[AnswerSet] = []
+    seen: Set[AnswerSet] = set()
+    for combination in itertools.product(*contributing):
+        union: Set[Atom] = set()
+        for answer in combination:
+            union.update(answer)
+        frozen = frozenset(union)
+        if frozen not in seen:
+            seen.add(frozen)
+            combined.append(frozen)
+        if max_combinations is not None and len(combined) >= max_combinations:
+            break
+    return combined

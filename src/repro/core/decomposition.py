@@ -1,0 +1,172 @@
+"""The decomposing (duplication) process of Section II-B.
+
+Given an input dependency graph, produce a partitioning plan:
+
+* **Disconnected graph** -- the connected components of the graph are the
+  partitions (the "natural subdivision of inpre(P)").
+* **Connected graph** -- the paper's three-step duplication process:
+
+  1. run the Louvain modularity algorithm (resolution 1.0) to split the
+     graph into communities,
+  2. for every pair of communities ``C1``, ``C2`` identify the boundary
+     nodes ``exnodes(C1)`` (nodes of C1 with a link into C2) and
+     ``exnodes(C2)``,
+  3. duplicate the smaller of the two boundary sets into both communities.
+
+The result records the communities, the duplicated predicates and the final
+:class:`~repro.core.plan.PartitioningPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.input_dependency import InputDependencyGraph
+from repro.core.plan import PartitioningPlan
+from repro.graph.modularity import louvain_communities
+from repro.graph.undirected import UndirectedGraph
+
+__all__ = ["DecompositionResult", "decompose"]
+
+
+@dataclass(frozen=True)
+class DecompositionResult:
+    """Outcome of decomposing an input dependency graph."""
+
+    plan: PartitioningPlan
+    communities: Tuple[FrozenSet[str], ...]
+    duplicated_predicates: FrozenSet[str]
+    used_modularity: bool
+    resolution: float
+
+    @property
+    def community_count(self) -> int:
+        return len(self.communities)
+
+
+def decompose(
+    dependency_graph: InputDependencyGraph,
+    resolution: float = 1.0,
+    max_communities: Optional[int] = None,
+    unknown_policy: str = "broadcast",
+) -> DecompositionResult:
+    """Run the decomposing process on an input dependency graph.
+
+    Parameters
+    ----------
+    dependency_graph:
+        The input dependency graph of a program w.r.t. its input predicates.
+    resolution:
+        Resolution parameter of the modularity algorithm (the paper uses 1.0).
+    max_communities:
+        Optional cap on the number of partitions; extra communities are merged
+        into the largest ones (useful for ablations; the paper does not cap).
+    unknown_policy:
+        How the resulting plan routes predicates it has never seen.
+    """
+    graph = dependency_graph.graph
+    nodes = sorted(graph.nodes)
+    if not nodes:
+        plan = PartitioningPlan.from_communities([[]], unknown_policy=unknown_policy)
+        return DecompositionResult(
+            plan=plan,
+            communities=(frozenset(),),
+            duplicated_predicates=frozenset(),
+            used_modularity=False,
+            resolution=resolution,
+        )
+
+    components = [set(component) for component in graph.connected_components()]
+    if len(components) > 1:
+        # Natural subdivision: one partition per connected component.
+        communities = _cap_communities([set(component) for component in components], max_communities)
+        ordered = sorted(communities, key=lambda community: sorted(community))
+        plan = PartitioningPlan.from_communities([sorted(community) for community in ordered], unknown_policy=unknown_policy)
+        return DecompositionResult(
+            plan=plan,
+            communities=tuple(frozenset(community) for community in ordered),
+            duplicated_predicates=frozenset(),
+            used_modularity=False,
+            resolution=resolution,
+        )
+
+    # Connected graph: modularity decomposition plus boundary duplication.
+    detected = louvain_communities(graph, resolution=resolution)
+    detected = [set(community) for community in detected if community]
+    detected = _cap_communities(detected, max_communities)
+    if len(detected) <= 1:
+        # Modularity found no split; fall back to a single partition.
+        plan = PartitioningPlan.from_communities([nodes], unknown_policy=unknown_policy)
+        return DecompositionResult(
+            plan=plan,
+            communities=(frozenset(nodes),),
+            duplicated_predicates=frozenset(),
+            used_modularity=True,
+            resolution=resolution,
+        )
+
+    ordered = sorted(detected, key=lambda community: sorted(community))
+    augmented: List[Set[str]] = [set(community) for community in ordered]
+    duplicated: Set[str] = set()
+
+    for first_index in range(len(ordered)):
+        for second_index in range(first_index + 1, len(ordered)):
+            first_community = ordered[first_index]
+            second_community = ordered[second_index]
+            first_boundary = _exnodes(graph, first_community, second_community)
+            second_boundary = _exnodes(graph, second_community, first_community)
+            if not first_boundary and not second_boundary:
+                continue
+            chosen = _choose_duplication_set(first_boundary, second_boundary)
+            duplicated.update(chosen)
+            # Duplicated nodes belong to both communities.
+            augmented[first_index].update(chosen)
+            augmented[second_index].update(chosen)
+
+    plan = PartitioningPlan.from_communities(
+        [sorted(community) for community in augmented], unknown_policy=unknown_policy
+    )
+    return DecompositionResult(
+        plan=plan,
+        communities=tuple(frozenset(community) for community in augmented),
+        duplicated_predicates=frozenset(duplicated),
+        used_modularity=True,
+        resolution=resolution,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def _exnodes(graph: UndirectedGraph, community: Set[str], other: Set[str]) -> Set[str]:
+    """Boundary nodes of ``community`` having at least one link into ``other``."""
+    boundary: Set[str] = set()
+    for node in community:
+        if any(neighbor in other for neighbor in graph.neighbors(node)):
+            boundary.add(node)
+    return boundary
+
+
+def _choose_duplication_set(first_boundary: Set[str], second_boundary: Set[str]) -> Set[str]:
+    """Pick the smaller boundary set (deterministic tie-break on names)."""
+    if not first_boundary:
+        return set(second_boundary)
+    if not second_boundary:
+        return set(first_boundary)
+    if len(first_boundary) < len(second_boundary):
+        return set(first_boundary)
+    if len(second_boundary) < len(first_boundary):
+        return set(second_boundary)
+    return set(min((sorted(first_boundary), sorted(second_boundary))))
+
+
+def _cap_communities(communities: List[Set[str]], max_communities: Optional[int]) -> List[Set[str]]:
+    """Merge the smallest communities until at most ``max_communities`` remain."""
+    if max_communities is None or max_communities < 1 or len(communities) <= max_communities:
+        return communities
+    merged = sorted(communities, key=lambda community: (-len(community), sorted(community)))
+    while len(merged) > max_communities:
+        smallest = merged.pop()
+        merged[-1] = merged[-1] | smallest
+    return merged

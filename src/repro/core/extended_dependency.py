@@ -1,0 +1,125 @@
+"""The extended dependency graph ``G_P`` (Definition 1).
+
+For a logic program ``P`` the graph has one node per predicate in
+``pre(P)`` and two edge sets:
+
+* ``E_P1`` -- *undirected* edges between any two predicates occurring
+  together in the body of some rule, plus a self-loop on every predicate
+  that occurs in a *negative* body literal;
+* ``E_P2`` -- *directed* edges from every body predicate to every head
+  predicate of the same rule.
+
+This extends the classical dependency graph of Calimeri et al. [6] (IDB
+head/body edges only) with EDB-EDB relations and negative literals, which is
+what makes it suitable for analysing relations between *input* data items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.asp.syntax.program import Program
+from repro.graph.digraph import DirectedGraph
+from repro.graph.undirected import UndirectedGraph
+
+__all__ = ["ExtendedDependencyGraph"]
+
+
+@dataclass
+class ExtendedDependencyGraph:
+    """The extended dependency graph of a program (Definition 1)."""
+
+    nodes: Set[str] = field(default_factory=set)
+    #: Undirected body-body edges (E_P1), stored as frozensets of size 1 (self-loop) or 2.
+    body_edges: Set[FrozenSet[str]] = field(default_factory=set)
+    #: Directed body-to-head edges (E_P2).
+    head_edges: Set[Tuple[str, str]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_program(cls, program: Program) -> "ExtendedDependencyGraph":
+        """Build ``G_P`` by one pass over the rules of ``P``."""
+        graph = cls()
+        graph.nodes.update(program.predicates())
+        for rule in program.rules:
+            body_predicates = [literal.predicate for literal in rule.body_literals]
+            # E_P1: every unordered pair of body predicates.
+            for index, first in enumerate(body_predicates):
+                for second in body_predicates[index + 1 :]:
+                    if first != second:
+                        graph.body_edges.add(frozenset((first, second)))
+            # E_P1 self-loops for negatively occurring predicates.
+            for literal in rule.negative_body:
+                graph.body_edges.add(frozenset((literal.predicate,)))
+            # E_P2: body -> head.
+            for head_predicate in rule.head_predicates():
+                for body_predicate in set(body_predicates):
+                    graph.head_edges.add((body_predicate, head_predicate))
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Edge queries
+    # ------------------------------------------------------------------ #
+    def has_body_edge(self, first: str, second: str) -> bool:
+        """True when ``(first, second)`` (or the self-loop) is in ``E_P1``."""
+        if first == second:
+            return frozenset((first,)) in self.body_edges
+        return frozenset((first, second)) in self.body_edges
+
+    def has_self_loop(self, predicate: str) -> bool:
+        return frozenset((predicate,)) in self.body_edges
+
+    def has_head_edge(self, source: str, target: str) -> bool:
+        return (source, target) in self.head_edges
+
+    def body_edge_pairs(self) -> List[Tuple[str, str]]:
+        """E_P1 edges as ordered pairs (self-loops as ``(p, p)``)."""
+        pairs: List[Tuple[str, str]] = []
+        for edge in self.body_edges:
+            members = sorted(edge)
+            if len(members) == 1:
+                pairs.append((members[0], members[0]))
+            else:
+                pairs.append((members[0], members[1]))
+        return sorted(pairs)
+
+    def self_loops(self) -> Set[str]:
+        return {next(iter(edge)) for edge in self.body_edges if len(edge) == 1}
+
+    # ------------------------------------------------------------------ #
+    # Derived graph views
+    # ------------------------------------------------------------------ #
+    def directed_view(self) -> DirectedGraph:
+        """The E_P2 edges as a :class:`DirectedGraph` (for reachability)."""
+        directed = DirectedGraph()
+        directed.add_nodes(self.nodes)
+        for source, target in self.head_edges:
+            directed.add_edge(source, target)
+        return directed
+
+    def undirected_view(self) -> UndirectedGraph:
+        """The E_P1 edges as an :class:`UndirectedGraph` (self-loops included)."""
+        undirected = UndirectedGraph()
+        undirected.add_nodes(self.nodes)
+        for edge in self.body_edges:
+            members = sorted(edge)
+            if len(members) == 1:
+                undirected.add_edge(members[0], members[0])
+            else:
+                undirected.add_edge(members[0], members[1])
+        return undirected
+
+    def reaches(self, source: str, target: str) -> bool:
+        """True when a (possibly empty) directed E_P2 path runs from source to target."""
+        if source == target:
+            return True
+        return self.directed_view().has_path(source, target)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtendedDependencyGraph(nodes={len(self.nodes)}, "
+            f"body_edges={len(self.body_edges)}, head_edges={len(self.head_edges)})"
+        )

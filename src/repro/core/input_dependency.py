@@ -1,0 +1,139 @@
+"""The input dependency graph ``G_P^{inpre(P)}`` (Definitions 2 and 3).
+
+The input dependency graph is an *undirected* graph over the input
+predicates ``inpre(P)``.  Two input predicates ``p`` and ``q`` are connected
+when (Definition 2):
+
+i.   ``(p, q)`` is a body-body edge of the extended dependency graph
+     (they co-occur in some rule body), or
+ii.  there is a single body-body edge ``(p_i, p_{i+1})`` such that ``p``
+     reaches ``p_i`` and ``q`` reaches ``p_{i+1}`` along directed body->head
+     edges -- i.e. two derivation chains starting from ``p`` and ``q`` meet
+     inside one rule body, so ``p``-atoms and ``q``-atoms can jointly fire a
+     chain of rules, or
+iii. ``p = q`` and some predicate ``u`` with a self-loop (a negatively
+     occurring predicate) has a direct edge ``<p, u>`` in ``E_P2`` -- the
+     self-loop is inherited downwards to the input predicate feeding ``u``.
+
+Predicates connected by an edge *depend on each other* (Definition 3) and
+must be kept in the same partition so that rules fire properly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.asp.syntax.program import Program
+from repro.core.extended_dependency import ExtendedDependencyGraph
+from repro.graph.undirected import UndirectedGraph
+
+__all__ = ["InputDependencyGraph", "build_input_dependency_graph"]
+
+
+@dataclass
+class InputDependencyGraph:
+    """Undirected dependency graph over the input predicates of a program."""
+
+    input_predicates: FrozenSet[str]
+    graph: UndirectedGraph = field(default_factory=UndirectedGraph)
+    #: Which Definition 2 condition introduced each edge (for explanation).
+    edge_conditions: Dict[FrozenSet[str], Set[str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def has_edge(self, first: str, second: str) -> bool:
+        return self.graph.has_edge(first, second)
+
+    def depend_on_each_other(self, first: str, second: str) -> bool:
+        """Definition 3: predicates depend on each other iff an edge joins them."""
+        return self.has_edge(first, second)
+
+    def has_self_loop(self, predicate: str) -> bool:
+        return self.graph.has_self_loop(predicate)
+
+    def self_loops(self) -> Set[str]:
+        return {predicate for predicate in self.graph.nodes if self.graph.has_self_loop(predicate)}
+
+    @property
+    def nodes(self) -> List[str]:
+        return self.graph.nodes
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return [(first, second) for first, second, _ in self.graph.edges()]
+
+    def is_connected(self) -> bool:
+        return self.graph.is_connected()
+
+    def connected_components(self) -> List[Set[str]]:
+        """Natural subdivision of ``inpre(P)`` when the graph is disconnected."""
+        return self.graph.connected_components()
+
+    def conditions_for(self, first: str, second: str) -> Set[str]:
+        """Which of Definition 2's conditions (i/ii/iii) created the edge."""
+        return set(self.edge_conditions.get(frozenset((first, second)), set()))
+
+    def __repr__(self) -> str:
+        return (
+            f"InputDependencyGraph(nodes={len(self.graph)}, edges={self.graph.edge_count()}, "
+            f"connected={self.is_connected()})"
+        )
+
+
+def build_input_dependency_graph(
+    program: Program,
+    input_predicates: Iterable[str],
+    extended: Optional[ExtendedDependencyGraph] = None,
+) -> InputDependencyGraph:
+    """Build ``G_P^{inpre(P)}`` for ``program`` and the given input predicates.
+
+    Input predicates that do not occur in the program at all become isolated
+    nodes (they can be partitioned freely).
+    """
+    inpre = frozenset(input_predicates)
+    extended_graph = extended if extended is not None else ExtendedDependencyGraph.from_program(program)
+    directed = extended_graph.directed_view()
+
+    result = InputDependencyGraph(input_predicates=inpre)
+    result.graph.add_nodes(sorted(inpre))
+
+    def note_edge(first: str, second: str, condition: str) -> None:
+        result.graph.add_edge(first, second)
+        result.edge_conditions.setdefault(frozenset((first, second)), set()).add(condition)
+
+    # Reachability cache: predicate -> set of nodes reachable via E_P2.
+    reachable: Dict[str, Set[str]] = {}
+
+    def reaches(source: str, target: str) -> bool:
+        if source == target:
+            return True
+        if source not in reachable:
+            reachable[source] = directed.descendants(source)
+        return target in reachable[source]
+
+    body_pairs = extended_graph.body_edge_pairs()
+
+    ordered_inputs = sorted(inpre)
+    for index, p in enumerate(ordered_inputs):
+        for q in ordered_inputs[index:]:
+            # Condition (i): direct co-occurrence in a rule body.
+            if extended_graph.has_body_edge(p, q):
+                note_edge(p, q, "i")
+            # Condition (ii): derivation chains from p and q meet at a body edge.
+            for left, right in body_pairs:
+                if left == right:
+                    continue  # self-loops are handled by conditions (i) and (iii)
+                if (reaches(p, left) and reaches(q, right)) or (reaches(p, right) and reaches(q, left)):
+                    if (p, q) != (left, right) and (p, q) != (right, left):
+                        note_edge(p, q, "ii")
+                    elif not extended_graph.has_body_edge(p, q):
+                        note_edge(p, q, "ii")
+                    break
+
+    # Condition (iii): inherited self-loops.
+    for predicate in ordered_inputs:
+        for looped in extended_graph.self_loops():
+            if extended_graph.has_head_edge(predicate, looped):
+                note_edge(predicate, predicate, "iii")
+                break
+
+    return result

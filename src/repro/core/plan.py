@@ -1,0 +1,106 @@
+"""The partitioning plan: output of the decomposing process.
+
+A plan maps every input predicate to the set of communities (partitions)
+whose sub-window must receive its ground atoms.  Predicates mapped to more
+than one community are the *duplicated* predicates of the paper's
+decomposing process (their data items are copied into several partitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+__all__ = ["PartitioningPlan"]
+
+
+@dataclass(frozen=True)
+class PartitioningPlan:
+    """Mapping from input predicates to community identifiers."""
+
+    #: predicate -> community ids whose partitions receive the predicate's atoms.
+    assignments: Mapping[str, FrozenSet[int]]
+    #: number of communities (partitions); community ids are 0..community_count-1.
+    community_count: int
+    #: policy for predicates absent from ``assignments``:
+    #: "broadcast" copies them into every partition (safe default),
+    #: "first" routes them to community 0.
+    unknown_policy: str = "broadcast"
+
+    def __post_init__(self) -> None:
+        if self.unknown_policy not in ("broadcast", "first"):
+            raise ValueError(f"unknown_policy must be 'broadcast' or 'first', got {self.unknown_policy!r}")
+        if self.community_count < 1:
+            raise ValueError("a partitioning plan needs at least one community")
+        frozen: Dict[str, FrozenSet[int]] = {}
+        for predicate, communities in dict(self.assignments).items():
+            ids = frozenset(int(community) for community in communities)
+            if not ids:
+                raise ValueError(f"predicate {predicate!r} is assigned to no community")
+            if any(community < 0 or community >= self.community_count for community in ids):
+                raise ValueError(f"predicate {predicate!r} assigned to out-of-range community in {sorted(ids)}")
+            frozen[predicate] = ids
+        object.__setattr__(self, "assignments", frozen)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_communities(
+        cls,
+        communities: Sequence[Iterable[str]],
+        unknown_policy: str = "broadcast",
+    ) -> "PartitioningPlan":
+        """Build a plan from a list of predicate groups (index = community id)."""
+        assignments: Dict[str, Set[int]] = {}
+        for community_id, predicates in enumerate(communities):
+            for predicate in predicates:
+                assignments.setdefault(predicate, set()).add(community_id)
+        return cls(
+            assignments={predicate: frozenset(ids) for predicate, ids in assignments.items()},
+            community_count=max(1, len(communities)),
+            unknown_policy=unknown_policy,
+        )
+
+    @classmethod
+    def single_partition(cls, predicates: Iterable[str]) -> "PartitioningPlan":
+        """Degenerate plan keeping everything together (no parallelism)."""
+        return cls.from_communities([list(predicates)])
+
+    # ------------------------------------------------------------------ #
+    def find_communities(self, predicate: str) -> FrozenSet[int]:
+        """Algorithm 1's ``findCommunities``: partitions receiving ``predicate``."""
+        assigned = self.assignments.get(predicate)
+        if assigned is not None:
+            return assigned
+        if self.unknown_policy == "first":
+            return frozenset({0})
+        return frozenset(range(self.community_count))
+
+    @property
+    def predicates(self) -> Set[str]:
+        return set(self.assignments)
+
+    @property
+    def duplicated_predicates(self) -> Set[str]:
+        """Predicates copied into more than one partition."""
+        return {predicate for predicate, ids in self.assignments.items() if len(ids) > 1}
+
+    def community_members(self, community_id: int) -> Set[str]:
+        """All predicates routed to a given community."""
+        return {predicate for predicate, ids in self.assignments.items() if community_id in ids}
+
+    def communities(self) -> List[Set[str]]:
+        return [self.community_members(community_id) for community_id in range(self.community_count)]
+
+    def __len__(self) -> int:
+        return self.community_count
+
+    def describe(self) -> str:
+        """Human-readable summary of the plan."""
+        lines = [f"partitioning plan with {self.community_count} communities"]
+        for community_id in range(self.community_count):
+            members = sorted(self.community_members(community_id))
+            lines.append(f"  community {community_id}: {', '.join(members) if members else '(empty)'}")
+        duplicated = sorted(self.duplicated_predicates)
+        if duplicated:
+            lines.append(f"  duplicated predicates: {', '.join(duplicated)}")
+        return "\n".join(lines)

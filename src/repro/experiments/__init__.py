@@ -1,0 +1,27 @@
+"""Experiment drivers regenerating the paper's figures plus ablations."""
+
+from repro.experiments.config import DEFAULT_WINDOW_SIZES, PAPER_WINDOW_SIZES, ExperimentConfig
+from repro.experiments.figures import (
+    FigureSeries,
+    SweepRecord,
+    run_figure,
+    run_window_sweep,
+)
+from repro.experiments.reporting import records_to_csv, render_accuracy_table, render_latency_table
+from repro.experiments.runner import ReasonerSuite, build_reasoner_suite, evaluate_window
+
+__all__ = [
+    "DEFAULT_WINDOW_SIZES",
+    "ExperimentConfig",
+    "FigureSeries",
+    "PAPER_WINDOW_SIZES",
+    "ReasonerSuite",
+    "SweepRecord",
+    "build_reasoner_suite",
+    "evaluate_window",
+    "records_to_csv",
+    "render_accuracy_table",
+    "render_latency_table",
+    "run_figure",
+    "run_window_sweep",
+]

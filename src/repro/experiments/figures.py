@@ -1,0 +1,152 @@
+"""Drivers for the paper's figures.
+
+* Figure 7 -- reasoning latency over window size, program ``P``
+* Figure 8 -- accuracy over window size, program ``P``
+* Figure 9 -- reasoning latency over window size, program ``P'``
+* Figure 10 -- accuracy over window size, program ``P'``
+
+Each figure is one *view* (latency or accuracy) of the same window-size
+sweep for one program, so :func:`run_window_sweep` produces the sweep once
+and :func:`run_figure` extracts the requested series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig, effective_window_sizes
+from repro.experiments.runner import ReasonerSuite, WindowEvaluation, build_reasoner_suite
+from repro.programs.traffic import INPUT_PREDICATES
+from repro.streaming.generator import SyntheticStreamConfig, generate_window
+
+__all__ = ["FIGURES", "FigureSeries", "SweepRecord", "run_figure", "run_window_sweep"]
+
+
+#: figure number -> (program, metric)
+FIGURES: Dict[int, Tuple[str, str]] = {
+    7: ("P", "latency"),
+    8: ("P", "accuracy"),
+    9: ("P_prime", "latency"),
+    10: ("P_prime", "accuracy"),
+}
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One row of a window-size sweep: every configuration's metrics."""
+
+    program: str
+    window_size: int
+    latency_ms: Mapping[str, float]
+    accuracy: Mapping[str, float]
+    duplication_ratio: float
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """The data behind one of the paper's figures."""
+
+    figure: int
+    program: str
+    metric: str  # "latency" or "accuracy"
+    window_sizes: Tuple[int, ...]
+    series: Mapping[str, Tuple[float, ...]]  # label -> values per window size
+
+    def value(self, label: str, window_size: int) -> float:
+        index = self.window_sizes.index(window_size)
+        return self.series[label][index]
+
+    def labels(self) -> List[str]:
+        return list(self.series)
+
+
+def run_window_sweep(
+    config: ExperimentConfig,
+    suite: Optional[ReasonerSuite] = None,
+) -> List[SweepRecord]:
+    """Sweep window sizes for one program, evaluating every configuration."""
+    from repro.experiments.runner import evaluate_window  # local import to avoid cycles
+
+    active_suite = suite or build_reasoner_suite(
+        config.program,
+        random_partition_counts=config.random_partition_counts,
+        resolution=config.resolution,
+        seed=config.seed,
+    )
+    records: List[SweepRecord] = []
+    for window_size in config.window_sizes:
+        latency_accumulator: Dict[str, float] = {}
+        accuracy_accumulator: Dict[str, float] = {}
+        duplication = 0.0
+        for repetition in range(config.repetitions):
+            stream_config = SyntheticStreamConfig(
+                window_size=window_size,
+                input_predicates=INPUT_PREDICATES,
+                scheme=config.scheme,
+                seed=config.seed + repetition * 7919 + window_size,
+            )
+            window = generate_window(stream_config)
+            evaluation: WindowEvaluation = evaluate_window(active_suite, window)
+            for label, value in evaluation.latency_ms.items():
+                latency_accumulator[label] = latency_accumulator.get(label, 0.0) + value
+            for label, value in evaluation.accuracy.items():
+                accuracy_accumulator[label] = accuracy_accumulator.get(label, 0.0) + value
+            duplication += evaluation.duplication_ratio
+        repetitions = float(config.repetitions)
+        records.append(
+            SweepRecord(
+                program=config.program,
+                window_size=window_size,
+                latency_ms={label: value / repetitions for label, value in latency_accumulator.items()},
+                accuracy={label: value / repetitions for label, value in accuracy_accumulator.items()},
+                duplication_ratio=duplication / repetitions,
+            )
+        )
+    return records
+
+
+def run_figure(
+    figure: int,
+    window_sizes: Optional[Sequence[int]] = None,
+    seed: int = 2017,
+    repetitions: int = 1,
+    records: Optional[Sequence[SweepRecord]] = None,
+) -> FigureSeries:
+    """Regenerate the data of one of the paper's figures (7, 8, 9 or 10).
+
+    ``records`` may carry a pre-computed sweep (so that latency and accuracy
+    figures of the same program reuse a single run).
+    """
+    if figure not in FIGURES:
+        raise ValueError(f"unknown figure {figure}; the paper has figures {sorted(FIGURES)}")
+    program, metric = FIGURES[figure]
+    if records is None:
+        config = ExperimentConfig(
+            program=program,
+            window_sizes=effective_window_sizes(window_sizes),
+            seed=seed,
+            repetitions=repetitions,
+        )
+        records = run_window_sweep(config)
+    relevant = [record for record in records if record.program == program]
+    if not relevant:
+        raise ValueError(f"no sweep records for program {program!r}")
+
+    window_axis = tuple(record.window_size for record in relevant)
+    labels: List[str] = sorted({label for record in relevant for label in record.latency_ms})
+    if metric == "accuracy":
+        labels = [label for label in labels if label != "R"]  # the paper omits R from accuracy plots
+    series: Dict[str, Tuple[float, ...]] = {}
+    for label in labels:
+        if metric == "latency":
+            series[label] = tuple(record.latency_ms[label] for record in relevant)
+        else:
+            series[label] = tuple(record.accuracy[label] for record in relevant)
+    return FigureSeries(
+        figure=figure,
+        program=program,
+        metric=metric,
+        window_sizes=window_axis,
+        series=series,
+    )

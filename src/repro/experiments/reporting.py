@@ -1,0 +1,96 @@
+"""Rendering sweep results as text tables and CSV.
+
+The paper presents its results as line charts; the benchmark harness prints
+the same series as plain-text tables (one row per window size, one column
+per reasoner configuration) and can emit CSV for plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence
+
+from repro.experiments.figures import FigureSeries, SweepRecord
+
+__all__ = ["records_to_csv", "render_accuracy_table", "render_figure", "render_latency_table"]
+
+
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(header.rjust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_latency_table(records: Sequence[SweepRecord], title: Optional[str] = None) -> str:
+    """Latency (ms) per window size and configuration."""
+    if not records:
+        return "(no records)"
+    labels = sorted(records[0].latency_ms)
+    headers = ["window"] + labels
+    rows = [
+        [str(record.window_size)] + [f"{record.latency_ms[label]:.1f}" for label in labels]
+        for record in records
+    ]
+    table = _render_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def render_accuracy_table(records: Sequence[SweepRecord], title: Optional[str] = None) -> str:
+    """Accuracy per window size and configuration."""
+    if not records:
+        return "(no records)"
+    labels = [label for label in sorted(records[0].accuracy) if label != "R"]
+    headers = ["window"] + labels
+    rows = [
+        [str(record.window_size)] + [f"{record.accuracy[label]:.3f}" for label in labels]
+        for record in records
+    ]
+    table = _render_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def render_figure(series: FigureSeries) -> str:
+    """Render one figure's series as a table (window size per row)."""
+    labels = series.labels()
+    headers = ["window"] + labels
+    rows = []
+    for index, window_size in enumerate(series.window_sizes):
+        cells = [str(window_size)]
+        for label in labels:
+            value = series.series[label][index]
+            cells.append(f"{value:.1f}" if series.metric == "latency" else f"{value:.3f}")
+        rows.append(cells)
+    title = f"Figure {series.figure}: {series.metric} (program {series.program})"
+    return f"{title}\n{_render_table(headers, rows)}"
+
+
+def records_to_csv(records: Sequence[SweepRecord]) -> str:
+    """Serialise sweep records as CSV (one row per window size and metric)."""
+    buffer = io.StringIO()
+    if not records:
+        return ""
+    labels = sorted(records[0].latency_ms)
+    buffer.write("program,window_size,metric," + ",".join(labels) + "\n")
+    for record in records:
+        buffer.write(
+            f"{record.program},{record.window_size},latency_ms,"
+            + ",".join(f"{record.latency_ms[label]:.3f}" for label in labels)
+            + "\n"
+        )
+        buffer.write(
+            f"{record.program},{record.window_size},accuracy,"
+            + ",".join(f"{record.accuracy.get(label, 1.0):.4f}" for label in labels)
+            + "\n"
+        )
+    return buffer.getvalue()

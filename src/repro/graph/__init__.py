@@ -1,0 +1,24 @@
+"""Lightweight graph substrate used by the dependency analysis.
+
+The paper relies on two classical graph tools:
+
+* connected components of an undirected graph (to split the input dependency
+  graph into natural partitions), and
+* the Louvain modularity algorithm of Blondel et al. 2008 with the
+  resolution parameter of Lambiotte et al. (to decompose a *connected*
+  input dependency graph into communities before duplication).
+
+Both are implemented here without external dependencies; tests cross-check
+the modularity implementation against networkx.
+"""
+
+from repro.graph.digraph import DirectedGraph
+from repro.graph.modularity import louvain_communities, modularity
+from repro.graph.undirected import UndirectedGraph
+
+__all__ = [
+    "DirectedGraph",
+    "UndirectedGraph",
+    "louvain_communities",
+    "modularity",
+]

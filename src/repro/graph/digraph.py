@@ -1,0 +1,96 @@
+"""A simple directed graph with reachability queries."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+__all__ = ["DirectedGraph"]
+
+Node = Hashable
+
+
+class DirectedGraph:
+    """Directed graph (successor/predecessor adjacency sets)."""
+
+    def __init__(self) -> None:
+        self._successors: Dict[Node, Set[Node]] = {}
+        self._predecessors: Dict[Node, Set[Node]] = {}
+
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: Node) -> None:
+        self._successors.setdefault(node, set())
+        self._predecessors.setdefault(node, set())
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, source: Node, target: Node) -> None:
+        self.add_node(source)
+        self.add_node(target)
+        self._successors[source].add(target)
+        self._predecessors[target].add(source)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._successors)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._successors
+
+    def __len__(self) -> int:
+        return len(self._successors)
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        return target in self._successors.get(source, set())
+
+    def successors(self, node: Node) -> Set[Node]:
+        return set(self._successors.get(node, set()))
+
+    def predecessors(self, node: Node) -> Set[Node]:
+        return set(self._predecessors.get(node, set()))
+
+    def edges(self) -> List[Tuple[Node, Node]]:
+        return [(source, target) for source, targets in self._successors.items() for target in targets]
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._successors.values())
+
+    # ------------------------------------------------------------------ #
+    def descendants(self, node: Node, include_self: bool = False) -> Set[Node]:
+        """Nodes reachable from ``node`` via directed edges."""
+        reached: Set[Node] = set()
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for successor in self._successors.get(current, set()):
+                if successor not in reached:
+                    reached.add(successor)
+                    frontier.append(successor)
+        if include_self:
+            reached.add(node)
+        return reached
+
+    def ancestors(self, node: Node, include_self: bool = False) -> Set[Node]:
+        """Nodes from which ``node`` is reachable."""
+        reached: Set[Node] = set()
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for predecessor in self._predecessors.get(current, set()):
+                if predecessor not in reached:
+                    reached.add(predecessor)
+                    frontier.append(predecessor)
+        if include_self:
+            reached.add(node)
+        return reached
+
+    def has_path(self, source: Node, target: Node) -> bool:
+        """True when a (possibly empty) directed path connects source to target."""
+        if source == target:
+            return True
+        return target in self.descendants(source)
+
+    def __repr__(self) -> str:
+        return f"DirectedGraph(nodes={len(self)}, edges={self.edge_count()})"

@@ -1,0 +1,152 @@
+"""A simple undirected graph with optional edge weights and self-loops."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["UndirectedGraph"]
+
+Node = Hashable
+
+
+class UndirectedGraph:
+    """Undirected graph (adjacency-set representation).
+
+    Supports self-loops, which the input dependency graph uses to mark
+    predicates whose ground atoms depend on each other (Definition 2,
+    condition iii of the paper).
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[Node, Dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: Node) -> None:
+        self._adjacency.setdefault(node, {})
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, first: Node, second: Node, weight: float = 1.0) -> None:
+        """Add an undirected edge (or a self-loop when ``first == second``)."""
+        self.add_node(first)
+        self.add_node(second)
+        self._adjacency[first][second] = weight
+        self._adjacency[second][first] = weight
+
+    def remove_edge(self, first: Node, second: Node) -> None:
+        self._adjacency.get(first, {}).pop(second, None)
+        self._adjacency.get(second, {}).pop(first, None)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._adjacency)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def has_edge(self, first: Node, second: Node) -> bool:
+        return second in self._adjacency.get(first, {})
+
+    def has_self_loop(self, node: Node) -> bool:
+        return self.has_edge(node, node)
+
+    def weight(self, first: Node, second: Node) -> float:
+        return self._adjacency.get(first, {}).get(second, 0.0)
+
+    def neighbors(self, node: Node) -> Set[Node]:
+        return set(self._adjacency.get(node, {}))
+
+    def degree(self, node: Node, weighted: bool = False) -> float:
+        """Degree of ``node``; a self-loop counts twice, as usual."""
+        adjacency = self._adjacency.get(node, {})
+        if weighted:
+            total = sum(adjacency.values())
+            if node in adjacency:
+                total += adjacency[node]
+            return total
+        return len(adjacency) + (1 if node in adjacency else 0)
+
+    def edges(self) -> List[Tuple[Node, Node, float]]:
+        """Each undirected edge exactly once (self-loops included)."""
+        seen: Set[FrozenSet[Node]] = set()
+        result: List[Tuple[Node, Node, float]] = []
+        for first, adjacency in self._adjacency.items():
+            for second, weight in adjacency.items():
+                key = frozenset((first, second))
+                if key in seen:
+                    continue
+                seen.add(key)
+                result.append((first, second, weight))
+        return result
+
+    def edge_count(self) -> int:
+        return len(self.edges())
+
+    def total_weight(self) -> float:
+        """Sum of edge weights (each edge once)."""
+        return sum(weight for _, _, weight in self.edges())
+
+    # ------------------------------------------------------------------ #
+    # Algorithms
+    # ------------------------------------------------------------------ #
+    def connected_components(self) -> List[Set[Node]]:
+        """Connected components, each as a set of nodes (deterministic order)."""
+        visited: Set[Node] = set()
+        components: List[Set[Node]] = []
+        for start in self._adjacency:
+            if start in visited:
+                continue
+            component: Set[Node] = set()
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                frontier.extend(neighbor for neighbor in self._adjacency[node] if neighbor not in component)
+            visited.update(component)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """True when every pair of nodes is joined by a path (empty graph counts as connected)."""
+        components = self.connected_components()
+        return len(components) <= 1
+
+    def subgraph(self, nodes: Iterable[Node]) -> "UndirectedGraph":
+        wanted = set(nodes)
+        result = UndirectedGraph()
+        for node in wanted:
+            if node in self._adjacency:
+                result.add_node(node)
+        for first, second, weight in self.edges():
+            if first in wanted and second in wanted:
+                result.add_edge(first, second, weight)
+        return result
+
+    def copy(self) -> "UndirectedGraph":
+        return self.subgraph(self.nodes)
+
+    def edges_between(self, first_group: Iterable[Node], second_group: Iterable[Node]) -> List[Tuple[Node, Node]]:
+        """Edges with one endpoint in each group (used by the duplication step)."""
+        first_set, second_set = set(first_group), set(second_group)
+        result: List[Tuple[Node, Node]] = []
+        for first, second, _ in self.edges():
+            if first in first_set and second in second_set:
+                result.append((first, second))
+            elif second in first_set and first in second_set:
+                result.append((second, first))
+        return result
+
+    def __repr__(self) -> str:
+        return f"UndirectedGraph(nodes={len(self)}, edges={self.edge_count()})"

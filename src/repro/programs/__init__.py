@@ -1,0 +1,27 @@
+"""The paper's example logic programs and their metadata."""
+
+from repro.programs.traffic import (
+    DERIVED_PREDICATES,
+    EVENT_PREDICATES,
+    INPUT_PREDICATES,
+    MOTIVATING_WINDOW_TEXT,
+    OUTPUT_PREDICATES,
+    PROGRAM_P_TEXT,
+    PROGRAM_P_PRIME_TEXT,
+    motivating_example_window,
+    traffic_program,
+    traffic_program_prime,
+)
+
+__all__ = [
+    "DERIVED_PREDICATES",
+    "EVENT_PREDICATES",
+    "INPUT_PREDICATES",
+    "MOTIVATING_WINDOW_TEXT",
+    "OUTPUT_PREDICATES",
+    "PROGRAM_P_TEXT",
+    "PROGRAM_P_PRIME_TEXT",
+    "motivating_example_window",
+    "traffic_program",
+    "traffic_program_prime",
+]

@@ -1,0 +1,110 @@
+"""The traffic event-detection programs of the paper.
+
+``P`` is Listing 1 (rules r1-r6): detect traffic jams and car fires and
+trigger notifications.  ``P'`` is ``P`` plus rule r7
+(``traffic_jam(X) :- car_fire(X), many_cars(X).``), which connects the input
+dependency graph and therefore exercises the duplication step of the
+decomposing process.
+
+``inpre(P) = inpre(P') = {average_speed, car_number, traffic_light,
+car_in_smoke, car_speed, car_location}``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.parser import parse_program
+from repro.asp.syntax.program import Program
+
+__all__ = [
+    "INPUT_PREDICATES",
+    "DERIVED_PREDICATES",
+    "EVENT_PREDICATES",
+    "OUTPUT_PREDICATES",
+    "MOTIVATING_WINDOW_TEXT",
+    "PROGRAM_P_TEXT",
+    "PROGRAM_P_PRIME_TEXT",
+    "motivating_example_window",
+    "traffic_program",
+    "traffic_program_prime",
+]
+
+#: Listing 1 of the paper (rules r1-r6).
+PROGRAM_P_TEXT = """\
+% (r1) slow traffic on a road segment
+very_slow_speed(X) :- average_speed(X, Y), Y < 20.
+% (r2) crowded road segment
+many_cars(X) :- car_number(X, Y), Y > 40.
+% (r3) a traffic jam is slow, crowded traffic not explained by a traffic light
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+% (r4) a stopped, smoking car is on fire at its location
+car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+% (r5, r6) both events trigger a notification
+give_notification(X) :- traffic_jam(X).
+give_notification(X) :- car_fire(X).
+"""
+
+#: Rule r7 from Section II-B, which connects the input dependency graph.
+RULE_R7_TEXT = "traffic_jam(X) :- car_fire(X), many_cars(X).\n"
+
+#: P' = P + r7.
+PROGRAM_P_PRIME_TEXT = PROGRAM_P_TEXT + "% (r7) a car fire on a crowded segment also causes a jam\n" + RULE_R7_TEXT
+
+#: inpre(P) as given in Section II-A.
+INPUT_PREDICATES: Tuple[str, ...] = (
+    "average_speed",
+    "car_number",
+    "traffic_light",
+    "car_in_smoke",
+    "car_speed",
+    "car_location",
+)
+
+#: All derived (IDB) predicates of the programs.
+DERIVED_PREDICATES: Tuple[str, ...] = (
+    "very_slow_speed",
+    "many_cars",
+    "traffic_jam",
+    "car_fire",
+    "give_notification",
+)
+
+#: The events/actions of interest the city manager subscribes to (Section
+#: II-A); these are what StreamRule streams out as solutions and what the
+#: evaluation's accuracy is computed over.
+EVENT_PREDICATES: Tuple[str, ...] = (
+    "traffic_jam",
+    "car_fire",
+    "give_notification",
+)
+
+#: Kept for backwards compatibility with the examples: the reasoner's output
+#: projection defaults to the events of interest.
+OUTPUT_PREDICATES: Tuple[str, ...] = EVENT_PREDICATES
+
+#: The window W of the motivating example in Section II-A.
+MOTIVATING_WINDOW_TEXT = """\
+average_speed(newcastle, 10).
+car_number(newcastle, 55).
+traffic_light(newcastle).
+car_in_smoke(car1, high).
+car_speed(car1, 0).
+car_location(car1, dangan).
+"""
+
+
+def traffic_program() -> Program:
+    """Program ``P`` (Listing 1)."""
+    return parse_program(PROGRAM_P_TEXT, name="P")
+
+
+def traffic_program_prime() -> Program:
+    """Program ``P'`` (Listing 1 plus rule r7)."""
+    return parse_program(PROGRAM_P_PRIME_TEXT, name="P_prime")
+
+
+def motivating_example_window() -> List[Atom]:
+    """The input window W of the motivating example, as ground atoms."""
+    return [rule.head[0] for rule in parse_program(MOTIVATING_WINDOW_TEXT).rules]

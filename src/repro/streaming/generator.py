@@ -1,0 +1,184 @@
+"""Synthetic stream generators for the evaluation workloads.
+
+The paper builds its experimental data "by randomly generating triples where
+each p belongs to inpre(P).  For s or o, we randomly generate their values
+as numbers bound by n, where n is the size of the input window."
+
+Two generators are provided:
+
+* :class:`UniformTripleGenerator` -- the literal scheme above: predicates
+  uniform over ``inpre(P)``, subject and object uniform integers bounded by
+  the window size.
+* :class:`TrafficScenarioGenerator` -- a calibrated variant of the same
+  scheme for the traffic programs: subjects are drawn from a pool of road
+  segments / cars and objects from realistic value ranges (speeds, car
+  counts, smoke levels), so that the programs' rules actually fire and the
+  accuracy differences between dependency-aware and random partitioning
+  become observable, as they are in the paper's Figures 8 and 10.  This is
+  the substitution documented in DESIGN.md: the paper's exact random ranges
+  are under-specified, so the scenario generator preserves the property that
+  matters -- joins between predicates share subjects at a controllable rate.
+
+Both generators are deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.streaming.triples import Triple
+
+__all__ = [
+    "SyntheticStreamConfig",
+    "TrafficScenarioGenerator",
+    "UniformTripleGenerator",
+    "generate_window",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticStreamConfig:
+    """Configuration of a synthetic window.
+
+    Attributes
+    ----------
+    window_size:
+        Number of triples in the window (the paper sweeps 5000..40000).
+    input_predicates:
+        The predicates ``inpre(P)`` that triples may use.
+    scheme:
+        ``"uniform"`` for the paper's literal scheme, ``"traffic"`` for the
+        calibrated traffic scenario.
+    seed:
+        Random seed (windows are reproducible for a fixed seed).
+    value_bound:
+        Upper bound for random numeric values in the uniform scheme
+        (defaults to the window size, as in the paper).
+    location_count:
+        Number of distinct road segments in the traffic scheme (defaults to
+        ``max(10, window_size // 50)``).
+    car_count:
+        Number of distinct cars in the traffic scheme (defaults to
+        ``max(10, window_size // 50)``).
+    """
+
+    window_size: int
+    input_predicates: Tuple[str, ...]
+    scheme: str = "traffic"
+    seed: Optional[int] = None
+    value_bound: Optional[int] = None
+    location_count: Optional[int] = None
+    car_count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.window_size < 0:
+            raise ValueError("window_size must be non-negative")
+        if not self.input_predicates:
+            raise ValueError("at least one input predicate is required")
+        if self.scheme not in ("uniform", "traffic"):
+            raise ValueError(f"unknown scheme {self.scheme!r} (expected 'uniform' or 'traffic')")
+
+
+class UniformTripleGenerator:
+    """The paper's literal generator: everything uniform, bounded by ``n``."""
+
+    def __init__(self, config: SyntheticStreamConfig):
+        self._config = config
+        self._random = random.Random(config.seed)
+
+    def generate(self) -> List[Triple]:
+        config = self._config
+        bound = config.value_bound if config.value_bound is not None else max(1, config.window_size)
+        predicates = list(config.input_predicates)
+        triples: List[Triple] = []
+        for index in range(config.window_size):
+            predicate = self._random.choice(predicates)
+            subject = self._random.randrange(bound)
+            obj = self._random.randrange(bound)
+            triples.append(Triple(subject, predicate, obj, timestamp=float(index)))
+        return triples
+
+
+# Predicates of the traffic programs that the scenario generator understands.
+_TRAFFIC_PREDICATES = (
+    "average_speed",
+    "car_number",
+    "traffic_light",
+    "car_in_smoke",
+    "car_speed",
+    "car_location",
+)
+
+
+class TrafficScenarioGenerator:
+    """Calibrated traffic workload for programs ``P`` and ``P'``.
+
+    Subjects are road segments (``seg_i``) or cars (``car_i``); objects are
+    drawn from realistic ranges so the rules of Listing 1 fire with
+    non-negligible probability:
+
+    * ``average_speed(S, V)`` with ``V`` uniform in [0, 120) -- slow traffic
+      (``V < 20``) on roughly 1/6 of the readings,
+    * ``car_number(S, C)`` with ``C`` uniform in [0, 100) -- crowded roads
+      (``C > 40``) on roughly 3/5 of the readings,
+    * ``traffic_light(S)`` present for a configurable fraction of segments,
+    * ``car_in_smoke(C, L)`` with ``L`` in {high, low},
+    * ``car_speed(C, V)`` with a bias towards 0 for smoking cars,
+    * ``car_location(C, S)`` linking cars to segments.
+
+    Unknown extra input predicates (for custom rule sets) fall back to the
+    uniform scheme.
+    """
+
+    def __init__(self, config: SyntheticStreamConfig):
+        self._config = config
+        self._random = random.Random(config.seed)
+
+    def generate(self) -> List[Triple]:
+        config = self._config
+        size = config.window_size
+        # Entity pools are sized so that each entity receives only a couple of
+        # readings per predicate inside one window.  This mirrors the paper's
+        # scheme (values "bound by n") where ground atoms rarely repeat, which
+        # is what makes random partitioning lose joins.
+        location_count = config.location_count or max(10, size // 10)
+        car_count = config.car_count or max(10, size // 8)
+        locations = [f"seg_{index}" for index in range(location_count)]
+        cars = [f"car_{index}" for index in range(car_count)]
+        predicates = list(config.input_predicates)
+
+        triples: List[Triple] = []
+        for index in range(size):
+            predicate = self._random.choice(predicates)
+            triples.append(self._make_triple(predicate, locations, cars, float(index)))
+        return triples
+
+    # ------------------------------------------------------------------ #
+    def _make_triple(self, predicate: str, locations: Sequence[str], cars: Sequence[str], timestamp: float) -> Triple:
+        roll = self._random
+        if predicate == "average_speed":
+            return Triple(roll.choice(locations), predicate, roll.randrange(0, 120), timestamp)
+        if predicate == "car_number":
+            return Triple(roll.choice(locations), predicate, roll.randrange(0, 100), timestamp)
+        if predicate == "traffic_light":
+            return Triple(roll.choice(locations), predicate, "true", timestamp)
+        if predicate == "car_in_smoke":
+            level = "high" if roll.random() < 0.3 else "low"
+            return Triple(roll.choice(cars), predicate, level, timestamp)
+        if predicate == "car_speed":
+            speed = 0 if roll.random() < 0.4 else roll.randrange(1, 120)
+            return Triple(roll.choice(cars), predicate, speed, timestamp)
+        if predicate == "car_location":
+            return Triple(roll.choice(cars), predicate, roll.choice(locations), timestamp)
+        # Unknown predicate: uniform fallback bounded by the window size.
+        bound = max(1, self._config.window_size)
+        return Triple(roll.randrange(bound), predicate, roll.randrange(bound), timestamp)
+
+
+def generate_window(config: SyntheticStreamConfig) -> List[Triple]:
+    """Generate one window of triples according to ``config``."""
+    if config.scheme == "uniform":
+        return UniformTripleGenerator(config).generate()
+    return TrafficScenarioGenerator(config).generate()

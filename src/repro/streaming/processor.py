@@ -1,0 +1,70 @@
+"""Stream query processor: the CQELS stand-in.
+
+In StreamRule (Figure 1) a semantic stream query processor filters the Web
+of Data streams before they reach the non-monotonic reasoner -- the first
+tier of the 2-tier architecture.  In the paper's experiments the query is a
+pass-through filter on the input predicates, so this stand-in implements
+exactly that: keep triples whose predicate is registered, drop everything
+else, and keep simple statistics so the filtering overhead can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.streaming.triples import Triple
+
+__all__ = ["StreamQueryProcessor"]
+
+
+@dataclass
+class StreamQueryProcessor:
+    """Filters a raw triple stream down to the reasoner's input predicates."""
+
+    input_predicates: Set[str]
+    #: optional additional predicate-level filters (predicate -> triple predicate function)
+    filters: Dict[str, Callable[[Triple], bool]] = field(default_factory=dict)
+    accepted_count: int = 0
+    rejected_count: int = 0
+
+    def __post_init__(self) -> None:
+        self.input_predicates = set(self.input_predicates)
+
+    def register_filter(self, predicate: str, keep: Callable[[Triple], bool]) -> None:
+        """Attach an extra per-predicate filter (e.g. value range checks)."""
+        self.filters[predicate] = keep
+
+    def accepts(self, triple: Triple) -> bool:
+        if triple.predicate not in self.input_predicates:
+            return False
+        keep = self.filters.get(triple.predicate)
+        return keep is None or bool(keep(triple))
+
+    def process(self, triples: Iterable[Triple]) -> List[Triple]:
+        """Filter one batch of triples (one window's worth)."""
+        accepted: List[Triple] = []
+        for triple in triples:
+            if self.accepts(triple):
+                accepted.append(triple)
+                self.accepted_count += 1
+            else:
+                self.rejected_count += 1
+        return accepted
+
+    def stream(self, triples: Iterable[Triple]) -> Iterator[Triple]:
+        """Lazily filter an unbounded stream."""
+        for triple in triples:
+            if self.accepts(triple):
+                self.accepted_count += 1
+                yield triple
+            else:
+                self.rejected_count += 1
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of processed triples that passed the filter."""
+        total = self.accepted_count + self.rejected_count
+        if total == 0:
+            return 0.0
+        return self.accepted_count / total

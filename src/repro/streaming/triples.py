@@ -1,0 +1,39 @@
+"""RDF triples -- the wire format of the experimental data.
+
+The paper's experimental data "is in RDF triple format <s, p, o>"; subjects
+and objects are either identifiers or numbers bound by the window size.  A
+:class:`Triple` optionally carries a timestamp so time-based windows can be
+exercised as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+__all__ = ["Triple"]
+
+TermValue = Union[str, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """An RDF-style triple ``<subject, predicate, object>`` with an optional timestamp."""
+
+    subject: TermValue
+    predicate: str
+    object: TermValue
+    timestamp: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.predicate, str) or not self.predicate:
+            raise ValueError("the predicate of a triple must be a non-empty string")
+
+    def as_tuple(self) -> Tuple[TermValue, str, TermValue]:
+        return (self.subject, self.predicate, self.object)
+
+    def with_timestamp(self, timestamp: float) -> "Triple":
+        return Triple(self.subject, self.predicate, self.object, timestamp)
+
+    def __str__(self) -> str:
+        return f"<{self.subject}, {self.predicate}, {self.object}>"

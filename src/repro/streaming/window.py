@@ -1,0 +1,96 @@
+"""Windows over triple streams.
+
+The reasoner processes one *input window* per computation (Section I).  The
+paper (and [12]) use tuple-based windows; time-based windows are provided as
+well since StreamRule's stream processor supports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.streaming.triples import Triple
+
+__all__ = ["CountWindow", "TimeWindow", "WindowedStream"]
+
+
+@dataclass(frozen=True)
+class CountWindow:
+    """Tuple-based window: emit a window every ``size`` items.
+
+    ``slide`` defaults to ``size`` (tumbling); a smaller slide yields
+    overlapping (sliding) windows.
+    """
+
+    size: int
+    slide: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("window size must be positive")
+        if self.slide is not None and self.slide <= 0:
+            raise ValueError("window slide must be positive")
+
+    def windows(self, triples: Iterable[Triple]) -> Iterator[List[Triple]]:
+        slide = self.slide or self.size
+        buffer: List[Triple] = []
+        for triple in triples:
+            buffer.append(triple)
+            if len(buffer) >= self.size:
+                yield list(buffer[: self.size])
+                buffer = buffer[slide:]
+        if buffer:
+            yield list(buffer)
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """Time-based window: group triples into intervals of ``duration`` time units.
+
+    Triples without a timestamp are assigned to the current window.
+    """
+
+    duration: float
+    slide: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("window duration must be positive")
+        if self.slide is not None and self.slide <= 0:
+            raise ValueError("window slide must be positive")
+
+    def windows(self, triples: Iterable[Triple]) -> Iterator[List[Triple]]:
+        ordered = sorted(
+            triples,
+            key=lambda triple: triple.timestamp if triple.timestamp is not None else 0.0,
+        )
+        if not ordered:
+            return
+        slide = self.slide or self.duration
+        start = ordered[0].timestamp or 0.0
+        end_time = (ordered[-1].timestamp or 0.0) + 1e-9
+        window_start = start
+        while window_start <= end_time:
+            window_end = window_start + self.duration
+            window = [
+                triple
+                for triple in ordered
+                if window_start
+                <= (triple.timestamp if triple.timestamp is not None else window_start)
+                < window_end
+            ]
+            if window:
+                yield window
+            window_start += slide
+
+
+class WindowedStream:
+    """Convenience wrapper pairing a triple source with a window policy."""
+
+    def __init__(self, triples: Iterable[Triple], window: "CountWindow | TimeWindow"):
+        self._triples = triples
+        self._window = window
+
+    def __iter__(self) -> Iterator[List[Triple]]:
+        return self._window.windows(self._triples)

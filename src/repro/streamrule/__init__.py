@@ -1,0 +1,30 @@
+"""The (extended) StreamRule framework.
+
+* :mod:`repro.streamrule.metrics` -- latency breakdowns and accuracy records.
+* :mod:`repro.streamrule.reasoner` -- the reasoner ``R``: data format
+  processor plus the ASP solver, evaluating one whole window per call
+  (the dashed box of Figure 1).
+* :mod:`repro.streamrule.parallel` -- the parallel reasoner ``PR``:
+  partitioning handler, a pool of ``R`` copies, and the combining handler
+  (the grey box of Figure 6).
+* :mod:`repro.streamrule.pipeline` -- the end-to-end pipeline: stream query
+  processor -> (partitioned) reasoner -> solutions.
+"""
+
+from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
+from repro.streamrule.parallel import ExecutionMode, ParallelReasoner, ParallelResult
+from repro.streamrule.pipeline import StreamRulePipeline, WindowSolution
+from repro.streamrule.reasoner import Reasoner, ReasonerResult
+
+__all__ = [
+    "ExecutionMode",
+    "LatencyBreakdown",
+    "ParallelReasoner",
+    "ParallelResult",
+    "Reasoner",
+    "ReasonerMetrics",
+    "ReasonerResult",
+    "StreamRulePipeline",
+    "Timer",
+    "WindowSolution",
+]

@@ -1,0 +1,98 @@
+"""Latency and accuracy bookkeeping for the reasoners.
+
+The paper measures the *reasoning latency* -- "the time required for the
+reasoner PR to process an input window" -- and stresses that it must include
+the data transformation overhead, not only the solver time.  The metrics
+classes below therefore keep a full breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyBreakdown", "ReasonerMetrics", "Timer"]
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._started is not None:
+            self.seconds = time.perf_counter() - self._started
+            self._started = None
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-stage wall-clock seconds for one window evaluation."""
+
+    transformation_seconds: float = 0.0
+    grounding_seconds: float = 0.0
+    solving_seconds: float = 0.0
+    partitioning_seconds: float = 0.0
+    combining_seconds: float = 0.0
+
+    @property
+    def reasoning_seconds(self) -> float:
+        """Solver-side time (grounding plus solving)."""
+        return self.grounding_seconds + self.solving_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.transformation_seconds
+            + self.grounding_seconds
+            + self.solving_seconds
+            + self.partitioning_seconds
+            + self.combining_seconds
+        )
+
+    def merged_with(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        """Sum of two breakdowns (used when aggregating sequential stages)."""
+        return LatencyBreakdown(
+            transformation_seconds=self.transformation_seconds + other.transformation_seconds,
+            grounding_seconds=self.grounding_seconds + other.grounding_seconds,
+            solving_seconds=self.solving_seconds + other.solving_seconds,
+            partitioning_seconds=self.partitioning_seconds + other.partitioning_seconds,
+            combining_seconds=self.combining_seconds + other.combining_seconds,
+        )
+
+
+@dataclass
+class ReasonerMetrics:
+    """One window's evaluation record."""
+
+    window_size: int
+    latency_seconds: float
+    breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    partition_sizes: List[int] = field(default_factory=list)
+    answer_count: int = 0
+    duplication_ratio: float = 0.0
+
+    @property
+    def latency_milliseconds(self) -> float:
+        """Latency in milliseconds, the unit of the paper's figures."""
+        return self.latency_seconds * 1000.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "window_size": float(self.window_size),
+            "latency_ms": self.latency_milliseconds,
+            "transformation_ms": self.breakdown.transformation_seconds * 1000.0,
+            "grounding_ms": self.breakdown.grounding_seconds * 1000.0,
+            "solving_ms": self.breakdown.solving_seconds * 1000.0,
+            "partitioning_ms": self.breakdown.partitioning_seconds * 1000.0,
+            "combining_ms": self.breakdown.combining_seconds * 1000.0,
+            "answer_count": float(self.answer_count),
+            "duplication_ratio": self.duplication_ratio,
+        }

@@ -1,0 +1,109 @@
+"""Property-based tests for the ASP engine (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asp.control import solve_program
+from repro.asp.grounding.grounder import ground_program
+from repro.asp.solving.solver import stable_models
+from repro.asp.solving.unfounded import is_founded
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.parser import parse_program
+from repro.asp.syntax.terms import Constant
+from repro.programs.traffic import traffic_program
+
+
+def atom(predicate, *arguments):
+    return Atom(predicate, tuple(Constant(argument) for argument in arguments))
+
+
+# Strategy: small random EDB databases for a fixed rule schema.
+locations = st.integers(min_value=0, max_value=5)
+speeds = st.integers(min_value=0, max_value=60)
+counts = st.integers(min_value=0, max_value=80)
+
+
+speed_facts = st.lists(st.tuples(locations, speeds), max_size=8)
+count_facts = st.lists(st.tuples(locations, counts), max_size=8)
+light_facts = st.lists(locations, max_size=4)
+
+
+@st.composite
+def traffic_windows(draw):
+    window = []
+    for location, speed in draw(speed_facts):
+        window.append(atom("average_speed", f"seg_{location}", speed))
+    for location, count in draw(count_facts):
+        window.append(atom("car_number", f"seg_{location}", count))
+    for location in draw(light_facts):
+        window.append(atom("traffic_light", f"seg_{location}"))
+    return window
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic_windows())
+def test_traffic_program_has_exactly_one_answer_set(window):
+    """The stratified traffic program always has exactly one answer set."""
+    result = solve_program(traffic_program(), facts=window)
+    assert len(result.models) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic_windows())
+def test_answer_set_semantics_of_traffic_rules(window):
+    """The unique answer set contains exactly the events licensed by the rules."""
+    result = solve_program(traffic_program(), facts=window)
+    model = set(result.models[0].atoms)
+    window_set = set(window)
+
+    slow = {a.arguments[0] for a in window_set if a.predicate == "average_speed" and a.arguments[1].value < 20}
+    crowded = {a.arguments[0] for a in window_set if a.predicate == "car_number" and a.arguments[1].value > 40}
+    lights = {a.arguments[0] for a in window_set if a.predicate == "traffic_light"}
+    expected_jams = {Atom("traffic_jam", (location,)) for location in (slow & crowded) - lights}
+    actual_jams = {a for a in model if a.predicate == "traffic_jam"}
+    assert actual_jams == expected_jams
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic_windows())
+def test_every_stable_model_is_founded(window):
+    """Stable models never contain unfounded atoms (external support invariant)."""
+    ground = ground_program(traffic_program().with_facts(window))
+    for model in stable_models(ground):
+        assert is_founded(ground, set(model))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=0, max_size=12),
+)
+def test_transitive_closure_matches_reference(edges):
+    """The engine's transitive closure equals a hand-rolled fixpoint."""
+    program_text = "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z)."
+    facts = [atom("edge", f"n{a}", f"n{b}") for a, b in edges]
+    result = solve_program(parse_program(program_text), facts=facts)
+    model = result.models[0] if result.models else frozenset()
+    derived_paths = {(a.arguments[0].value, a.arguments[1].value) for a in model if a.predicate == "path"}
+
+    # Reference: Warshall-style closure over the edge relation.
+    reference = {(f"n{a}", f"n{b}") for a, b in edges}
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(reference):
+            for (c, d) in list(reference):
+                if b == c and (a, d) not in reference:
+                    reference.add((a, d))
+                    changed = True
+    assert derived_paths == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=4, unique=True))
+def test_facts_always_belong_to_every_answer_set(fact_names):
+    """EDB facts are contained in every answer set (monotone part invariant)."""
+    program = parse_program("p :- not q. q :- not p.")
+    facts = [atom(name) for name in fact_names]
+    result = solve_program(program, facts=facts)
+    assert len(result.models) == 2
+    for model in result.models:
+        assert set(facts) <= set(model.atoms)

@@ -1,0 +1,98 @@
+"""Unit tests for the Clark completion encoding."""
+
+from repro.asp.grounding.grounder import ground_program
+from repro.asp.solving.completion import build_completion
+from repro.asp.solving.sat import Satisfiability
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.parser import parse_program
+from repro.asp.syntax.terms import Constant
+
+
+def atom(predicate, *arguments):
+    return Atom(predicate, tuple(Constant(argument) for argument in arguments))
+
+
+def completion_models(text, max_models=20):
+    ground = ground_program(parse_program(text))
+    encoding = build_completion(ground)
+    models = []
+    while len(models) < max_models:
+        status, assignment = encoding.solver.solve()
+        if status is Satisfiability.UNSATISFIABLE:
+            break
+        true_atoms = encoding.atoms_of_model(assignment)
+        models.append(true_atoms)
+        encoding.block_model(true_atoms)
+    return models
+
+
+class TestCompletion:
+    def test_facts_are_forced_true(self):
+        models = completion_models("p(1).")
+        assert models == [{atom("p", 1)}]
+
+    def test_unsupported_atom_is_false(self):
+        models = completion_models("p(1). q(2) :- r(2).")
+        assert models == [{atom("p", 1)}]
+
+    def test_supported_atom_is_true(self):
+        models = completion_models("p(1). q(X) :- p(X).")
+        assert models == [{atom("p", 1), atom("q", 1)}]
+
+    def test_even_negative_loop_has_two_completion_models(self):
+        models = completion_models("a :- not b. b :- not a.")
+        as_sets = {frozenset(str(a) for a in model) for model in models}
+        assert as_sets == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_positive_loop_unreachable_atoms_are_pruned_by_grounding(self):
+        # Intelligent grounding removes the unreachable loop {a :- b. b :- a.}
+        # entirely, so the completion's only model is empty (the stable model).
+        models = completion_models("a :- b. b :- a.")
+        assert {frozenset(model) for model in models} == {frozenset()}
+
+    def test_positive_loop_completion_admits_unsupported_classical_model(self):
+        # Built directly (bypassing grounder simplification) the completion of
+        # {a :- b. b :- a.} has the classical model {a, b}, which is *not*
+        # stable -- exactly what the unfounded-set check filters out later.
+        from repro.asp.grounding.grounder import GroundProgram, GroundRule
+
+        loop = GroundProgram(
+            facts=set(),
+            rules=[
+                GroundRule(head=(atom("a"),), positive_body=(atom("b"),), negative_body=()),
+                GroundRule(head=(atom("b"),), positive_body=(atom("a"),), negative_body=()),
+            ],
+            possible_atoms={atom("a"), atom("b")},
+        )
+        encoding = build_completion(loop)
+        models = []
+        while True:
+            status, assignment = encoding.solver.solve()
+            if status is Satisfiability.UNSATISFIABLE:
+                break
+            true_atoms = encoding.atoms_of_model(assignment)
+            models.append(frozenset(true_atoms))
+            encoding.block_model(true_atoms)
+        assert set(models) == {frozenset(), frozenset({atom("a"), atom("b")})}
+
+    def test_constraint_excludes_models(self):
+        models = completion_models("a :- not b. b :- not a. :- a.")
+        assert [{str(x) for x in model} for model in models] == [{"b"}]
+
+    def test_block_model_prevents_repetition(self):
+        ground = ground_program(parse_program("a :- not b. b :- not a."))
+        encoding = build_completion(ground)
+        status, assignment = encoding.solver.solve()
+        assert status is Satisfiability.SATISFIABLE
+        first = encoding.atoms_of_model(assignment)
+        encoding.block_model(first)
+        status, assignment = encoding.solver.solve()
+        assert status is Satisfiability.SATISFIABLE
+        assert encoding.atoms_of_model(assignment) != first
+
+    def test_variable_mapping_is_bijective(self):
+        ground = ground_program(parse_program("p(1). q(X) :- p(X)."))
+        encoding = build_completion(ground)
+        assert len(encoding.atom_to_variable) == len(encoding.variable_to_atom)
+        for mapped_atom, variable in encoding.atom_to_variable.items():
+            assert encoding.variable_to_atom[variable] == mapped_atom

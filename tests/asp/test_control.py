@@ -1,0 +1,93 @@
+"""Unit tests for the clingo-like Control facade."""
+
+import pytest
+
+from repro.asp.control import Control, Model, solve, solve_program
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.parser import parse_program, parse_rule
+from repro.asp.syntax.terms import Constant
+
+
+def atom(predicate, *arguments):
+    return Atom(predicate, tuple(Constant(argument) for argument in arguments))
+
+
+class TestControl:
+    def test_add_ground_solve(self):
+        control = Control()
+        control.add("q(X) :- p(X).")
+        control.add_facts([atom("p", 1)])
+        result = control.solve()
+        assert result.satisfiable
+        assert atom("q", 1) in result.models[0]
+
+    def test_ground_is_idempotent_until_new_rules(self):
+        control = Control()
+        control.add("p(1).")
+        first = control.ground()
+        assert control.ground() is first
+        control.add("q(1).")
+        assert control.ground() is not first
+
+    def test_model_limit_matches_clingo_convention(self):
+        control = Control()
+        control.add("a :- not b. b :- not a.")
+        assert len(control.solve(models=1).models) == 1
+        assert len(control.solve(models=0).models) == 2
+        assert len(control.solve().models) == 2
+
+    def test_solve_result_timing_fields(self):
+        control = Control()
+        control.add("p(1). q(X) :- p(X).")
+        result = control.solve()
+        assert result.grounding_seconds >= 0.0
+        assert result.solving_seconds >= 0.0
+        assert result.total_seconds == pytest.approx(result.grounding_seconds + result.solving_seconds)
+
+    def test_add_rule_objects(self):
+        control = Control()
+        control.add_rule(parse_rule("q(X) :- p(X)."))
+        control.add_rules([parse_rule("p(1).")])
+        assert control.solve().satisfiable
+
+    def test_program_constructor_copy(self, program_p):
+        control = Control(program_p)
+        control.add_facts([atom("average_speed", "seg", 5)])
+        # The original program object is not mutated.
+        assert len(program_p) == 6
+        assert len(control.program) == 7
+
+
+class TestModel:
+    def test_projection(self):
+        model = Model(frozenset({atom("p", 1), atom("q", 1)}))
+        projected = model.project(["q"])
+        assert set(projected.atoms) == {atom("q", 1)}
+
+    def test_atoms_of(self):
+        model = Model(frozenset({atom("p", 1), atom("p", 2), atom("q", 1)}))
+        assert model.atoms_of("p") == {atom("p", 1), atom("p", 2)}
+
+    def test_container_protocol(self):
+        model = Model(frozenset({atom("p", 1)}))
+        assert atom("p", 1) in model
+        assert len(model) == 1
+        assert list(model) == [atom("p", 1)]
+
+    def test_str_is_sorted(self):
+        model = Model(frozenset({atom("b"), atom("a")}))
+        assert str(model) == "a b"
+
+
+class TestConvenienceFunctions:
+    def test_solve_text(self):
+        result = solve("a :- not b.")
+        assert [str(model) for model in result.models] == ["a"]
+
+    def test_solve_program_with_facts(self, program_p, motivating_window):
+        result = solve_program(program_p, facts=motivating_window)
+        assert result.satisfiable
+        assert atom("car_fire", "dangan") in result.models[0]
+
+    def test_inconsistent_program_reports_unsatisfiable(self):
+        assert not solve("a. :- a.").satisfiable

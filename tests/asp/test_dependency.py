@@ -1,0 +1,79 @@
+"""Unit tests for the classical predicate dependency graph and stratification."""
+
+from repro.asp.grounding.dependency import (
+    PredicateDependencyGraph,
+    stratify,
+    strongly_connected_components,
+)
+from repro.asp.syntax.parser import parse_program
+
+
+class TestPredicateDependencyGraph:
+    def test_positive_and_negative_edges(self):
+        program = parse_program("a(X) :- b(X), not c(X).")
+        graph = PredicateDependencyGraph.from_program(program)
+        assert ("b", "a") in graph.positive_edges
+        assert ("c", "a") in graph.negative_edges
+        assert graph.nodes == {"a", "b", "c"}
+
+    def test_successors_and_predecessors(self):
+        program = parse_program("a(X) :- b(X). c(X) :- a(X).")
+        graph = PredicateDependencyGraph.from_program(program)
+        assert graph.successors("a") == {"c"}
+        assert graph.predecessors("a") == {"b"}
+
+    def test_traffic_program_edges(self, program_p):
+        graph = PredicateDependencyGraph.from_program(program_p)
+        assert ("very_slow_speed", "traffic_jam") in graph.positive_edges
+        assert ("traffic_light", "traffic_jam") in graph.negative_edges
+        assert ("car_fire", "give_notification") in graph.positive_edges
+
+
+class TestStronglyConnectedComponents:
+    def test_acyclic_graph_has_singleton_components(self):
+        adjacency = {"a": {"b"}, "b": {"c"}, "c": set()}
+        components = strongly_connected_components(adjacency)
+        assert all(len(component) == 1 for component in components)
+        assert len(components) == 3
+
+    def test_cycle_forms_one_component(self):
+        adjacency = {"a": {"b"}, "b": {"a"}, "c": {"a"}}
+        components = strongly_connected_components(adjacency)
+        assert {"a", "b"} in components
+        assert {"c"} in components
+
+    def test_sinks_come_before_sources(self):
+        # Tarjan emits sink components first; the grounder reverses this.
+        adjacency = {"source": {"sink"}, "sink": set()}
+        components = strongly_connected_components(adjacency)
+        assert components[0] == {"sink"}
+        assert components[1] == {"source"}
+
+
+class TestStratification:
+    def test_traffic_program_is_stratified(self, program_p, program_p_prime):
+        assert stratify(program_p).is_stratified
+        assert stratify(program_p_prime).is_stratified
+
+    def test_negation_raises_stratum(self, program_p):
+        result = stratify(program_p)
+        assert result.strata["traffic_jam"] > result.strata["traffic_light"]
+
+    def test_even_negative_loop_is_not_stratified(self):
+        program = parse_program("a :- not b. b :- not a.")
+        assert not stratify(program).is_stratified
+
+    def test_positive_recursion_is_stratified(self):
+        program = parse_program("path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).")
+        assert stratify(program).is_stratified
+
+    def test_negation_through_recursion_is_not_stratified(self):
+        program = parse_program("p(X) :- q(X), not r(X). r(X) :- p(X).")
+        assert not stratify(program).is_stratified
+
+    def test_strata_order_groups_predicates(self, program_p):
+        order = stratify(program_p).order
+        flattened = [predicate for level in order for predicate in level]
+        assert set(flattened) == program_p.predicates()
+        # traffic_jam (uses negation) must appear strictly after traffic_light.
+        assert flattened.index("traffic_jam") > flattened.index("traffic_light")

@@ -1,0 +1,130 @@
+"""Unit tests for the ASP parser."""
+
+import pytest
+
+from repro.asp.errors import ParseError
+from repro.asp.syntax.atoms import Comparison, Literal
+from repro.asp.syntax.parser import parse_program, parse_rule, parse_term, tokenize
+from repro.asp.syntax.terms import Constant, FunctionTerm, Variable
+from repro.programs.traffic import PROGRAM_P_PRIME_TEXT, PROGRAM_P_TEXT
+
+
+class TestTokenizer:
+    def test_comments_and_whitespace_are_dropped(self):
+        tokens = tokenize("a. % a comment\n  b.")
+        assert [token.value for token in tokens] == ["a", ".", "b", "."]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a.\nb.")
+        assert tokens[0].line == 1
+        assert tokens[2].line == 2
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("a :- b ? c.")
+
+
+class TestTermParsing:
+    def test_integer(self):
+        assert parse_term("42") == Constant(42)
+
+    def test_negative_integer(self):
+        assert parse_term("-7") == Constant(-7)
+
+    def test_symbolic_constant(self):
+        assert parse_term("newcastle") == Constant("newcastle")
+
+    def test_variable(self):
+        assert parse_term("Speed") == Variable("Speed")
+
+    def test_quoted_string(self):
+        term = parse_term('"main street"')
+        assert isinstance(term, Constant)
+        assert term.value == "main street"
+        assert term.quoted
+
+    def test_function_term(self):
+        term = parse_term("loc(1, north)")
+        assert isinstance(term, FunctionTerm)
+        assert term.name == "loc"
+        assert term.arguments == (Constant(1), Constant("north"))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("1 2")
+
+
+class TestRuleParsing:
+    def test_fact(self):
+        rule = parse_rule("average_speed(newcastle, 10).")
+        assert rule.is_fact
+        assert str(rule.head[0]) == "average_speed(newcastle,10)"
+
+    def test_normal_rule_with_comparison_and_negation(self):
+        rule = parse_rule("traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).")
+        assert rule.head[0].predicate == "traffic_jam"
+        assert [literal.predicate for literal in rule.positive_body] == ["very_slow_speed", "many_cars"]
+        assert [literal.predicate for literal in rule.negative_body] == ["traffic_light"]
+
+    def test_comparison_in_body(self):
+        rule = parse_rule("very_slow_speed(X) :- average_speed(X, Y), Y < 20.")
+        comparisons = rule.comparisons
+        assert len(comparisons) == 1
+        assert comparisons[0].operator == "<"
+
+    def test_constraint(self):
+        rule = parse_rule(":- traffic_jam(X), car_fire(X).")
+        assert rule.is_constraint
+        assert len(rule.positive_body) == 2
+
+    def test_disjunction_with_pipe_and_semicolon(self):
+        assert len(parse_rule("a(X) | b(X) :- c(X).").head) == 2
+        assert len(parse_rule("a(X) ; b(X) :- c(X).").head) == 2
+
+    def test_anonymous_variable_is_fresh(self):
+        rule = parse_rule("p(X) :- q(X, _), r(_, X).")
+        names = {variable.name for variable in rule.variables()}
+        # X plus two distinct anonymous variables.
+        assert len(names) == 3
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(ParseError):
+            parse_rule("a :- b")
+
+    def test_not_is_reserved(self):
+        with pytest.raises(ParseError):
+            parse_rule("a :- not not.")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("a. b.")
+
+
+class TestProgramParsing:
+    def test_parse_program_p(self):
+        program = parse_program(PROGRAM_P_TEXT)
+        assert len(program) == 6
+        assert program.idb_predicates() == {
+            "very_slow_speed",
+            "many_cars",
+            "traffic_jam",
+            "car_fire",
+            "give_notification",
+        }
+
+    def test_parse_program_p_prime_has_seven_rules(self):
+        program = parse_program(PROGRAM_P_PRIME_TEXT)
+        assert len(program) == 7
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+        assert len(parse_program("% only a comment\n")) == 0
+
+    def test_round_trip(self):
+        program = parse_program(PROGRAM_P_TEXT)
+        assert len(parse_program(program.to_text())) == len(program)
+
+    def test_comparison_operators_round_trip(self):
+        program = parse_program("a(X) :- b(X, Y), Y >= 3, Y != 7, Y <= 100, Y = Y.")
+        operators = {comparison.operator for comparison in program.rules[0].comparisons}
+        assert operators == {">=", "!=", "<=", "="}

@@ -1,0 +1,90 @@
+"""Unit tests for the Program container and predicate metadata."""
+
+import pytest
+
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.parser import parse_program
+from repro.asp.syntax.terms import Constant
+from repro.programs.traffic import INPUT_PREDICATES
+
+
+class TestProgramConstruction:
+    def test_add_fact_and_len(self):
+        program = parse_program("a :- b.")
+        program.add_fact(Atom("b"))
+        assert len(program) == 2
+        assert len(program.facts) == 1
+
+    def test_with_facts_does_not_mutate_original(self):
+        program = parse_program("a :- b.")
+        extended = program.with_facts([Atom("b")])
+        assert len(program) == 1
+        assert len(extended) == 2
+
+    def test_extend_appends_rules(self):
+        first = parse_program("a :- b.")
+        second = parse_program("c :- d.")
+        first.extend(second)
+        assert len(first) == 2
+
+    def test_copy_is_independent(self):
+        program = parse_program("a :- b.")
+        duplicate = program.copy()
+        duplicate.add_fact(Atom("b"))
+        assert len(program) == 1
+        assert len(duplicate) == 2
+
+
+class TestPredicateMetadata:
+    def test_pre_p_of_traffic_program(self, program_p):
+        expected = set(INPUT_PREDICATES) | {
+            "very_slow_speed",
+            "many_cars",
+            "traffic_jam",
+            "car_fire",
+            "give_notification",
+        }
+        assert program_p.predicates() == expected
+
+    def test_idb_predicates_of_traffic_program(self, program_p):
+        assert program_p.idb_predicates() == {
+            "very_slow_speed",
+            "many_cars",
+            "traffic_jam",
+            "car_fire",
+            "give_notification",
+        }
+
+    def test_edb_predicates_of_traffic_program(self, program_p):
+        assert program_p.edb_predicates() == set(INPUT_PREDICATES)
+
+    def test_fact_only_predicate_is_edb(self):
+        program = parse_program("p(1). q(X) :- p(X).")
+        assert program.edb_predicates() == {"p"}
+        assert program.idb_predicates() == {"q"}
+
+    def test_rules_defining_and_using(self, program_p):
+        assert len(program_p.rules_defining("give_notification")) == 2
+        assert len(program_p.rules_using("car_fire")) == 1
+
+    def test_has_negation_and_disjunction_flags(self, program_p):
+        assert program_p.has_negation
+        assert not program_p.has_disjunction
+        disjunctive = parse_program("a | b :- c.")
+        assert disjunctive.has_disjunction
+
+
+class TestProgramRendering:
+    def test_round_trip_through_text(self, program_p):
+        text = program_p.to_text()
+        reparsed = parse_program(text)
+        assert len(reparsed) == len(program_p)
+        assert reparsed.predicates() == program_p.predicates()
+
+    def test_repr_mentions_rule_count(self, program_p):
+        assert "rules=6" in repr(program_p)
+
+    def test_constraints_view(self):
+        program = parse_program("a :- b. :- a, c.")
+        assert len(program.constraints) == 1
+        assert len(program.proper_rules) == 2

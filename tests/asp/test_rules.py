@@ -1,0 +1,98 @@
+"""Unit tests for rules and their body views."""
+
+import pytest
+
+from repro.asp.syntax.atoms import Atom, Comparison, Literal
+from repro.asp.syntax.rules import Rule
+from repro.asp.syntax.terms import Constant, Variable
+
+
+def _x():
+    return Variable("X")
+
+
+class TestRuleClassification:
+    def test_fact(self):
+        rule = Rule(head=(Atom("p", (Constant(1),)),))
+        assert rule.is_fact
+        assert rule.is_normal
+        assert not rule.is_constraint
+
+    def test_constraint(self):
+        rule = Rule(body=(Literal(Atom("p")),))
+        assert rule.is_constraint
+        assert not rule.is_fact
+
+    def test_disjunctive(self):
+        rule = Rule(head=(Atom("a"), Atom("b")), body=(Literal(Atom("c")),))
+        assert rule.is_disjunctive
+        assert not rule.is_normal
+
+    def test_groundness(self):
+        ground_rule = Rule(head=(Atom("p", (Constant(1),)),), body=(Literal(Atom("q", (Constant(1),))),))
+        assert ground_rule.is_ground()
+        non_ground = Rule(head=(Atom("p", (_x(),)),), body=(Literal(Atom("q", (_x(),))),))
+        assert not non_ground.is_ground()
+
+
+class TestBodyViews:
+    def setup_method(self):
+        self.rule = Rule(
+            head=(Atom("traffic_jam", (_x(),)),),
+            body=(
+                Literal(Atom("very_slow_speed", (_x(),))),
+                Literal(Atom("many_cars", (_x(),))),
+                Literal(Atom("traffic_light", (_x(),)), positive=False),
+                Comparison("<", Variable("Y"), Constant(20)),
+            ),
+        )
+
+    def test_positive_body(self):
+        assert [literal.predicate for literal in self.rule.positive_body] == ["very_slow_speed", "many_cars"]
+
+    def test_negative_body(self):
+        assert [literal.predicate for literal in self.rule.negative_body] == ["traffic_light"]
+
+    def test_comparisons(self):
+        assert len(self.rule.comparisons) == 1
+        assert str(self.rule.comparisons[0]) == "Y<20"
+
+    def test_body_literals_excludes_comparisons(self):
+        assert len(self.rule.body_literals) == 3
+
+    def test_predicates(self):
+        assert self.rule.head_predicates() == {"traffic_jam"}
+        assert self.rule.body_predicates() == {"very_slow_speed", "many_cars", "traffic_light"}
+        assert "traffic_jam" in self.rule.predicates()
+
+    def test_variables(self):
+        assert {variable.name for variable in self.rule.variables()} == {"X", "Y"}
+
+    def test_substitute(self):
+        ground = self.rule.substitute({Variable("X"): Constant("dangan"), Variable("Y"): Constant(5)})
+        assert ground.is_ground()
+        assert "traffic_jam(dangan)" in str(ground)
+
+
+class TestRuleValidationAndRendering:
+    def test_head_must_contain_atoms(self):
+        with pytest.raises(TypeError):
+            Rule(head=(Literal(Atom("p")),))  # a literal is not a valid head element
+
+    def test_body_must_contain_literals_or_comparisons(self):
+        with pytest.raises(TypeError):
+            Rule(head=(Atom("p"),), body=(Atom("q"),))
+
+    def test_str_fact(self):
+        assert str(Rule(head=(Atom("p", (Constant(1),)),))) == "p(1)."
+
+    def test_str_constraint(self):
+        assert str(Rule(body=(Literal(Atom("p")),))) == ":- p."
+
+    def test_str_normal_rule(self):
+        rule = Rule(head=(Atom("a"),), body=(Literal(Atom("b")), Literal(Atom("c"), positive=False)))
+        assert str(rule) == "a :- b, not c."
+
+    def test_str_disjunctive_rule(self):
+        rule = Rule(head=(Atom("a"), Atom("b")), body=(Literal(Atom("c")),))
+        assert str(rule) == "a | b :- c."

@@ -1,0 +1,50 @@
+"""Unit tests for rule safety checking."""
+
+import pytest
+
+from repro.asp.errors import SafetyError
+from repro.asp.grounding.safety import check_safety, is_safe, unsafe_variables
+from repro.asp.syntax.parser import parse_program, parse_rule
+
+
+class TestSafety:
+    def test_safe_rule(self):
+        assert is_safe(parse_rule("p(X) :- q(X)."))
+
+    def test_head_variable_not_in_positive_body_is_unsafe(self):
+        rule = parse_rule("p(X) :- q(Y).")
+        assert not is_safe(rule)
+        assert unsafe_variables(rule) == {"X"}
+
+    def test_variable_only_in_negative_body_is_unsafe(self):
+        rule = parse_rule("p(X) :- q(X), not r(Y).")
+        assert unsafe_variables(rule) == {"Y"}
+
+    def test_variable_only_in_comparison_is_unsafe(self):
+        rule = parse_rule("p(X) :- q(X), Y < 3.")
+        assert unsafe_variables(rule) == {"Y"}
+
+    def test_comparison_variable_bound_by_positive_body_is_safe(self):
+        assert is_safe(parse_rule("very_slow_speed(X) :- average_speed(X, Y), Y < 20."))
+
+    def test_facts_are_safe(self):
+        assert is_safe(parse_rule("p(1)."))
+
+    def test_constraint_safety(self):
+        assert is_safe(parse_rule(":- q(X), not r(X)."))
+        assert not is_safe(parse_rule(":- not r(X)."))
+
+    def test_check_safety_raises_with_rule_context(self):
+        program = parse_program("ok(X) :- q(X). bad(X) :- q(Y).")
+        with pytest.raises(SafetyError) as excinfo:
+            check_safety(program)
+        assert "X" in str(excinfo.value)
+        assert excinfo.value.variables == frozenset({"X"})
+
+    def test_check_safety_accepts_traffic_program(self, program_p, program_p_prime):
+        check_safety(program_p)
+        check_safety(program_p_prime)
+
+    def test_disjunctive_head_safety(self):
+        assert is_safe(parse_rule("a(X) | b(X) :- c(X)."))
+        assert not is_safe(parse_rule("a(X) | b(Y) :- c(X)."))

@@ -1,0 +1,85 @@
+"""Unit tests for the DPLL SAT core."""
+
+import pytest
+
+from repro.asp.solving.sat import DPLLSolver, Satisfiability
+
+
+class TestBasicSolving:
+    def test_single_unit_clause(self):
+        solver = DPLLSolver()
+        solver.add_clause([1])
+        status, model = solver.solve()
+        assert status is Satisfiability.SATISFIABLE
+        assert model[1] is True
+
+    def test_contradictory_units(self):
+        solver = DPLLSolver()
+        solver.add_clauses([[1], [-1]])
+        status, _ = solver.solve()
+        assert status is Satisfiability.UNSATISFIABLE
+
+    def test_empty_clause_is_unsat(self):
+        solver = DPLLSolver()
+        solver.add_clause([])
+        assert solver.solve()[0] is Satisfiability.UNSATISFIABLE
+
+    def test_empty_problem_is_sat(self):
+        assert DPLLSolver().solve()[0] is Satisfiability.SATISFIABLE
+
+    def test_tautological_clause_is_ignored(self):
+        solver = DPLLSolver()
+        solver.add_clause([1, -1])
+        assert solver.clause_count == 0
+        assert solver.solve()[0] is Satisfiability.SATISFIABLE
+
+    def test_implication_chain_propagates(self):
+        solver = DPLLSolver()
+        solver.add_clauses([[1], [-1, 2], [-2, 3], [-3, 4]])
+        status, model = solver.solve()
+        assert status is Satisfiability.SATISFIABLE
+        assert all(model[variable] for variable in (1, 2, 3, 4))
+
+    def test_requires_backtracking(self):
+        # (x1 | x2) & (x1 | -x2) & (-x1 | x2) & (-x1 | -x2) is UNSAT.
+        solver = DPLLSolver()
+        solver.add_clauses([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        assert solver.solve()[0] is Satisfiability.UNSATISFIABLE
+
+    def test_satisfiable_3sat_instance(self):
+        solver = DPLLSolver()
+        solver.add_clauses([[1, 2, 3], [-1, -2, 3], [1, -2, -3], [-1, 2, -3], [1, 2, -3]])
+        status, model = solver.solve()
+        assert status is Satisfiability.SATISFIABLE
+        # Verify the model against the clauses by hand.
+        clauses = [[1, 2, 3], [-1, -2, 3], [1, -2, -3], [-1, 2, -3], [1, 2, -3]]
+        for clause in clauses:
+            assert any((literal > 0) == model[abs(literal)] for literal in clause)
+
+    def test_assumptions(self):
+        solver = DPLLSolver()
+        solver.add_clause([1, 2])
+        status, model = solver.solve(assumptions=[-1])
+        assert status is Satisfiability.SATISFIABLE
+        assert model[2] is True
+        status, _ = solver.solve(assumptions=[-1, -2])
+        assert status is Satisfiability.UNSATISFIABLE
+
+
+class TestModelEnumeration:
+    def test_enumerate_all_models_of_free_variables(self):
+        solver = DPLLSolver()
+        solver.add_clause([1, 2])
+        models = list(solver.iterate_models(relevant_variables=[1, 2]))
+        assert len(models) == 3  # all assignments except (F, F)
+
+    def test_limit_is_respected(self):
+        solver = DPLLSolver()
+        solver.add_clause([1, 2])
+        assert len(list(solver.iterate_models(relevant_variables=[1, 2], limit=2))) == 2
+
+    def test_new_variable_allocates_increasing_ids(self):
+        solver = DPLLSolver()
+        assert solver.new_variable() == 1
+        assert solver.new_variable() == 2
+        assert solver.variable_count == 2

@@ -1,0 +1,58 @@
+"""Unit tests for substitutions and atom matching."""
+
+from repro.asp.grounding.substitution import match_atom, match_term
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.terms import Constant, FunctionTerm, Variable
+
+
+class TestMatchTerm:
+    def test_variable_binds_to_constant(self):
+        binding = match_term(Variable("X"), Constant(5), {})
+        assert binding == {Variable("X"): Constant(5)}
+
+    def test_bound_variable_must_agree(self):
+        binding = {Variable("X"): Constant(5)}
+        assert match_term(Variable("X"), Constant(5), binding) == binding
+        assert match_term(Variable("X"), Constant(6), binding) is None
+
+    def test_constant_matches_itself_only(self):
+        assert match_term(Constant("a"), Constant("a"), {}) == {}
+        assert match_term(Constant("a"), Constant("b"), {}) is None
+
+    def test_function_term_structural_match(self):
+        pattern = FunctionTerm("loc", (Variable("X"), Constant(2)))
+        target = FunctionTerm("loc", (Constant(1), Constant(2)))
+        assert match_term(pattern, target, {}) == {Variable("X"): Constant(1)}
+
+    def test_function_term_name_mismatch(self):
+        assert match_term(FunctionTerm("f", (Variable("X"),)), FunctionTerm("g", (Constant(1),)), {}) is None
+
+    def test_input_binding_is_not_mutated(self):
+        binding = {}
+        match_term(Variable("X"), Constant(1), binding)
+        assert binding == {}
+
+
+class TestMatchAtom:
+    def test_simple_match(self):
+        pattern = Atom("average_speed", (Variable("X"), Variable("Y")))
+        target = Atom("average_speed", (Constant("newcastle"), Constant(10)))
+        binding = match_atom(pattern, target)
+        assert binding == {Variable("X"): Constant("newcastle"), Variable("Y"): Constant(10)}
+
+    def test_predicate_mismatch(self):
+        assert match_atom(Atom("p", (Variable("X"),)), Atom("q", (Constant(1),))) is None
+
+    def test_arity_mismatch(self):
+        assert match_atom(Atom("p", (Variable("X"),)), Atom("p", (Constant(1), Constant(2)))) is None
+
+    def test_repeated_variable_enforces_equality(self):
+        pattern = Atom("edge", (Variable("X"), Variable("X")))
+        assert match_atom(pattern, Atom("edge", (Constant(1), Constant(1)))) is not None
+        assert match_atom(pattern, Atom("edge", (Constant(1), Constant(2)))) is None
+
+    def test_existing_binding_constrains_match(self):
+        pattern = Atom("car_location", (Variable("C"), Variable("X")))
+        binding = {Variable("C"): Constant("car1")}
+        assert match_atom(pattern, Atom("car_location", (Constant("car1"), Constant("dangan"))), binding)
+        assert match_atom(pattern, Atom("car_location", (Constant("car2"), Constant("dangan"))), binding) is None

@@ -1,0 +1,102 @@
+"""Unit tests for ASP terms."""
+
+import pytest
+
+from repro.asp.syntax.terms import Constant, FunctionTerm, Variable
+
+
+class TestConstant:
+    def test_integer_constant_is_ground(self):
+        constant = Constant(42)
+        assert constant.is_ground()
+        assert constant.is_integer
+        assert str(constant) == "42"
+
+    def test_symbolic_constant(self):
+        constant = Constant("newcastle")
+        assert constant.is_ground()
+        assert not constant.is_integer
+        assert str(constant) == "newcastle"
+
+    def test_quoted_string_rendering(self):
+        constant = Constant('say "hi"', quoted=True)
+        assert str(constant) == '"say \\"hi\\""'
+
+    def test_equality_and_hash(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant("1")
+        assert hash(Constant("a")) == hash(Constant("a"))
+
+    def test_substitute_is_identity(self):
+        constant = Constant(3)
+        assert constant.substitute({Variable("X"): Constant(9)}) is constant
+
+    def test_rejects_bool_and_other_types(self):
+        with pytest.raises(TypeError):
+            Constant(True)
+        with pytest.raises(TypeError):
+            Constant(3.5)
+
+    def test_total_order_integers_before_symbols(self):
+        assert Constant(99) < Constant("alpha")
+        assert Constant(1) < Constant(2)
+        assert Constant("a") < Constant("b")
+
+    def test_variables_iterator_empty(self):
+        assert list(Constant(1).variables()) == []
+
+
+class TestVariable:
+    def test_variable_is_not_ground(self):
+        variable = Variable("X")
+        assert not variable.is_ground()
+        assert str(variable) == "X"
+
+    def test_variables_yields_self(self):
+        variable = Variable("Speed")
+        assert list(variable.variables()) == [variable]
+
+    def test_substitute_bound(self):
+        variable = Variable("X")
+        assert variable.substitute({variable: Constant(5)}) == Constant(5)
+
+    def test_substitute_unbound_returns_self(self):
+        variable = Variable("X")
+        assert variable.substitute({Variable("Y"): Constant(5)}) is variable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_anonymous_variables_are_distinct(self):
+        assert Variable.anonymous() != Variable.anonymous()
+
+
+class TestFunctionTerm:
+    def test_ground_function_term(self):
+        term = FunctionTerm("loc", (Constant(1), Constant(2)))
+        assert term.is_ground()
+        assert term.arity == 2
+        assert str(term) == "loc(1,2)"
+
+    def test_non_ground_function_term(self):
+        term = FunctionTerm("loc", (Variable("X"), Constant(2)))
+        assert not term.is_ground()
+        assert [variable.name for variable in term.variables()] == ["X"]
+
+    def test_substitute_recurses(self):
+        term = FunctionTerm("f", (Variable("X"), FunctionTerm("g", (Variable("Y"),))))
+        ground = term.substitute({Variable("X"): Constant(1), Variable("Y"): Constant(2)})
+        assert str(ground) == "f(1,g(2))"
+        assert ground.is_ground()
+
+    def test_zero_arity_renders_as_name(self):
+        assert str(FunctionTerm("f", ())) == "f"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionTerm("", (Constant(1),))
+
+    def test_equality_is_structural(self):
+        assert FunctionTerm("f", (Constant(1),)) == FunctionTerm("f", (Constant(1),))
+        assert FunctionTerm("f", (Constant(1),)) != FunctionTerm("f", (Constant(2),))

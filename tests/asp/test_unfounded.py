@@ -1,0 +1,54 @@
+"""Unit tests for unfounded-set detection."""
+
+from repro.asp.grounding.grounder import ground_program
+from repro.asp.solving.unfounded import greatest_unfounded_set, is_founded
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.parser import parse_program
+from repro.asp.syntax.terms import Constant
+
+
+def atom(predicate, *arguments):
+    return Atom(predicate, tuple(Constant(argument) for argument in arguments))
+
+
+class TestUnfoundedSets:
+    def test_facts_are_founded(self):
+        ground = ground_program(parse_program("p(1)."))
+        assert is_founded(ground, {atom("p", 1)})
+
+    def test_positive_loop_without_external_support_is_unfounded(self):
+        ground = ground_program(parse_program("a :- b. b :- a."))
+        model = {atom("a"), atom("b")}
+        assert greatest_unfounded_set(ground, model) == model
+
+    def test_positive_loop_with_external_support_is_founded(self):
+        ground = ground_program(parse_program("a :- b. b :- a. b :- c. c."))
+        model = {atom("a"), atom("b"), atom("c")}
+        assert is_founded(ground, model)
+
+    def test_empty_model_has_no_unfounded_atoms(self):
+        ground = ground_program(parse_program("a :- b. b :- a."))
+        assert greatest_unfounded_set(ground, set()) == set()
+
+    def test_rule_blocked_by_negation_gives_no_support(self):
+        ground = ground_program(parse_program("p. a :- b, not p. b :- a."))
+        model = {atom("p"), atom("a"), atom("b")}
+        unfounded = greatest_unfounded_set(ground, model)
+        assert unfounded == {atom("a"), atom("b")}
+
+    def test_chain_support_is_tracked_transitively(self):
+        ground = ground_program(parse_program("base. a :- base. b :- a. c :- b."))
+        model = {atom("base"), atom("a"), atom("b"), atom("c")}
+        assert is_founded(ground, model)
+
+    def test_disjunctive_rule_supports_only_a_single_true_head(self):
+        ground = ground_program(parse_program("a | b."))
+        # With both heads true, the rule supports neither unambiguously.
+        assert greatest_unfounded_set(ground, {atom("a"), atom("b")}) == {atom("a"), atom("b")}
+        # With a single true head, that head is supported.
+        assert is_founded(ground, {atom("a")})
+
+    def test_motivating_example_answer_is_founded(self, program_p, motivating_window):
+        ground = ground_program(program_p.with_facts(motivating_window))
+        model = set(ground.facts)
+        assert is_founded(ground, model)

@@ -1,0 +1,92 @@
+"""Unit tests for the well-founded semantics."""
+
+import pytest
+
+from repro.asp.grounding.grounder import ground_program
+from repro.asp.solving.wellfounded import well_founded_model
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.parser import parse_program
+from repro.asp.syntax.terms import Constant
+
+
+def wf(text):
+    return well_founded_model(ground_program(parse_program(text)))
+
+
+def atom(predicate, *arguments):
+    return Atom(predicate, tuple(Constant(argument) for argument in arguments))
+
+
+class TestWellFoundedModel:
+    def test_facts_are_true(self):
+        model = wf("p(1). q(X) :- p(X).")
+        assert atom("p", 1) in model.true
+        assert atom("q", 1) in model.true
+        assert model.is_total
+
+    def test_stratified_negation_is_total(self):
+        model = wf("p(1). q(X) :- p(X), not r(X).")
+        assert atom("q", 1) in model.true
+        assert model.is_total
+
+    def test_blocked_rule_atom_is_pruned(self):
+        # r(1) is certainly true, so the grounder never even registers q(1).
+        model = wf("p(1). r(1). q(X) :- p(X), not r(X).")
+        assert atom("q", 1) not in model.true
+        assert atom("q", 1) not in model.undefined
+        assert model.is_total
+
+    def test_blocked_by_non_certain_atom_is_false(self):
+        # r(1) is derivable but only through negation, so q(1) survives
+        # grounding and the well-founded model classifies it as false.
+        model = wf("p(1). r(X) :- p(X), not s(X). q(X) :- p(X), not r(X).")
+        assert atom("r", 1) in model.true
+        assert atom("q", 1) in model.false
+        assert model.is_total
+
+    def test_even_loop_is_undefined(self):
+        model = wf("a :- not b. b :- not a.")
+        assert atom("a") in model.undefined
+        assert atom("b") in model.undefined
+        assert not model.is_total
+
+    def test_odd_loop_is_undefined(self):
+        model = wf("a :- not a.")
+        assert atom("a") in model.undefined
+
+    def test_positive_loop_atoms_are_never_true(self):
+        model = wf("c. d. a :- b. b :- a. b :- c, not d.")
+        assert atom("a") not in model.true
+        assert atom("b") not in model.true
+        assert model.is_total
+
+    def test_unreachable_positive_loop_is_pruned_before_solving(self):
+        model = wf("a :- b. b :- a.")
+        assert model.is_total
+        assert atom("a") not in model.true
+        assert atom("a") not in model.undefined
+
+    def test_relevant_subprogram_decides_undefined_elsewhere(self):
+        # c depends on the even loop, so it is undefined; d is independent.
+        model = wf("a :- not b. b :- not a. c :- a. d.")
+        assert atom("c") in model.undefined
+        assert atom("d") in model.true
+
+    def test_traffic_program_window_is_total(self, program_p, motivating_window):
+        ground = ground_program(program_p.with_facts(motivating_window))
+        model = well_founded_model(ground)
+        assert model.is_total
+        assert atom("car_fire", "dangan") in model.true
+        assert atom("give_notification", "dangan") in model.true
+        assert atom("traffic_jam", "newcastle") not in model.true
+
+    def test_disjunctive_rule_rejected(self):
+        ground = ground_program(parse_program("a | b."))
+        with pytest.raises(ValueError):
+            well_founded_model(ground)
+
+    def test_partition_sets_are_disjoint_and_cover_universe(self):
+        model = wf("p(1). q(X) :- p(X), not r(X). r(X) :- p(X), not q(X). s :- q(1).")
+        assert not (set(model.true) & set(model.false))
+        assert not (set(model.true) & set(model.undefined))
+        assert not (set(model.false) & set(model.undefined))

@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.parser import parse_program
+from repro.asp.syntax.terms import Constant
+from repro.core.decomposition import decompose
+from repro.core.input_dependency import build_input_dependency_graph
+from repro.programs.traffic import (
+    EVENT_PREDICATES,
+    INPUT_PREDICATES,
+    motivating_example_window,
+    traffic_program,
+    traffic_program_prime,
+)
+from repro.streaming.generator import SyntheticStreamConfig, generate_window
+from repro.streamrule.reasoner import Reasoner
+
+
+@pytest.fixture
+def program_p():
+    """The paper's program P (Listing 1)."""
+    return traffic_program()
+
+
+@pytest.fixture
+def program_p_prime():
+    """P' = P + rule r7."""
+    return traffic_program_prime()
+
+
+@pytest.fixture
+def input_predicates():
+    return INPUT_PREDICATES
+
+
+@pytest.fixture
+def motivating_window():
+    """The window W of the motivating example (Section II-A)."""
+    return motivating_example_window()
+
+
+@pytest.fixture
+def input_graph_p(program_p):
+    return build_input_dependency_graph(program_p, INPUT_PREDICATES)
+
+
+@pytest.fixture
+def input_graph_p_prime(program_p_prime):
+    return build_input_dependency_graph(program_p_prime, INPUT_PREDICATES)
+
+
+@pytest.fixture
+def plan_p(input_graph_p):
+    return decompose(input_graph_p).plan
+
+
+@pytest.fixture
+def plan_p_prime(input_graph_p_prime):
+    return decompose(input_graph_p_prime).plan
+
+
+@pytest.fixture
+def event_reasoner_p(program_p):
+    """Reasoner R over P projecting onto the events of interest."""
+    return Reasoner(program_p, input_predicates=INPUT_PREDICATES, output_predicates=EVENT_PREDICATES)
+
+
+@pytest.fixture
+def small_traffic_window():
+    """A reproducible 300-item synthetic traffic window."""
+    config = SyntheticStreamConfig(
+        window_size=300,
+        input_predicates=INPUT_PREDICATES,
+        scheme="traffic",
+        seed=7,
+    )
+    return generate_window(config)
+
+
+def make_atom(predicate: str, *arguments) -> Atom:
+    """Convenience: build a ground atom from Python values."""
+    return Atom(predicate, tuple(Constant(argument) for argument in arguments))
+
+
+@pytest.fixture
+def atom_factory():
+    return make_atom

@@ -1,0 +1,58 @@
+"""Unit tests for the non-monotonic accuracy metric."""
+
+import pytest
+
+from repro.core.accuracy import accuracy_of_answer, accuracy_of_answers, mean_accuracy
+from tests.conftest import make_atom
+
+
+def answer(*names):
+    return [make_atom(name) for name in names]
+
+
+class TestAccuracyOfAnswer:
+    def test_perfect_match(self):
+        assert accuracy_of_answer(answer("a", "b"), [answer("a", "b")]) == 1.0
+
+    def test_partial_match(self):
+        assert accuracy_of_answer(answer("a"), [answer("a", "b")]) == pytest.approx(0.5)
+
+    def test_extra_atoms_do_not_reduce_accuracy(self):
+        # The metric is recall-style: |ans_i ∩ ans_j| / |ans_j|.
+        assert accuracy_of_answer(answer("a", "b", "c"), [answer("a", "b")]) == 1.0
+
+    def test_max_over_reference_answers(self):
+        value = accuracy_of_answer(answer("a", "x"), [answer("a", "b"), answer("a", "x", "y", "z")])
+        # Against the first reference: 1/2; against the second: 2/4 -> max 0.5.
+        assert value == pytest.approx(0.5)
+
+    def test_picks_the_best_reference(self):
+        value = accuracy_of_answer(answer("a", "b"), [answer("a", "b"), answer("c", "d", "e", "f")])
+        assert value == 1.0
+
+    def test_no_reference_answers_gives_zero(self):
+        assert accuracy_of_answer(answer("a"), []) == 0.0
+
+    def test_empty_reference_answer_is_perfectly_matched(self):
+        assert accuracy_of_answer(answer("a"), [answer()]) == 1.0
+        assert accuracy_of_answer(answer(), [answer()]) == 1.0
+
+    def test_empty_answer_against_non_empty_reference(self):
+        assert accuracy_of_answer(answer(), [answer("a", "b")]) == 0.0
+
+    def test_single_answer_set_case_reduces_to_plain_ratio(self):
+        # The paper's general definition before the non-monotonic adaptation.
+        assert accuracy_of_answer(answer("a", "b", "c"), [answer("a", "b", "c", "d")]) == pytest.approx(0.75)
+
+
+class TestAggregates:
+    def test_accuracy_of_answers_per_answer(self):
+        values = accuracy_of_answers([answer("a"), answer("b")], [answer("a", "b")])
+        assert values == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_mean_accuracy(self):
+        value = mean_accuracy([answer("a", "b"), answer("a")], [answer("a", "b")])
+        assert value == pytest.approx(0.75)
+
+    def test_mean_accuracy_of_no_answers_is_zero(self):
+        assert mean_accuracy([], [answer("a")]) == 0.0

@@ -1,0 +1,55 @@
+"""Unit tests for the combining handler semantics."""
+
+from repro.core.combining import combine_answer_sets
+from tests.conftest import make_atom
+
+
+def answer(*names):
+    return [make_atom(name) for name in names]
+
+
+class TestCombineAnswerSets:
+    def test_single_partition_passthrough(self):
+        combined = combine_answer_sets([[answer("a"), answer("b")]])
+        assert {frozenset(map(str, model)) for model in combined} == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_union_of_one_answer_per_partition(self):
+        combined = combine_answer_sets([[answer("a")], [answer("b")]])
+        assert len(combined) == 1
+        assert {str(atom) for atom in combined[0]} == {"a", "b"}
+
+    def test_cartesian_product_of_answer_sets(self):
+        combined = combine_answer_sets([[answer("a1"), answer("a2")], [answer("b1"), answer("b2")]])
+        rendered = {frozenset(str(atom) for atom in model) for model in combined}
+        assert rendered == {
+            frozenset({"a1", "b1"}),
+            frozenset({"a1", "b2"}),
+            frozenset({"a2", "b1"}),
+            frozenset({"a2", "b2"}),
+        }
+
+    def test_empty_partition_answer_list_is_skipped(self):
+        combined = combine_answer_sets([[answer("a")], []])
+        assert len(combined) == 1
+        assert {str(atom) for atom in combined[0]} == {"a"}
+
+    def test_no_answers_at_all(self):
+        assert combine_answer_sets([]) == []
+        assert combine_answer_sets([[], []]) == []
+
+    def test_duplicate_combinations_are_removed(self):
+        combined = combine_answer_sets([[answer("a"), answer("a")], [answer("b")]])
+        assert len(combined) == 1
+
+    def test_max_combinations_cap(self):
+        per_partition = [[answer(f"a{i}") for i in range(4)], [answer(f"b{i}") for i in range(4)]]
+        combined = combine_answer_sets(per_partition, max_combinations=5)
+        assert len(combined) == 5
+
+    def test_unbounded_combinations(self):
+        per_partition = [[answer(f"a{i}") for i in range(3)], [answer(f"b{i}") for i in range(3)]]
+        assert len(combine_answer_sets(per_partition, max_combinations=None)) == 9
+
+    def test_results_are_frozensets(self):
+        combined = combine_answer_sets([[answer("a")]])
+        assert all(isinstance(model, frozenset) for model in combined)

@@ -1,0 +1,104 @@
+"""Property-based tests for the partitioning and accuracy invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.accuracy import accuracy_of_answer, mean_accuracy
+from repro.core.combining import combine_answer_sets
+from repro.core.partitioner import DependencyPartitioner, RandomPartitioner
+from repro.core.plan import PartitioningPlan
+from repro.programs.traffic import INPUT_PREDICATES
+from tests.conftest import make_atom
+
+
+predicates = st.sampled_from(list(INPUT_PREDICATES))
+entities = st.integers(min_value=0, max_value=30)
+
+
+@st.composite
+def windows(draw):
+    items = draw(st.lists(st.tuples(predicates, entities, entities), max_size=60))
+    return [make_atom(predicate, f"e{subject}", value) for predicate, subject, value in items]
+
+
+@st.composite
+def plans(draw):
+    community_count = draw(st.integers(min_value=1, max_value=4))
+    assignments = {}
+    for predicate in INPUT_PREDICATES:
+        communities = draw(
+            st.sets(st.integers(0, community_count - 1), min_size=1, max_size=community_count)
+        )
+        assignments[predicate] = frozenset(communities)
+    return PartitioningPlan(assignments=assignments, community_count=community_count)
+
+
+@settings(max_examples=60, deadline=None)
+@given(windows(), plans())
+def test_dependency_partitioning_never_loses_an_item(window, plan):
+    """Every window item appears in at least one partition (possibly several)."""
+    partitions = DependencyPartitioner(plan).partition(window)
+    merged = {str(atom) for partition in partitions for atom in partition}
+    assert merged == {str(atom) for atom in window}
+
+
+@settings(max_examples=60, deadline=None)
+@given(windows(), plans())
+def test_dependency_partitioning_copies_match_the_plan(window, plan):
+    """An item is copied exactly into the communities its predicate maps to."""
+    partitions = DependencyPartitioner(plan).partition(window)
+    for atom in window:
+        expected_communities = plan.find_communities(atom.predicate)
+        actual_communities = {index for index, partition in enumerate(partitions) if atom in partition}
+        assert actual_communities == set(expected_communities)
+
+
+@settings(max_examples=60, deadline=None)
+@given(windows(), st.integers(min_value=1, max_value=6), st.integers())
+def test_random_partitioning_is_a_partition(window, k, seed):
+    """Random chunking keeps every item exactly once overall."""
+    partitions = RandomPartitioner(k, seed=seed).partition(window)
+    assert len(partitions) == k
+    total = [atom for partition in partitions for atom in partition]
+    assert len(total) == len(window)
+    assert sorted(map(str, total)) == sorted(map(str, window))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.lists(st.sets(st.sampled_from("abcdefgh"), max_size=4), max_size=3), max_size=3),
+)
+def test_combining_unions_are_supersets_of_each_choice(per_partition_names):
+    per_partition = [
+        [[make_atom(name) for name in answer] for answer in answers] for answers in per_partition_names
+    ]
+    combined = combine_answer_sets(per_partition, max_combinations=None)
+    contributing = [answers for answers in per_partition if answers]
+    if not contributing:
+        assert combined == []
+        return
+    # Every combined answer contains at least one full answer set per partition.
+    for union in combined:
+        for answers in contributing:
+            assert any(set(answer) <= set(union) for answer in answers)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.sets(st.sampled_from("abcdefghij"), max_size=8),
+    st.lists(st.sets(st.sampled_from("abcdefghij"), max_size=8), min_size=1, max_size=4),
+)
+def test_accuracy_is_bounded_and_monotone_in_overlap(answer_names, reference_sets):
+    answer = [make_atom(name) for name in answer_names]
+    references = [[make_atom(name) for name in names] for names in reference_sets]
+    value = accuracy_of_answer(answer, references)
+    assert 0.0 <= value <= 1.0
+    # Adding the full reference to the answer can only help.
+    enriched = answer + references[0]
+    assert accuracy_of_answer(enriched, references) >= value
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sets(st.sampled_from("abcde"), max_size=5), min_size=1, max_size=4))
+def test_identical_answers_have_accuracy_one(reference_sets):
+    references = [[make_atom(name) for name in names] for names in reference_sets]
+    assert mean_accuracy(references, references) == 1.0

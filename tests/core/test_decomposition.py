@@ -1,0 +1,87 @@
+"""Unit tests for the decomposing (duplication) process."""
+
+import pytest
+
+from repro.asp.syntax.parser import parse_program
+from repro.core.decomposition import decompose
+from repro.core.input_dependency import InputDependencyGraph, build_input_dependency_graph
+from repro.graph.undirected import UndirectedGraph
+
+
+def graph_from_edges(nodes, edges):
+    graph = InputDependencyGraph(input_predicates=frozenset(nodes))
+    graph.graph.add_nodes(nodes)
+    for first, second in edges:
+        graph.graph.add_edge(first, second)
+    return graph
+
+
+class TestDisconnectedGraphs:
+    def test_components_become_partitions(self):
+        graph = graph_from_edges(["a", "b", "c", "d"], [("a", "b"), ("c", "d")])
+        result = decompose(graph)
+        assert result.community_count == 2
+        assert not result.used_modularity
+        assert result.duplicated_predicates == frozenset()
+
+    def test_isolated_nodes_get_their_own_partition(self):
+        graph = graph_from_edges(["a", "b", "x"], [("a", "b")])
+        result = decompose(graph)
+        assert result.community_count == 2
+        assert frozenset({"x"}) in set(result.communities)
+
+    def test_empty_graph(self):
+        graph = graph_from_edges([], [])
+        result = decompose(graph)
+        assert result.community_count == 1
+        assert result.plan.community_count == 1
+
+
+class TestConnectedGraphs:
+    def test_single_clique_stays_whole(self):
+        graph = graph_from_edges(["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")])
+        result = decompose(graph)
+        assert result.community_count == 1
+        assert result.duplicated_predicates == frozenset()
+
+    def test_bridge_node_is_duplicated(self):
+        # Two triangles joined through node "bridge".
+        edges = [
+            ("a1", "a2"), ("a2", "a3"), ("a1", "a3"),
+            ("b1", "b2"), ("b2", "b3"), ("b1", "b3"),
+            ("a1", "bridge"), ("bridge", "b1"),
+        ]
+        graph = graph_from_edges(["a1", "a2", "a3", "b1", "b2", "b3", "bridge"], edges)
+        result = decompose(graph)
+        assert result.used_modularity
+        assert result.community_count == 2
+        # The bridge endpoint(s) chosen for duplication appear in both communities.
+        overlap = set(result.communities[0]) & set(result.communities[1])
+        assert overlap == set(result.duplicated_predicates)
+        assert overlap  # something was duplicated
+
+    def test_duplicated_nodes_preserve_coverage(self, input_graph_p_prime):
+        result = decompose(input_graph_p_prime)
+        covered = set()
+        for community in result.communities:
+            covered.update(community)
+        assert covered == set(input_graph_p_prime.nodes)
+
+    def test_max_communities_cap(self):
+        graph = graph_from_edges(["a", "b", "c", "d", "e", "f"], [("a", "b"), ("c", "d"), ("e", "f")])
+        result = decompose(graph, max_communities=2)
+        assert result.community_count == 2
+
+    def test_unknown_policy_is_propagated(self, input_graph_p):
+        plan = decompose(input_graph_p, unknown_policy="first").plan
+        assert plan.find_communities("never_seen_predicate") == frozenset({0})
+
+
+class TestResolutionParameter:
+    def test_higher_resolution_never_reduces_community_count(self, input_graph_p_prime):
+        low = decompose(input_graph_p_prime, resolution=0.5)
+        high = decompose(input_graph_p_prime, resolution=4.0)
+        assert high.community_count >= low.community_count
+
+    def test_resolution_recorded_in_result(self, input_graph_p_prime):
+        assert decompose(input_graph_p_prime, resolution=2.0).resolution == 2.0

@@ -1,0 +1,64 @@
+"""Unit tests for the extended dependency graph (Definition 1)."""
+
+from repro.asp.syntax.parser import parse_program
+from repro.core.extended_dependency import ExtendedDependencyGraph
+
+
+class TestConstruction:
+    def test_nodes_are_all_predicates(self, program_p):
+        graph = ExtendedDependencyGraph.from_program(program_p)
+        assert graph.nodes == program_p.predicates()
+
+    def test_body_body_edges_from_one_rule(self):
+        program = parse_program("h(X) :- a(X), b(X), c(X).")
+        graph = ExtendedDependencyGraph.from_program(program)
+        assert graph.has_body_edge("a", "b")
+        assert graph.has_body_edge("b", "c")
+        assert graph.has_body_edge("a", "c")
+        # E_P1 edges are undirected.
+        assert graph.has_body_edge("c", "a")
+
+    def test_single_body_literal_creates_no_body_edge(self):
+        program = parse_program("h(X) :- a(X).")
+        graph = ExtendedDependencyGraph.from_program(program)
+        assert not graph.body_edge_pairs()
+
+    def test_negative_literal_creates_self_loop(self):
+        program = parse_program("h(X) :- a(X), not b(X).")
+        graph = ExtendedDependencyGraph.from_program(program)
+        assert graph.has_self_loop("b")
+        assert not graph.has_self_loop("a")
+
+    def test_directed_edges_body_to_head(self):
+        program = parse_program("h(X) :- a(X), not b(X).")
+        graph = ExtendedDependencyGraph.from_program(program)
+        assert graph.has_head_edge("a", "h")
+        assert graph.has_head_edge("b", "h")  # negative body literals count too
+        assert not graph.has_head_edge("h", "a")
+
+    def test_disjunctive_heads_all_get_edges(self):
+        program = parse_program("h1(X) | h2(X) :- a(X).")
+        graph = ExtendedDependencyGraph.from_program(program)
+        assert graph.has_head_edge("a", "h1")
+        assert graph.has_head_edge("a", "h2")
+
+
+class TestViewsAndReachability:
+    def test_directed_view_reachability(self, program_p):
+        graph = ExtendedDependencyGraph.from_program(program_p)
+        assert graph.reaches("average_speed", "give_notification")
+        assert graph.reaches("car_in_smoke", "car_fire")
+        assert not graph.reaches("give_notification", "average_speed")
+
+    def test_reaches_is_reflexive(self, program_p):
+        graph = ExtendedDependencyGraph.from_program(program_p)
+        assert graph.reaches("traffic_light", "traffic_light")
+
+    def test_undirected_view_contains_self_loops(self, program_p):
+        graph = ExtendedDependencyGraph.from_program(program_p)
+        undirected = graph.undirected_view()
+        assert undirected.has_self_loop("traffic_light")
+
+    def test_self_loops_listing(self, program_p):
+        graph = ExtendedDependencyGraph.from_program(program_p)
+        assert graph.self_loops() == {"traffic_light"}

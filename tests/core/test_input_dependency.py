@@ -1,0 +1,87 @@
+"""Unit tests for the input dependency graph (Definitions 2 and 3)."""
+
+from repro.asp.syntax.parser import parse_program
+from repro.core.input_dependency import build_input_dependency_graph
+from repro.programs.traffic import INPUT_PREDICATES
+
+
+class TestConditionI:
+    def test_co_occurring_input_predicates_are_connected(self):
+        program = parse_program("h(X) :- a(X), b(X).")
+        graph = build_input_dependency_graph(program, ["a", "b"])
+        assert graph.depend_on_each_other("a", "b")
+        assert "i" in graph.conditions_for("a", "b")
+
+    def test_self_loop_from_negative_input_literal(self):
+        program = parse_program("h(X) :- a(X), not b(X).")
+        graph = build_input_dependency_graph(program, ["a", "b"])
+        assert graph.has_self_loop("b")
+        assert not graph.has_self_loop("a")
+
+
+class TestConditionII:
+    def test_chains_meeting_in_a_body_connect_their_inputs(self):
+        # a -> d1, b -> d2, and d1, d2 co-occur in the body of h.
+        program = parse_program("d1(X) :- a(X). d2(X) :- b(X). h(X) :- d1(X), d2(X).")
+        graph = build_input_dependency_graph(program, ["a", "b"])
+        assert graph.depend_on_each_other("a", "b")
+        assert "ii" in graph.conditions_for("a", "b")
+
+    def test_longer_chains_also_connect(self):
+        program = parse_program(
+            "d1(X) :- a(X). e1(X) :- d1(X). d2(X) :- b(X). h(X) :- e1(X), d2(X)."
+        )
+        graph = build_input_dependency_graph(program, ["a", "b"])
+        assert graph.depend_on_each_other("a", "b")
+
+    def test_inputs_in_unrelated_rules_stay_disconnected(self):
+        program = parse_program("d1(X) :- a(X). d2(X) :- b(X).")
+        graph = build_input_dependency_graph(program, ["a", "b"])
+        assert not graph.depend_on_each_other("a", "b")
+
+    def test_mixed_condition_input_with_derived(self):
+        # b co-occurs directly with d1 which is derived from a.
+        program = parse_program("d1(X) :- a(X). h(X) :- d1(X), b(X).")
+        graph = build_input_dependency_graph(program, ["a", "b"])
+        assert graph.depend_on_each_other("a", "b")
+
+
+class TestConditionIII:
+    def test_self_loop_inherited_from_negated_parent(self):
+        # 'seen' is negated, so it has a self-loop; input 'a' feeds it directly.
+        program = parse_program("seen(X) :- a(X). h(X) :- b(X), not seen(X).")
+        graph = build_input_dependency_graph(program, ["a", "b"])
+        assert graph.has_self_loop("a")
+        assert "iii" in graph.conditions_for("a", "a")
+
+    def test_no_inherited_self_loop_without_direct_edge(self):
+        program = parse_program("mid(X) :- a(X). seen(X) :- mid(X). h(X) :- b(X), not seen(X).")
+        graph = build_input_dependency_graph(program, ["a", "b"])
+        # Definition 2 (iii) requires a *direct* E_P2 edge from the input
+        # predicate to the self-looped node; 'a' only reaches 'seen' via 'mid'.
+        assert not graph.has_self_loop("a")
+        assert graph.has_self_loop("mid") is False  # mid is not an input predicate node
+
+
+class TestGraphShape:
+    def test_nodes_are_exactly_the_input_predicates(self, program_p):
+        graph = build_input_dependency_graph(program_p, INPUT_PREDICATES)
+        assert set(graph.nodes) == set(INPUT_PREDICATES)
+
+    def test_unused_input_predicate_is_isolated(self, program_p):
+        graph = build_input_dependency_graph(program_p, list(INPUT_PREDICATES) + ["unused_sensor"])
+        assert "unused_sensor" in graph.nodes
+        assert not graph.graph.neighbors("unused_sensor")
+
+    def test_connected_components_for_p(self, input_graph_p):
+        components = {frozenset(component) for component in input_graph_p.connected_components()}
+        assert components == {
+            frozenset({"average_speed", "car_number", "traffic_light"}),
+            frozenset({"car_in_smoke", "car_speed", "car_location"}),
+        }
+
+    def test_p_prime_graph_is_connected(self, input_graph_p_prime):
+        assert input_graph_p_prime.is_connected()
+
+    def test_repr_mentions_connectivity(self, input_graph_p):
+        assert "connected=False" in repr(input_graph_p)

@@ -1,0 +1,118 @@
+"""Checks that the dependency analysis reproduces the paper's Figures 2-5 exactly."""
+
+from repro.core.decomposition import decompose
+from repro.core.extended_dependency import ExtendedDependencyGraph
+from repro.programs.traffic import INPUT_PREDICATES
+
+
+class TestFigure2ExtendedDependencyGraphOfP:
+    """Figure 2: the extended dependency graph G_P of Listing 1."""
+
+    def test_directed_edges(self, program_p):
+        graph = ExtendedDependencyGraph.from_program(program_p)
+        expected_directed = {
+            ("average_speed", "very_slow_speed"),
+            ("car_number", "many_cars"),
+            ("very_slow_speed", "traffic_jam"),
+            ("many_cars", "traffic_jam"),
+            ("traffic_light", "traffic_jam"),
+            ("car_in_smoke", "car_fire"),
+            ("car_speed", "car_fire"),
+            ("car_location", "car_fire"),
+            ("traffic_jam", "give_notification"),
+            ("car_fire", "give_notification"),
+        }
+        assert graph.head_edges == expected_directed
+
+    def test_undirected_edges(self, program_p):
+        graph = ExtendedDependencyGraph.from_program(program_p)
+        expected_pairs = {
+            ("many_cars", "very_slow_speed"),
+            ("many_cars", "traffic_light"),
+            ("traffic_light", "very_slow_speed"),
+            ("car_in_smoke", "car_speed"),
+            ("car_in_smoke", "car_location"),
+            ("car_location", "car_speed"),
+            ("traffic_light", "traffic_light"),  # self-loop from 'not traffic_light(X)'
+        }
+        actual = {tuple(sorted(pair)) for pair in graph.body_edge_pairs()}
+        assert actual == {tuple(sorted(pair)) for pair in expected_pairs}
+
+
+class TestFigure3InputDependencyGraphOfP:
+    """Figure 3: the input dependency graph of P w.r.t. inpre(P)."""
+
+    def test_exact_edge_set(self, input_graph_p):
+        expected = {
+            frozenset({"average_speed", "car_number"}),
+            frozenset({"average_speed", "traffic_light"}),
+            frozenset({"car_number", "traffic_light"}),
+            frozenset({"traffic_light"}),  # self-loop
+            frozenset({"car_in_smoke", "car_speed"}),
+            frozenset({"car_in_smoke", "car_location"}),
+            frozenset({"car_speed", "car_location"}),
+        }
+        actual = {frozenset((first, second)) for first, second in input_graph_p.edges()}
+        assert actual == expected
+
+    def test_two_components(self, input_graph_p):
+        assert not input_graph_p.is_connected()
+        assert len(input_graph_p.connected_components()) == 2
+
+    def test_self_loops(self, input_graph_p):
+        assert input_graph_p.self_loops() == {"traffic_light"}
+
+
+class TestFigure4InputDependencyGraphOfPPrime:
+    """Figure 4: adding rule r7 connects the graph through car_number."""
+
+    def test_car_number_now_links_to_the_car_component(self, input_graph_p_prime):
+        assert input_graph_p_prime.depend_on_each_other("car_number", "car_in_smoke")
+        assert input_graph_p_prime.depend_on_each_other("car_number", "car_speed")
+        assert input_graph_p_prime.depend_on_each_other("car_number", "car_location")
+
+    def test_graph_is_connected(self, input_graph_p_prime):
+        assert input_graph_p_prime.is_connected()
+        assert len(input_graph_p_prime.connected_components()) == 1
+
+    def test_edges_of_figure_3_are_preserved(self, input_graph_p, input_graph_p_prime):
+        old_edges = {frozenset(edge) for edge in input_graph_p.edges()}
+        new_edges = {frozenset(edge) for edge in input_graph_p_prime.edges()}
+        assert old_edges <= new_edges
+
+
+class TestFigure5DecompositionOfPPrime:
+    """Figure 5: the decomposing process duplicates car_number."""
+
+    def test_duplicated_predicate_is_car_number(self, input_graph_p_prime):
+        result = decompose(input_graph_p_prime, resolution=1.0)
+        assert result.duplicated_predicates == frozenset({"car_number"})
+        assert result.used_modularity
+
+    def test_final_communities_match_figure_5(self, input_graph_p_prime):
+        result = decompose(input_graph_p_prime, resolution=1.0)
+        as_sets = {frozenset(community) for community in result.communities}
+        assert as_sets == {
+            frozenset({"average_speed", "traffic_light", "car_number"}),
+            frozenset({"car_in_smoke", "car_speed", "car_location", "car_number"}),
+        }
+
+    def test_plan_routes_car_number_to_both_partitions(self, input_graph_p_prime):
+        plan = decompose(input_graph_p_prime, resolution=1.0).plan
+        assert len(plan.find_communities("car_number")) == 2
+        assert len(plan.find_communities("average_speed")) == 1
+        assert plan.duplicated_predicates == {"car_number"}
+
+
+class TestExample2DecompositionOfP:
+    """Example 2 / Section II-B: P's graph decomposes without duplication."""
+
+    def test_two_partitions_no_duplicates(self, input_graph_p):
+        result = decompose(input_graph_p)
+        assert not result.used_modularity  # natural subdivision by components
+        assert result.duplicated_predicates == frozenset()
+        as_sets = {frozenset(community) for community in result.communities}
+        assert as_sets == {
+            frozenset({"average_speed", "car_number", "traffic_light"}),
+            frozenset({"car_in_smoke", "car_speed", "car_location"}),
+        }

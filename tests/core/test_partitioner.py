@@ -1,0 +1,127 @@
+"""Unit tests for Algorithm 1 and the baseline partitioners."""
+
+import pytest
+
+from repro.core.partitioner import DependencyPartitioner, HashPartitioner, RandomPartitioner
+from repro.core.plan import PartitioningPlan
+from tests.conftest import make_atom
+
+
+@pytest.fixture
+def simple_plan():
+    return PartitioningPlan.from_communities(
+        [["average_speed", "car_number", "traffic_light"], ["car_in_smoke", "car_speed", "car_location"]]
+    )
+
+
+@pytest.fixture
+def duplicating_plan():
+    return PartitioningPlan.from_communities(
+        [
+            ["average_speed", "car_number", "traffic_light"],
+            ["car_in_smoke", "car_speed", "car_location", "car_number"],
+        ]
+    )
+
+
+@pytest.fixture
+def example_window():
+    return [
+        make_atom("average_speed", "newcastle", 10),
+        make_atom("car_number", "newcastle", 55),
+        make_atom("traffic_light", "newcastle"),
+        make_atom("car_in_smoke", "car1", "high"),
+        make_atom("car_speed", "car1", 0),
+        make_atom("car_location", "car1", "dangan"),
+    ]
+
+
+class TestDependencyPartitioner:
+    def test_items_are_routed_by_predicate(self, simple_plan, example_window):
+        partitions = DependencyPartitioner(simple_plan).partition(example_window)
+        assert len(partitions) == 2
+        left_predicates = {atom.predicate for atom in partitions[0]}
+        right_predicates = {atom.predicate for atom in partitions[1]}
+        assert left_predicates == {"average_speed", "car_number", "traffic_light"}
+        assert right_predicates == {"car_in_smoke", "car_speed", "car_location"}
+
+    def test_no_item_is_lost_or_duplicated_without_duplicates(self, simple_plan, example_window):
+        partitions = DependencyPartitioner(simple_plan).partition(example_window)
+        total = [atom for partition in partitions for atom in partition]
+        assert sorted(total, key=str) == sorted(example_window, key=str)
+
+    def test_duplicated_predicate_lands_in_both_partitions(self, duplicating_plan, example_window):
+        partitions = DependencyPartitioner(duplicating_plan).partition(example_window)
+        car_number_atom = make_atom("car_number", "newcastle", 55)
+        assert car_number_atom in partitions[0]
+        assert car_number_atom in partitions[1]
+
+    def test_duplication_ratio(self, duplicating_plan, example_window):
+        partitioner = DependencyPartitioner(duplicating_plan)
+        ratio = partitioner.duplication_ratio(example_window)
+        assert ratio == pytest.approx(1 / 6)
+
+    def test_group_method(self, example_window):
+        groups = DependencyPartitioner.group(example_window)
+        assert set(groups) == {atom.predicate for atom in example_window}
+        assert len(groups["average_speed"]) == 1
+
+    def test_empty_window(self, simple_plan):
+        partitions = DependencyPartitioner(simple_plan).partition([])
+        assert partitions == [[], []]
+        assert DependencyPartitioner(simple_plan).duplication_ratio([]) == 0.0
+
+    def test_unknown_predicate_broadcasts_by_default(self, simple_plan):
+        unknown = make_atom("pressure", "p1", 7)
+        partitions = DependencyPartitioner(simple_plan).partition([unknown])
+        assert unknown in partitions[0] and unknown in partitions[1]
+
+    def test_partition_count_property(self, simple_plan):
+        assert DependencyPartitioner(simple_plan).partition_count == 2
+
+
+class TestRandomPartitioner:
+    def test_every_item_lands_in_exactly_one_partition(self, example_window):
+        partitions = RandomPartitioner(3, seed=1).partition(example_window)
+        total = [atom for partition in partitions for atom in partition]
+        assert sorted(total, key=str) == sorted(example_window, key=str)
+        assert len(partitions) == 3
+
+    def test_seed_reproducibility(self, example_window):
+        first = RandomPartitioner(3, seed=42).partition(example_window)
+        second = RandomPartitioner(3, seed=42).partition(example_window)
+        assert first == second
+
+    def test_different_seeds_usually_differ(self):
+        window = [make_atom("p", index) for index in range(50)]
+        first = RandomPartitioner(2, seed=1).partition(window)
+        second = RandomPartitioner(2, seed=2).partition(window)
+        assert first != second
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            RandomPartitioner(0)
+
+    def test_partition_count_property(self):
+        assert RandomPartitioner(5).partition_count == 5
+
+    def test_roughly_uniform_distribution(self):
+        window = [make_atom("p", index) for index in range(2000)]
+        partitions = RandomPartitioner(4, seed=7).partition(window)
+        sizes = [len(partition) for partition in partitions]
+        assert sum(sizes) == 2000
+        assert min(sizes) > 350  # loose uniformity bound
+
+
+class TestHashPartitioner:
+    def test_deterministic_without_seed(self, example_window):
+        assert HashPartitioner(3).partition(example_window) == HashPartitioner(3).partition(example_window)
+
+    def test_every_item_lands_in_exactly_one_partition(self, example_window):
+        partitions = HashPartitioner(2).partition(example_window)
+        total = [atom for partition in partitions for atom in partition]
+        assert sorted(total, key=str) == sorted(example_window, key=str)
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)

@@ -1,0 +1,70 @@
+"""Unit tests for the partitioning plan."""
+
+import pytest
+
+from repro.core.plan import PartitioningPlan
+
+
+class TestConstruction:
+    def test_from_communities(self):
+        plan = PartitioningPlan.from_communities([["a", "b"], ["c"]])
+        assert plan.community_count == 2
+        assert plan.find_communities("a") == frozenset({0})
+        assert plan.find_communities("c") == frozenset({1})
+
+    def test_duplicated_predicates(self):
+        plan = PartitioningPlan.from_communities([["a", "dup"], ["b", "dup"]])
+        assert plan.duplicated_predicates == {"dup"}
+        assert plan.find_communities("dup") == frozenset({0, 1})
+
+    def test_single_partition_helper(self):
+        plan = PartitioningPlan.single_partition(["a", "b"])
+        assert plan.community_count == 1
+        assert plan.find_communities("a") == frozenset({0})
+
+    def test_invalid_unknown_policy(self):
+        with pytest.raises(ValueError):
+            PartitioningPlan(assignments={"a": frozenset({0})}, community_count=1, unknown_policy="drop")
+
+    def test_out_of_range_community_rejected(self):
+        with pytest.raises(ValueError):
+            PartitioningPlan(assignments={"a": frozenset({3})}, community_count=2)
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            PartitioningPlan(assignments={"a": frozenset()}, community_count=1)
+
+    def test_zero_communities_rejected(self):
+        with pytest.raises(ValueError):
+            PartitioningPlan(assignments={}, community_count=0)
+
+
+class TestLookups:
+    def test_unknown_predicate_broadcast_policy(self):
+        plan = PartitioningPlan.from_communities([["a"], ["b"]], unknown_policy="broadcast")
+        assert plan.find_communities("zzz") == frozenset({0, 1})
+
+    def test_unknown_predicate_first_policy(self):
+        plan = PartitioningPlan.from_communities([["a"], ["b"]], unknown_policy="first")
+        assert plan.find_communities("zzz") == frozenset({0})
+
+    def test_community_members(self):
+        plan = PartitioningPlan.from_communities([["a", "dup"], ["b", "dup"]])
+        assert plan.community_members(0) == {"a", "dup"}
+        assert plan.community_members(1) == {"b", "dup"}
+
+    def test_communities_round_trip(self):
+        groups = [["a", "dup"], ["b", "dup"]]
+        plan = PartitioningPlan.from_communities(groups)
+        assert [sorted(c) for c in plan.communities()] == [sorted(g) for g in groups]
+
+    def test_len_and_predicates(self):
+        plan = PartitioningPlan.from_communities([["a"], ["b"]])
+        assert len(plan) == 2
+        assert plan.predicates == {"a", "b"}
+
+    def test_describe_mentions_duplicates(self):
+        plan = PartitioningPlan.from_communities([["a", "dup"], ["b", "dup"]])
+        description = plan.describe()
+        assert "duplicated predicates: dup" in description
+        assert "community 0" in description

@@ -1,0 +1,69 @@
+"""Unit tests for partitioning-plan validation (dependency safety)."""
+
+import pytest
+
+from repro.core.decomposition import decompose
+from repro.core.plan import PartitioningPlan
+from repro.core.validation import validate_plan
+
+
+class TestValidatePlan:
+    def test_decomposed_plan_for_p_is_dependency_safe(self, input_graph_p, plan_p):
+        report = validate_plan(input_graph_p, plan_p)
+        assert report.is_dependency_safe
+        assert report.violated_edges == ()
+        assert report.unassigned_predicates == ()
+        assert report.duplicated_predicates == ()
+
+    def test_decomposed_plan_for_p_prime_is_dependency_safe(self, input_graph_p_prime, plan_p_prime):
+        report = validate_plan(input_graph_p_prime, plan_p_prime)
+        assert report.is_dependency_safe
+        assert report.duplicated_predicates == ("car_number",)
+
+    def test_splitting_a_dependency_edge_is_flagged(self, input_graph_p):
+        # average_speed and car_number depend on each other (condition ii) but
+        # this hand-made plan separates them.
+        bad_plan = PartitioningPlan.from_communities(
+            [["average_speed", "traffic_light"], ["car_number", "car_in_smoke", "car_speed", "car_location"]]
+        )
+        report = validate_plan(input_graph_p, bad_plan)
+        assert not report.is_dependency_safe
+        assert ("average_speed", "car_number") in report.violated_edges
+
+    def test_random_style_plan_on_p_prime_is_unsafe(self, input_graph_p_prime):
+        chunked = PartitioningPlan.from_communities(
+            [["average_speed", "car_in_smoke"], ["car_number", "car_speed"], ["traffic_light", "car_location"]]
+        )
+        report = validate_plan(input_graph_p_prime, chunked)
+        assert not report.is_dependency_safe
+        assert len(report.violated_edges) >= 3
+
+    def test_self_loops_are_not_flagged(self, input_graph_p):
+        # traffic_light has a self-loop; putting it alone in a community is fine.
+        plan = PartitioningPlan.from_communities(
+            [["traffic_light"], ["average_speed", "car_number", "car_in_smoke", "car_speed", "car_location"]]
+        )
+        report = validate_plan(input_graph_p, plan)
+        assert all("traffic_light" not in edge or edge[0] != edge[1] for edge in report.violated_edges)
+
+    def test_unassigned_predicates_are_reported_but_safe_under_broadcast(self, input_graph_p):
+        partial_plan = PartitioningPlan.from_communities(
+            [["average_speed", "car_number", "traffic_light"]], unknown_policy="broadcast"
+        )
+        report = validate_plan(input_graph_p, partial_plan)
+        assert set(report.unassigned_predicates) == {"car_in_smoke", "car_speed", "car_location"}
+        # Broadcast routes unknown predicates everywhere, so no edge is split.
+        assert report.is_dependency_safe
+
+    def test_describe_mentions_violations(self, input_graph_p):
+        bad_plan = PartitioningPlan.from_communities(
+            [["average_speed", "traffic_light"], ["car_number", "car_in_smoke", "car_speed", "car_location"]]
+        )
+        text = validate_plan(input_graph_p, bad_plan).describe()
+        assert "NOT dependency-safe" in text
+        assert "average_speed" in text
+
+    def test_resolution_sweep_plans_remain_safe(self, input_graph_p_prime):
+        for resolution in (0.5, 1.0, 2.0, 4.0):
+            plan = decompose(input_graph_p_prime, resolution=resolution).plan
+            assert validate_plan(input_graph_p_prime, plan).is_dependency_safe

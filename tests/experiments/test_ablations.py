@@ -1,0 +1,47 @@
+"""Unit tests for the ablation drivers (small windows)."""
+
+import pytest
+
+from repro.experiments.ablations import duplication_overhead, partition_count_sweep, resolution_sweep
+
+
+class TestDuplicationOverhead:
+    def test_records_have_expected_shape(self):
+        records = duplication_overhead(window_sizes=(200,), seed=5)
+        assert len(records) == 1
+        record = records[0]
+        assert record.window_size == 200
+        assert record.duplication_ratio > 0
+        assert record.latency_with_duplication_ms > 0
+        assert record.latency_without_duplication_ms > 0
+
+    def test_overhead_is_finite(self):
+        [record] = duplication_overhead(window_sizes=(200,), seed=5)
+        assert -1.0 < record.overhead < 10.0
+
+
+class TestResolutionSweep:
+    def test_each_resolution_is_reported(self):
+        records = resolution_sweep(resolutions=(0.5, 1.0), window_size=200, seed=5)
+        assert [record.resolution for record in records] == [0.5, 1.0]
+
+    def test_community_counts_and_accuracy_bounds(self):
+        records = resolution_sweep(resolutions=(1.0,), window_size=200, seed=5)
+        for record in records:
+            assert record.community_count >= 1
+            assert 0.0 <= record.accuracy <= 1.0
+
+    def test_dependency_partitioning_at_default_resolution_is_exact(self):
+        [record] = resolution_sweep(resolutions=(1.0,), window_size=300, seed=7)
+        assert record.accuracy == 1.0
+
+
+class TestPartitionCountSweep:
+    def test_all_counts_reported(self):
+        accuracies = partition_count_sweep(partition_counts=(2, 4), window_size=200, seed=5)
+        assert set(accuracies) == {2, 4}
+        assert all(0.0 <= value <= 1.0 for value in accuracies.values())
+
+    def test_more_partitions_tend_to_lose_accuracy(self):
+        accuracies = partition_count_sweep(partition_counts=(2, 8), window_size=600, seed=5)
+        assert accuracies[8] <= accuracies[2] + 0.05

@@ -1,0 +1,50 @@
+"""Unit tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import (
+    DEFAULT_WINDOW_SIZES,
+    PAPER_WINDOW_SIZES,
+    ExperimentConfig,
+    effective_window_sizes,
+    paper_scale_enabled,
+)
+
+
+class TestWindowSizes:
+    def test_paper_sizes_match_the_evaluation_section(self):
+        assert PAPER_WINDOW_SIZES == (5000, 10000, 15000, 20000, 25000, 30000, 35000, 40000)
+
+    def test_default_sizes_preserve_the_sweep_shape(self):
+        assert len(DEFAULT_WINDOW_SIZES) == len(PAPER_WINDOW_SIZES)
+        ratios = [paper / default for paper, default in zip(PAPER_WINDOW_SIZES, DEFAULT_WINDOW_SIZES)]
+        assert all(ratio == ratios[0] for ratio in ratios)
+
+    def test_effective_window_sizes_explicit(self):
+        assert effective_window_sizes([100, 200]) == (100, 200)
+
+    def test_effective_window_sizes_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert effective_window_sizes() == DEFAULT_WINDOW_SIZES
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert effective_window_sizes() == PAPER_WINDOW_SIZES
+        assert paper_scale_enabled()
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.program == "P"
+        assert config.random_partition_counts == (2, 3, 4, 5)
+
+    def test_invalid_program(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(program="Q")
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(repetitions=0)
+
+    def test_empty_window_sizes(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(window_sizes=())

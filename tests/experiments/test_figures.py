@@ -1,0 +1,79 @@
+"""Unit tests for the figure drivers (small windows, shape assertions)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FIGURES, run_figure, run_window_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep_p():
+    config = ExperimentConfig(program="P", window_sizes=(200, 400), random_partition_counts=(2, 3), seed=2017)
+    return run_window_sweep(config)
+
+
+@pytest.fixture(scope="module")
+def sweep_p_prime():
+    config = ExperimentConfig(
+        program="P_prime", window_sizes=(200, 400), random_partition_counts=(2, 3), seed=2017
+    )
+    return run_window_sweep(config)
+
+
+class TestSweep:
+    def test_one_record_per_window_size(self, sweep_p):
+        assert [record.window_size for record in sweep_p] == [200, 400]
+
+    def test_all_series_present(self, sweep_p):
+        for record in sweep_p:
+            assert set(record.latency_ms) == {"R", "PR_Dep", "PR_Ran_k2", "PR_Ran_k3"}
+
+    def test_dependency_accuracy_is_always_one(self, sweep_p, sweep_p_prime):
+        for record in sweep_p + sweep_p_prime:
+            assert record.accuracy["PR_Dep"] == 1.0
+
+    def test_random_accuracy_below_dependency(self, sweep_p):
+        for record in sweep_p:
+            assert record.accuracy["PR_Ran_k3"] <= record.accuracy["PR_Dep"]
+
+    def test_p_prime_duplication_ratio_positive(self, sweep_p_prime):
+        assert all(record.duplication_ratio > 0 for record in sweep_p_prime)
+
+    def test_p_has_no_duplication(self, sweep_p):
+        assert all(record.duplication_ratio == 0 for record in sweep_p)
+
+
+class TestFigureExtraction:
+    def test_figure_numbers(self):
+        assert set(FIGURES) == {7, 8, 9, 10}
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure(6)
+
+    def test_figure7_latency_series(self, sweep_p):
+        series = run_figure(7, records=sweep_p)
+        assert series.metric == "latency"
+        assert series.program == "P"
+        assert series.window_sizes == (200, 400)
+        assert "R" in series.series and "PR_Dep" in series.series
+
+    def test_figure8_accuracy_series_omits_r(self, sweep_p):
+        series = run_figure(8, records=sweep_p)
+        assert series.metric == "accuracy"
+        assert "R" not in series.series
+        assert all(value == 1.0 for value in series.series["PR_Dep"])
+
+    def test_figure9_and_10_use_p_prime(self, sweep_p_prime):
+        latency = run_figure(9, records=sweep_p_prime)
+        accuracy = run_figure(10, records=sweep_p_prime)
+        assert latency.program == "P_prime"
+        assert accuracy.program == "P_prime"
+
+    def test_records_for_wrong_program_rejected(self, sweep_p):
+        with pytest.raises(ValueError):
+            run_figure(9, records=sweep_p)
+
+    def test_value_lookup(self, sweep_p):
+        series = run_figure(7, records=sweep_p)
+        assert series.value("R", 200) == sweep_p[0].latency_ms["R"]

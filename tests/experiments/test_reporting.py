@@ -1,0 +1,75 @@
+"""Unit tests for table/CSV rendering."""
+
+import pytest
+
+from repro.experiments.figures import FigureSeries, SweepRecord
+from repro.experiments.reporting import (
+    records_to_csv,
+    render_accuracy_table,
+    render_figure,
+    render_latency_table,
+)
+
+
+@pytest.fixture
+def records():
+    return [
+        SweepRecord(
+            program="P",
+            window_size=500,
+            latency_ms={"R": 30.0, "PR_Dep": 15.0},
+            accuracy={"R": 1.0, "PR_Dep": 1.0},
+            duplication_ratio=0.0,
+        ),
+        SweepRecord(
+            program="P",
+            window_size=1000,
+            latency_ms={"R": 61.5, "PR_Dep": 30.2},
+            accuracy={"R": 1.0, "PR_Dep": 0.98},
+            duplication_ratio=0.0,
+        ),
+    ]
+
+
+class TestTables:
+    def test_latency_table_contains_all_rows_and_columns(self, records):
+        table = render_latency_table(records, title="Latency")
+        assert "Latency" in table
+        assert "PR_Dep" in table and "R" in table
+        assert "500" in table and "1000" in table
+        assert "61.5" in table
+
+    def test_accuracy_table_drops_r_column(self, records):
+        table = render_accuracy_table(records)
+        header = table.splitlines()[0]
+        assert "PR_Dep" in header
+        assert " R" not in header
+
+    def test_empty_records(self):
+        assert render_latency_table([]) == "(no records)"
+        assert render_accuracy_table([]) == "(no records)"
+
+    def test_render_figure(self):
+        series = FigureSeries(
+            figure=7,
+            program="P",
+            metric="latency",
+            window_sizes=(500,),
+            series={"R": (30.0,), "PR_Dep": (15.0,)},
+        )
+        text = render_figure(series)
+        assert "Figure 7" in text
+        assert "30.0" in text
+
+
+class TestCsv:
+    def test_csv_has_latency_and_accuracy_rows(self, records):
+        csv_text = records_to_csv(records)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("program,window_size,metric")
+        assert len(lines) == 1 + 2 * len(records)
+        assert any("latency_ms" in line for line in lines)
+        assert any("accuracy" in line for line in lines)
+
+    def test_empty_records_csv(self):
+        assert records_to_csv([]) == ""

@@ -1,0 +1,67 @@
+"""Unit tests for the reasoner suite builder and window evaluation."""
+
+import pytest
+
+from repro.experiments.runner import build_reasoner_suite, evaluate_window, program_by_name
+from repro.programs.traffic import INPUT_PREDICATES
+from repro.streaming.generator import SyntheticStreamConfig, generate_window
+
+
+@pytest.fixture(scope="module")
+def suite_p():
+    return build_reasoner_suite("P", random_partition_counts=(2, 3))
+
+
+@pytest.fixture(scope="module")
+def small_window():
+    config = SyntheticStreamConfig(window_size=200, input_predicates=INPUT_PREDICATES, scheme="traffic", seed=3)
+    return generate_window(config)
+
+
+class TestProgramByName:
+    def test_known_programs(self):
+        assert len(program_by_name("P")) == 6
+        assert len(program_by_name("P_prime")) == 7
+
+    def test_unknown_program(self):
+        with pytest.raises(ValueError):
+            program_by_name("Q")
+
+
+class TestBuildReasonerSuite:
+    def test_labels(self, suite_p):
+        assert suite_p.labels == ["R", "PR_Dep", "PR_Ran_k2", "PR_Ran_k3"]
+
+    def test_dependency_plan_for_p_has_two_partitions(self, suite_p):
+        assert suite_p.decomposition.plan.community_count == 2
+        assert suite_p.decomposition.duplicated_predicates == frozenset()
+
+    def test_p_prime_suite_duplicates_car_number(self):
+        suite = build_reasoner_suite("P_prime", random_partition_counts=(2,))
+        assert suite.decomposition.duplicated_predicates == frozenset({"car_number"})
+
+    def test_accepts_program_object(self, program_p):
+        suite = build_reasoner_suite(program_p, random_partition_counts=(2,))
+        assert suite.program is program_p
+
+
+class TestEvaluateWindow:
+    def test_all_configurations_are_measured(self, suite_p, small_window):
+        evaluation = evaluate_window(suite_p, small_window)
+        assert set(evaluation.latency_ms) == {"R", "PR_Dep", "PR_Ran_k2", "PR_Ran_k3"}
+        assert set(evaluation.accuracy) == {"R", "PR_Dep", "PR_Ran_k2", "PR_Ran_k3"}
+        assert evaluation.window_size == len(small_window)
+
+    def test_reference_accuracy_is_one(self, suite_p, small_window):
+        evaluation = evaluate_window(suite_p, small_window)
+        assert evaluation.accuracy_of("R") == 1.0
+        assert evaluation.accuracy_of("PR_Dep") == 1.0
+
+    def test_latencies_are_positive(self, suite_p, small_window):
+        evaluation = evaluate_window(suite_p, small_window)
+        assert all(value > 0 for value in evaluation.latency_ms.values())
+
+    def test_random_accuracy_not_above_dependency(self, suite_p, small_window):
+        evaluation = evaluate_window(suite_p, small_window)
+        assert evaluation.accuracy_of("PR_Ran_k2") <= evaluation.accuracy_of("PR_Dep")
+        assert evaluation.accuracy_of("PR_Ran_k3") <= evaluation.accuracy_of("PR_Dep")

@@ -1,0 +1,67 @@
+"""Unit tests for the directed graph."""
+
+import pytest
+
+from repro.graph.digraph import DirectedGraph
+
+
+@pytest.fixture
+def chain_with_branch():
+    graph = DirectedGraph()
+    graph.add_edge("average_speed", "very_slow_speed")
+    graph.add_edge("very_slow_speed", "traffic_jam")
+    graph.add_edge("traffic_jam", "give_notification")
+    graph.add_edge("car_fire", "give_notification")
+    return graph
+
+
+class TestConstruction:
+    def test_add_edge_creates_nodes(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "b")
+        assert set(graph.nodes) == {"a", "b"}
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+
+    def test_edge_count(self, chain_with_branch):
+        assert chain_with_branch.edge_count() == 4
+        assert len(chain_with_branch) == 5
+
+    def test_successors_and_predecessors(self, chain_with_branch):
+        assert chain_with_branch.successors("very_slow_speed") == {"traffic_jam"}
+        assert chain_with_branch.predecessors("give_notification") == {"traffic_jam", "car_fire"}
+
+
+class TestReachability:
+    def test_descendants(self, chain_with_branch):
+        assert chain_with_branch.descendants("average_speed") == {
+            "very_slow_speed",
+            "traffic_jam",
+            "give_notification",
+        }
+
+    def test_descendants_include_self_option(self, chain_with_branch):
+        assert "average_speed" in chain_with_branch.descendants("average_speed", include_self=True)
+        assert "average_speed" not in chain_with_branch.descendants("average_speed")
+
+    def test_ancestors(self, chain_with_branch):
+        assert chain_with_branch.ancestors("give_notification") == {
+            "traffic_jam",
+            "very_slow_speed",
+            "average_speed",
+            "car_fire",
+        }
+
+    def test_has_path(self, chain_with_branch):
+        assert chain_with_branch.has_path("average_speed", "give_notification")
+        assert not chain_with_branch.has_path("give_notification", "average_speed")
+
+    def test_has_path_is_reflexive(self, chain_with_branch):
+        assert chain_with_branch.has_path("car_fire", "car_fire")
+
+    def test_cycle_reachability(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        assert graph.descendants("a") == {"a", "b"}
+        assert graph.has_path("b", "a")

@@ -1,0 +1,79 @@
+"""Property-based tests for the graph substrate."""
+
+import networkx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.modularity import louvain_communities, modularity
+from repro.graph.undirected import UndirectedGraph
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)),
+    min_size=0,
+    max_size=30,
+)
+
+
+def build_graph(edges):
+    graph = UndirectedGraph()
+    for first, second in edges:
+        graph.add_edge(f"n{first}", f"n{second}")
+    return graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists)
+def test_connected_components_partition_the_nodes(edges):
+    graph = build_graph(edges)
+    components = graph.connected_components()
+    seen = [node for component in components for node in component]
+    assert sorted(seen) == sorted(graph.nodes)
+    # No node appears in two components.
+    assert len(seen) == len(set(seen))
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists)
+def test_nodes_in_same_component_are_mutually_reachable_via_union(edges):
+    graph = build_graph(edges)
+    for component in graph.connected_components():
+        # Every node's neighbourhood stays inside its component.
+        for node in component:
+            assert graph.neighbors(node) <= component
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists)
+def test_louvain_output_is_a_partition(edges):
+    graph = build_graph(edges)
+    communities = louvain_communities(graph)
+    nodes = [node for community in communities for node in community]
+    assert sorted(nodes) == sorted(graph.nodes)
+    assert len(nodes) == len(set(nodes))
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists)
+def test_modularity_matches_networkx_on_connected_component_partition(edges):
+    graph = build_graph(edges)
+    if graph.edge_count() == 0:
+        pytest.skip("modularity undefined without edges")
+    partition = graph.connected_components()
+    nx_graph = networkx.Graph()
+    nx_graph.add_nodes_from(graph.nodes)
+    for first, second, weight in graph.edges():
+        nx_graph.add_edge(first, second, weight=weight)
+    expected = networkx.algorithms.community.modularity(nx_graph, partition)
+    assert modularity(graph, partition) == pytest.approx(expected, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists)
+def test_modularity_is_bounded(edges):
+    graph = build_graph(edges)
+    communities = louvain_communities(graph)
+    if graph.edge_count() == 0:
+        pytest.skip("modularity undefined without edges")
+    quality = modularity(graph, [set(c) for c in communities])
+    assert -1.0 <= quality <= 1.0

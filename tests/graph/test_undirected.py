@@ -1,0 +1,96 @@
+"""Unit tests for the undirected graph."""
+
+import pytest
+
+from repro.graph.undirected import UndirectedGraph
+
+
+@pytest.fixture
+def triangle_plus_isolated():
+    graph = UndirectedGraph()
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    graph.add_edge("a", "c")
+    graph.add_node("d")
+    return graph
+
+
+class TestConstruction:
+    def test_add_edge_creates_nodes(self):
+        graph = UndirectedGraph()
+        graph.add_edge("x", "y")
+        assert set(graph.nodes) == {"x", "y"}
+        assert graph.has_edge("x", "y")
+        assert graph.has_edge("y", "x")
+
+    def test_self_loop(self):
+        graph = UndirectedGraph()
+        graph.add_edge("p", "p")
+        assert graph.has_self_loop("p")
+        assert graph.degree("p") == 2  # self-loops count twice
+
+    def test_remove_edge(self):
+        graph = UndirectedGraph()
+        graph.add_edge("x", "y")
+        graph.remove_edge("x", "y")
+        assert not graph.has_edge("x", "y")
+        assert set(graph.nodes) == {"x", "y"}
+
+    def test_edges_listed_once(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.edge_count() == 3
+
+    def test_weights(self):
+        graph = UndirectedGraph()
+        graph.add_edge("x", "y", weight=2.5)
+        assert graph.weight("x", "y") == 2.5
+        assert graph.weight("y", "x") == 2.5
+        assert graph.total_weight() == 2.5
+
+
+class TestQueries:
+    def test_neighbors(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.neighbors("a") == {"b", "c"}
+        assert triangle_plus_isolated.neighbors("d") == set()
+
+    def test_len_and_contains(self, triangle_plus_isolated):
+        assert len(triangle_plus_isolated) == 4
+        assert "a" in triangle_plus_isolated
+        assert "zzz" not in triangle_plus_isolated
+
+    def test_degree_weighted(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b", weight=3.0)
+        graph.add_edge("a", "a", weight=1.0)
+        assert graph.degree("a", weighted=True) == 5.0
+
+
+class TestAlgorithms:
+    def test_connected_components(self, triangle_plus_isolated):
+        components = triangle_plus_isolated.connected_components()
+        assert sorted(sorted(component) for component in components) == [["a", "b", "c"], ["d"]]
+
+    def test_is_connected(self, triangle_plus_isolated):
+        assert not triangle_plus_isolated.is_connected()
+        connected = UndirectedGraph()
+        connected.add_edge(1, 2)
+        connected.add_edge(2, 3)
+        assert connected.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert UndirectedGraph().is_connected()
+
+    def test_subgraph(self, triangle_plus_isolated):
+        sub = triangle_plus_isolated.subgraph(["a", "b"])
+        assert set(sub.nodes) == {"a", "b"}
+        assert sub.has_edge("a", "b")
+        assert not sub.has_edge("a", "c")
+
+    def test_copy_is_independent(self, triangle_plus_isolated):
+        duplicate = triangle_plus_isolated.copy()
+        duplicate.add_edge("d", "a")
+        assert not triangle_plus_isolated.has_edge("d", "a")
+
+    def test_edges_between(self, triangle_plus_isolated):
+        triangle_plus_isolated.add_edge("c", "d")
+        between = triangle_plus_isolated.edges_between({"a", "b", "c"}, {"d"})
+        assert between == [("c", "d")]

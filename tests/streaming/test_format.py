@@ -1,0 +1,64 @@
+"""Unit tests for the RDF <-> ASP data format processor."""
+
+import pytest
+
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.terms import Constant, Variable
+from repro.streaming.format import DataFormatProcessor
+from repro.streaming.triples import Triple
+from tests.conftest import make_atom
+
+
+class TestTriplesToAtoms:
+    def test_binary_triple(self):
+        processor = DataFormatProcessor()
+        atom = processor.triple_to_atom(Triple("newcastle", "average_speed", 10))
+        assert atom == make_atom("average_speed", "newcastle", 10)
+
+    def test_unary_marker_triple(self):
+        processor = DataFormatProcessor()
+        atom = processor.triple_to_atom(Triple("newcastle", "traffic_light", "true"))
+        assert atom == make_atom("traffic_light", "newcastle")
+
+    def test_custom_unary_marker(self):
+        processor = DataFormatProcessor(unary_marker="yes")
+        atom = processor.triple_to_atom(Triple("newcastle", "traffic_light", "yes"))
+        assert atom.arity == 1
+
+    def test_batch_translation(self):
+        processor = DataFormatProcessor()
+        atoms = processor.triples_to_atoms([Triple("a", "p", 1), Triple("b", "q", 2)])
+        assert len(atoms) == 2
+        assert all(isinstance(atom, Atom) for atom in atoms)
+
+    def test_integer_subject_is_preserved(self):
+        processor = DataFormatProcessor()
+        atom = processor.triple_to_atom(Triple(7, "p", 8))
+        assert atom.arguments == (Constant(7), Constant(8))
+
+
+class TestAtomsToTriples:
+    def test_binary_atom_round_trip(self):
+        processor = DataFormatProcessor()
+        original = Triple("newcastle", "average_speed", 10)
+        assert processor.atom_to_triple(processor.triple_to_atom(original)).as_tuple() == original.as_tuple()
+
+    def test_unary_atom_round_trip(self):
+        processor = DataFormatProcessor()
+        original = Triple("newcastle", "traffic_light", "true")
+        assert processor.atom_to_triple(processor.triple_to_atom(original)).as_tuple() == original.as_tuple()
+
+    def test_timestamp_is_attached(self):
+        processor = DataFormatProcessor()
+        triple = processor.atom_to_triple(make_atom("traffic_jam", "dangan"), timestamp=12.0)
+        assert triple.timestamp == 12.0
+
+    def test_higher_arity_rejected(self):
+        processor = DataFormatProcessor()
+        with pytest.raises(ValueError):
+            processor.atom_to_triple(make_atom("p", 1, 2, 3))
+
+    def test_batch_translation(self):
+        processor = DataFormatProcessor()
+        triples = processor.atoms_to_triples([make_atom("traffic_jam", "dangan"), make_atom("p", "a", "b")])
+        assert len(triples) == 2

@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic stream generators."""
+
+import pytest
+
+from repro.programs.traffic import INPUT_PREDICATES
+from repro.streaming.generator import (
+    SyntheticStreamConfig,
+    TrafficScenarioGenerator,
+    UniformTripleGenerator,
+    generate_window,
+)
+
+
+def config(**overrides):
+    defaults = dict(window_size=200, input_predicates=INPUT_PREDICATES, scheme="traffic", seed=11)
+    defaults.update(overrides)
+    return SyntheticStreamConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            config(window_size=-1)
+
+    def test_empty_predicates_rejected(self):
+        with pytest.raises(ValueError):
+            config(input_predicates=())
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            config(scheme="weird")
+
+
+class TestUniformGenerator:
+    def test_window_size_respected(self):
+        triples = UniformTripleGenerator(config(scheme="uniform", window_size=123)).generate()
+        assert len(triples) == 123
+
+    def test_predicates_come_from_inpre(self):
+        triples = UniformTripleGenerator(config(scheme="uniform")).generate()
+        assert {triple.predicate for triple in triples} <= set(INPUT_PREDICATES)
+
+    def test_values_bounded_by_window_size(self):
+        triples = UniformTripleGenerator(config(scheme="uniform", window_size=50)).generate()
+        assert all(0 <= triple.subject < 50 and 0 <= triple.object < 50 for triple in triples)
+
+    def test_custom_value_bound(self):
+        triples = UniformTripleGenerator(config(scheme="uniform", value_bound=5)).generate()
+        assert all(0 <= triple.object < 5 for triple in triples)
+
+    def test_seed_reproducibility(self):
+        first = UniformTripleGenerator(config(scheme="uniform")).generate()
+        second = UniformTripleGenerator(config(scheme="uniform")).generate()
+        assert first == second
+
+
+class TestTrafficGenerator:
+    def test_window_size_respected(self):
+        assert len(TrafficScenarioGenerator(config()).generate()) == 200
+
+    def test_predicate_specific_value_shapes(self):
+        triples = TrafficScenarioGenerator(config(window_size=2000)).generate()
+        speeds = [t.object for t in triples if t.predicate == "average_speed"]
+        counts = [t.object for t in triples if t.predicate == "car_number"]
+        smoke = {t.object for t in triples if t.predicate == "car_in_smoke"}
+        lights = {t.object for t in triples if t.predicate == "traffic_light"}
+        assert speeds and all(0 <= value < 120 for value in speeds)
+        assert counts and all(0 <= value < 100 for value in counts)
+        assert smoke <= {"high", "low"}
+        assert lights == {"true"}
+
+    def test_rules_can_fire_on_generated_data(self):
+        # Enough slow readings and crowded readings to make events plausible.
+        triples = TrafficScenarioGenerator(config(window_size=3000)).generate()
+        slow = [t for t in triples if t.predicate == "average_speed" and t.object < 20]
+        crowded = [t for t in triples if t.predicate == "car_number" and t.object > 40]
+        assert slow and crowded
+
+    def test_subjects_drawn_from_entity_pools(self):
+        triples = TrafficScenarioGenerator(config(location_count=5, car_count=3)).generate()
+        segments = {t.subject for t in triples if t.predicate == "average_speed"}
+        cars = {t.subject for t in triples if t.predicate == "car_speed"}
+        assert segments <= {f"seg_{i}" for i in range(5)}
+        assert cars <= {f"car_{i}" for i in range(3)}
+
+    def test_unknown_predicate_falls_back_to_uniform(self):
+        custom = config(input_predicates=INPUT_PREDICATES + ("pressure",), window_size=500)
+        triples = TrafficScenarioGenerator(custom).generate()
+        assert any(triple.predicate == "pressure" for triple in triples)
+
+    def test_seed_reproducibility(self):
+        assert TrafficScenarioGenerator(config()).generate() == TrafficScenarioGenerator(config()).generate()
+
+
+class TestGenerateWindow:
+    def test_dispatch_by_scheme(self):
+        assert len(generate_window(config(scheme="uniform", window_size=10))) == 10
+        assert len(generate_window(config(scheme="traffic", window_size=10))) == 10
+
+    def test_timestamps_are_monotone(self):
+        triples = generate_window(config(window_size=50))
+        timestamps = [triple.timestamp for triple in triples]
+        assert timestamps == sorted(timestamps)

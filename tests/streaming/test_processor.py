@@ -1,0 +1,42 @@
+"""Unit tests for the stream query processor (CQELS stand-in)."""
+
+from repro.programs.traffic import INPUT_PREDICATES
+from repro.streaming.processor import StreamQueryProcessor
+from repro.streaming.triples import Triple
+
+
+class TestFiltering:
+    def test_keeps_only_registered_predicates(self):
+        processor = StreamQueryProcessor(input_predicates={"average_speed"})
+        kept = processor.process([
+            Triple("a", "average_speed", 10),
+            Triple("a", "humidity", 80),
+        ])
+        assert [triple.predicate for triple in kept] == ["average_speed"]
+
+    def test_statistics(self):
+        processor = StreamQueryProcessor(input_predicates={"average_speed"})
+        processor.process([Triple("a", "average_speed", 10), Triple("a", "noise", 1), Triple("b", "noise", 2)])
+        assert processor.accepted_count == 1
+        assert processor.rejected_count == 2
+        assert processor.selectivity == 1 / 3
+
+    def test_selectivity_with_no_input(self):
+        assert StreamQueryProcessor(input_predicates=set()).selectivity == 0.0
+
+    def test_extra_predicate_filter(self):
+        processor = StreamQueryProcessor(input_predicates={"average_speed"})
+        processor.register_filter("average_speed", lambda triple: triple.object < 50)
+        kept = processor.process([Triple("a", "average_speed", 10), Triple("b", "average_speed", 90)])
+        assert [triple.subject for triple in kept] == ["a"]
+
+    def test_lazy_stream_filtering(self):
+        processor = StreamQueryProcessor(input_predicates=set(INPUT_PREDICATES))
+        source = iter([Triple("a", "average_speed", 10), Triple("a", "other", 1)])
+        assert [triple.predicate for triple in processor.stream(source)] == ["average_speed"]
+
+    def test_accepts_full_traffic_vocabulary(self):
+        processor = StreamQueryProcessor(input_predicates=set(INPUT_PREDICATES))
+        assert all(
+            processor.accepts(Triple("x", predicate, 1)) for predicate in INPUT_PREDICATES
+        )

@@ -1,0 +1,34 @@
+"""Unit tests for the RDF triple model."""
+
+import pytest
+
+from repro.streaming.triples import Triple
+
+
+class TestTriple:
+    def test_construction_and_fields(self):
+        triple = Triple("newcastle", "average_speed", 10)
+        assert triple.subject == "newcastle"
+        assert triple.predicate == "average_speed"
+        assert triple.object == 10
+        assert triple.timestamp is None
+
+    def test_as_tuple(self):
+        assert Triple("s", "p", "o").as_tuple() == ("s", "p", "o")
+
+    def test_with_timestamp(self):
+        triple = Triple("s", "p", "o").with_timestamp(3.5)
+        assert triple.timestamp == 3.5
+        # Original is unchanged (immutability).
+        assert Triple("s", "p", "o").timestamp is None
+
+    def test_str_rendering(self):
+        assert str(Triple("car1", "car_speed", 0)) == "<car1, car_speed, 0>"
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Triple("s", "", "o")
+
+    def test_hashable_and_equal(self):
+        assert Triple("s", "p", 1) == Triple("s", "p", 1)
+        assert len({Triple("s", "p", 1), Triple("s", "p", 1)}) == 1

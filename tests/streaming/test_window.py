@@ -1,0 +1,66 @@
+"""Unit tests for windowing policies."""
+
+import pytest
+
+from repro.streaming.triples import Triple
+from repro.streaming.window import CountWindow, TimeWindow, WindowedStream
+
+
+def triples(count, step=1.0):
+    return [Triple(f"s{i}", "p", i, timestamp=i * step) for i in range(count)]
+
+
+class TestCountWindow:
+    def test_tumbling_windows(self):
+        windows = list(CountWindow(size=3).windows(triples(7)))
+        assert [len(window) for window in windows] == [3, 3, 1]
+
+    def test_exact_multiple_has_no_trailing_window(self):
+        windows = list(CountWindow(size=3).windows(triples(6)))
+        assert [len(window) for window in windows] == [3, 3]
+
+    def test_sliding_windows_overlap(self):
+        windows = list(CountWindow(size=3, slide=1).windows(triples(5)))
+        assert windows[0][0].subject == "s0"
+        assert windows[1][0].subject == "s1"
+        assert all(len(window) <= 3 for window in windows)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountWindow(size=0)
+        with pytest.raises(ValueError):
+            CountWindow(size=3, slide=0)
+
+    def test_empty_stream(self):
+        assert list(CountWindow(size=3).windows([])) == []
+
+
+class TestTimeWindow:
+    def test_windows_by_duration(self):
+        windows = list(TimeWindow(duration=3.0).windows(triples(9)))
+        assert [len(window) for window in windows] == [3, 3, 3]
+
+    def test_sliding_time_window(self):
+        windows = list(TimeWindow(duration=4.0, slide=2.0).windows(triples(8)))
+        assert len(windows) >= 3
+        assert all(window for window in windows)
+
+    def test_missing_timestamps_are_tolerated(self):
+        data = [Triple("a", "p", 1), Triple("b", "p", 2)]
+        windows = list(TimeWindow(duration=10.0).windows(data))
+        assert sum(len(window) for window in windows) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TimeWindow(duration=0)
+        with pytest.raises(ValueError):
+            TimeWindow(duration=1.0, slide=0)
+
+    def test_empty_stream(self):
+        assert list(TimeWindow(duration=5.0).windows([])) == []
+
+
+class TestWindowedStream:
+    def test_iterates_windows(self):
+        stream = WindowedStream(triples(6), CountWindow(size=2))
+        assert [len(window) for window in stream] == [2, 2, 2]

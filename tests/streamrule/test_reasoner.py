@@ -1,0 +1,80 @@
+"""Unit tests for the reasoner R."""
+
+import pytest
+
+from repro.programs.traffic import DERIVED_PREDICATES, EVENT_PREDICATES, INPUT_PREDICATES
+from repro.streaming.triples import Triple
+from repro.streamrule.reasoner import Reasoner
+from tests.conftest import make_atom
+
+
+class TestDefaults:
+    def test_default_input_predicates_are_edb(self, program_p):
+        reasoner = Reasoner(program_p)
+        assert reasoner.input_predicates == set(INPUT_PREDICATES)
+
+    def test_default_output_predicates_are_idb(self, program_p):
+        reasoner = Reasoner(program_p)
+        assert reasoner.output_predicates == set(DERIVED_PREDICATES)
+
+
+class TestReasoning:
+    def test_motivating_example_events(self, event_reasoner_p, motivating_window):
+        result = event_reasoner_p.reason(motivating_window)
+        assert len(result.answers) == 1
+        rendered = {str(atom) for atom in result.answers[0]}
+        assert rendered == {"car_fire(dangan)", "give_notification(dangan)"}
+
+    def test_accepts_triples_as_input(self, event_reasoner_p):
+        window = [
+            Triple("newcastle", "average_speed", 10),
+            Triple("newcastle", "car_number", 55),
+        ]
+        result = event_reasoner_p.reason(window)
+        rendered = {str(atom) for atom in result.answers[0]}
+        assert "traffic_jam(newcastle)" in rendered
+
+    def test_mixed_triples_and_atoms(self, event_reasoner_p):
+        window = [Triple("newcastle", "average_speed", 10), make_atom("car_number", "newcastle", 55)]
+        result = event_reasoner_p.reason(window)
+        assert result.satisfiable
+
+    def test_rejects_unknown_item_types(self, event_reasoner_p):
+        with pytest.raises(TypeError):
+            event_reasoner_p.reason(["not a triple"])
+
+    def test_empty_window(self, event_reasoner_p):
+        result = event_reasoner_p.reason([])
+        assert len(result.answers) == 1
+        assert result.answers[0] == frozenset()
+
+    def test_projection_to_all_atoms_when_disabled(self, program_p, motivating_window):
+        reasoner = Reasoner(program_p, output_predicates=[])
+        result = reasoner.reason(motivating_window)
+        # No projection: the answer contains the input facts as well.
+        assert make_atom("average_speed", "newcastle", 10) in result.answers[0]
+
+    def test_atoms_of_helper(self, event_reasoner_p, motivating_window):
+        result = event_reasoner_p.reason(motivating_window)
+        assert result.atoms_of("car_fire") == {make_atom("car_fire", "dangan")}
+        assert result.atoms_of("traffic_jam") == set()
+
+
+class TestMetrics:
+    def test_latency_breakdown_is_populated(self, event_reasoner_p, small_traffic_window):
+        result = event_reasoner_p.reason(small_traffic_window)
+        metrics = result.metrics
+        assert metrics.window_size == len(small_traffic_window)
+        assert metrics.latency_seconds > 0
+        assert metrics.breakdown.grounding_seconds > 0
+        assert metrics.answer_count == len(result.answers)
+        assert metrics.partition_sizes == [len(small_traffic_window)]
+
+    def test_latency_includes_transformation(self, event_reasoner_p, small_traffic_window):
+        result = event_reasoner_p.reason(small_traffic_window)
+        breakdown = result.metrics.breakdown
+        assert result.metrics.latency_seconds == pytest.approx(breakdown.total_seconds)
+
+    def test_max_models_limit(self, program_p, motivating_window):
+        reasoner = Reasoner(program_p, max_models=1)
+        assert len(reasoner.reason(motivating_window).answers) == 1

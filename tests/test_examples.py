@@ -1,0 +1,52 @@
+"""Smoke tests running the example scripts end to end (as subprocesses)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIRECTORY = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *arguments, timeout=300):
+    """Run an example script and return its stdout."""
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIRECTORY / name), *arguments],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart_detects_the_car_fire(self):
+        output = run_example("quickstart.py")
+        assert "car_fire(dangan)" in output
+        assert "give_notification(dangan)" in output
+        assert "traffic_jam(newcastle)" not in output
+
+    def test_dependency_analysis_prints_figures(self):
+        output = run_example("dependency_analysis.py")
+        assert "Extended dependency graph" in output
+        assert "duplicated predicates: car_number" in output
+        assert "self-loop" in output
+
+    def test_traffic_monitoring_stream(self):
+        output = run_example("traffic_monitoring.py", "--windows", "2", "--window-size", "300")
+        assert "acc PR_Dep" in output
+        # Dependency partitioning keeps accuracy at 1.0 in every window row.
+        data_rows = [line for line in output.splitlines() if line.strip() and line.lstrip()[0].isdigit()]
+        assert data_rows
+        assert all("1.000" in row for row in data_rows)
+
+    def test_custom_rules_example(self):
+        output = run_example("custom_rules.py")
+        assert "accuracy PR_Dep:          1.000" in output
+
+    def test_paper_experiments_figure(self):
+        output = run_example("paper_experiments.py", "--figure", "8", "--window-sizes", "200,400")
+        assert "Figure 8: accuracy (program P)" in output
+        assert "PR_Dep" in output

@@ -1,0 +1,115 @@
+"""End-to-end integration tests across all subsystems.
+
+These tests run the full extended-StreamRule loop -- synthetic stream,
+CQELS stand-in, dependency analysis at design time, partitioned parallel
+reasoning at run time, combining and accuracy scoring -- on moderate window
+sizes, asserting the qualitative claims of the paper's evaluation.
+"""
+
+import pytest
+
+from repro.core.accuracy import mean_accuracy
+from repro.core.decomposition import decompose
+from repro.core.input_dependency import build_input_dependency_graph
+from repro.core.partitioner import DependencyPartitioner, RandomPartitioner
+from repro.experiments.runner import build_reasoner_suite, evaluate_window
+from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program, traffic_program_prime
+from repro.streaming.generator import SyntheticStreamConfig, generate_window
+from repro.streaming.processor import StreamQueryProcessor
+from repro.streaming.window import CountWindow
+from repro.streamrule.parallel import ParallelReasoner
+from repro.streamrule.pipeline import StreamRulePipeline
+from repro.streamrule.reasoner import Reasoner
+
+
+def traffic_window(size, seed=2017):
+    config = SyntheticStreamConfig(
+        window_size=size, input_predicates=INPUT_PREDICATES, scheme="traffic", seed=seed
+    )
+    return generate_window(config)
+
+
+@pytest.fixture(scope="module")
+def window_600():
+    return traffic_window(600)
+
+
+class TestDesignTimeToRunTime:
+    """The full design-time (graph, plan) to run-time (partition, solve) flow."""
+
+    def test_program_p_flow(self, window_600):
+        program = traffic_program()
+        reasoner = Reasoner(program, INPUT_PREDICATES, EVENT_PREDICATES)
+        plan = decompose(build_input_dependency_graph(program, INPUT_PREDICATES)).plan
+        parallel = ParallelReasoner(reasoner, DependencyPartitioner(plan))
+
+        reference = reasoner.reason(window_600)
+        partitioned = parallel.reason(window_600)
+
+        assert mean_accuracy(partitioned.answers, reference.answers) == 1.0
+        # The slowest partition is strictly smaller than the whole window, so
+        # the simulated-parallel latency should beat the monolithic reasoner.
+        assert partitioned.metrics.latency_seconds < reference.metrics.latency_seconds
+
+    def test_program_p_prime_flow_with_duplication(self, window_600):
+        program = traffic_program_prime()
+        reasoner = Reasoner(program, INPUT_PREDICATES, EVENT_PREDICATES)
+        decomposition = decompose(build_input_dependency_graph(program, INPUT_PREDICATES))
+        parallel = ParallelReasoner(reasoner, DependencyPartitioner(decomposition.plan))
+
+        reference = reasoner.reason(window_600)
+        partitioned = parallel.reason(window_600)
+
+        assert decomposition.duplicated_predicates == frozenset({"car_number"})
+        assert partitioned.metrics.duplication_ratio > 0
+        assert mean_accuracy(partitioned.answers, reference.answers) == 1.0
+
+    def test_random_partitioning_loses_events(self, window_600):
+        program = traffic_program()
+        reasoner = Reasoner(program, INPUT_PREDICATES, EVENT_PREDICATES)
+        reference = reasoner.reason(window_600)
+        random_parallel = ParallelReasoner(reasoner, RandomPartitioner(4, seed=11))
+        result = random_parallel.reason(window_600)
+        accuracy = mean_accuracy(result.answers, reference.answers)
+        assert accuracy < 1.0
+
+
+class TestEvaluationClaims:
+    """The qualitative claims behind Figures 7-10, on one small window."""
+
+    @pytest.fixture(scope="class")
+    def evaluation(self):
+        suite = build_reasoner_suite("P", random_partition_counts=(2, 5))
+        return evaluate_window(suite, traffic_window(800, seed=99))
+
+    def test_dependency_partitioning_reduces_latency(self, evaluation):
+        assert evaluation.latency_of("PR_Dep") < evaluation.latency_of("R")
+
+    def test_dependency_partitioning_keeps_accuracy(self, evaluation):
+        assert evaluation.accuracy_of("PR_Dep") == 1.0
+
+    def test_random_partitioning_degrades_accuracy(self, evaluation):
+        assert evaluation.accuracy_of("PR_Ran_k5") < 0.9
+
+    def test_more_random_partitions_are_faster(self, evaluation):
+        assert evaluation.latency_of("PR_Ran_k5") <= evaluation.latency_of("R")
+
+
+class TestFullPipelineOverAStream:
+    def test_stream_of_three_windows(self):
+        program = traffic_program()
+        reasoner = Reasoner(program, INPUT_PREDICATES, EVENT_PREDICATES)
+        plan = decompose(build_input_dependency_graph(program, INPUT_PREDICATES)).plan
+        parallel = ParallelReasoner(reasoner, DependencyPartitioner(plan))
+        pipeline = StreamRulePipeline(
+            parallel,
+            query_processor=StreamQueryProcessor(set(INPUT_PREDICATES)),
+            window=CountWindow(size=300),
+        )
+        stream = traffic_window(900, seed=5)
+        solutions = pipeline.process_all(stream)
+        assert len(solutions) == 3
+        assert all(solution.metrics.latency_seconds > 0 for solution in solutions)
+        # Some events should have been detected across the stream.
+        total_events = sum(len(solution.solution_triples) for solution in solutions)
+        assert total_events > 0
