@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Throughput vs. worker count for the PROCESSES execution mode.
+
+The paper's scalability claim rests on running the partition reasoners
+concurrently on multiple cores (an 8-core machine in the evaluation).  This
+benchmark measures that directly on the paper's synthetic traffic workload:
+
+1. *multi-core scaling* -- the same window stream is evaluated with
+   ``ExecutionMode.SERIAL`` (the pessimistic single-core bound) and with
+   ``ExecutionMode.PROCESSES`` at increasing worker counts; reported
+   throughput is triples/second of measured wall-clock.
+2. *window-to-window grounding cache* -- a recurring window stream (as
+   produced by periodic sensors or overlapping sliding windows) is run with
+   and without a :class:`GroundingCache`, reporting the hit rate and the
+   latency ratio.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_multicore_scaling.py [--quick]
+
+Options::
+
+    --quick         small windows / few repeats (CI smoke run)
+    --workers 1,2,4 comma-separated worker counts for the scaling sweep
+    --window-size N triples per window
+    --windows N     distinct windows in the stream
+    --repeats N     how many times the window stream recurs (cache section)
+
+Note: genuine speed-up requires genuine cores.  The script prints the host's
+CPU count; on a single-core container the PROCESSES rows measure pure
+serialization overhead and the interesting number is the cache section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.asp.grounding import GroundingCache  # noqa: E402
+from repro.core.partitioner import HashPartitioner  # noqa: E402
+from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program  # noqa: E402
+from repro.streaming.generator import SyntheticStreamConfig, generate_window  # noqa: E402
+from repro.streamrule.parallel import ExecutionMode, ParallelReasoner  # noqa: E402
+from repro.streamrule.reasoner import Reasoner  # noqa: E402
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
+BENCH_SEED = 2017
+
+
+def make_windows(count: int, window_size: int) -> List[list]:
+    """Distinct reproducible traffic windows (the paper's workload scheme)."""
+    windows = []
+    for index in range(count):
+        config = SyntheticStreamConfig(
+            window_size=window_size,
+            input_predicates=INPUT_PREDICATES,
+            scheme="traffic",
+            seed=BENCH_SEED + index,
+        )
+        windows.append(generate_window(config))
+    return windows
+
+
+def run_stream(
+    mode: ExecutionMode,
+    workers: Optional[int],
+    partitions: int,
+    windows: Sequence[list],
+    grounding_cache: Optional[GroundingCache] = None,
+) -> Dict[str, float]:
+    """Evaluate ``windows`` and return wall-clock seconds plus cache stats."""
+    reasoner = Reasoner(
+        traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES, grounding_cache=grounding_cache
+    )
+    parallel = ParallelReasoner(reasoner, HashPartitioner(partitions), mode=mode, max_workers=workers)
+    hits = misses = answers = 0
+    with parallel:
+        started = time.perf_counter()
+        for window in windows:
+            result = parallel.reason(window)
+            hits += result.metrics.cache_hits
+            misses += result.metrics.cache_misses
+            answers += result.metrics.answer_count
+        elapsed = time.perf_counter() - started
+    total_items = sum(len(window) for window in windows)
+    return {
+        "seconds": elapsed,
+        "throughput": total_items / elapsed if elapsed else float("inf"),
+        "cache_hits": float(hits),
+        "cache_misses": float(misses),
+        "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "answers": float(answers),
+    }
+
+
+def scaling_section(worker_counts: Sequence[int], windows: Sequence[list]) -> List[str]:
+    # Every row evaluates the *same* partition layout (k = max workers) so the
+    # speed-up column isolates where the partitions run; varying k per row
+    # would change the workload itself (evaluations, duplication, combining).
+    partitions = max(worker_counts)
+    lines = [
+        f"Multi-core scaling (PROCESSES vs SERIAL, hash partitioning, k = {partitions} partitions)",
+        f"{'configuration':<24}{'wall s':>10}{'items/s':>12}{'speed-up':>10}",
+    ]
+    baseline = run_stream(ExecutionMode.SERIAL, None, partitions, windows)
+    lines.append(f"{'SERIAL (1 core)':<24}{baseline['seconds']:>10.3f}{baseline['throughput']:>12.0f}{1.0:>10.2f}")
+    for workers in worker_counts:
+        record = run_stream(ExecutionMode.PROCESSES, workers, partitions, windows)
+        speedup = baseline["seconds"] / record["seconds"] if record["seconds"] else float("inf")
+        label = f"PROCESSES x{workers}"
+        lines.append(f"{label:<24}{record['seconds']:>10.3f}{record['throughput']:>12.0f}{speedup:>10.2f}")
+    return lines
+
+
+def cache_section(windows: Sequence[list], repeats: int, partitions: int) -> List[str]:
+    stream = list(windows) * repeats
+    cold = run_stream(ExecutionMode.SERIAL, None, partitions, stream, grounding_cache=None)
+    warm = run_stream(ExecutionMode.SERIAL, None, partitions, stream, grounding_cache=GroundingCache())
+    ratio = cold["seconds"] / warm["seconds"] if warm["seconds"] else float("inf")
+    return [
+        f"Grounding cache on a recurring stream ({len(windows)} windows x{repeats})",
+        f"{'configuration':<24}{'wall s':>10}{'items/s':>12}{'hit rate':>10}",
+        f"{'no cache':<24}{cold['seconds']:>10.3f}{cold['throughput']:>12.0f}{cold['cache_hit_rate']:>10.2f}",
+        f"{'GroundingCache':<24}{warm['seconds']:>10.3f}{warm['throughput']:>12.0f}{warm['cache_hit_rate']:>10.2f}",
+        f"cache speed-up: {ratio:.2f}x",
+    ]
+
+
+def positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
+def worker_list(text: str) -> Tuple[int, ...]:
+    try:
+        counts = tuple(positive_int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated positive integers, got {text!r}")
+    if not counts:
+        raise argparse.ArgumentTypeError("expected at least one worker count")
+    return counts
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--quick", action="store_true", help="CI smoke run: small windows, few repeats")
+    parser.add_argument("--workers", type=worker_list, default=None, help="comma-separated worker counts (default: 1,2,4)")
+    parser.add_argument("--window-size", type=positive_int, default=None, help="triples per window")
+    parser.add_argument("--windows", type=positive_int, default=None, help="distinct windows in the stream")
+    parser.add_argument("--repeats", type=positive_int, default=None, help="stream recurrences for the cache section")
+    parser.add_argument("--no-write", action="store_true", help="do not write benchmarks/results/")
+    arguments = parser.parse_args(argv)
+
+    worker_counts = arguments.workers or ((1, 2) if arguments.quick else (1, 2, 4))
+    window_size = arguments.window_size if arguments.window_size is not None else (200 if arguments.quick else 2000)
+    window_count = arguments.windows if arguments.windows is not None else (2 if arguments.quick else 4)
+    repeats = arguments.repeats if arguments.repeats is not None else (2 if arguments.quick else 3)
+
+    lines = [
+        "bench_multicore_scaling",
+        f"host cores: {os.cpu_count()}  (speed-up > 1 requires > 1 core)",
+        f"windows: {window_count} x {window_size} triples, traffic scheme, seed {BENCH_SEED}",
+        "",
+    ]
+    windows = make_windows(window_count, window_size)
+    lines += scaling_section(worker_counts, windows)
+    lines.append("")
+    lines += cache_section(windows, repeats, partitions=max(worker_counts))
+
+    report = "\n".join(lines)
+    print(report)
+    if not arguments.no_write:
+        RESULTS_DIRECTORY.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIRECTORY / "multicore_scaling.txt"
+        path.write_text(report + "\n")
+        print(f"\nwritten to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.asp.errors import SolvingError
-from repro.asp.grounding.grounder import GroundProgram, Grounder
+from repro.asp.grounding.grounder import GroundProgram, Grounder, GroundingCache
 from repro.asp.solving.solver import StableModelSolver
 from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.parser import parse_program
@@ -78,9 +78,11 @@ class SolveResult:
 class Control:
     """Incrementally assembled ASP run: add rules and facts, ground, solve."""
 
-    def __init__(self, program: Optional[Program] = None):
+    def __init__(self, program: Optional[Program] = None, grounding_cache: Optional[GroundingCache] = None):
         self._program = program.copy() if program is not None else Program()
+        self._grounding_cache = grounding_cache
         self._ground_program: Optional[GroundProgram] = None
+        self._ground_from_cache: Optional[bool] = None
         self._grounding_seconds = 0.0
 
     # ------------------------------------------------------------------ #
@@ -89,19 +91,23 @@ class Control:
     def add(self, text: str) -> None:
         """Parse and add ASP source text (rules and/or facts)."""
         self._program.extend(parse_program(text))
-        self._ground_program = None
+        self._invalidate_grounding()
 
     def add_rule(self, rule: Rule) -> None:
         self._program.add_rule(rule)
-        self._ground_program = None
+        self._invalidate_grounding()
 
     def add_rules(self, rules: Iterable[Rule]) -> None:
         self._program.add_rules(rules)
-        self._ground_program = None
+        self._invalidate_grounding()
 
     def add_facts(self, atoms: Iterable[Atom]) -> None:
         self._program.add_facts(atoms)
+        self._invalidate_grounding()
+
+    def _invalidate_grounding(self) -> None:
         self._ground_program = None
+        self._ground_from_cache = None
 
     @property
     def program(self) -> Program:
@@ -111,12 +117,25 @@ class Control:
     # Grounding and solving
     # ------------------------------------------------------------------ #
     def ground(self) -> GroundProgram:
-        """Instantiate the program; idempotent until new rules are added."""
+        """Instantiate the program; idempotent until new rules are added.
+
+        When a :class:`GroundingCache` was supplied, the instantiation is
+        served from (and recorded into) the cache keyed on the program's fact
+        signature; :attr:`ground_from_cache` reports which path was taken.
+        """
         if self._ground_program is None:
             started = time.perf_counter()
-            self._ground_program = Grounder(self._program).ground()
+            if self._grounding_cache is not None:
+                self._ground_program, self._ground_from_cache = self._grounding_cache.ground(self._program)
+            else:
+                self._ground_program = Grounder(self._program).ground()
             self._grounding_seconds = time.perf_counter() - started
         return self._ground_program
+
+    @property
+    def ground_from_cache(self) -> Optional[bool]:
+        """Whether the last grounding was a cache hit (``None``: no cache or not grounded)."""
+        return self._ground_from_cache
 
     def solve(self, models: Optional[int] = None) -> SolveResult:
         """Ground (if needed) and enumerate up to ``models`` answer sets.

@@ -7,7 +7,7 @@ footnote 1.
 """
 
 from repro.asp.grounding.dependency import PredicateDependencyGraph, stratify
-from repro.asp.grounding.grounder import GroundProgram, GroundRule, Grounder, ground_program
+from repro.asp.grounding.grounder import GroundProgram, GroundRule, Grounder, GroundingCache, ground_program
 from repro.asp.grounding.safety import check_safety, is_safe, unsafe_variables
 from repro.asp.grounding.substitution import Substitution, match_atom
 
@@ -15,6 +15,7 @@ __all__ = [
     "GroundProgram",
     "GroundRule",
     "Grounder",
+    "GroundingCache",
     "PredicateDependencyGraph",
     "Substitution",
     "check_safety",

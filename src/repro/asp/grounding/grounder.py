@@ -20,10 +20,17 @@ only certain atoms are tracked as *certain facts*; for stratified programs
 without disjunction (such as the paper's traffic programs ``P`` and ``P'``)
 this is not the complete answer set because rules with default negation are
 deliberately left to the solving phase.
+
+For streaming workloads the same window content recurs (overlapping sliding
+windows, periodic sensor readings): :class:`GroundingCache` memoizes the
+SCC-stratified instantiation keyed on the program's *fact signature* so a
+recurring window skips the whole instantiation.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -38,7 +45,7 @@ from repro.asp.syntax.atoms import Atom, Comparison, Literal
 from repro.asp.syntax.program import Program
 from repro.asp.syntax.rules import Rule
 
-__all__ = ["GroundProgram", "GroundRule", "Grounder", "ground_program"]
+__all__ = ["GroundProgram", "GroundRule", "Grounder", "GroundingCache", "ground_program"]
 
 
 # --------------------------------------------------------------------------- #
@@ -101,6 +108,20 @@ class GroundProgram:
             "possible_atoms": len(self.possible_atoms),
         }
 
+    def copy(self) -> "GroundProgram":
+        """Equal ground program with fresh containers.
+
+        The contained :class:`GroundRule` and :class:`Atom` objects are
+        immutable and shared; only the top-level sets and list are copied, so
+        mutating the copy never affects the original (used by
+        :class:`GroundingCache` to keep cached entries isolated).
+        """
+        return GroundProgram(
+            facts=set(self.facts),
+            rules=list(self.rules),
+            possible_atoms=set(self.possible_atoms),
+        )
+
     def __str__(self) -> str:
         lines = [f"{atom}." for atom in sorted(self.facts, key=str)]
         lines += [str(rule) for rule in self.rules]
@@ -157,6 +178,9 @@ class _AtomStore:
         population = self._by_signature.get(signature, [])
         if not bound_positions:
             return population
+        # Fully-ground pattern: a membership probe beats building an index.
+        if len(bound_positions) == len(instantiated.arguments):
+            return [instantiated] if instantiated in self._members else []
         key_positions = tuple(bound_positions)
         index_key = (signature, key_positions)
         indexed_upto, table = self._indexes.get(index_key, (0, {}))
@@ -166,6 +190,159 @@ class _AtomStore:
                 table.setdefault(key, []).append(atom)
             self._indexes[index_key] = (len(population), table)
         return table.get(tuple(bound_values), [])
+
+
+# --------------------------------------------------------------------------- #
+# Grounding cache
+# --------------------------------------------------------------------------- #
+#: Cache key: (rendered proper rules, frozenset of ground fact atoms).
+CacheKey = Tuple[Tuple[str, ...], FrozenSet[Atom]]
+
+
+class GroundingCache:
+    """LRU memo of grounding results keyed on the program's *fact signature*.
+
+    In the streaming setting the rule part of the program is fixed while the
+    facts change window by window -- and recurring or overlapping window
+    content produces the *same* fact set again and again.  The key therefore
+    separates the two: the rendered proper rules identify the program, and a
+    frozenset of the ground fact atoms identifies the window content
+    (order-insensitive, duplicate-insensitive -- exactly the granularity at
+    which grounding results coincide).
+
+    Isolation guarantees:
+
+    * the key snapshots the facts at call time, so mutating the caller's
+      fact list (or the program) afterwards can never corrupt an entry;
+    * :meth:`store` keeps a :meth:`GroundProgram.copy` and :meth:`lookup`
+      returns a fresh copy, so cached entries are object-equal to -- but
+      never aliased with -- what callers see, and caller-side mutation of a
+      returned ground program cannot leak back into the cache.
+
+    The cache is thread-safe (one lock around the LRU book-keeping) so a
+    single instance can back ``ExecutionMode.THREADS``; in
+    ``ExecutionMode.PROCESSES`` every worker process holds its own instance.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, GroundProgram]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        # Rendered-rules memo: tuple of rule ids -> (strong refs, rendering).
+        # In the streaming setting the rule part is fixed while the facts
+        # change per window, and Program.copy shares the Rule objects -- so
+        # the O(rules) string rendering of key_for needs to happen only once
+        # per distinct rule set, not once per partition per window.  The
+        # strong references keep the rules alive, so an id can never be
+        # recycled while its memo entry exists.
+        self._rules_memo: Dict[Tuple[int, ...], Tuple[Tuple[Rule, ...], Tuple[str, ...]]] = {}
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _split(program: Program) -> Tuple[List[Rule], List[Atom]]:
+        """Partition a program into (proper rules, fact atoms) -- the two
+        halves of the cache key."""
+        proper_rules: List[Rule] = []
+        facts: List[Atom] = []
+        for rule in program.rules:
+            if rule.is_fact:
+                facts.append(rule.head[0])
+            else:
+                proper_rules.append(rule)
+        return proper_rules, facts
+
+    @staticmethod
+    def key_for(program: Program) -> CacheKey:
+        """Cache key of ``program``: rendered rules plus fact-atom set."""
+        proper_rules, facts = GroundingCache._split(program)
+        return (tuple(str(rule) for rule in proper_rules), frozenset(facts))
+
+    def _memoized_key(self, program: Program) -> CacheKey:
+        """Like :meth:`key_for`, with the rules part rendered at most once."""
+        proper_rules, facts = self._split(program)
+        identity = tuple(map(id, proper_rules))
+        with self._lock:
+            memo = self._rules_memo.get(identity)
+        if memo is None:
+            # Render outside the lock (worst case: two threads render the
+            # same rules once each), then publish under it.
+            memo = (tuple(proper_rules), tuple(str(rule) for rule in proper_rules))
+            with self._lock:
+                if len(self._rules_memo) >= 8:
+                    self._rules_memo.clear()
+                self._rules_memo[identity] = memo
+        return (memo[1], frozenset(facts))
+
+    def lookup(self, key: CacheKey) -> Optional[GroundProgram]:
+        """Return a fresh copy of the entry for ``key``, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        # Stored entries are never mutated in place, so the (potentially
+        # large) copy can happen outside the lock without serializing
+        # concurrent THREADS-mode readers through it.
+        return entry.copy()
+
+    def store(self, key: CacheKey, ground: GroundProgram) -> None:
+        """Record a grounding result (a snapshot copy) under ``key``."""
+        snapshot = ground.copy()
+        with self._lock:
+            self._entries[key] = snapshot
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    def ground(self, program: Program) -> Tuple[GroundProgram, bool]:
+        """Ground ``program`` through the cache.
+
+        Returns ``(ground_program, from_cache)``.
+        """
+        key = self._memoized_key(program)
+        cached = self.lookup(key)
+        if cached is not None:
+            return cached, True
+        ground = Grounder(program).ground()
+        self.store(key, ground)
+        return ground, False
+
+    # ------------------------------------------------------------------ #
+    def __reduce__(self):
+        # Pickling ships the configuration, not the contents: the lock is
+        # unpicklable and cached entries are only useful to the process that
+        # produced them, so an unpickled cache (e.g. in a fresh worker
+        # process) starts empty at the same capacity.
+        return (GroundingCache, (self.max_entries,))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def statistics(self) -> Dict[str, float]:
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+        }
 
 
 # --------------------------------------------------------------------------- #

@@ -41,7 +41,12 @@ def program_by_name(name: str) -> Program:
 
 @dataclass
 class ReasonerSuite:
-    """All reasoner configurations compared for one program."""
+    """All reasoner configurations compared for one program.
+
+    A suite built with ``mode=ExecutionMode.PROCESSES`` owns one worker pool
+    per parallel reasoner; close the suite (or use it as a context manager)
+    to release them.
+    """
 
     program: Program
     baseline: Reasoner
@@ -52,6 +57,18 @@ class ReasonerSuite:
     @property
     def labels(self) -> List[str]:
         return ["R", "PR_Dep"] + [f"PR_Ran_k{k}" for k in sorted(self.random)]
+
+    def close(self) -> None:
+        """Shut down the parallel reasoners' worker pools (if any)."""
+        self.dependency.close()
+        for parallel_reasoner in self.random.values():
+            parallel_reasoner.close()
+
+    def __enter__(self) -> "ReasonerSuite":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def build_reasoner_suite(

@@ -70,7 +70,21 @@ class LatencyBreakdown:
 
 @dataclass
 class ReasonerMetrics:
-    """One window's evaluation record."""
+    """One window's evaluation record.
+
+    ``cache_hits`` / ``cache_misses`` count grounding-cache outcomes: for a
+    plain :class:`~repro.streamrule.reasoner.Reasoner` they are 0/1 per
+    window; the parallel reasoner sums them over its partitions (including
+    worker-process-side caches, whose counts travel back inside the partition
+    results).  ``evaluation_wall_seconds`` is the measured wall-clock of the
+    partition-evaluation phase and ``worker_wall_seconds`` the in-worker
+    wall-clock of each *evaluated* partition, populated by the parallel
+    reasoner.  Note the alignment: ``worker_wall_seconds`` parallels
+    ``ParallelResult.partition_results`` (empty partitions are filtered out
+    before evaluation), whereas ``partition_sizes`` records the
+    partitioner's full layout including empty partitions -- do not zip the
+    two lists together.
+    """
 
     window_size: int
     latency_seconds: float
@@ -78,11 +92,21 @@ class ReasonerMetrics:
     partition_sizes: List[int] = field(default_factory=list)
     answer_count: int = 0
     duplication_ratio: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evaluation_wall_seconds: Optional[float] = None
+    worker_wall_seconds: List[float] = field(default_factory=list)
 
     @property
     def latency_milliseconds(self) -> float:
         """Latency in milliseconds, the unit of the paper's figures."""
         return self.latency_seconds * 1000.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Grounding-cache hit rate over this window (0.0 when uncached)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -95,4 +119,10 @@ class ReasonerMetrics:
             "combining_ms": self.breakdown.combining_seconds * 1000.0,
             "answer_count": float(self.answer_count),
             "duplication_ratio": self.duplication_ratio,
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "cache_hit_rate": self.cache_hit_rate,
+            "evaluation_wall_ms": (
+                self.evaluation_wall_seconds * 1000.0 if self.evaluation_wall_seconds is not None else 0.0
+            ),
         }

@@ -6,10 +6,18 @@ performs, for an input window ``W``:
 1. *partitioning handler* -- split ``W`` into sub-windows with the configured
    partitioner (Algorithm 1 for dependency-based splitting, or the random
    baseline),
-2. *reasoner pool* -- evaluate every sub-window against a full copy of the
-   program with the reasoner ``R``,
+2. *reasoner pool* -- evaluate every non-empty sub-window against a full copy
+   of the program with the reasoner ``R``,
 3. *combining handler* -- union one answer set per partition
    (``Ans_P(W) = { U ans_i }``).
+
+Empty sub-windows are filtered out before evaluation: they contribute only
+the program's own consequences, which every other partition already derives,
+and for non-monotonic programs they would multiply the combination product
+with spurious picks.  When *every* sub-window is empty (an empty window, or a
+plan that matches none of the window's predicates) one empty partition is
+evaluated so ``Ans_P(W)`` degenerates to the answer sets of the program
+itself -- exactly what the unpartitioned reasoner returns for that window.
 
 Execution modes
 ---------------
@@ -18,16 +26,28 @@ the reported latency for ``PR`` is essentially::
 
     partitioning + max_i(latency of partition i) + combining
 
-Python's GIL prevents genuine thread-level speed-up for a CPU-bound solver,
-so three execution modes are offered:
+Four execution modes are offered; all return identical answer sets and
+differ only in how the partitions are evaluated and how latency is reported:
 
 * ``ExecutionMode.SIMULATED_PARALLEL`` (default) -- evaluate the partitions
   sequentially but report the latency formula above, i.e. the latency an
   ideally parallel deployment (the paper's) would observe.  All answers are
   exact; only the reported latency models the concurrency.
 * ``ExecutionMode.THREADS`` -- a real thread pool (useful when the solver
-  releases the GIL or for I/O-bound format processing); latency is measured
-  wall-clock.
+  releases the GIL or for I/O-bound format processing); latency is the
+  measured wall-clock of the evaluation phase.  Python's GIL prevents
+  genuine thread-level speed-up for the pure-Python CPU-bound solver.
+* ``ExecutionMode.PROCESSES`` -- true multi-core execution on a persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Workers are initialized
+  once with the pickled reasoner (program, predicate sets, format processor)
+  and reused across windows; each window's partitions are dispatched as atom
+  batches.  Workers inherit the reasoner's grounding-cache configuration
+  (a cached reasoner yields one private cache per worker; an uncached one
+  stays uncached, keeping the modes comparable).  Latency is the measured
+  wall-clock of the evaluation phase.  The pool is
+  created lazily on the first ``PROCESSES`` window and bound to the reasoner
+  at that moment; call :meth:`ParallelReasoner.close` (or use the reasoner
+  as a context manager) to release the workers.
 * ``ExecutionMode.SERIAL`` -- plain sequential evaluation with summed
   latency (the pessimistic bound; useful for ablations).
 """
@@ -35,7 +55,9 @@ so three execution modes are offered:
 from __future__ import annotations
 
 import enum
-from concurrent.futures import ThreadPoolExecutor
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -44,7 +66,14 @@ from repro.core.combining import combine_answer_sets
 from repro.core.partitioner import Partitioner
 from repro.streaming.triples import Triple
 from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
-from repro.streamrule.reasoner import Reasoner, ReasonerResult, WindowInput
+from repro.streamrule.reasoner import (
+    Reasoner,
+    ReasonerResult,
+    WindowInput,
+    initialize_worker_reasoner,
+    ping_worker,
+    reason_partition_task,
+)
 
 __all__ = ["ExecutionMode", "ParallelReasoner", "ParallelResult"]
 
@@ -56,7 +85,12 @@ class ExecutionMode(enum.Enum):
 
     SIMULATED_PARALLEL = "simulated_parallel"
     THREADS = "threads"
+    PROCESSES = "processes"
     SERIAL = "serial"
+
+
+#: Modes whose reported latency is the measured wall-clock of the evaluation.
+_WALL_CLOCK_MODES = frozenset({ExecutionMode.THREADS, ExecutionMode.PROCESSES})
 
 
 @dataclass(frozen=True)
@@ -73,7 +107,15 @@ class ParallelResult:
 
 
 class ParallelReasoner:
-    """The reasoner ``PR`` of the extended StreamRule."""
+    """The reasoner ``PR`` of the extended StreamRule.
+
+    In ``ExecutionMode.PROCESSES`` the instance owns a persistent worker
+    pool; it is a context manager, so the idiomatic form is::
+
+        with ParallelReasoner(reasoner, partitioner, mode=ExecutionMode.PROCESSES) as pr:
+            for window in windows:
+                pr.reason(window)
+    """
 
     def __init__(
         self,
@@ -88,6 +130,50 @@ class ParallelReasoner:
         self.mode = mode
         self.max_workers = max_workers
         self.max_combinations = max_combinations
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ParallelReasoner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op unless PROCESSES ran).
+
+        Idempotent; a later ``PROCESSES`` window lazily recreates the pool
+        with the reasoner's state at that moment.
+        """
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        """Create the persistent worker pool on first use.
+
+        Every worker is initialized exactly once with the pickled reasoner
+        (see :func:`initialize_worker_reasoner`), so per-window dispatch only
+        ships the partition's atom batch and receives the partition result.
+        """
+        if self._process_pool is None:
+            workers = self.max_workers or os.cpu_count() or 1
+            payload = pickle.dumps(self.reasoner)
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=initialize_worker_reasoner,
+                initargs=(payload,),
+            )
+            # The executor forks its workers lazily, one per submit with no
+            # idle worker; fan out one ping per worker so all spawns +
+            # reasoner unpickling happen here (pool setup) rather than
+            # inside the first window's measured evaluation.
+            pings = [self._process_pool.submit(ping_worker) for _ in range(workers)]
+            for ping in pings:
+                ping.result()
+        return self._process_pool
 
     # ------------------------------------------------------------------ #
     def reason(self, window: WindowInput) -> ParallelResult:
@@ -98,10 +184,16 @@ class ParallelReasoner:
         each partition's reasoner performs its own data format translation --
         so the transformation cost is parallelised along with the solving.
         """
+        if self.mode is ExecutionMode.PROCESSES:
+            # One-time pool setup (pickling the reasoner, spawning workers)
+            # must not be billed to the first window's evaluation phase.
+            self._ensure_process_pool()
+
         with Timer() as partitioning_timer:
             partitions = self.partitioner.partition(window)
 
-        partition_results = self._evaluate_partitions(partitions)
+        with Timer() as evaluation_timer:
+            partition_results = self._evaluate_partitions(partitions)
 
         with Timer() as combining_timer:
             combined = combine_answer_sets(
@@ -113,15 +205,26 @@ class ParallelReasoner:
         breakdown.partitioning_seconds += partitioning_timer.seconds
         breakdown.combining_seconds += combining_timer.seconds
 
+        if self.mode in _WALL_CLOCK_MODES:
+            # The docstring promise for THREADS/PROCESSES: latency is what a
+            # stopwatch around the evaluation phase actually measured.
+            latency_seconds = partitioning_timer.seconds + evaluation_timer.seconds + combining_timer.seconds
+        else:
+            latency_seconds = breakdown.total_seconds
+
         metrics = ReasonerMetrics(
             window_size=len(window),
-            latency_seconds=breakdown.total_seconds,
+            latency_seconds=latency_seconds,
             breakdown=breakdown,
             partition_sizes=[len(partition) for partition in partitions],
             answer_count=len(combined),
             duplication_ratio=(
                 (sum(len(partition) for partition in partitions) - len(window)) / len(window) if window else 0.0
             ),
+            cache_hits=sum(result.metrics.cache_hits for result in partition_results),
+            cache_misses=sum(result.metrics.cache_misses for result in partition_results),
+            evaluation_wall_seconds=evaluation_timer.seconds,
+            worker_wall_seconds=[result.metrics.latency_seconds for result in partition_results],
         )
         return ParallelResult(
             answers=tuple(combined),
@@ -131,12 +234,24 @@ class ParallelReasoner:
 
     # ------------------------------------------------------------------ #
     def _evaluate_partitions(self, partitions: Sequence[Sequence[Atom]]) -> List[ReasonerResult]:
-        non_empty = [list(partition) for partition in partitions]
+        """Evaluate the non-empty partitions according to the execution mode.
+
+        All modes evaluate the same batch list, which is what makes them
+        answer-set-equivalent; they differ only in *where* the batches run.
+        """
+        batches = [list(partition) for partition in partitions if partition]
+        if not batches:
+            # Degenerate window: evaluate the program alone (see module
+            # docstring) so Ans_P matches the unpartitioned reasoner.
+            batches = [[]]
         if self.mode is ExecutionMode.THREADS:
-            workers = self.max_workers or max(1, len(non_empty))
+            workers = min(self.max_workers or len(batches), len(batches))
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(self.reasoner.reason, non_empty))
-        return [self.reasoner.reason(partition) for partition in non_empty]
+                return list(pool.map(self.reasoner.reason, batches))
+        if self.mode is ExecutionMode.PROCESSES:
+            pool = self._ensure_process_pool()
+            return list(pool.map(reason_partition_task, batches))
+        return [self.reasoner.reason(batch) for batch in batches]
 
     def _latency(self, partition_results: Sequence[ReasonerResult]) -> LatencyBreakdown:
         """Aggregate the partition latencies according to the execution mode."""
@@ -147,8 +262,8 @@ class ParallelReasoner:
             for result in partition_results:
                 merged = merged.merged_with(result.metrics.breakdown)
             return merged
-        # SIMULATED_PARALLEL and THREADS: the window's latency is bounded by
-        # the slowest partition (they run concurrently).
+        # Concurrent modes: the per-stage breakdown is bounded by the slowest
+        # partition (they run -- actually or notionally -- at the same time).
         slowest = max(partition_results, key=lambda result: result.metrics.breakdown.total_seconds)
         breakdown = slowest.metrics.breakdown
         return LatencyBreakdown(

@@ -50,6 +50,21 @@ class StreamRulePipeline:
         self.format_processor = format_processor or DataFormatProcessor()
 
     # ------------------------------------------------------------------ #
+    # Resource lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release reasoner-held resources (the PROCESSES worker pool)."""
+        closer = getattr(self.reasoner, "close", None)
+        if callable(closer):
+            closer()
+
+    def __enter__(self) -> "StreamRulePipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     def process_window(self, window_index: int, triples: Sequence[Triple]) -> WindowSolution:
         """Run one window through the (possibly parallel) reasoner."""
         filtered = self.query_processor.process(triples) if self.query_processor else list(triples)

@@ -9,21 +9,35 @@ includes the solver and the data format processor" (Section I).  One call to
 3. enumerating the answer sets,
 4. projecting the answers onto the program's derived (output) predicates --
    the knowledge StreamRule streams back out as "solutions".
+
+A reasoner may carry a :class:`~repro.asp.grounding.grounder.GroundingCache`
+so recurring window content skips the instantiation phase entirely
+(window-to-window grounding reuse); the per-window hit/miss outcome is
+recorded in the returned metrics.
+
+The module also defines the worker protocol of ``ExecutionMode.PROCESSES``:
+:func:`initialize_worker_reasoner` unpickles the reasoner *once* per worker
+process and :func:`reason_partition_task` evaluates one partition batch
+against it, so the program is serialized once per pool rather than once per
+window.  Both must be module-level functions to be picklable by
+:mod:`concurrent.futures`.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.asp.control import Control
+from repro.asp.grounding.grounder import GroundingCache
 from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.program import Program
 from repro.streaming.format import DataFormatProcessor
 from repro.streaming.triples import Triple
 from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
 
-__all__ = ["Reasoner", "ReasonerResult"]
+__all__ = ["Reasoner", "ReasonerResult", "initialize_worker_reasoner", "reason_partition_task"]
 
 AnswerSet = FrozenSet[Atom]
 WindowInput = Sequence[Union[Triple, Atom]]
@@ -58,6 +72,7 @@ class Reasoner:
         output_predicates: Optional[Iterable[str]] = None,
         format_processor: Optional[DataFormatProcessor] = None,
         max_models: Optional[int] = None,
+        grounding_cache: Optional[GroundingCache] = None,
     ):
         """Create a reasoner for ``program``.
 
@@ -76,6 +91,11 @@ class Reasoner:
         max_models:
             Optional cap on the number of answer sets enumerated per window
             (``None`` enumerates all of them, clingo's ``--models=0``).
+        grounding_cache:
+            Optional window-to-window grounding memo; recurring window
+            content (same fact set) then skips regrounding.  The cache is
+            thread-safe, so one instance may be shared by concurrent
+            threads; worker processes each hold their own.
         """
         self.program = program
         self.input_predicates: Set[str] = (
@@ -86,6 +106,7 @@ class Reasoner:
         )
         self.format_processor = format_processor or DataFormatProcessor()
         self.max_models = max_models
+        self.grounding_cache = grounding_cache
 
     # ------------------------------------------------------------------ #
     def to_atoms(self, window: WindowInput) -> List[Atom]:
@@ -105,7 +126,7 @@ class Reasoner:
         with Timer() as transformation_timer:
             facts = self.to_atoms(window)
 
-        control = Control(self.program)
+        control = Control(self.program, grounding_cache=self.grounding_cache)
         control.add_facts(facts)
         result = control.solve(models=self.max_models)
 
@@ -118,11 +139,59 @@ class Reasoner:
             grounding_seconds=result.grounding_seconds,
             solving_seconds=result.solving_seconds,
         )
+        from_cache = control.ground_from_cache
         metrics = ReasonerMetrics(
             window_size=len(window),
             latency_seconds=breakdown.total_seconds,
             breakdown=breakdown,
             partition_sizes=[len(window)],
             answer_count=len(answers),
+            cache_hits=1 if from_cache else 0,
+            cache_misses=1 if from_cache is False else 0,
         )
         return ReasonerResult(answers=answers, metrics=metrics)
+
+
+# --------------------------------------------------------------------------- #
+# ExecutionMode.PROCESSES worker protocol
+# --------------------------------------------------------------------------- #
+#: The per-process reasoner installed by :func:`initialize_worker_reasoner`.
+_WORKER_REASONER: Optional[Reasoner] = None
+
+
+def initialize_worker_reasoner(payload: bytes) -> None:
+    """Process-pool initializer: unpickle the reasoner once per worker.
+
+    The payload is produced by the parallel reasoner (``pickle.dumps`` of its
+    underlying :class:`Reasoner`); every subsequent
+    :func:`reason_partition_task` in this process reuses the instance, so the
+    program is deserialized once per worker, not once per window.  The worker
+    inherits the parent reasoner's grounding-cache *configuration*: a cached
+    parent yields one fresh, equally-sized cache per worker (see
+    :meth:`GroundingCache.__reduce__`), an uncached parent stays uncached --
+    so PROCESSES never caches more than the other execution modes would.
+    """
+    global _WORKER_REASONER
+    _WORKER_REASONER = pickle.loads(payload)
+
+
+def ping_worker() -> bool:
+    """Warm-up probe: forces worker spawn and reports initialization state.
+
+    The executor spawns a process per submit while none is idle, and a
+    burst of back-to-back pings completes long before any worker could
+    finish spawning and go idle -- so one ping per worker spawns the whole
+    pool.  This moves worker fork + reasoner unpickling out of the first
+    window's measured evaluation phase.
+    """
+    return _WORKER_REASONER is not None
+
+
+def reason_partition_task(batch: WindowInput) -> ReasonerResult:
+    """Evaluate one partition batch against the per-process reasoner."""
+    if _WORKER_REASONER is None:
+        raise RuntimeError(
+            "worker process not initialized: reason_partition_task requires a pool "
+            "created with initializer=initialize_worker_reasoner"
+        )
+    return _WORKER_REASONER.reason(list(batch))

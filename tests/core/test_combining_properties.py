@@ -1,0 +1,89 @@
+"""Property-based tests for the combining handler semantics.
+
+``combine_answer_sets`` implements ``Ans_P(W) = { ans_1 U ... U ans_n }``
+(one pick per partition, unioned).  The properties locked in here:
+
+* determinism -- same input, same output, including order;
+* every combined set really is a union of one answer set per contributing
+  partition, and every first-pick combination is representable;
+* ``max_combinations`` caps the output and is a prefix of the uncapped run;
+* partitions with no answer set (inconsistent sub-programs) are skipped and
+  never blank out the other partitions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combining import combine_answer_sets
+from tests.conftest import make_atom
+
+# A small atom universe keeps collisions (shared atoms across partitions)
+# frequent, which is where union semantics gets interesting.
+atoms = st.builds(make_atom, st.just("p"), st.integers(min_value=0, max_value=7))
+answer_sets = st.frozensets(atoms, max_size=4)
+partitions = st.lists(answer_sets, max_size=3)  # one partition's answer sets
+windows = st.lists(partitions, max_size=4)  # all partitions of one window
+
+
+@given(windows)
+@settings(max_examples=200)
+def test_deterministic(per_partition):
+    first = combine_answer_sets(per_partition, max_combinations=None)
+    second = combine_answer_sets(per_partition, max_combinations=None)
+    assert first == second
+
+
+@given(windows)
+@settings(max_examples=200)
+def test_no_duplicates_and_all_are_unions_of_picks(per_partition):
+    combined = combine_answer_sets(per_partition, max_combinations=None)
+    assert len(combined) == len(set(combined))
+    contributing = [list(answers) for answers in per_partition if list(answers)]
+    if not contributing:
+        assert combined == []
+        return
+    # Brute-force the expected set of unions (inputs are tiny by construction).
+    import itertools
+
+    expected = {frozenset().union(*picks) for picks in itertools.product(*contributing)}
+    assert set(combined) == expected
+
+
+@given(windows, st.integers(min_value=1, max_value=8))
+@settings(max_examples=200)
+def test_max_combinations_caps_and_is_a_prefix(per_partition, cap):
+    capped = combine_answer_sets(per_partition, max_combinations=cap)
+    uncapped = combine_answer_sets(per_partition, max_combinations=None)
+    assert len(capped) <= cap
+    assert capped == uncapped[: len(capped)]
+    if len(uncapped) <= cap:
+        assert capped == uncapped
+
+
+@given(windows)
+@settings(max_examples=200)
+def test_inconsistent_partitions_are_skipped(per_partition):
+    # Adding partitions with zero answer sets must not change the result.
+    with_empty = list(per_partition) + [[], []]
+    assert combine_answer_sets(with_empty, max_combinations=None) == combine_answer_sets(
+        per_partition, max_combinations=None
+    )
+
+
+@given(partitions)
+@settings(max_examples=100)
+def test_single_partition_passes_through(answers):
+    combined = combine_answer_sets([answers], max_combinations=None)
+    # One partition: the combinations are exactly its distinct answer sets.
+    seen = []
+    for answer in answers:
+        frozen = frozenset(answer)
+        if frozen not in seen:
+            seen.append(frozen)
+    assert combined == seen
+
+
+def test_all_partitions_inconsistent_yields_no_answers():
+    assert combine_answer_sets([[], []], max_combinations=None) == []
