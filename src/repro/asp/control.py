@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.asp.errors import SolvingError
-from repro.asp.grounding.grounder import GroundProgram, Grounder, GroundingCache
+from repro.asp.grounding.grounder import GroundProgram, Grounder, GroundingCache, RepairStats
 from repro.asp.solving.solver import StableModelSolver
 from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.parser import parse_program
@@ -76,13 +76,27 @@ class SolveResult:
 
 
 class Control:
-    """Incrementally assembled ASP run: add rules and facts, ground, solve."""
+    """Incrementally assembled ASP run: add rules and facts, ground, solve.
 
-    def __init__(self, program: Optional[Program] = None, grounding_cache: Optional[GroundingCache] = None):
+    ``delta_track`` opts into incremental (delta-) grounding: when set
+    together with a ``grounding_cache``, :meth:`ground` goes through
+    :meth:`GroundingCache.ground_incremental` so an overlapping window
+    repairs the track's cached instantiation instead of regrounding.
+    """
+
+    def __init__(
+        self,
+        program: Optional[Program] = None,
+        grounding_cache: Optional[GroundingCache] = None,
+        delta_track: Optional[int] = None,
+    ):
         self._program = program.copy() if program is not None else Program()
         self._grounding_cache = grounding_cache
+        self._delta_track = delta_track
         self._ground_program: Optional[GroundProgram] = None
         self._ground_from_cache: Optional[bool] = None
+        self._ground_outcome: Optional[str] = None
+        self._repair_stats: Optional[RepairStats] = None
         self._grounding_seconds = 0.0
 
     # ------------------------------------------------------------------ #
@@ -108,6 +122,8 @@ class Control:
     def _invalidate_grounding(self) -> None:
         self._ground_program = None
         self._ground_from_cache = None
+        self._ground_outcome = None
+        self._repair_stats = None
 
     @property
     def program(self) -> Program:
@@ -126,7 +142,17 @@ class Control:
         if self._ground_program is None:
             started = time.perf_counter()
             if self._grounding_cache is not None:
-                self._ground_program, self._ground_from_cache = self._grounding_cache.ground(self._program)
+                if self._delta_track is not None:
+                    self._ground_program, outcome, stats = self._grounding_cache.ground_incremental(
+                        self._program, track=self._delta_track
+                    )
+                    self._ground_from_cache = outcome == "hit"
+                    self._ground_outcome = outcome
+                    self._repair_stats = stats
+                else:
+                    self._ground_program, from_cache = self._grounding_cache.ground(self._program)
+                    self._ground_from_cache = from_cache
+                    self._ground_outcome = "hit" if from_cache else "full"
             else:
                 self._ground_program = Grounder(self._program).ground()
             self._grounding_seconds = time.perf_counter() - started
@@ -136,6 +162,18 @@ class Control:
     def ground_from_cache(self) -> Optional[bool]:
         """Whether the last grounding was a cache hit (``None``: no cache or not grounded)."""
         return self._ground_from_cache
+
+    @property
+    def ground_outcome(self) -> Optional[str]:
+        """How the last grounding was obtained: ``"hit"``, ``"repair"``, or
+        ``"full"`` (``None``: no cache or not grounded yet)."""
+        return self._ground_outcome
+
+    @property
+    def repair_stats(self) -> Optional[RepairStats]:
+        """Size record of the last delta repair (``None`` unless the last
+        grounding outcome was ``"repair"``)."""
+        return self._repair_stats
 
     def solve(self, models: Optional[int] = None) -> SolveResult:
         """Ground (if needed) and enumerate up to ``models`` answer sets.

@@ -7,16 +7,26 @@ footnote 1.
 """
 
 from repro.asp.grounding.dependency import PredicateDependencyGraph, stratify
-from repro.asp.grounding.grounder import GroundProgram, GroundRule, Grounder, GroundingCache, ground_program
+from repro.asp.grounding.grounder import (
+    DeltaGrounding,
+    GroundProgram,
+    GroundRule,
+    Grounder,
+    GroundingCache,
+    RepairStats,
+    ground_program,
+)
 from repro.asp.grounding.safety import check_safety, is_safe, unsafe_variables
 from repro.asp.grounding.substitution import Substitution, match_atom
 
 __all__ = [
+    "DeltaGrounding",
     "GroundProgram",
     "GroundRule",
     "Grounder",
     "GroundingCache",
     "PredicateDependencyGraph",
+    "RepairStats",
     "Substitution",
     "check_safety",
     "ground_program",

@@ -25,6 +25,25 @@ For streaming workloads the same window content recurs (overlapping sliding
 windows, periodic sensor readings): :class:`GroundingCache` memoizes the
 SCC-stratified instantiation keyed on the program's *fact signature* so a
 recurring window skips the whole instantiation.
+
+Delta-grounding
+---------------
+Exact recurrence is rare under *overlapping* sliding windows: window
+``W_{i+1}`` is ``W_i`` minus the expired facts plus the arrived ones, so the
+signature changes on every slide even though most of the instantiation is
+unchanged.  :class:`DeltaGrounding` keeps a repairable instantiation state
+(unsimplified ground instances plus reverse body/head indexes) and moves it
+from one fact set to the next with a delete-and-rederive (DRed) repair:
+overdelete everything transitively supported by a retracted fact, rescue
+atoms that keep an untouched alternative derivation, then run the
+semi-naive join seeded only with the rescued and newly asserted atoms.
+:meth:`GroundingCache.ground_incremental` wires the two layers together per
+*track* (one track per consecutive window stream, e.g. a partition index):
+exact signature recurrence is served from the LRU, overlapping windows are
+delta-repaired, and anything else falls back to a full (state-rebuilding)
+instantiation.  Repairs re-simplify against a freshly computed definite
+closure, so the emitted :class:`GroundProgram` always has the same answer
+sets as grounding the current window from scratch.
 """
 
 from __future__ import annotations
@@ -45,7 +64,24 @@ from repro.asp.syntax.atoms import Atom, Comparison, Literal
 from repro.asp.syntax.program import Program
 from repro.asp.syntax.rules import Rule
 
-__all__ = ["GroundProgram", "GroundRule", "Grounder", "GroundingCache", "ground_program"]
+__all__ = [
+    "DeltaGrounding",
+    "GroundProgram",
+    "GroundRule",
+    "Grounder",
+    "GroundingCache",
+    "RepairStats",
+    "ground_program",
+]
+
+
+def _rebuild_cache(max_entries: int, max_delta_states: int, max_repair_fraction: float) -> "GroundingCache":
+    """Unpickle helper: rebuild an (empty) cache from its configuration."""
+    return GroundingCache(
+        max_entries,
+        max_delta_states=max_delta_states,
+        max_repair_fraction=max_repair_fraction,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -224,14 +260,36 @@ class GroundingCache:
     ``ExecutionMode.PROCESSES`` every worker process holds its own instance.
     """
 
-    def __init__(self, max_entries: int = 128):
+    def __init__(
+        self,
+        max_entries: int = 128,
+        *,
+        max_delta_states: int = 16,
+        max_repair_fraction: float = 1.0,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
+        if max_delta_states < 1:
+            raise ValueError("max_delta_states must be at least 1")
+        if not 0.0 < max_repair_fraction <= 1.0:
+            raise ValueError("max_repair_fraction must be in (0, 1]")
         self.max_entries = max_entries
+        self.max_delta_states = max_delta_states
+        self.max_repair_fraction = max_repair_fraction
         self._entries: "OrderedDict[CacheKey, GroundProgram]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        # Delta-grounding layer: (rules key, track) -> repairable state.  A
+        # *track* identifies one stream of consecutive windows (partition
+        # index, worker slot); consecutive windows of the same track repair
+        # the same state instead of regrounding.
+        self._delta_states: "OrderedDict[Tuple[Tuple[str, ...], int], DeltaGrounding]" = OrderedDict()
+        self._delta_locks: Dict[Tuple[Tuple[str, ...], int], threading.Lock] = {}
+        self.delta_repairs = 0
+        self.delta_rebuilds = 0
+        self.repaired_atoms = 0
+        self.repaired_rules = 0
         # Rendered-rules memo: tuple of rule ids -> (strong refs, rendering).
         # In the streaming setting the rule part is fixed while the facts
         # change per window, and Program.copy shares the Rule objects -- so
@@ -314,13 +372,85 @@ class GroundingCache:
         self.store(key, ground)
         return ground, False
 
+    def ground_incremental(
+        self, program: Program, track: int = 0
+    ) -> Tuple[GroundProgram, str, Optional["RepairStats"]]:
+        """Ground ``program`` incrementally against the ``track``'s last state.
+
+        Returns ``(ground_program, outcome, repair_stats)`` with outcome one
+        of ``"hit"`` (exact fact-signature recurrence, served from the LRU),
+        ``"repair"`` (the track's cached instantiation was delta-repaired to
+        the new fact set), or ``"full"`` (no state, or the fact churn
+        exceeded ``max_repair_fraction`` of the window, so the state was
+        rebuilt from scratch).  ``repair_stats`` is only set for ``"repair"``.
+
+        The retracted/asserted delta is computed here by set difference
+        against the cached state's fact set, so callers only signal *that*
+        window-to-window continuity is expected (and on which track) -- a
+        stale or divergent state degrades to a rebuild, never to a wrong
+        answer.
+        """
+        key = self._memoized_key(program)
+        cached = self.lookup(key)
+        if cached is not None:
+            return cached, "hit", None
+        rules_key = key[0]
+        facts = set(key[1])
+        state_key = (rules_key, track)
+        with self._lock:
+            state = self._delta_states.get(state_key)
+            if state is not None:
+                self._delta_states.move_to_end(state_key)
+            state_lock = self._delta_locks.setdefault(state_key, threading.Lock())
+        with state_lock:
+            if state is not None:
+                churn = len(state.facts - facts) + len(facts - state.facts)
+                budget = self.max_repair_fraction * max(len(facts), len(state.facts), 1)
+                # churn < |facts| + |state facts| iff the two sets overlap:
+                # with nothing shared a "repair" would redo all the work of a
+                # reground while paying the deletion cascade on top.
+                if churn <= budget and churn < len(facts) + len(state.facts):
+                    stats = state.repair(facts)
+                    ground = state.to_ground_program()
+                    self.store(key, ground)
+                    with self._lock:
+                        self.delta_repairs += 1
+                        self.repaired_atoms += stats.repair_size
+                        self.repaired_rules += stats.rules_deleted + stats.rules_added
+                    return ground, "repair", stats
+                # Over-budget or zero-overlap churn: ground plainly and leave
+                # the state as it is.  Repairing (or rebuilding repairable
+                # state) would cost more than the reground it replaces, and
+                # because repairs diff against the *state's* fact set, a
+                # later window that overlaps the stale state again resumes
+                # repairing by itself.
+                ground = Grounder(program).ground()
+                self.store(key, ground)
+                with self._lock:
+                    self.delta_rebuilds += 1
+                return ground, "full", None
+            state = DeltaGrounding(program)
+            ground = state.to_ground_program()
+        self.store(key, ground)
+        with self._lock:
+            self.delta_rebuilds += 1
+            self._delta_states[state_key] = state
+            self._delta_states.move_to_end(state_key)
+            while len(self._delta_states) > self.max_delta_states:
+                evicted_key, _ = self._delta_states.popitem(last=False)
+                self._delta_locks.pop(evicted_key, None)
+        return ground, "full", None
+
     # ------------------------------------------------------------------ #
     def __reduce__(self):
         # Pickling ships the configuration, not the contents: the lock is
         # unpicklable and cached entries are only useful to the process that
         # produced them, so an unpickled cache (e.g. in a fresh worker
         # process) starts empty at the same capacity.
-        return (GroundingCache, (self.max_entries,))
+        return (
+            _rebuild_cache,
+            (self.max_entries, self.max_delta_states, self.max_repair_fraction),
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -333,8 +463,14 @@ class GroundingCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._delta_states.clear()
+            self._delta_locks.clear()
             self.hits = 0
             self.misses = 0
+            self.delta_repairs = 0
+            self.delta_rebuilds = 0
+            self.repaired_atoms = 0
+            self.repaired_rules = 0
 
     def statistics(self) -> Dict[str, float]:
         return {
@@ -342,6 +478,11 @@ class GroundingCache:
             "hits": float(self.hits),
             "misses": float(self.misses),
             "hit_rate": self.hit_rate,
+            "delta_states": float(len(self._delta_states)),
+            "delta_repairs": float(self.delta_repairs),
+            "delta_rebuilds": float(self.delta_rebuilds),
+            "repaired_atoms": float(self.repaired_atoms),
+            "repaired_rules": float(self.repaired_rules),
         }
 
 
@@ -349,16 +490,52 @@ class GroundingCache:
 # Grounder
 # --------------------------------------------------------------------------- #
 class Grounder:
-    """Instantiates a program bottom-up along its predicate dependency SCCs."""
+    """Instantiates a program bottom-up along its predicate dependency SCCs.
 
-    def __init__(self, program: Program, extra_facts: Optional[Iterable[Atom]] = None):
+    ``certain_negative_drop`` controls an instantiation-time optimization:
+    a ground instance whose negative body mentions a certainly-true atom can
+    never fire, so by default it is dropped on the spot and its head atoms
+    are not registered as possible.  :class:`DeltaGrounding` disables the
+    optimization because the dropped instance may become viable again once
+    the certain atom is *retracted* in a later window -- the repairable
+    state must therefore keep it (final simplification still removes it
+    from the emitted :class:`GroundProgram`, so answer sets are unchanged).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        extra_facts: Optional[Iterable[Atom]] = None,
+        *,
+        certain_negative_drop: bool = True,
+    ):
         self.program = program.copy()
         if extra_facts is not None:
             self.program.add_facts(extra_facts)
         check_safety(self.program)
+        self._certain_negative_drop = certain_negative_drop
 
     # ------------------------------------------------------------------ #
     def ground(self) -> GroundProgram:
+        possible, certain, ground_rules, _ = self._instantiate()
+
+        # Final simplification --------------------------------------------- #
+        possible_atoms = possible.atoms()
+        simplified: List[GroundRule] = []
+        for rule in ground_rules:
+            cleaned = _simplify(rule, certain, possible_atoms)
+            if cleaned is not None:
+                simplified.append(cleaned)
+
+        return GroundProgram(facts=set(certain), rules=simplified, possible_atoms=possible_atoms | set(certain))
+
+    # ------------------------------------------------------------------ #
+    def _instantiate(self) -> Tuple[_AtomStore, Set[Atom], List[GroundRule], Set[Tuple]]:
+        """Run the full bottom-up instantiation (steps 1-4, no simplification).
+
+        Returns the possible-atom store, the certain facts, the unsimplified
+        ground rules, and the dedup keys of the recorded instances.
+        """
         possible = _AtomStore()
         certain: Set[Atom] = set()
         ground_rules: List[GroundRule] = []
@@ -411,15 +588,7 @@ class Grounder:
         for rule in constraint_rules:
             self._instantiate_rule(rule, possible, certain, ground_rules, seen_rules, delta=None, restrict=None)
 
-        # 5. Final simplification ----------------------------------------- #
-        possible_atoms = possible.atoms()
-        simplified: List[GroundRule] = []
-        for rule in ground_rules:
-            cleaned = _simplify(rule, certain, possible_atoms)
-            if cleaned is not None:
-                simplified.append(cleaned)
-
-        return GroundProgram(facts=set(certain), rules=simplified, possible_atoms=possible_atoms | set(certain))
+        return possible, certain, ground_rules, seen_rules
 
     # ------------------------------------------------------------------ #
     def _evaluate_component(
@@ -567,7 +736,16 @@ class Grounder:
                 literal = literals[chosen]
                 rest = [index for index in todo if index != chosen]
                 if seed is not None and chosen == seed and delta is not None:
-                    candidates = [atom for atom in possible.candidates(literal.atom, binding) if atom in delta]
+                    if binding:
+                        candidates = [atom for atom in possible.candidates(literal.atom, binding) if atom in delta]
+                    else:
+                        # The seed is (by preference) matched first, with an
+                        # empty binding: iterating the delta directly beats
+                        # scanning the whole predicate population and
+                        # filtering -- the delta is what semi-naive rounds
+                        # and window repairs keep small.
+                        signature = literal.atom.signature
+                        candidates = [atom for atom in delta if atom.signature == signature and atom in possible]
                 else:
                     candidates = possible.candidates(literal.atom, binding)
                 for candidate in candidates:
@@ -601,8 +779,8 @@ class Grounder:
 
         # A negative literal over a certainly-true atom falsifies the body
         # outright: the instance can never fire, so do not even register its
-        # head atoms as possible.
-        if any(atom in certain for atom in negative):
+        # head atoms as possible.  Kept (for later retraction) in delta mode.
+        if self._certain_negative_drop and any(atom in certain for atom in negative):
             return set()
 
         new_atoms: Set[Atom] = set()
@@ -637,6 +815,239 @@ def _simplify(rule: GroundRule, certain: Set[Atom], possible: Set[Atom]) -> Opti
     if len(rule.head) == 1 and rule.head[0] in certain and not positive and not negative:
         return None
     return GroundRule(head=rule.head, positive_body=positive, negative_body=negative)
+
+
+# --------------------------------------------------------------------------- #
+# Delta-grounding (incremental instantiation repair)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RepairStats:
+    """Size record of one delta repair."""
+
+    retracted: int
+    asserted: int
+    rules_deleted: int
+    rules_added: int
+    atoms_deleted: int
+    atoms_added: int
+
+    @property
+    def repair_size(self) -> int:
+        """Total fact churn (retracted + asserted atoms) of the repair."""
+        return self.retracted + self.asserted
+
+
+class DeltaGrounding:
+    """Repairable instantiation of one rule set against a sliding fact set.
+
+    The instance holds the *unsimplified* ground rules of a program together
+    with reverse indexes (positive-body atom -> instances, head atom ->
+    instances).  :meth:`repair` moves the state from one fact set to the
+    next without regrounding from scratch, following the delete-and-rederive
+    (DRed) recipe:
+
+    1. *overdelete* -- starting from the retracted facts, transitively kill
+       every ground instance whose positive body touches a deleted atom and
+       every head atom those instances derived;
+    2. *rescue* -- overdeleted atoms still derived by a surviving instance
+       (an alternative derivation untouched by the retraction) stay
+       possible and seed re-derivation;
+    3. *re-derive* -- run the semi-naive join restricted to the rescued and
+       newly asserted atoms, re-creating exactly the instances reachable
+       from the delta.
+
+    Instantiation runs with ``certain_negative_drop=False`` (see
+    :class:`Grounder`): instances blocked by a certainly-true negative
+    literal are kept in the state so a later retraction of that literal's
+    atom revives them.  :meth:`to_ground_program` recomputes the definite
+    (certain) closure and re-simplifies, so the emitted program has the same
+    answer sets as a from-scratch grounding of the current facts.
+    """
+
+    def __init__(self, program: Program):
+        proper_rules, fact_atoms = GroundingCache._split(program)
+        self._proper_rules: List[Rule] = list(proper_rules)
+        # Positive-body predicate -> rules, for delta-restricted instantiation.
+        self._rules_by_predicate: Dict[str, List[Rule]] = {}
+        for rule in self._proper_rules:
+            for literal in rule.positive_body:
+                bucket = self._rules_by_predicate.setdefault(literal.predicate, [])
+                if rule not in bucket:
+                    bucket.append(rule)
+        self._machine = Grounder(program, certain_negative_drop=False)
+        self.facts: Set[Atom] = set(fact_atoms)
+
+        store, _certain, ground_rules, seen = self._machine._instantiate()
+        self._store = store
+        self._seen: Set[Tuple] = seen
+        self._instances: Dict[int, GroundRule] = {}
+        self._body_index: Dict[Atom, Set[int]] = {}
+        self._head_index: Dict[Atom, Set[int]] = {}
+        self._next_id = 0
+        for ground in ground_rules:
+            self._add_instance(ground)
+
+    # ------------------------------------------------------------------ #
+    # Instance bookkeeping
+    # ------------------------------------------------------------------ #
+    def _add_instance(self, ground: GroundRule) -> None:
+        instance_id = self._next_id
+        self._next_id += 1
+        self._instances[instance_id] = ground
+        for atom in set(ground.positive_body):
+            self._body_index.setdefault(atom, set()).add(instance_id)
+        for atom in ground.head:
+            self._head_index.setdefault(atom, set()).add(instance_id)
+
+    def _remove_instance(self, instance_id: int) -> None:
+        ground = self._instances.pop(instance_id)
+        self._seen.discard((ground.head, ground.positive_body, ground.negative_body))
+        for atom in set(ground.positive_body):
+            bucket = self._body_index.get(atom)
+            if bucket is not None:
+                bucket.discard(instance_id)
+                if not bucket:
+                    del self._body_index[atom]
+        for atom in ground.head:
+            bucket = self._head_index.get(atom)
+            if bucket is not None:
+                bucket.discard(instance_id)
+                if not bucket:
+                    del self._head_index[atom]
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._instances)
+
+    # ------------------------------------------------------------------ #
+    # Repair
+    # ------------------------------------------------------------------ #
+    def repair(self, new_facts: Iterable[Atom]) -> RepairStats:
+        """Move the instantiation from ``self.facts`` to ``new_facts``."""
+        target = set(new_facts)
+        retracted = self.facts - target
+        asserted = target - self.facts
+
+        # 1. Overdelete ---------------------------------------------------- #
+        dead_atoms: Set[Atom] = set()
+        dead_instances: Set[int] = set()
+        worklist: List[Atom] = list(retracted)
+        while worklist:
+            atom = worklist.pop()
+            if atom in dead_atoms or atom in target:
+                continue
+            dead_atoms.add(atom)
+            for instance_id in self._body_index.get(atom, ()):
+                if instance_id in dead_instances:
+                    continue
+                dead_instances.add(instance_id)
+                worklist.extend(self._instances[instance_id].head)
+        for instance_id in dead_instances:
+            self._remove_instance(instance_id)
+
+        # 2. Rescue: overdeleted atoms with a surviving alternative support. #
+        rescued = {atom for atom in dead_atoms if self._head_index.get(atom)}
+        dead_atoms -= rescued
+
+        # Rebuild the possible-atom store without the dead atoms (the store
+        # is append-only; a rebuild is O(atoms) with small constants, far
+        # below the join work a full reground would redo).
+        if dead_atoms:
+            survivors = self._store.atoms() - dead_atoms
+            self._store = _AtomStore()
+            for atom in survivors:
+                self._store.add(atom)
+
+        # 3. Assert + re-derive -------------------------------------------- #
+        self.facts = target
+        seeds: Set[Atom] = set(rescued)
+        for atom in asserted:
+            if self._store.add(atom):
+                seeds.add(atom)
+        rules_added = 0
+        atoms_added = 0
+        delta = seeds
+        throwaway_certain: Set[Atom] = set()
+        while delta:
+            predicates = {atom.predicate for atom in delta}
+            touched: List[Rule] = []
+            for predicate in predicates:
+                for rule in self._rules_by_predicate.get(predicate, ()):
+                    if rule not in touched:
+                        touched.append(rule)
+            buffer: List[GroundRule] = []
+            new_atoms: Set[Atom] = set()
+            for rule in touched:
+                new_atoms.update(
+                    self._machine._instantiate_rule(
+                        rule,
+                        self._store,
+                        throwaway_certain,
+                        buffer,
+                        self._seen,
+                        delta=delta,
+                        restrict=predicates,
+                    )
+                )
+            for ground in buffer:
+                self._add_instance(ground)
+            rules_added += len(buffer)
+            atoms_added += len(new_atoms)
+            delta = new_atoms
+
+        return RepairStats(
+            retracted=len(retracted),
+            asserted=len(asserted),
+            rules_deleted=len(dead_instances),
+            rules_added=rules_added,
+            atoms_deleted=len(dead_atoms),
+            atoms_added=atoms_added + len(seeds - rescued),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+    def _certain_closure(self) -> Set[Atom]:
+        """Definite consequences of the current state (facts + definite rules)."""
+        certain: Set[Atom] = set(self.facts)
+        remaining: Dict[int, int] = {}
+        queue: List[Atom] = list(self.facts)
+        for instance_id, ground in self._instances.items():
+            if len(ground.head) != 1 or ground.negative_body:
+                continue
+            need = len(set(ground.positive_body))
+            if need == 0:
+                head = ground.head[0]
+                if head not in certain:
+                    certain.add(head)
+                    queue.append(head)
+            else:
+                remaining[instance_id] = need
+        while queue:
+            atom = queue.pop()
+            for instance_id in self._body_index.get(atom, ()):
+                need = remaining.get(instance_id)
+                if need is None:
+                    continue
+                need -= 1
+                remaining[instance_id] = need
+                if need == 0:
+                    head = self._instances[instance_id].head[0]
+                    if head not in certain:
+                        certain.add(head)
+                        queue.append(head)
+        return certain
+
+    def to_ground_program(self) -> GroundProgram:
+        """Simplify the current state into a fresh :class:`GroundProgram`."""
+        certain = self._certain_closure()
+        possible = self._store.atoms()
+        simplified: List[GroundRule] = []
+        for ground in self._instances.values():
+            cleaned = _simplify(ground, certain, possible)
+            if cleaned is not None:
+                simplified.append(cleaned)
+        return GroundProgram(facts=certain, rules=simplified, possible_atoms=possible | certain)
 
 
 def ground_program(program: Program, facts: Optional[Iterable[Atom]] = None) -> GroundProgram:

@@ -27,11 +27,34 @@ class Atom:
 
     predicate: str
     arguments: Tuple[Term, ...] = ()
+    # Lazily cached hash (0 = not yet computed).  Atoms live in the hash-heavy
+    # inner loops of grounding, delta repair, and solving; recomputing the
+    # recursive tuple hash on every set operation dominates those loops.
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.predicate:
             raise ValueError("predicate name must be non-empty")
         object.__setattr__(self, "arguments", tuple(self.arguments))
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == 0:
+            cached = hash((self.predicate, self.arguments)) or 1
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # Never ship the cached hash across a pickle boundary: string hashing
+        # is randomized per interpreter (PYTHONHASHSEED), so a hash cached in
+        # the parent would disagree with hashes computed in a spawn-started
+        # worker process, silently breaking set/dict membership there.
+        return (self.predicate, self.arguments)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "predicate", state[0])
+        object.__setattr__(self, "arguments", state[1])
+        object.__setattr__(self, "_hash", 0)
 
     @property
     def arity(self) -> int:

@@ -35,6 +35,13 @@ Window = Sequence[Atom]
 class Partitioner(abc.ABC):
     """Interface of every window partitioner."""
 
+    #: Whether the partitioner is a deterministic function of each item: the
+    #: same item always lands in the same partition(s), independent of the
+    #: rest of the window.  Deterministic layouts preserve window-to-window
+    #: continuity per partition, which is what lets the parallel reasoner
+    #: propagate sliding-window deltas down to per-partition delta-grounding.
+    deterministic: bool = False
+
     @abc.abstractmethod
     def partition(self, window: Window) -> List[List[Atom]]:
         """Split ``window`` into sub-windows (some may be empty)."""
@@ -54,6 +61,8 @@ class Partitioner(abc.ABC):
 
 class DependencyPartitioner(Partitioner):
     """Algorithm 1: dependency-directed partitioning using a plan."""
+
+    deterministic = True  # predicate -> communities is a fixed mapping
 
     def __init__(self, plan: PartitioningPlan):
         self._plan = plan
@@ -108,7 +117,15 @@ class RandomPartitioner(Partitioner):
 
 
 class HashPartitioner(Partitioner):
-    """Deterministic random-like partitioning by hashing the ground atom."""
+    """Deterministic random-like partitioning by hashing the ground atom.
+
+    Deterministic per process: ``hash(str(atom))`` is stable within one
+    interpreter (including forked workers), which is all the delta path
+    needs -- the partition layout of a recurring item never changes
+    mid-stream.
+    """
+
+    deterministic = True
 
     def __init__(self, partitions: int):
         if partitions < 1:

@@ -24,7 +24,7 @@ from repro.streaming.generator import (
 )
 from repro.streaming.processor import StreamQueryProcessor
 from repro.streaming.triples import Triple
-from repro.streaming.window import CountWindow, TimeWindow, WindowedStream
+from repro.streaming.window import CountWindow, TimeWindow, WindowDelta, WindowedStream
 
 __all__ = [
     "CountWindow",
@@ -32,6 +32,7 @@ __all__ = [
     "StreamQueryProcessor",
     "SyntheticStreamConfig",
     "TimeWindow",
+    "WindowDelta",
     "TrafficScenarioGenerator",
     "Triple",
     "UniformTripleGenerator",

@@ -3,28 +3,95 @@
 The reasoner processes one *input window* per computation (Section I).  The
 paper (and [12]) use tuple-based windows; time-based windows are provided as
 well since StreamRule's stream processor supports both.
+
+Window semantics
+----------------
+Both window kinds support a ``slide`` parameter:
+
+* ``slide == size`` (tumbling, the paper's setting): consecutive windows
+  partition the stream; at stream end a trailing partial window carries the
+  leftover items.
+* ``slide < size`` (sliding): consecutive windows overlap by
+  ``size - slide`` items.  The overlap means window ``W_{i+1}`` equals
+  ``W_i`` minus its ``slide`` oldest items plus the newly arrived ones --
+  exactly the *delta* structure that incremental (delta-) grounding exploits.
+* ``slide > size`` (hopping): ``slide - size`` items between consecutive
+  windows are skipped entirely.
+
+``emit_partial`` controls the trailing window at stream end: when ``True``
+(the default, matching the paper's tumbling semantics) a final partial
+window is emitted *iff it contains items never seen in a full window* --
+so tumbling and hopping streams keep their leftover tail, while sliding
+streams no longer re-emit a tail that is a pure suffix of the last full
+window.  ``False`` suppresses partial windows entirely.
+
+Delta iteration
+---------------
+:meth:`CountWindow.deltas` / :meth:`TimeWindow.deltas` yield
+:class:`WindowDelta` records pairing every window with the items that
+*expired* (present in the previous window, gone now) and *arrived* (new in
+this window).  The invariant, exploited by the delta-grounding tests, is::
+
+    previous_window[len(expired):] + arrived == window
+
+i.e. expired items form a prefix of the previous window, arrived items a
+suffix of the current one, and the two reconstruct each slide exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.streaming.triples import Triple
 
-__all__ = ["CountWindow", "TimeWindow", "WindowedStream"]
+__all__ = ["CountWindow", "TimeWindow", "WindowDelta", "WindowedStream"]
+
+
+@dataclass(frozen=True)
+class WindowDelta:
+    """One window of a stream together with its slide-to-slide delta.
+
+    ``expired`` are the items of the *previous* emitted window that are no
+    longer in this one (always a prefix of the previous window); ``arrived``
+    are the items new in this window (always a suffix of it).  For the first
+    window ``expired`` is empty and ``arrived`` equals the whole window.
+    ``partial`` marks a trailing partial window emitted at stream end.
+    """
+
+    index: int
+    window: Tuple[Triple, ...]
+    expired: Tuple[Triple, ...]
+    arrived: Tuple[Triple, ...]
+    partial: bool = False
+
+    def __len__(self) -> int:
+        return len(self.window)
+
+    @property
+    def carries_over(self) -> bool:
+        """Whether part of this window survived from the previous one.
+
+        True exactly for the overlapping (sliding) case -- the one where
+        delta-grounding can repair the previous instantiation.  Tumbling and
+        hopping windows (and the first window of any stream) share no
+        content with their predecessor, so ``arrived`` is the whole window.
+        """
+        return len(self.arrived) < len(self.window)
 
 
 @dataclass(frozen=True)
 class CountWindow:
-    """Tuple-based window: emit a window every ``size`` items.
+    """Tuple-based window: emit a window of ``size`` items every ``slide`` items.
 
     ``slide`` defaults to ``size`` (tumbling); a smaller slide yields
-    overlapping (sliding) windows.
+    overlapping (sliding) windows, a larger one hopping windows that skip
+    ``slide - size`` items between emissions.
     """
 
     size: int
     slide: Optional[int] = None
+    emit_partial: bool = True
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -33,22 +100,59 @@ class CountWindow:
             raise ValueError("window slide must be positive")
 
     def windows(self, triples: Iterable[Triple]) -> Iterator[List[Triple]]:
+        for delta in self.deltas(triples):
+            yield list(delta.window)
+
+    def deltas(self, triples: Iterable[Triple]) -> Iterator[WindowDelta]:
+        """Iterate windows annotated with their expired/arrived deltas."""
         slide = self.slide or self.size
         buffer: List[Triple] = []
+        previous: List[Triple] = []
+        pending = 0  # buffered items not yet emitted in any window
+        skip = 0  # hopping: items to drop before buffering resumes
+        index = 0
         for triple in triples:
+            if skip:
+                skip -= 1
+                continue
             buffer.append(triple)
-            if len(buffer) >= self.size:
-                yield list(buffer[: self.size])
-                buffer = buffer[slide:]
-        if buffer:
-            yield list(buffer)
+            pending += 1
+            if len(buffer) == self.size:
+                yield self._delta(index, buffer, previous, pending, partial=False)
+                index += 1
+                previous = list(buffer)
+                pending = 0
+                if slide >= self.size:
+                    buffer = []
+                    skip = slide - self.size
+                else:
+                    buffer = buffer[slide:]
+        if buffer and pending and self.emit_partial:
+            yield self._delta(index, buffer, previous, pending, partial=True)
+
+    @staticmethod
+    def _delta(
+        index: int, buffer: List[Triple], previous: List[Triple], pending: int, partial: bool
+    ) -> WindowDelta:
+        overlap = len(buffer) - pending
+        return WindowDelta(
+            index=index,
+            window=tuple(buffer),
+            expired=tuple(previous[: len(previous) - overlap]),
+            arrived=tuple(buffer[overlap:]),
+            partial=partial,
+        )
 
 
 @dataclass(frozen=True)
 class TimeWindow:
     """Time-based window: group triples into intervals of ``duration`` time units.
 
-    Triples without a timestamp are assigned to the current window.
+    A triple without a timestamp inherits the most recent timestamp seen in
+    arrival order (the earliest known timestamp for a leading run, 0.0 for a
+    fully timestamp-less stream).  It therefore belongs to exactly the
+    windows covering that one instant -- not, as a naive "assign to the
+    current window" rule would have it, to *every* overlapping window.
     """
 
     duration: float
@@ -60,28 +164,60 @@ class TimeWindow:
         if self.slide is not None and self.slide <= 0:
             raise ValueError("window slide must be positive")
 
+    def _annotate(self, triples: Iterable[Triple]) -> List[Tuple[float, Triple]]:
+        """Pair every triple with its effective timestamp, sorted by time.
+
+        The sort is stable, so triples sharing an effective timestamp keep
+        their arrival order.
+        """
+        items = list(triples)
+        carried: List[Optional[float]] = []
+        carry: Optional[float] = None
+        for triple in items:
+            if triple.timestamp is not None:
+                carry = triple.timestamp
+            carried.append(carry)
+        first_known = next((stamp for stamp in carried if stamp is not None), 0.0)
+        annotated = [
+            (stamp if stamp is not None else first_known, triple)
+            for stamp, triple in zip(carried, items)
+        ]
+        annotated.sort(key=lambda pair: pair[0])
+        return annotated
+
     def windows(self, triples: Iterable[Triple]) -> Iterator[List[Triple]]:
-        ordered = sorted(
-            triples,
-            key=lambda triple: triple.timestamp if triple.timestamp is not None else 0.0,
-        )
-        if not ordered:
+        for delta in self.deltas(triples):
+            yield list(delta.window)
+
+    def deltas(self, triples: Iterable[Triple]) -> Iterator[WindowDelta]:
+        """Iterate non-empty windows annotated with expired/arrived deltas."""
+        annotated = self._annotate(triples)
+        if not annotated:
             return
         slide = self.slide or self.duration
-        start = ordered[0].timestamp or 0.0
-        end_time = (ordered[-1].timestamp or 0.0) + 1e-9
-        window_start = start
+        window_start = annotated[0][0]
+        end_time = annotated[-1][0] + 1e-9
+        count = len(annotated)
+        low = high = 0  # [low, high) spans the current window in `annotated`
+        previous_low = previous_high = 0
+        index = 0
         while window_start <= end_time:
             window_end = window_start + self.duration
-            window = [
-                triple
-                for triple in ordered
-                if window_start
-                <= (triple.timestamp if triple.timestamp is not None else window_start)
-                < window_end
-            ]
-            if window:
-                yield window
+            while low < count and annotated[low][0] < window_start:
+                low += 1
+            while high < count and annotated[high][0] < window_end:
+                high += 1
+            if high > low:
+                expired = annotated[previous_low : min(low, previous_high)]
+                arrived = annotated[max(low, previous_high) : high]
+                yield WindowDelta(
+                    index=index,
+                    window=tuple(triple for _, triple in annotated[low:high]),
+                    expired=tuple(triple for _, triple in expired),
+                    arrived=tuple(triple for _, triple in arrived),
+                )
+                index += 1
+                previous_low, previous_high = low, high
             window_start += slide
 
 
@@ -94,3 +230,6 @@ class WindowedStream:
 
     def __iter__(self) -> Iterator[List[Triple]]:
         return self._window.windows(self._triples)
+
+    def deltas(self) -> Iterator[WindowDelta]:
+        return self._window.deltas(self._triples)

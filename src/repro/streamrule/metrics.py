@@ -76,7 +76,11 @@ class ReasonerMetrics:
     plain :class:`~repro.streamrule.reasoner.Reasoner` they are 0/1 per
     window; the parallel reasoner sums them over its partitions (including
     worker-process-side caches, whose counts travel back inside the partition
-    results).  ``evaluation_wall_seconds`` is the measured wall-clock of the
+    results).  With delta-grounding enabled a window resolves to exactly one
+    of three outcomes: an exact-signature *hit* (``cache_hits``), a *delta
+    repair* of the track's cached instantiation (``delta_repairs``, with the
+    fact churn in ``repair_size`` and the ground-instance churn in
+    ``repair_rules_changed``), or a full (re)grounding (``cache_misses``).  ``evaluation_wall_seconds`` is the measured wall-clock of the
     partition-evaluation phase and ``worker_wall_seconds`` the in-worker
     wall-clock of each *evaluated* partition, populated by the parallel
     reasoner.  Note the alignment: ``worker_wall_seconds`` parallels
@@ -94,6 +98,9 @@ class ReasonerMetrics:
     duplication_ratio: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    delta_repairs: int = 0
+    repair_size: int = 0
+    repair_rules_changed: int = 0
     evaluation_wall_seconds: Optional[float] = None
     worker_wall_seconds: List[float] = field(default_factory=list)
 
@@ -122,6 +129,9 @@ class ReasonerMetrics:
             "cache_hits": float(self.cache_hits),
             "cache_misses": float(self.cache_misses),
             "cache_hit_rate": self.cache_hit_rate,
+            "delta_repairs": float(self.delta_repairs),
+            "repair_size": float(self.repair_size),
+            "repair_rules_changed": float(self.repair_rules_changed),
             "evaluation_wall_ms": (
                 self.evaluation_wall_seconds * 1000.0 if self.evaluation_wall_seconds is not None else 0.0
             ),

@@ -38,16 +38,22 @@ differ only in how the partitions are evaluated and how latency is reported:
   measured wall-clock of the evaluation phase.  Python's GIL prevents
   genuine thread-level speed-up for the pure-Python CPU-bound solver.
 * ``ExecutionMode.PROCESSES`` -- true multi-core execution on a persistent
-  :class:`~concurrent.futures.ProcessPoolExecutor`.  Workers are initialized
-  once with the pickled reasoner (program, predicate sets, format processor)
-  and reused across windows; each window's partitions are dispatched as atom
-  batches.  Workers inherit the reasoner's grounding-cache configuration
-  (a cached reasoner yields one private cache per worker; an uncached one
-  stays uncached, keeping the modes comparable).  Latency is the measured
-  wall-clock of the evaluation phase.  The pool is
-  created lazily on the first ``PROCESSES`` window and bound to the reasoner
-  at that moment; call :meth:`ParallelReasoner.close` (or use the reasoner
-  as a context manager) to release the workers.
+  pool of worker processes.  Workers are initialized once with the pickled
+  reasoner (program, predicate sets, format processor) and reused across
+  windows; each window's partitions are dispatched as atom batches.  Workers
+  inherit the reasoner's grounding-cache configuration (a cached reasoner
+  yields one private cache per worker; an uncached one stays uncached,
+  keeping the modes comparable).  The pool is organised as one
+  single-worker :class:`~concurrent.futures.ProcessPoolExecutor` per slot
+  and partition ``i`` is always dispatched to slot ``i % workers`` --
+  *worker pinning*: consecutive windows of the same partition track land in
+  the same process, so that worker's grounding cache sees the track's
+  previous instantiation and can serve exact hits or delta repairs from the
+  first recurrence (the ROADMAP's per-worker scheduling item).  Latency is
+  the measured wall-clock of the evaluation phase.  The pool is created
+  lazily on the first ``PROCESSES`` window and bound to the reasoner at
+  that moment; call :meth:`ParallelReasoner.close` (or use the reasoner as
+  a context manager) to release the workers.
 * ``ExecutionMode.SERIAL`` -- plain sequential evaluation with summed
   latency (the pessimistic bound; useful for ablations).
 """
@@ -65,6 +71,7 @@ from repro.asp.syntax.atoms import Atom
 from repro.core.combining import combine_answer_sets
 from repro.core.partitioner import Partitioner
 from repro.streaming.triples import Triple
+from repro.streaming.window import WindowDelta
 from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
 from repro.streamrule.reasoner import (
     Reasoner,
@@ -130,7 +137,10 @@ class ParallelReasoner:
         self.mode = mode
         self.max_workers = max_workers
         self.max_combinations = max_combinations
-        self._process_pool: Optional[ProcessPoolExecutor] = None
+        # One single-worker executor per slot; partition track i is pinned to
+        # slot i % workers so worker-local grounding caches keep seeing the
+        # same track (exact hits and delta repairs survive across windows).
+        self._process_pools: Optional[List[ProcessPoolExecutor]] = None
 
     # ------------------------------------------------------------------ #
     # Worker-pool lifecycle
@@ -147,53 +157,76 @@ class ParallelReasoner:
         Idempotent; a later ``PROCESSES`` window lazily recreates the pool
         with the reasoner's state at that moment.
         """
-        if self._process_pool is not None:
-            self._process_pool.shutdown(wait=True)
-            self._process_pool = None
+        if self._process_pools is not None:
+            for pool in self._process_pools:
+                pool.shutdown(wait=True)
+            self._process_pools = None
 
-    def _ensure_process_pool(self) -> ProcessPoolExecutor:
-        """Create the persistent worker pool on first use.
+    def _ensure_process_pools(self) -> List[ProcessPoolExecutor]:
+        """Create the persistent pinned worker pools on first use.
 
         Every worker is initialized exactly once with the pickled reasoner
         (see :func:`initialize_worker_reasoner`), so per-window dispatch only
         ships the partition's atom batch and receives the partition result.
+        One single-worker executor per slot makes the pinning deterministic:
+        submitting to slot ``s`` always runs in slot ``s``'s process.
         """
-        if self._process_pool is None:
+        if self._process_pools is None:
             workers = self.max_workers or os.cpu_count() or 1
             payload = pickle.dumps(self.reasoner)
-            self._process_pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=initialize_worker_reasoner,
-                initargs=(payload,),
-            )
-            # The executor forks its workers lazily, one per submit with no
-            # idle worker; fan out one ping per worker so all spawns +
-            # reasoner unpickling happen here (pool setup) rather than
-            # inside the first window's measured evaluation.
-            pings = [self._process_pool.submit(ping_worker) for _ in range(workers)]
+            pools = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=initialize_worker_reasoner,
+                    initargs=(payload,),
+                )
+                for _ in range(workers)
+            ]
+            # Executors fork their worker lazily on the first submit; ping
+            # every slot so all spawns + reasoner unpickling happen here
+            # (pool setup) rather than inside the first window's measured
+            # evaluation.
+            pings = [pool.submit(ping_worker) for pool in pools]
             for ping in pings:
                 ping.result()
-        return self._process_pool
+            self._process_pools = pools
+        return self._process_pools
 
     # ------------------------------------------------------------------ #
-    def reason(self, window: WindowInput) -> ParallelResult:
+    def reason(self, window: WindowInput, *, delta: Optional[WindowDelta] = None) -> ParallelResult:
         """Partition, evaluate in parallel, and combine one input window.
 
         Following Figure 6, the partitioning handler splits the *filtered
         stream* directly (triples and atoms both expose their predicate), and
         each partition's reasoner performs its own data format translation --
         so the transformation cost is parallelised along with the solving.
+
+        ``delta`` signals that this window is the next slide of an
+        overlapping stream.  When the partitioner is *deterministic* (the
+        same item always lands in the same partitions), window-to-window
+        continuity holds per partition as well, so every partition reasoner
+        is evaluated incrementally on its own track: partition ``i``'s
+        grounding delta-repairs partition ``i``'s previous instantiation.
+        Non-deterministic partitioners (the random baseline) ignore the
+        hint -- their layouts reshuffle every window, so there is no
+        continuity to exploit.
         """
         if self.mode is ExecutionMode.PROCESSES:
             # One-time pool setup (pickling the reasoner, spawning workers)
             # must not be billed to the first window's evaluation phase.
-            self._ensure_process_pool()
+            self._ensure_process_pools()
+
+        incremental = (
+            delta is not None
+            and delta.carries_over
+            and getattr(self.partitioner, "deterministic", False)
+        )
 
         with Timer() as partitioning_timer:
             partitions = self.partitioner.partition(window)
 
         with Timer() as evaluation_timer:
-            partition_results = self._evaluate_partitions(partitions)
+            partition_results = self._evaluate_partitions(partitions, incremental)
 
         with Timer() as combining_timer:
             combined = combine_answer_sets(
@@ -223,6 +256,9 @@ class ParallelReasoner:
             ),
             cache_hits=sum(result.metrics.cache_hits for result in partition_results),
             cache_misses=sum(result.metrics.cache_misses for result in partition_results),
+            delta_repairs=sum(result.metrics.delta_repairs for result in partition_results),
+            repair_size=sum(result.metrics.repair_size for result in partition_results),
+            repair_rules_changed=sum(result.metrics.repair_rules_changed for result in partition_results),
             evaluation_wall_seconds=evaluation_timer.seconds,
             worker_wall_seconds=[result.metrics.latency_seconds for result in partition_results],
         )
@@ -233,25 +269,40 @@ class ParallelReasoner:
         )
 
     # ------------------------------------------------------------------ #
-    def _evaluate_partitions(self, partitions: Sequence[Sequence[Atom]]) -> List[ReasonerResult]:
+    def _evaluate_partitions(
+        self, partitions: Sequence[Sequence[Atom]], incremental: bool = False
+    ) -> List[ReasonerResult]:
         """Evaluate the non-empty partitions according to the execution mode.
 
         All modes evaluate the same batch list, which is what makes them
         answer-set-equivalent; they differ only in *where* the batches run.
+        Each batch keeps its partition index as its *track*: the stable
+        identity under which the grounding caches store per-partition delta
+        states (and, in PROCESSES mode, the pinning key choosing the worker
+        slot).
         """
-        batches = [list(partition) for partition in partitions if partition]
+        batches = [(index, list(partition)) for index, partition in enumerate(partitions) if partition]
         if not batches:
             # Degenerate window: evaluate the program alone (see module
             # docstring) so Ans_P matches the unpartitioned reasoner.
-            batches = [[]]
+            batches = [(0, [])]
         if self.mode is ExecutionMode.THREADS:
             workers = min(self.max_workers or len(batches), len(batches))
+
+            def evaluate(entry: Tuple[int, List[Atom]]) -> ReasonerResult:
+                track, batch = entry
+                return self.reasoner.reason(batch, incremental=incremental, track=track)
+
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(self.reasoner.reason, batches))
+                return list(pool.map(evaluate, batches))
         if self.mode is ExecutionMode.PROCESSES:
-            pool = self._ensure_process_pool()
-            return list(pool.map(reason_partition_task, batches))
-        return [self.reasoner.reason(batch) for batch in batches]
+            pools = self._ensure_process_pools()
+            futures = [
+                pools[track % len(pools)].submit(reason_partition_task, batch, incremental, track)
+                for track, batch in batches
+            ]
+            return [future.result() for future in futures]
+        return [self.reasoner.reason(batch, incremental=incremental, track=track) for track, batch in batches]
 
     def _latency(self, partition_results: Sequence[ReasonerResult]) -> LatencyBreakdown:
         """Aggregate the partition latencies according to the execution mode."""

@@ -15,7 +15,7 @@ from repro.asp.syntax.atoms import Atom
 from repro.streaming.format import DataFormatProcessor
 from repro.streaming.processor import StreamQueryProcessor
 from repro.streaming.triples import Triple
-from repro.streaming.window import CountWindow, TimeWindow
+from repro.streaming.window import CountWindow, TimeWindow, WindowDelta
 from repro.streamrule.metrics import ReasonerMetrics
 from repro.streamrule.parallel import ParallelReasoner, ParallelResult
 from repro.streamrule.reasoner import Reasoner, ReasonerResult
@@ -65,10 +65,21 @@ class StreamRulePipeline:
         self.close()
 
     # ------------------------------------------------------------------ #
-    def process_window(self, window_index: int, triples: Sequence[Triple]) -> WindowSolution:
-        """Run one window through the (possibly parallel) reasoner."""
+    def process_window(
+        self,
+        window_index: int,
+        triples: Sequence[Triple],
+        delta: Optional[WindowDelta] = None,
+    ) -> WindowSolution:
+        """Run one window through the (possibly parallel) reasoner.
+
+        ``delta`` carries the window's expired/arrived record when the
+        stream is iterated delta-aware (see :meth:`process_stream`); it is
+        forwarded to the reasoner so a grounding cache can repair the
+        previous window's instantiation instead of regrounding.
+        """
         filtered = self.query_processor.process(triples) if self.query_processor else list(triples)
-        result = self.reasoner.reason(filtered)
+        result = self.reasoner.reason(filtered, delta=delta)
         solution_atoms: List[Atom] = sorted({atom for answer in result.answers for atom in answer}, key=str)
         solution_triples = tuple(
             self.format_processor.atom_to_triple(atom) for atom in solution_atoms if atom.arity in (1, 2)
@@ -82,9 +93,14 @@ class StreamRulePipeline:
         )
 
     def process_stream(self, triples: Iterable[Triple]) -> Iterator[WindowSolution]:
-        """Window an unbounded triple stream and process every window."""
-        for window_index, window_triples in enumerate(self.window.windows(triples)):
-            yield self.process_window(window_index, window_triples)
+        """Window an unbounded triple stream and process every window.
+
+        Iterates the window policy's delta API, so overlapping sliding
+        windows carry their expired/arrived deltas down to the reasoner
+        (enabling incremental grounding when a cache is attached).
+        """
+        for delta in self.window.deltas(triples):
+            yield self.process_window(delta.index, list(delta.window), delta=delta)
 
     def process_all(self, triples: Iterable[Triple]) -> List[WindowSolution]:
         return list(self.process_stream(triples))

@@ -35,6 +35,7 @@ from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.program import Program
 from repro.streaming.format import DataFormatProcessor
 from repro.streaming.triples import Triple
+from repro.streaming.window import WindowDelta
 from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
 
 __all__ = ["Reasoner", "ReasonerResult", "initialize_worker_reasoner", "reason_partition_task"]
@@ -121,12 +122,39 @@ class Reasoner:
                 raise TypeError(f"window items must be Triple or Atom, got {type(item)!r}")
         return atoms
 
-    def reason(self, window: WindowInput) -> ReasonerResult:
-        """Evaluate one input window and return the projected answer sets."""
+    def reason(
+        self,
+        window: WindowInput,
+        *,
+        delta: Optional[WindowDelta] = None,
+        incremental: bool = False,
+        track: int = 0,
+    ) -> ReasonerResult:
+        """Evaluate one input window and return the projected answer sets.
+
+        Passing a :class:`~repro.streaming.window.WindowDelta` (or setting
+        ``incremental=True``) signals that this window is the next slide of
+        the stream identified by ``track``: when a grounding cache is
+        attached, grounding then goes through the cache's delta path, which
+        repairs the track's previous instantiation (retracting expired
+        facts, instantiating from arrived ones) instead of regrounding --
+        see :meth:`GroundingCache.ground_incremental`.  A delta that carries
+        nothing over (tumbling/hopping windows, the first window of a
+        stream) is ignored: there is no overlap to repair, and maintaining
+        repairable state would only tax the full-reground path.  Without a
+        cache both flags are inert and the window is evaluated exactly as
+        before.
+        """
         with Timer() as transformation_timer:
             facts = self.to_atoms(window)
 
-        control = Control(self.program, grounding_cache=self.grounding_cache)
+        overlapping = delta is not None and delta.carries_over
+        use_delta = (incremental or overlapping) and self.grounding_cache is not None
+        control = Control(
+            self.program,
+            grounding_cache=self.grounding_cache,
+            delta_track=track if use_delta else None,
+        )
         control.add_facts(facts)
         result = control.solve(models=self.max_models)
 
@@ -139,15 +167,19 @@ class Reasoner:
             grounding_seconds=result.grounding_seconds,
             solving_seconds=result.solving_seconds,
         )
-        from_cache = control.ground_from_cache
+        outcome = control.ground_outcome
+        repair = control.repair_stats
         metrics = ReasonerMetrics(
             window_size=len(window),
             latency_seconds=breakdown.total_seconds,
             breakdown=breakdown,
             partition_sizes=[len(window)],
             answer_count=len(answers),
-            cache_hits=1 if from_cache else 0,
-            cache_misses=1 if from_cache is False else 0,
+            cache_hits=1 if outcome == "hit" else 0,
+            cache_misses=1 if outcome == "full" else 0,
+            delta_repairs=1 if outcome == "repair" else 0,
+            repair_size=repair.repair_size if repair is not None else 0,
+            repair_rules_changed=(repair.rules_deleted + repair.rules_added) if repair is not None else 0,
         )
         return ReasonerResult(answers=answers, metrics=metrics)
 
@@ -187,11 +219,17 @@ def ping_worker() -> bool:
     return _WORKER_REASONER is not None
 
 
-def reason_partition_task(batch: WindowInput) -> ReasonerResult:
-    """Evaluate one partition batch against the per-process reasoner."""
+def reason_partition_task(batch: WindowInput, incremental: bool = False, track: int = 0) -> ReasonerResult:
+    """Evaluate one partition batch against the per-process reasoner.
+
+    ``incremental``/``track`` mirror :meth:`Reasoner.reason`: the parallel
+    reasoner pins each partition track to a fixed worker slot, so the
+    worker-local grounding cache sees consecutive windows of the same track
+    and can delta-repair its last instantiation instead of regrounding.
+    """
     if _WORKER_REASONER is None:
         raise RuntimeError(
             "worker process not initialized: reason_partition_task requires a pool "
             "created with initializer=initialize_worker_reasoner"
         )
-    return _WORKER_REASONER.reason(list(batch))
+    return _WORKER_REASONER.reason(list(batch), incremental=incremental, track=track)

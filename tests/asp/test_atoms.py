@@ -8,6 +8,23 @@ from repro.asp.syntax.terms import Constant, Variable
 
 
 class TestAtom:
+    def test_hash_is_cached_and_consistent(self):
+        atom = Atom("p", (Constant(1), Constant("a")))
+        assert hash(atom) == hash(Atom("p", (Constant(1), Constant("a"))))
+        assert atom in {Atom("p", (Constant(1), Constant("a")))}
+
+    def test_pickle_does_not_ship_cached_hash(self):
+        # String hashing is randomized per interpreter: a cached hash carried
+        # across a pickle boundary would disagree with hashes computed in a
+        # spawn-started worker, silently breaking set membership there.
+        import pickle
+
+        atom = Atom("p", (Constant(1),))
+        hash(atom)  # populate the cache
+        clone = pickle.loads(pickle.dumps(atom))
+        assert clone._hash == 0  # recomputed lazily in the target interpreter
+        assert clone == atom and hash(clone) == hash(atom)
+
     def test_signature(self):
         atom = Atom("average_speed", (Constant("newcastle"), Constant(10)))
         assert atom.signature == ("average_speed", 2)

@@ -10,6 +10,10 @@ def triples(count, step=1.0):
     return [Triple(f"s{i}", "p", i, timestamp=i * step) for i in range(count)]
 
 
+def objects(window):
+    return [triple.object for triple in window]
+
+
 class TestCountWindow:
     def test_tumbling_windows(self):
         windows = list(CountWindow(size=3).windows(triples(7)))
@@ -25,6 +29,36 @@ class TestCountWindow:
         assert windows[1][0].subject == "s1"
         assert all(len(window) <= 3 for window in windows)
 
+    def test_sliding_windows_no_duplicate_tail(self):
+        # The last full window is [2,3,4]; the leftover buffer [3,4] is a
+        # pure suffix of it and must not be re-emitted as a partial window.
+        windows = list(CountWindow(size=3, slide=1).windows(triples(5)))
+        assert [objects(window) for window in windows] == [[0, 1, 2], [1, 2, 3], [2, 3, 4]]
+
+    def test_sliding_partial_with_new_content_is_emitted(self):
+        # After the last full window [0,1,2] the stream still delivers item 3:
+        # the trailing partial [1,2,3] carries unseen content and is emitted.
+        windows = list(CountWindow(size=3, slide=2).windows(triples(4)))
+        assert [objects(window) for window in windows] == [[0, 1, 2], [2, 3]]
+
+    def test_hopping_windows_skip_items(self):
+        # size=2, slide=3: one item is skipped between consecutive windows.
+        windows = list(CountWindow(size=2, slide=3).windows(triples(8)))
+        assert [objects(window) for window in windows] == [[0, 1], [3, 4], [6, 7]]
+
+    def test_hopping_trailing_partial(self):
+        windows = list(CountWindow(size=2, slide=3).windows(triples(7)))
+        assert [objects(window) for window in windows] == [[0, 1], [3, 4], [6]]
+
+    def test_emit_partial_false_suppresses_trailing_window(self):
+        windows = list(CountWindow(size=3, emit_partial=False).windows(triples(7)))
+        assert [objects(window) for window in windows] == [[0, 1, 2], [3, 4, 5]]
+
+    def test_short_stream_partial(self):
+        windows = list(CountWindow(size=5).windows(triples(2)))
+        assert [objects(window) for window in windows] == [[0, 1]]
+        assert list(CountWindow(size=5, emit_partial=False).windows(triples(2))) == []
+
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             CountWindow(size=0)
@@ -33,6 +67,34 @@ class TestCountWindow:
 
     def test_empty_stream(self):
         assert list(CountWindow(size=3).windows([])) == []
+
+
+class TestCountWindowDeltas:
+    def test_first_window_is_all_arrived(self):
+        [delta] = CountWindow(size=3).deltas(triples(3))
+        assert delta.index == 0
+        assert delta.expired == ()
+        assert delta.arrived == delta.window
+        assert not delta.carries_over
+
+    def test_sliding_deltas_reconstruct_windows(self):
+        deltas = list(CountWindow(size=3, slide=1).deltas(triples(6)))
+        for previous, current in zip(deltas, deltas[1:]):
+            reconstructed = previous.window[len(current.expired) :] + current.arrived
+            assert reconstructed == current.window
+            assert current.carries_over
+
+    def test_hopping_deltas_expire_everything(self):
+        deltas = list(CountWindow(size=2, slide=3).deltas(triples(8)))
+        assert [objects(delta.window) for delta in deltas] == [[0, 1], [3, 4], [6, 7]]
+        assert all(delta.arrived == delta.window for delta in deltas)
+        assert objects(deltas[1].expired) == [0, 1]
+        assert not deltas[1].carries_over
+
+    def test_partial_delta_flagged(self):
+        deltas = list(CountWindow(size=3).deltas(triples(7)))
+        assert [delta.partial for delta in deltas] == [False, False, True]
+        assert objects(deltas[-1].arrived) == [6]
 
 
 class TestTimeWindow:
@@ -50,6 +112,30 @@ class TestTimeWindow:
         windows = list(TimeWindow(duration=10.0).windows(data))
         assert sum(len(window) for window in windows) == 2
 
+    def test_missing_timestamp_not_duplicated_into_overlapping_windows(self):
+        # "b" inherits the preceding timestamp (0.0): it must appear exactly
+        # once per window *covering t=0*, not in every overlapping window.
+        data = [Triple("a", "p", 1, timestamp=0.0), Triple("b", "p", 2), Triple("c", "p", 3, timestamp=3.0)]
+        windows = list(TimeWindow(duration=2.0, slide=1.0).windows(data))
+        occurrences = sum(1 for window in windows for triple in window if triple.subject == "b")
+        assert occurrences == 1
+
+    def test_missing_timestamp_inherits_previous(self):
+        data = [
+            Triple("a", "p", 1, timestamp=0.0),
+            Triple("b", "p", 2, timestamp=5.0),
+            Triple("c", "p", 3),  # effectively t=5.0
+        ]
+        windows = list(TimeWindow(duration=2.0).windows(data))
+        assert [sorted(t.subject for t in window) for window in windows] == [["a"], ["b", "c"]]
+
+    def test_sliding_deltas_reconstruct_windows(self):
+        deltas = list(TimeWindow(duration=4.0, slide=2.0).deltas(triples(10)))
+        assert len(deltas) >= 3
+        for previous, current in zip(deltas, deltas[1:]):
+            reconstructed = previous.window[len(current.expired) :] + current.arrived
+            assert reconstructed == current.window
+
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             TimeWindow(duration=0)
@@ -64,3 +150,8 @@ class TestWindowedStream:
     def test_iterates_windows(self):
         stream = WindowedStream(triples(6), CountWindow(size=2))
         assert [len(window) for window in stream] == [2, 2, 2]
+
+    def test_deltas_passthrough(self):
+        stream = WindowedStream(triples(6), CountWindow(size=2, slide=1))
+        deltas = list(stream.deltas())
+        assert [delta.index for delta in deltas] == list(range(len(deltas)))

@@ -1,0 +1,186 @@
+"""Cross-mode equivalence under delta-grounding.
+
+Acceptance contract of the delta path: for every windowed stream, the
+answer sets produced with delta-grounding enabled (sliding-window deltas
+threaded down to per-partition incremental grounding) are identical to the
+ground-from-scratch answer sets, in all four execution modes.  The delta
+machinery may change *how* a window is grounded (exact hit, repair, full
+rebuild) but never *what* the window answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asp.grounding.grounder import GroundingCache
+from repro.asp.syntax.parser import parse_program
+from repro.core.partitioner import DependencyPartitioner, HashPartitioner, RandomPartitioner
+from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program
+from repro.streaming.generator import SyntheticStreamConfig, generate_window
+from repro.streaming.window import CountWindow, TimeWindow
+from repro.streamrule.parallel import ExecutionMode, ParallelReasoner
+from repro.streamrule.pipeline import StreamRulePipeline
+from repro.streamrule.reasoner import Reasoner
+from tests.conftest import make_atom
+
+ALL_MODES = (
+    ExecutionMode.SERIAL,
+    ExecutionMode.SIMULATED_PARALLEL,
+    ExecutionMode.THREADS,
+    ExecutionMode.PROCESSES,
+)
+
+
+def traffic_stream(length, seed=23):
+    config = SyntheticStreamConfig(
+        window_size=length, input_predicates=INPUT_PREDICATES, scheme="traffic", seed=seed
+    )
+    return generate_window(config)
+
+
+def cached_reasoner():
+    return Reasoner(
+        traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES, grounding_cache=GroundingCache()
+    )
+
+
+def scratch_answers_per_window(window_policy, stream, partitioner):
+    """Reference: every window evaluated in SERIAL mode without any cache."""
+    reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+    parallel = ParallelReasoner(reasoner, partitioner, mode=ExecutionMode.SERIAL)
+    return [
+        {frozenset(answer) for answer in parallel.reason(list(window)).answers}
+        for window in window_policy.windows(stream)
+    ]
+
+
+def delta_answers_per_window(window_policy, stream, partitioner, mode, max_workers=2):
+    """Delta path: every window evaluated with its slide delta and a cache."""
+    with ParallelReasoner(cached_reasoner(), partitioner, mode=mode, max_workers=max_workers) as parallel:
+        return [
+            {frozenset(answer) for answer in parallel.reason(list(delta.window), delta=delta).answers}
+            for delta in window_policy.deltas(stream)
+        ]
+
+
+class TestSlidingWindowEquivalence:
+    pytestmark = pytest.mark.slow  # PROCESSES rows spin up worker pools
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda mode: mode.value)
+    def test_count_window_sliding(self, plan_p, mode):
+        stream = traffic_stream(240)
+        window_policy = CountWindow(size=80, slide=30)
+        partitioner = DependencyPartitioner(plan_p)
+        expected = scratch_answers_per_window(window_policy, stream, partitioner)
+        actual = delta_answers_per_window(window_policy, stream, partitioner, mode)
+        assert actual == expected
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda mode: mode.value)
+    def test_count_window_hash_partitioning(self, mode):
+        stream = traffic_stream(180)
+        window_policy = CountWindow(size=60, slide=20)
+        partitioner = HashPartitioner(3)
+        expected = scratch_answers_per_window(window_policy, stream, partitioner)
+        actual = delta_answers_per_window(window_policy, stream, partitioner, mode)
+        assert actual == expected
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda mode: mode.value)
+    def test_time_window_sliding(self, plan_p, mode):
+        stream = traffic_stream(150)
+        window_policy = TimeWindow(duration=50.0, slide=20.0)
+        partitioner = DependencyPartitioner(plan_p)
+        expected = scratch_answers_per_window(window_policy, stream, partitioner)
+        actual = delta_answers_per_window(window_policy, stream, partitioner, mode)
+        assert actual == expected
+
+    def test_random_partitioner_ignores_delta_hint(self, ):
+        # Random layouts reshuffle between windows; the delta hint must be
+        # ignored (no partition-level continuity) yet answers stay equal to
+        # the same partitioner's non-delta evaluation under a fixed seed.
+        stream = traffic_stream(120)
+        window_policy = CountWindow(size=40, slide=15)
+        reasoner = cached_reasoner()
+        with ParallelReasoner(reasoner, RandomPartitioner(3, seed=5), mode=ExecutionMode.SERIAL) as parallel:
+            results = [parallel.reason(list(delta.window), delta=delta) for delta in window_policy.deltas(stream)]
+        with_delta = [{frozenset(answer) for answer in result.answers} for result in results]
+        assert all(result.metrics.delta_repairs == 0 for result in results)
+        plain = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+        with ParallelReasoner(plain, RandomPartitioner(3, seed=5), mode=ExecutionMode.SERIAL) as parallel:
+            without_delta = [
+                {frozenset(answer) for answer in parallel.reason(list(window)).answers}
+                for window in window_policy.windows(stream)
+            ]
+        assert with_delta == without_delta
+
+
+class TestNonStratifiedDeltaEquivalence:
+    pytestmark = pytest.mark.slow
+
+    CHOICE_PROGRAM = """\
+picked(X) :- item(X), not dropped(X).
+dropped(X) :- item(X), not picked(X).
+"""
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda mode: mode.value)
+    def test_choice_program_sliding_windows(self, mode):
+        stream = [make_atom("item", index % 5) for index in range(24)]
+        window_policy = CountWindow(size=8, slide=3)
+        program = parse_program(self.CHOICE_PROGRAM)
+
+        reference = Reasoner(program, input_predicates=["item"])
+        expected = [
+            {frozenset(answer) for answer in reference.reason(list(window)).answers}
+            for window in window_policy.windows(stream)
+        ]
+
+        cached = Reasoner(program, input_predicates=["item"], grounding_cache=GroundingCache())
+        with ParallelReasoner(cached, HashPartitioner(2), mode=mode, max_workers=2) as parallel:
+            combined = [
+                {frozenset(answer) for answer in parallel.reason(list(delta.window), delta=delta).answers}
+                for delta in window_policy.deltas(stream)
+            ]
+        # Partition-combined answers for a single-predicate choice program
+        # coincide with the unpartitioned ones (no cross-partition joins).
+        assert combined == expected
+
+
+class TestDeltaMetricsFlow:
+    def test_pipeline_reports_repairs(self):
+        stream = traffic_stream(200)
+        cache = GroundingCache()
+        reasoner = Reasoner(
+            traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES, grounding_cache=cache
+        )
+        with StreamRulePipeline(reasoner, window=CountWindow(size=80, slide=20)) as pipeline:
+            solutions = list(pipeline.process_stream(stream))
+        assert len(solutions) >= 5
+        repairs = sum(solution.metrics.delta_repairs for solution in solutions)
+        assert repairs >= len(solutions) - 2  # all but the first window (and
+        # at most one over-budget straggler) are delta-repaired
+        assert sum(solution.metrics.repair_size for solution in solutions) > 0
+        assert cache.statistics()["delta_repairs"] == float(repairs)
+
+    def test_tumbling_pipeline_stays_on_exact_cache_path(self):
+        stream = traffic_stream(200)
+        cache = GroundingCache()
+        reasoner = Reasoner(
+            traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES, grounding_cache=cache
+        )
+        with StreamRulePipeline(reasoner, window=CountWindow(size=50)) as pipeline:
+            solutions = list(pipeline.process_stream(stream))
+        # Tumbling windows carry nothing over: no delta state is maintained.
+        assert all(solution.metrics.delta_repairs == 0 for solution in solutions)
+        assert cache.statistics()["delta_states"] == 0.0
+
+    def test_parallel_metrics_aggregate_repairs(self, plan_p):
+        stream = traffic_stream(200)
+        window_policy = CountWindow(size=80, slide=20)
+        with ParallelReasoner(
+            cached_reasoner(), DependencyPartitioner(plan_p), mode=ExecutionMode.SERIAL
+        ) as parallel:
+            results = [
+                parallel.reason(list(delta.window), delta=delta) for delta in window_policy.deltas(stream)
+            ]
+        assert sum(result.metrics.delta_repairs for result in results) > 0
+        repaired = [result for result in results if result.metrics.delta_repairs]
+        assert all(result.metrics.repair_size > 0 for result in repaired)

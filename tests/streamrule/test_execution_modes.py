@@ -190,14 +190,14 @@ class TestEdgeCases:
             reasoner, DependencyPartitioner(plan_p), mode=ExecutionMode.PROCESSES, max_workers=1
         ) as parallel:
             first = parallel.reason(motivating_window)
-            pool = parallel._process_pool
-            assert pool is not None
+            pools = parallel._process_pools
+            assert pools is not None and len(pools) == 1
             second = parallel.reason(motivating_window)
-            assert parallel._process_pool is pool  # reused, not rebuilt
+            assert parallel._process_pools is pools  # reused, not rebuilt
             assert {frozenset(a) for a in first.answers} == {frozenset(a) for a in second.answers}
             # The single worker's grounding cache serves the repeated window.
             assert second.metrics.cache_hits == len(second.partition_results)
-        assert parallel._process_pool is None  # context exit shut the pool down
+        assert parallel._process_pools is None  # context exit shut the pools down
 
     def test_uncached_reasoner_stays_uncached_in_workers(self, event_reasoner_p, plan_p, motivating_window):
         # Workers inherit the parent's cache *configuration*: no cache on the
