@@ -10,7 +10,6 @@ Two design-choice ablations that the paper motivates but does not plot:
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import bench_window_sizes, write_result_table
 from repro.experiments.ablations import partition_count_sweep, resolution_sweep

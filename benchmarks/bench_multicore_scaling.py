@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
-"""Throughput vs. worker count for the PROCESSES execution mode.
+"""Throughput vs. worker count and per-backend dispatch overhead.
 
 The paper's scalability claim rests on running the partition reasoners
 concurrently on multiple cores (an 8-core machine in the evaluation).  This
 benchmark measures that directly on the paper's synthetic traffic workload:
 
-1. *multi-core scaling* -- the same window stream is evaluated with
-   ``ExecutionMode.SERIAL`` (the pessimistic single-core bound) and with
-   ``ExecutionMode.PROCESSES`` at increasing worker counts; reported
-   throughput is triples/second of measured wall-clock.
-2. *window-to-window grounding cache* -- a recurring window stream (as
+1. *multi-core scaling* -- the same window stream is evaluated serially
+   (the pessimistic single-core bound) and on the process-pool backend at
+   increasing worker counts; reported throughput is triples/second of
+   measured wall-clock.
+2. *backend sweep* -- the same stream is pushed through every execution
+   backend (inline, thread pool, pinned process pool, loopback socket),
+   reporting throughput, the per-window dispatch overhead relative to
+   inline evaluation, and cache statistics.  The loopback row prices the
+   full pickle-over-a-wire round trip that multi-machine sharding will pay.
+3. *window-to-window grounding cache* -- a recurring window stream (as
    produced by periodic sensors or overlapping sliding windows) is run with
    and without a :class:`GroundingCache`, reporting the hit rate and the
    latency ratio.
@@ -27,8 +32,9 @@ Options::
     --repeats N     how many times the window stream recurs (cache section)
 
 Note: genuine speed-up requires genuine cores.  The script prints the host's
-CPU count; on a single-core container the PROCESSES rows measure pure
-serialization overhead and the interesting number is the cache section.
+CPU count; on a single-core container the process/loopback rows measure pure
+dispatch overhead and the interesting numbers are the overhead and cache
+sections.
 """
 
 from __future__ import annotations
@@ -46,8 +52,17 @@ from repro.asp.grounding import GroundingCache  # noqa: E402
 from repro.core.partitioner import HashPartitioner  # noqa: E402
 from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program  # noqa: E402
 from repro.streaming.generator import SyntheticStreamConfig, generate_window  # noqa: E402
-from repro.streamrule.parallel import ExecutionMode, ParallelReasoner  # noqa: E402
+from repro.streamrule.backends import (  # noqa: E402
+    ExecutionBackend,
+    ExecutionMode,
+    InlineBackend,
+    LoopbackSocketBackend,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+    backend_for_mode,
+)
 from repro.streamrule.reasoner import Reasoner  # noqa: E402
+from repro.streamrule.session import StreamSession  # noqa: E402
 
 RESULTS_DIRECTORY = Path(__file__).parent / "results"
 BENCH_SEED = 2017
@@ -67,23 +82,22 @@ def make_windows(count: int, window_size: int) -> List[list]:
     return windows
 
 
-def run_stream(
-    mode: ExecutionMode,
-    workers: Optional[int],
+def run_stream_on_backend(
+    backend: ExecutionBackend,
     partitions: int,
     windows: Sequence[list],
     grounding_cache: Optional[GroundingCache] = None,
 ) -> Dict[str, float]:
-    """Evaluate ``windows`` and return wall-clock seconds plus cache stats."""
+    """Evaluate ``windows`` on ``backend``; return wall-clock plus cache stats."""
     reasoner = Reasoner(
         traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES, grounding_cache=grounding_cache
     )
-    parallel = ParallelReasoner(reasoner, HashPartitioner(partitions), mode=mode, max_workers=workers)
     hits = misses = answers = 0
-    with parallel:
+    with StreamSession(reasoner, partitioner=HashPartitioner(partitions), backend=backend) as session:
+        session.backend.start(reasoner)  # pool spin-up outside the timed region
         started = time.perf_counter()
         for window in windows:
-            result = parallel.reason(window)
+            result = session.evaluate_window(window)
             hits += result.metrics.cache_hits
             misses += result.metrics.cache_misses
             answers += result.metrics.answer_count
@@ -97,6 +111,19 @@ def run_stream(
         "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         "answers": float(answers),
     }
+
+
+def run_stream(
+    mode: ExecutionMode,
+    workers: Optional[int],
+    partitions: int,
+    windows: Sequence[list],
+    grounding_cache: Optional[GroundingCache] = None,
+) -> Dict[str, float]:
+    """Legacy-mode wrapper over :func:`run_stream_on_backend`."""
+    return run_stream_on_backend(
+        backend_for_mode(mode, workers), partitions, windows, grounding_cache=grounding_cache
+    )
 
 
 def scaling_section(worker_counts: Sequence[int], windows: Sequence[list]) -> List[str]:
@@ -115,6 +142,38 @@ def scaling_section(worker_counts: Sequence[int], windows: Sequence[list]) -> Li
         speedup = baseline["seconds"] / record["seconds"] if record["seconds"] else float("inf")
         label = f"PROCESSES x{workers}"
         lines.append(f"{label:<24}{record['seconds']:>10.3f}{record['throughput']:>12.0f}{speedup:>10.2f}")
+    return lines
+
+
+def backend_section(windows: Sequence[list], workers: int, partitions: int) -> List[str]:
+    """Sweep all four backends over the same stream; price their dispatch.
+
+    Dispatch overhead is the extra wall-clock per window relative to inline
+    evaluation of the identical partition layout -- the cost of futures and
+    thread hops (threads), pickling + IPC (processes), or a full pickled
+    socket round trip per partition (loopback).
+    """
+    backends = [
+        ("inline", InlineBackend()),
+        ("threads", ThreadPoolBackend(max_workers=workers)),
+        ("processes", ProcessPoolBackend(max_workers=workers)),
+        ("loopback-socket", LoopbackSocketBackend(max_workers=workers)),
+    ]
+    lines = [
+        f"Backend sweep (x{workers} workers, hash partitioning, k = {partitions} partitions, cached)",
+        f"{'backend':<24}{'wall s':>10}{'items/s':>12}{'ms/win overhead':>17}{'hit rate':>10}",
+    ]
+    records = {}
+    for name, backend in backends:
+        records[name] = run_stream_on_backend(backend, partitions, windows, grounding_cache=GroundingCache())
+    baseline_seconds = records["inline"]["seconds"]
+    for name, _ in backends:
+        record = records[name]
+        overhead_ms = (record["seconds"] - baseline_seconds) / len(windows) * 1000.0
+        lines.append(
+            f"{name:<24}{record['seconds']:>10.3f}{record['throughput']:>12.0f}"
+            f"{overhead_ms:>17.2f}{record['cache_hit_rate']:>10.2f}"
+        )
     return lines
 
 
@@ -172,6 +231,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ]
     windows = make_windows(window_count, window_size)
     lines += scaling_section(worker_counts, windows)
+    lines.append("")
+    lines += backend_section(windows, workers=max(worker_counts), partitions=max(worker_counts))
     lines.append("")
     lines += cache_section(windows, repeats, partitions=max(worker_counts))
 

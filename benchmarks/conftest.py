@@ -17,12 +17,11 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 import pytest
 
 from repro.experiments.config import PAPER_WINDOW_SIZES, paper_scale_enabled
-from repro.experiments.figures import SweepRecord
 from repro.experiments.runner import ReasonerSuite, build_reasoner_suite
 from repro.programs.traffic import INPUT_PREDICATES
 from repro.streaming.generator import SyntheticStreamConfig, generate_window

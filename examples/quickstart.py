@@ -6,8 +6,8 @@ sensor readings (Section II-A of the paper).  This script:
 
 1. loads the paper's logic program P (Listing 1),
 2. builds the input dependency graph and a partitioning plan at design time,
-3. evaluates the motivating window W with the plain reasoner R and with the
-   dependency-partitioned parallel reasoner PR,
+3. evaluates the motivating window W with the plain reasoner R and with a
+   dependency-partitioned StreamSession (the parallel reasoner PR),
 4. shows that both detect exactly the car fire on the dangan road segment.
 
 Run with:  python examples/quickstart.py
@@ -15,7 +15,7 @@ Run with:  python examples/quickstart.py
 
 from repro.core import DependencyPartitioner, build_input_dependency_graph, decompose
 from repro.programs import EVENT_PREDICATES, INPUT_PREDICATES, motivating_example_window, traffic_program
-from repro.streamrule import ParallelReasoner, Reasoner
+from repro.streamrule import Reasoner, StreamSession
 
 
 def main() -> None:
@@ -38,16 +38,19 @@ def main() -> None:
     print()
 
     reasoner = Reasoner(program, INPUT_PREDICATES, EVENT_PREDICATES)
-    parallel_reasoner = ParallelReasoner(reasoner, DependencyPartitioner(decomposition.plan))
-
     reference = reasoner.reason(window)
-    partitioned = parallel_reasoner.reason(window)
+
+    # The session is the parallel reasoner PR: partitioning handler ->
+    # execution backend (inline by default; swap in ThreadPoolBackend,
+    # ProcessPoolBackend, or LoopbackSocketBackend) -> combining handler.
+    with StreamSession(reasoner, partitioner=DependencyPartitioner(decomposition.plan)) as session:
+        partitioned = session.evaluate_window(window)
 
     print("Events detected by the whole-window reasoner R:")
     for answer in reference.answers:
         print("  " + ", ".join(sorted(str(atom) for atom in answer)))
 
-    print("Events detected by the dependency-partitioned reasoner PR:")
+    print("Events detected by the dependency-partitioned session PR:")
     for answer in partitioned.answers:
         print("  " + ", ".join(sorted(str(atom) for atom in answer)))
 

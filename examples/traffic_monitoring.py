@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
 """Traffic monitoring over a continuous synthetic stream.
 
-This example runs the *extended StreamRule* pipeline of Figure 6 end to end:
+This example runs the *extended StreamRule* loop of Figure 6 end to end
+through the :class:`StreamSession` facade:
 
   synthetic RDF stream  ->  stream query processor (CQELS stand-in)
                         ->  partitioning handler (Algorithm 1)
-                        ->  parallel reasoners over program P
+                        ->  execution backend (parallel reasoners over P)
                         ->  combining handler
                         ->  solution triples (events + notifications)
 
-It processes several tuple-based windows, prints the events detected per
-window, and compares the parallel reasoner's latency and accuracy against
-the monolithic reasoner R and against random partitioning.
+The stream is fed with ``session.push`` and solutions drained with
+``session.results`` -- windows evaluate as they complete.  Per window, the
+script prints the events detected and compares the partitioned session's
+latency and accuracy against the monolithic reasoner R and against random
+partitioning.
 
 Run with:  python examples/traffic_monitoring.py [--windows 4] [--window-size 1500]
 """
@@ -27,7 +30,7 @@ from repro.core import (
 )
 from repro.programs import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program
 from repro.streaming import CountWindow, StreamQueryProcessor, SyntheticStreamConfig, generate_window
-from repro.streamrule import ParallelReasoner, Reasoner, StreamRulePipeline
+from repro.streamrule import Reasoner, StreamSession
 
 
 def build_arguments() -> argparse.Namespace:
@@ -45,14 +48,6 @@ def main() -> None:
     program = traffic_program()
     plan = decompose(build_input_dependency_graph(program, INPUT_PREDICATES)).plan
     reasoner = Reasoner(program, INPUT_PREDICATES, EVENT_PREDICATES)
-    dependency_reasoner = ParallelReasoner(reasoner, DependencyPartitioner(plan))
-    random_reasoner = ParallelReasoner(reasoner, RandomPartitioner(2, seed=arguments.seed))
-
-    pipeline = StreamRulePipeline(
-        dependency_reasoner,
-        query_processor=StreamQueryProcessor(set(INPUT_PREDICATES)),
-        window=CountWindow(size=arguments.window_size),
-    )
 
     # Run time: one long synthetic stream, cut into tuple-based windows.
     stream_config = SyntheticStreamConfig(
@@ -68,24 +63,36 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
-    for solution in pipeline.process_stream(stream):
-        window_triples = stream[
-            solution.window_index * arguments.window_size : (solution.window_index + 1) * arguments.window_size
-        ]
-        reference = reasoner.reason(window_triples)
-        random_result = random_reasoner.reason(window_triples)
-        accuracy_dep = mean_accuracy(solution.answers, reference.answers)
-        accuracy_random = mean_accuracy(random_result.answers, reference.answers)
-        print(
-            f"{solution.window_index:>6}  {len(solution.solution_triples):>6}  "
-            f"{solution.metrics.latency_milliseconds:>9.1f}  {reference.metrics.latency_milliseconds:>7.1f}  "
-            f"{accuracy_dep:>10.3f}  {accuracy_random:>11.3f}"
-        )
+    random_session = StreamSession(reasoner, partitioner=RandomPartitioner(2, seed=arguments.seed))
+    with StreamSession(
+        reasoner,
+        partitioner=DependencyPartitioner(plan),
+        window=CountWindow(size=arguments.window_size),
+        query_processor=StreamQueryProcessor(set(INPUT_PREDICATES)),
+    ) as session, random_session:
+        solution = None
+        for triple in stream:
+            session.push(triple)
+            for solution in session.results():
+                window_triples = stream[
+                    solution.window_index * arguments.window_size : (solution.window_index + 1)
+                    * arguments.window_size
+                ]
+                reference = reasoner.reason(window_triples)
+                random_result = random_session.evaluate_window(window_triples)
+                accuracy_dep = mean_accuracy(solution.answers, reference.answers)
+                accuracy_random = mean_accuracy(random_result.answers, reference.answers)
+                print(
+                    f"{solution.window_index:>6}  {len(solution.solution_triples):>6}  "
+                    f"{solution.metrics.latency_milliseconds:>9.1f}  {reference.metrics.latency_milliseconds:>7.1f}  "
+                    f"{accuracy_dep:>10.3f}  {accuracy_random:>11.3f}"
+                )
 
     print()
     print("Sample of events from the last window:")
-    for triple in list(solution.solution_triples)[:8]:
-        print(f"  {triple}")
+    if solution is not None:
+        for triple in list(solution.solution_triples)[:8]:
+            print(f"  {triple}")
 
 
 if __name__ == "__main__":

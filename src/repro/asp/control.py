@@ -16,10 +16,12 @@ reimplementation can treat the engine as a drop-in component::
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
-from repro.asp.errors import SolvingError
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import, avoids a layering cycle
+    from repro.streamrule.work import WorkItem
+
 from repro.asp.grounding.grounder import GroundProgram, Grounder, GroundingCache, RepairStats
 from repro.asp.solving.solver import StableModelSolver
 from repro.asp.syntax.atoms import Atom
@@ -82,6 +84,12 @@ class Control:
     together with a ``grounding_cache``, :meth:`ground` goes through
     :meth:`GroundingCache.ground_incremental` so an overlapping window
     repairs the track's cached instantiation instead of regrounding.
+
+    Alternatively a typed :class:`~repro.streamrule.work.WorkItem` can be
+    passed as ``work``: its track/epoch/incremental intent then drive the
+    same delta path (``delta_track = work.track`` when the item wants
+    incremental grounding and a cache is attached), and the item stays
+    available as :attr:`work` / :attr:`epoch` for downstream bookkeeping.
     """
 
     def __init__(
@@ -89,9 +97,18 @@ class Control:
         program: Optional[Program] = None,
         grounding_cache: Optional[GroundingCache] = None,
         delta_track: Optional[int] = None,
+        work: Optional["WorkItem"] = None,
     ):
         self._program = program.copy() if program is not None else Program()
         self._grounding_cache = grounding_cache
+        self._work = work
+        if (
+            delta_track is None
+            and work is not None
+            and grounding_cache is not None
+            and work.wants_incremental
+        ):
+            delta_track = work.track
         self._delta_track = delta_track
         self._ground_program: Optional[GroundProgram] = None
         self._ground_from_cache: Optional[bool] = None
@@ -128,6 +145,16 @@ class Control:
     @property
     def program(self) -> Program:
         return self._program
+
+    @property
+    def work(self) -> Optional["WorkItem"]:
+        """The typed work item this control evaluates (``None`` for ad-hoc runs)."""
+        return self._work
+
+    @property
+    def epoch(self) -> Optional[int]:
+        """Window epoch of the attached work item (``None`` without one)."""
+        return self._work.epoch if self._work is not None else None
 
     # ------------------------------------------------------------------ #
     # Grounding and solving

@@ -15,10 +15,9 @@ live in :mod:`repro.core`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.asp.syntax.program import Program
-from repro.asp.syntax.rules import Rule
 
 __all__ = ["PredicateDependencyGraph", "stratify", "strongly_connected_components"]
 

@@ -704,7 +704,6 @@ class Grounder:
             return still_pending
 
         # Depth-first search over literal orderings.
-        results: List[Substitution] = []
         pending_stack: List[List[Comparison]] = [pending_comparisons]
 
         def descend(binding: Substitution, todo: List[int]) -> Iterable[Substitution]:

@@ -7,7 +7,7 @@ this is the primitive the semi-naive grounder builds joins out of.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional
 
 from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.terms import Constant, FunctionTerm, Term, Variable

@@ -23,10 +23,10 @@ solver's responsibility).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
-from repro.asp.grounding.grounder import GroundProgram, GroundRule
+from repro.asp.grounding.grounder import GroundProgram
 from repro.asp.solving.sat import DPLLSolver
 from repro.asp.syntax.atoms import Atom
 

@@ -15,10 +15,8 @@ blocking clauses between calls.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.asp.errors import SolvingError
 
 __all__ = ["DPLLSolver", "Satisfiability"]
 

@@ -18,12 +18,10 @@ systems (and of Clingo, which the paper uses):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set
 
-from repro.asp.errors import SolvingError
-from repro.asp.grounding.grounder import GroundProgram, GroundRule
-from repro.asp.solving.completion import CompletionEncoding, build_completion
+from repro.asp.grounding.grounder import GroundProgram
+from repro.asp.solving.completion import build_completion
 from repro.asp.solving.sat import DPLLSolver, Satisfiability
 from repro.asp.solving.unfounded import greatest_unfounded_set
 from repro.asp.solving.wellfounded import well_founded_model

@@ -18,7 +18,7 @@ For normal programs this characterises stability:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import List, Set
 
 from repro.asp.grounding.grounder import GroundProgram, GroundRule
 from repro.asp.syntax.atoms import Atom

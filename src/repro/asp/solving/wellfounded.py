@@ -21,8 +21,8 @@ converging to the set of true atoms ``T`` and the set of possibly-true atoms
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.asp.grounding.grounder import GroundProgram, GroundRule
 from repro.asp.syntax.atoms import Atom

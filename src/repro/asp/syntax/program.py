@@ -15,7 +15,7 @@ The paper uses three predicate sets throughout (Section I):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Optional, Set
 
 from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.rules import Rule

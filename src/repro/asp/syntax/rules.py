@@ -14,8 +14,8 @@ where the ``qi`` are head atoms, the ``pi`` are body atom literals and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Set, Tuple, Union
 
 from repro.asp.syntax.atoms import Atom, Comparison, Literal
 from repro.asp.syntax.terms import Variable

@@ -31,6 +31,7 @@ from repro.core.partitioner import (
     HashPartitioner,
     Partitioner,
     RandomPartitioner,
+    SinglePartitioner,
 )
 from repro.core.plan import PartitioningPlan
 from repro.core.validation import PlanValidationReport, validate_plan
@@ -46,6 +47,7 @@ __all__ = [
     "PartitioningPlan",
     "Partitioner",
     "RandomPartitioner",
+    "SinglePartitioner",
     "accuracy_of_answer",
     "accuracy_of_answers",
     "build_input_dependency_graph",

@@ -14,7 +14,7 @@ answer set this reduces to the ordinary ratio the paper states first.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Sequence
 
 from repro.asp.syntax.atoms import Atom
 

@@ -19,8 +19,8 @@ The result records the communities, the duplicated predicates and the final
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.input_dependency import InputDependencyGraph
 from repro.core.plan import PartitioningPlan

@@ -17,7 +17,7 @@ what makes it suitable for analysing relations between *input* data items.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import FrozenSet, List, Set, Tuple
 
 from repro.asp.syntax.program import Program
 from repro.graph.digraph import DirectedGraph

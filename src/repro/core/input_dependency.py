@@ -22,7 +22,7 @@ must be kept in the same partition so that rules fire properly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.asp.syntax.program import Program
 from repro.core.extended_dependency import ExtendedDependencyGraph

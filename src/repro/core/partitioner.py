@@ -19,13 +19,18 @@ from __future__ import annotations
 
 import abc
 import random
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.asp.syntax.atoms import Atom
 from repro.core.plan import PartitioningPlan
 
-__all__ = ["DependencyPartitioner", "HashPartitioner", "Partitioner", "RandomPartitioner"]
+__all__ = [
+    "DependencyPartitioner",
+    "HashPartitioner",
+    "Partitioner",
+    "RandomPartitioner",
+    "SinglePartitioner",
+]
 
 #: A window is a sequence of data items; both ASP ground atoms and RDF
 #: triples qualify (the partitioners only need the item's ``predicate``).
@@ -57,6 +62,24 @@ class Partitioner(abc.ABC):
             return 0.0
         total = sum(len(part) for part in self.partition(window))
         return max(0.0, (total - len(window)) / len(window))
+
+
+class SinglePartitioner(Partitioner):
+    """The trivial layout: the whole window as one partition.
+
+    This is how the unpartitioned reasoner ``R`` fits the partition/combine
+    machinery -- a :class:`~repro.streamrule.session.StreamSession` without a
+    partitioner degenerates to exactly ``R``'s answers.
+    """
+
+    deterministic = True  # every item always lands in partition 0
+
+    @property
+    def partition_count(self) -> int:
+        return 1
+
+    def partition(self, window: Window) -> List[List[Atom]]:
+        return [list(window)]
 
 
 class DependencyPartitioner(Partitioner):

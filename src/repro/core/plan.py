@@ -8,8 +8,8 @@ decomposing process (their data items are copied into several partitions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set
 
 __all__ = ["PartitioningPlan"]
 

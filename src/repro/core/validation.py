@@ -26,8 +26,8 @@ verifies rather than assumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.core.input_dependency import InputDependencyGraph
 from repro.core.plan import PartitioningPlan

@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.accuracy import mean_accuracy
 from repro.core.decomposition import decompose
@@ -21,7 +21,7 @@ from repro.core.partitioner import DependencyPartitioner, RandomPartitioner
 from repro.experiments.runner import build_reasoner_suite, program_by_name
 from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES
 from repro.streaming.generator import SyntheticStreamConfig, generate_window
-from repro.streamrule.parallel import ExecutionMode, ParallelReasoner
+from repro.streamrule.parallel import ParallelReasoner
 from repro.streamrule.reasoner import Reasoner
 
 __all__ = ["DuplicationRecord", "ResolutionRecord", "duplication_overhead", "partition_count_sweep", "resolution_sweep"]
@@ -60,8 +60,8 @@ def duplication_overhead(
             seed=seed + window_size,
         )
         window = generate_window(config)
-        with_duplication = suite_p_prime.dependency.reason(window)
-        without_duplication = suite_p.dependency.reason(window)
+        with_duplication = suite_p_prime.dependency.session.evaluate_window(window)
+        without_duplication = suite_p.dependency.session.evaluate_window(window)
         records.append(
             DuplicationRecord(
                 window_size=window_size,
@@ -103,7 +103,7 @@ def resolution_sweep(
     for resolution in resolutions:
         decomposition = decompose(graph, resolution=resolution)
         parallel_reasoner = ParallelReasoner(reasoner, DependencyPartitioner(decomposition.plan))
-        result = parallel_reasoner.reason(window)
+        result = parallel_reasoner.session.evaluate_window(window)
         records.append(
             ResolutionRecord(
                 resolution=resolution,
@@ -132,6 +132,6 @@ def partition_count_sweep(
     accuracies: Dict[int, float] = {}
     for count in partition_counts:
         parallel_reasoner = ParallelReasoner(reasoner, RandomPartitioner(count, seed=seed + count))
-        result = parallel_reasoner.reason(window)
+        result = parallel_reasoner.session.evaluate_window(window)
         accuracies[count] = mean_accuracy(result.answers, reference.answers)
     return accuracies

@@ -13,7 +13,7 @@ environment variable ``REPRO_PAPER_SCALE=1`` (or pass
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 __all__ = ["DEFAULT_WINDOW_SIZES", "PAPER_WINDOW_SIZES", "ExperimentConfig"]

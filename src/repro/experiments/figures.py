@@ -12,7 +12,7 @@ and :func:`run_figure` extracts the requested series.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig, effective_window_sizes

@@ -8,7 +8,7 @@ per reasoner configuration) and can emit CSV for plotting.
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.figures import FigureSeries, SweepRecord
 

@@ -16,7 +16,7 @@ exact enough; tests cross-check results against ``networkx``.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
 
 from repro.graph.undirected import UndirectedGraph
 

@@ -24,10 +24,11 @@ from repro.streaming.generator import (
 )
 from repro.streaming.processor import StreamQueryProcessor
 from repro.streaming.triples import Triple
-from repro.streaming.window import CountWindow, TimeWindow, WindowDelta, WindowedStream
+from repro.streaming.window import CountWindow, CountWindowStepper, TimeWindow, WindowDelta, WindowedStream
 
 __all__ = [
     "CountWindow",
+    "CountWindowStepper",
     "DataFormatProcessor",
     "StreamQueryProcessor",
     "SyntheticStreamConfig",

@@ -10,7 +10,7 @@ directions are implemented as explicit, measurable steps.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Union
 
 from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.terms import Constant, Term

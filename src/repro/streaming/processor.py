@@ -11,7 +11,7 @@ else, and keep simple statistics so the filtering overhead can be reported.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Set
 
 from repro.streaming.triples import Triple
 

@@ -41,11 +41,11 @@ suffix of the current one, and the two reconstruct each slide exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.streaming.triples import Triple
 
-__all__ = ["CountWindow", "TimeWindow", "WindowDelta", "WindowedStream"]
+__all__ = ["CountWindow", "CountWindowStepper", "TimeWindow", "WindowDelta", "WindowedStream"]
 
 
 @dataclass(frozen=True)
@@ -104,31 +104,20 @@ class CountWindow:
             yield list(delta.window)
 
     def deltas(self, triples: Iterable[Triple]) -> Iterator[WindowDelta]:
-        """Iterate windows annotated with their expired/arrived deltas."""
-        slide = self.slide or self.size
-        buffer: List[Triple] = []
-        previous: List[Triple] = []
-        pending = 0  # buffered items not yet emitted in any window
-        skip = 0  # hopping: items to drop before buffering resumes
-        index = 0
+        """Iterate windows annotated with their expired/arrived deltas.
+
+        The windowing state machine lives in :class:`CountWindowStepper`
+        (the push-based form); this batch generator simply drives it, so
+        the two iteration styles can never diverge.
+        """
+        stepper = self.stepper()
         for triple in triples:
-            if skip:
-                skip -= 1
-                continue
-            buffer.append(triple)
-            pending += 1
-            if len(buffer) == self.size:
-                yield self._delta(index, buffer, previous, pending, partial=False)
-                index += 1
-                previous = list(buffer)
-                pending = 0
-                if slide >= self.size:
-                    buffer = []
-                    skip = slide - self.size
-                else:
-                    buffer = buffer[slide:]
-        if buffer and pending and self.emit_partial:
-            yield self._delta(index, buffer, previous, pending, partial=True)
+            delta = stepper.feed(triple)
+            if delta is not None:
+                yield delta
+        tail = stepper.flush()
+        if tail is not None:
+            yield tail
 
     @staticmethod
     def _delta(
@@ -142,6 +131,66 @@ class CountWindow:
             arrived=tuple(buffer[overlap:]),
             partial=partial,
         )
+
+    def stepper(self) -> "CountWindowStepper":
+        """An incremental (push-based) driver equivalent to :meth:`deltas`."""
+        return CountWindowStepper(self)
+
+
+class CountWindowStepper:
+    """The count-window state machine, push-based.
+
+    Feed items one at a time; each call returns the completed window's
+    :class:`WindowDelta` (or ``None`` while the window is still filling), and
+    :meth:`flush` emits the trailing partial window under the
+    ``emit_partial`` rule.  :meth:`CountWindow.deltas` is a thin driver over
+    this class, so batch iteration and item-wise push yield the identical
+    delta sequence by construction -- in O(1) bookkeeping per
+    non-completing item, which is what makes unbounded push ingestion cheap
+    (re-windowing a growing buffer from the start would be quadratic).
+    """
+
+    def __init__(self, policy: CountWindow):
+        self._policy = policy
+        self._slide = policy.slide or policy.size
+        self._buffer: List[Triple] = []
+        self._previous: List[Triple] = []
+        self._pending = 0  # buffered items not yet emitted in any window
+        self._skip = 0  # hopping: items to drop before buffering resumes
+        self._index = 0
+
+    @property
+    def index(self) -> int:
+        """Index of the next window to be emitted."""
+        return self._index
+
+    def feed(self, item: Triple) -> Optional[WindowDelta]:
+        """Accept one stream item; return the delta of the window it completes."""
+        if self._skip:
+            self._skip -= 1
+            return None
+        self._buffer.append(item)
+        self._pending += 1
+        if len(self._buffer) < self._policy.size:
+            return None
+        delta = CountWindow._delta(self._index, self._buffer, self._previous, self._pending, partial=False)
+        self._index += 1
+        self._previous = list(self._buffer)
+        self._pending = 0
+        if self._slide >= self._policy.size:
+            self._buffer = []
+            self._skip = self._slide - self._policy.size
+        else:
+            self._buffer = self._buffer[self._slide :]
+        return delta
+
+    def flush(self) -> Optional[WindowDelta]:
+        """End of stream: emit the trailing partial window, if the policy does."""
+        if self._buffer and self._pending and self._policy.emit_partial:
+            delta = CountWindow._delta(self._index, self._buffer, self._previous, self._pending, partial=True)
+            self._pending = 0  # the tail is now seen; a second flush is a no-op
+            return delta
+        return None
 
 
 @dataclass(frozen=True)

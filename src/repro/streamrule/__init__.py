@@ -1,30 +1,68 @@
 """The (extended) StreamRule framework.
 
 * :mod:`repro.streamrule.metrics` -- latency breakdowns and accuracy records.
+* :mod:`repro.streamrule.work` -- the typed :class:`WorkItem` unit of
+  dispatch (facts, delta, track, epoch).
+* :mod:`repro.streamrule.placement` -- placement strategies mapping work
+  items to worker slots (track-pinned, consistent-hash-over-content).
+* :mod:`repro.streamrule.backends` -- the pluggable :class:`ExecutionBackend`
+  protocol and its transports: inline, thread pool, pinned process pool, and
+  the loopback-socket backend that pickles work items over a real wire.
 * :mod:`repro.streamrule.reasoner` -- the reasoner ``R``: data format
-  processor plus the ASP solver, evaluating one whole window per call
+  processor plus the ASP solver, evaluating one work item per call
   (the dashed box of Figure 1).
-* :mod:`repro.streamrule.parallel` -- the parallel reasoner ``PR``:
-  partitioning handler, a pool of ``R`` copies, and the combining handler
-  (the grey box of Figure 6).
-* :mod:`repro.streamrule.pipeline` -- the end-to-end pipeline: stream query
-  processor -> (partitioned) reasoner -> solutions.
+* :mod:`repro.streamrule.session` -- the unified :class:`StreamSession`
+  facade: window policy -> partitioning handler -> backend dispatch ->
+  combining handler -> solution triples.
+* :mod:`repro.streamrule.parallel` -- the parallel reasoner ``PR``
+  (the grey box of Figure 6), now a deprecated shim over the session.
+* :mod:`repro.streamrule.pipeline` -- the legacy end-to-end pipeline,
+  likewise a deprecated shim over the session.
 """
 
+from repro.streamrule.backends import (
+    BackendConnectionError,
+    BackendError,
+    ExecutionBackend,
+    ExecutionMode,
+    InlineBackend,
+    LoopbackSocketBackend,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+    backend_for_mode,
+)
+from repro.streamrule.compat import reset_deprecation_warnings
 from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
-from repro.streamrule.parallel import ExecutionMode, ParallelReasoner, ParallelResult
-from repro.streamrule.pipeline import StreamRulePipeline, WindowSolution
+from repro.streamrule.parallel import ParallelReasoner
+from repro.streamrule.pipeline import StreamRulePipeline
+from repro.streamrule.placement import ConsistentHashPlacement, PinnedPlacement, PlacementStrategy
 from repro.streamrule.reasoner import Reasoner, ReasonerResult
+from repro.streamrule.session import ParallelResult, StreamSession, WindowSolution
+from repro.streamrule.work import WorkItem
 
 __all__ = [
+    "BackendConnectionError",
+    "BackendError",
+    "ConsistentHashPlacement",
+    "ExecutionBackend",
     "ExecutionMode",
+    "InlineBackend",
     "LatencyBreakdown",
+    "LoopbackSocketBackend",
     "ParallelReasoner",
     "ParallelResult",
+    "PinnedPlacement",
+    "PlacementStrategy",
+    "ProcessPoolBackend",
     "Reasoner",
     "ReasonerMetrics",
     "ReasonerResult",
     "StreamRulePipeline",
+    "StreamSession",
+    "ThreadPoolBackend",
     "Timer",
     "WindowSolution",
+    "WorkItem",
+    "backend_for_mode",
+    "reset_deprecation_warnings",
 ]

@@ -1,0 +1,498 @@
+"""Pluggable execution backends: *where* partition work items run.
+
+The paper's partition/combine protocol is transport-agnostic: a partition
+evaluation consumes a pickled fact batch and produces a
+:class:`~repro.streamrule.reasoner.ReasonerResult`.  An
+:class:`ExecutionBackend` encapsulates one transport behind a tiny protocol
+-- ``start(reasoner)`` / ``submit(WorkItem) -> Future[ReasonerResult]`` /
+``close()`` plus capability flags -- so the session/pipeline layers never
+branch on an execution mode again:
+
+* :class:`InlineBackend` -- evaluate in the calling thread.  With
+  ``simulated=True`` (default) latency is *modelled* as the slowest
+  partition (the paper's ideally-parallel deployment); with
+  ``simulated=False`` latencies sum (the pessimistic serial bound).
+* :class:`ThreadPoolBackend` -- a persistent thread pool; useful when the
+  solver releases the GIL or for I/O-bound format processing.
+* :class:`ProcessPoolBackend` -- true multi-core execution on persistent
+  pinned worker processes (one single-worker executor per slot); the
+  placement strategy chooses the slot, so worker-local grounding caches
+  keep seeing the same track.
+* :class:`LoopbackSocketBackend` -- pickles every ``WorkItem`` /
+  ``ReasonerResult`` over a real local socket pair to a peer holding its own
+  unpickled copy of the reasoner.  Functionally it proves the
+  partition/combine protocol survives a wire byte-for-byte -- the first
+  brick of multi-machine sharding (ROADMAP) -- and it is the backend the
+  fault-injection tests drop connections on.
+
+Lifecycle
+---------
+``start`` is idempotent per bound reasoner and implicitly invoked by the
+session before the first window; ``close`` releases every executor and
+socket and is safe to call repeatedly (a later ``start`` rebuilds the
+resources).  Every resource-owning backend also registers a
+:func:`weakref.finalize` backstop, so a backend (or a ``ParallelReasoner``)
+abandoned without ``close()`` no longer leaks executors until interpreter
+exit.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import os
+import pickle
+import socket
+import struct
+import threading
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.streamrule.placement import PinnedPlacement, PlacementStrategy
+from repro.streamrule.reasoner import (
+    Reasoner,
+    ReasonerResult,
+    initialize_worker_reasoner,
+    ping_worker,
+    reason_item_task,
+)
+from repro.streamrule.work import WorkItem
+
+__all__ = [
+    "BackendConnectionError",
+    "BackendError",
+    "ExecutionBackend",
+    "ExecutionMode",
+    "InlineBackend",
+    "LoopbackSocketBackend",
+    "ProcessPoolBackend",
+    "ThreadPoolBackend",
+    "backend_for_mode",
+]
+
+
+class BackendError(RuntimeError):
+    """A backend failed to evaluate a work item."""
+
+
+class BackendConnectionError(BackendError, ConnectionError):
+    """The transport to a worker was lost (triggers inline fallback)."""
+
+
+class ExecutionMode(enum.Enum):
+    """Deprecated mode switch of the pre-backend API.
+
+    Each member maps to an :class:`ExecutionBackend` via
+    :func:`backend_for_mode`; new code should construct the backend
+    directly.
+    """
+
+    SIMULATED_PARALLEL = "simulated_parallel"
+    THREADS = "threads"
+    PROCESSES = "processes"
+    SERIAL = "serial"
+
+
+# --------------------------------------------------------------------------- #
+# The protocol
+# --------------------------------------------------------------------------- #
+class ExecutionBackend(abc.ABC):
+    """Transport-agnostic executor of :class:`WorkItem` evaluations.
+
+    Capability flags (class attributes, overridable per instance):
+
+    ``supports_delta``
+        Whether dispatch preserves per-track continuity, i.e. consecutive
+        items of one track reach the same cache state in order -- the
+        precondition for delta (incremental) grounding.
+    ``is_remote``
+        Whether items cross a process/wire boundary (payloads are pickled
+        and the session should be ready to fall back inline on connection
+        loss).
+    ``uses_placement``
+        Whether the backend has pinned worker slots and consults its
+        :attr:`placement` strategy to route items to them; configuring a
+        placement on a backend without slots is rejected by the session.
+    ``concurrent``
+        Whether partitions run (actually or notionally) at the same time;
+        decides if per-window latency aggregates as ``max`` or as ``sum``
+        over partitions.
+    ``measures_wall_clock``
+        Whether reported window latency is the measured wall-clock of the
+        evaluation phase (real pools) rather than the modelled aggregate
+        (inline evaluation).
+    """
+
+    name: str = "abstract"
+    supports_delta: bool = True
+    is_remote: bool = False
+    uses_placement: bool = False
+    concurrent: bool = True
+    measures_wall_clock: bool = False
+
+    def __init__(self, placement: Optional[PlacementStrategy] = None):
+        self.placement: PlacementStrategy = placement or PinnedPlacement()
+        self._reasoner: Optional[Reasoner] = None
+
+    # -- lifecycle ------------------------------------------------------- #
+    @property
+    def started(self) -> bool:
+        return self._reasoner is not None
+
+    @property
+    def reasoner(self) -> Optional[Reasoner]:
+        """The reasoner this backend is currently bound to."""
+        return self._reasoner
+
+    def start(self, reasoner: Reasoner) -> None:
+        """Bind to ``reasoner`` and allocate execution resources.
+
+        Idempotent while bound to the same reasoner instance; binding a
+        different reasoner closes and rebuilds the resources (workers hold
+        pickled copies of the reasoner, so they must match it).
+        """
+        if self._reasoner is reasoner:
+            return
+        if self._reasoner is not None:
+            self.close()
+        self._start(reasoner)
+        self._reasoner = reasoner
+
+    def close(self) -> None:
+        """Release all execution resources (idempotent; ``start`` reopens)."""
+        if self._reasoner is None:
+            return
+        try:
+            self._close()
+        finally:
+            self._reasoner = None
+
+    def _start(self, reasoner: Reasoner) -> None:
+        """Allocate backend resources (hook; default: none)."""
+
+    def _close(self) -> None:
+        """Release backend resources (hook; default: none)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch -------------------------------------------------------- #
+    @abc.abstractmethod
+    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+        """Schedule ``item`` for evaluation and return its future result."""
+
+    def _require_started(self) -> Reasoner:
+        if self._reasoner is None:
+            raise BackendError(f"backend {self.name!r} is not started; call start(reasoner) first")
+        return self._reasoner
+
+
+# --------------------------------------------------------------------------- #
+# In-process backends
+# --------------------------------------------------------------------------- #
+class InlineBackend(ExecutionBackend):
+    """Evaluate every item synchronously in the calling thread.
+
+    ``simulated=True`` models an ideally parallel deployment: answers are
+    exact and only the latency aggregation (slowest partition) reflects the
+    notional concurrency -- the paper's reporting mode.  ``simulated=False``
+    is the plain serial bound (latencies sum), useful for ablations.
+    """
+
+    name = "inline"
+
+    def __init__(self, placement: Optional[PlacementStrategy] = None, simulated: bool = True):
+        super().__init__(placement)
+        self.simulated = simulated
+        self.concurrent = simulated
+
+    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+        reasoner = self._require_started()
+        future: "Future[ReasonerResult]" = Future()
+        try:
+            future.set_result(reasoner.reason_item(item))
+        except BaseException as error:  # noqa: BLE001 - the future carries it
+            future.set_exception(error)
+        return future
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """A persistent thread pool sharing the bound reasoner (and its cache)."""
+
+    name = "threads"
+    measures_wall_clock = True
+
+    def __init__(self, max_workers: Optional[int] = None, placement: Optional[PlacementStrategy] = None):
+        super().__init__(placement)
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def _start(self, reasoner: Reasoner) -> None:
+        workers = self.max_workers or (os.cpu_count() or 1)
+        self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="streamrule-worker")
+        self._finalizer = weakref.finalize(self, _shutdown_executors, [self._pool])
+
+    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+        reasoner = self._require_started()
+        assert self._pool is not None
+        return self._pool.submit(reasoner.reason_item, item)
+
+    def _close(self) -> None:
+        finalizer, self._finalizer, self._pool = self._finalizer, None, None
+        if finalizer is not None:
+            finalizer()
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool backend
+# --------------------------------------------------------------------------- #
+class ProcessPoolBackend(ExecutionBackend):
+    """Persistent pinned worker processes (true multi-core execution).
+
+    One single-worker :class:`ProcessPoolExecutor` per slot makes placement
+    deterministic: submitting to slot ``s`` always runs in slot ``s``'s
+    process, so that worker's grounding cache sees every window of the
+    tracks placed there.  Workers are initialized exactly once with the
+    pickled reasoner; per-item dispatch ships only the thinned
+    :class:`WorkItem`.
+    """
+
+    name = "processes"
+    is_remote = True
+    uses_placement = True
+    measures_wall_clock = True
+
+    def __init__(self, max_workers: Optional[int] = None, placement: Optional[PlacementStrategy] = None):
+        super().__init__(placement)
+        self.max_workers = max_workers
+        self._pools: Optional[List[ProcessPoolExecutor]] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    @property
+    def pools(self) -> Optional[List[ProcessPoolExecutor]]:
+        """The live per-slot executors (``None`` while closed)."""
+        return self._pools
+
+    def _start(self, reasoner: Reasoner) -> None:
+        workers = self.max_workers or os.cpu_count() or 1
+        payload = pickle.dumps(reasoner)
+        pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=initialize_worker_reasoner,
+                initargs=(payload,),
+            )
+            for _ in range(workers)
+        ]
+        # Executors fork their worker lazily on the first submit; ping every
+        # slot so all spawns + reasoner unpickling happen here (backend
+        # start) rather than inside the first window's measured evaluation.
+        for ping in [pool.submit(ping_worker) for pool in pools]:
+            ping.result()
+        self._pools = pools
+        self._finalizer = weakref.finalize(self, _shutdown_executors, list(pools))
+
+    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+        self._require_started()
+        assert self._pools is not None
+        slot = self.placement.slot(item, len(self._pools))
+        return self._pools[slot].submit(reason_item_task, item.thinned())
+
+    def _close(self) -> None:
+        finalizer, self._finalizer, self._pools = self._finalizer, None, None
+        if finalizer is not None:
+            finalizer()
+
+
+def _shutdown_executors(executors) -> None:
+    """Finalizer backstop: shut down abandoned executors.
+
+    Module-level (and referencing only the executor list, never the backend)
+    so :func:`weakref.finalize` can fire once the backend is garbage
+    collected or the interpreter exits.
+    """
+    for executor in executors:
+        executor.shutdown(wait=True)
+
+
+# --------------------------------------------------------------------------- #
+# Loopback-socket backend
+# --------------------------------------------------------------------------- #
+_FRAME_HEADER = struct.Struct(">I")
+
+
+def _send_frame(connection: socket.socket, payload: bytes) -> None:
+    connection.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exactly(connection: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = connection.recv(count)
+        if not chunk:
+            raise EOFError("peer closed the connection")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(connection: socket.socket) -> bytes:
+    (length,) = _FRAME_HEADER.unpack(_recv_exactly(connection, _FRAME_HEADER.size))
+    return _recv_exactly(connection, length)
+
+
+@dataclass
+class _RemoteFailure:
+    """Wire wrapper distinguishing a worker-side exception from a result."""
+
+    error: BaseException
+
+    def rebuild(self) -> BaseException:
+        return self.error
+
+
+def _serve_loopback_worker(connection: socket.socket, payload: bytes) -> None:
+    """Peer loop: unpickle the reasoner once, then serve framed work items."""
+    reasoner: Reasoner = pickle.loads(payload)
+    try:
+        while True:
+            try:
+                frame = _recv_frame(connection)
+            except (EOFError, OSError):
+                break
+            item: WorkItem = pickle.loads(frame)
+            try:
+                response: object = reasoner.reason_item(item)
+            except BaseException as error:  # noqa: BLE001 - shipped back to the caller
+                response = _RemoteFailure(error)
+            try:
+                payload_out = pickle.dumps(response, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as error:  # noqa: BLE001 - pickling raises Type/Attribute errors too
+                # Never let an unpicklable response kill the slot: report it
+                # as a wrapped failure so the caller sees the real problem
+                # instead of a dead connection.
+                payload_out = pickle.dumps(
+                    _RemoteFailure(BackendError(f"unpicklable worker response ({error!r}): {response!r}")),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            _send_frame(connection, payload_out)
+    finally:
+        connection.close()
+
+
+class _LoopbackSlot:
+    """One pinned loopback peer: socket pair, server thread, serializing dispatcher."""
+
+    def __init__(self, index: int, payload: bytes):
+        self.client, server = socket.socketpair()
+        self.thread = threading.Thread(
+            target=_serve_loopback_worker,
+            args=(server, payload),
+            name=f"loopback-worker-{index}",
+            daemon=True,
+        )
+        self.thread.start()
+        # A single-thread dispatcher serializes the request/response pairs on
+        # this slot's socket, preserving per-track ordering (and with it the
+        # delta-grounding continuity of the pinned tracks).
+        self.dispatcher = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"loopback-dispatch-{index}")
+
+    def close(self) -> None:
+        try:
+            self.client.close()
+        except OSError:
+            pass
+        self.dispatcher.shutdown(wait=True)
+        self.thread.join(timeout=5.0)
+
+
+def _close_loopback_slots(slots) -> None:
+    """Finalizer backstop mirroring :func:`_shutdown_executors`."""
+    for slot in slots:
+        slot.close()
+
+
+class LoopbackSocketBackend(ExecutionBackend):
+    """Evaluate items on peers behind a real local socket pair.
+
+    Every slot holds its *own* reasoner, reconstructed by unpickling the
+    bound reasoner's bytes -- exactly what a remote shard would do -- and
+    every dispatch round-trips ``pickle(WorkItem)`` / ``pickle(ReasonerResult)``
+    through the kernel's socket layer.  The peers run as daemon threads, so
+    there is no cross-machine speed-up to be had here; the backend exists to
+    prove (and continuously test) that the partition/combine protocol
+    survives a wire, and to exercise connection-loss handling
+    (:meth:`drop_connection` + the session's inline fallback).
+    """
+
+    name = "loopback"
+    is_remote = True
+    uses_placement = True
+    measures_wall_clock = True
+
+    def __init__(self, max_workers: Optional[int] = None, placement: Optional[PlacementStrategy] = None):
+        super().__init__(placement)
+        self.max_workers = max_workers
+        self._slots: Optional[List[_LoopbackSlot]] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def _start(self, reasoner: Reasoner) -> None:
+        workers = self.max_workers or os.cpu_count() or 1
+        payload = pickle.dumps(reasoner)
+        self._slots = [_LoopbackSlot(index, payload) for index in range(workers)]
+        self._finalizer = weakref.finalize(self, _close_loopback_slots, list(self._slots))
+
+    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+        self._require_started()
+        assert self._slots is not None
+        slot = self._slots[self.placement.slot(item, len(self._slots))]
+        return slot.dispatcher.submit(self._roundtrip, slot, item.thinned())
+
+    @staticmethod
+    def _roundtrip(slot: _LoopbackSlot, item: WorkItem) -> ReasonerResult:
+        try:
+            _send_frame(slot.client, pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
+            frame = _recv_frame(slot.client)
+        except (OSError, EOFError) as error:
+            raise BackendConnectionError(f"loopback worker connection lost: {error!r}") from error
+        response = pickle.loads(frame)
+        if isinstance(response, _RemoteFailure):
+            raise response.rebuild()
+        return response
+
+    def drop_connection(self, slot: int = 0) -> None:
+        """Fault injection: sever one slot's socket (tests the inline fallback)."""
+        self._require_started()
+        assert self._slots is not None
+        try:
+            self._slots[slot].client.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._slots[slot].client.close()
+
+    def _close(self) -> None:
+        finalizer, self._finalizer, self._slots = self._finalizer, None, None
+        if finalizer is not None:
+            finalizer()
+
+
+# --------------------------------------------------------------------------- #
+# Mode mapping (legacy)
+# --------------------------------------------------------------------------- #
+def backend_for_mode(mode: ExecutionMode, max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Map a deprecated :class:`ExecutionMode` to its backend equivalent."""
+    if mode is ExecutionMode.SERIAL:
+        return InlineBackend(simulated=False)
+    if mode is ExecutionMode.SIMULATED_PARALLEL:
+        return InlineBackend(simulated=True)
+    if mode is ExecutionMode.THREADS:
+        return ThreadPoolBackend(max_workers=max_workers)
+    if mode is ExecutionMode.PROCESSES:
+        return ProcessPoolBackend(max_workers=max_workers)
+    raise ValueError(f"unknown execution mode: {mode!r}")

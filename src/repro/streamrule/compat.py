@@ -1,0 +1,39 @@
+"""Deprecation bookkeeping for the pre-``StreamSession`` API.
+
+Every deprecated construct (``ExecutionMode``, the
+``reason(incremental=/track=)`` keyword cluster, ``process_stream``) warns
+exactly once per interpreter, keyed by construct -- enough to steer users to
+the new API without drowning streaming workloads in per-window warnings.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Set
+
+__all__ = ["reset_deprecation_warnings", "warn_once"]
+
+_WARNED: Set[str] = set()
+_LOCK = threading.Lock()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen.
+
+    Returns whether the warning was actually emitted.  The once-per-construct
+    registry is independent of the :mod:`warnings` filters, so even under
+    ``simplefilter("always")`` a construct warns a single time.
+    """
+    with _LOCK:
+        if key in _WARNED:
+            return False
+        _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which constructs already warned (test isolation hook)."""
+    with _LOCK:
+        _WARNED.clear()

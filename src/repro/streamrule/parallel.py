@@ -1,4 +1,4 @@
-"""The parallel reasoner ``PR``: partitioning handler, reasoner pool, combining handler.
+"""The parallel reasoner ``PR``: legacy facade over :class:`StreamSession`.
 
 This is the grey box of Figure 6.  One call to :meth:`ParallelReasoner.reason`
 performs, for an input window ``W``:
@@ -11,113 +11,41 @@ performs, for an input window ``W``:
 3. *combining handler* -- union one answer set per partition
    (``Ans_P(W) = { U ans_i }``).
 
-Empty sub-windows are filtered out before evaluation: they contribute only
-the program's own consequences, which every other partition already derives,
-and for non-monotonic programs they would multiply the combination product
-with spurious picks.  When *every* sub-window is empty (an empty window, or a
-plan that matches none of the window's predicates) one empty partition is
-evaluated so ``Ans_P(W)`` degenerates to the answer sets of the program
-itself -- exactly what the unpartitioned reasoner returns for that window.
+Since the backend redesign this class is a thin deprecated shim: the actual
+partition/dispatch/combine engine lives in
+:class:`~repro.streamrule.session.StreamSession`, and *where* the partitions
+run is decided by a pluggable
+:class:`~repro.streamrule.backends.ExecutionBackend` (inline, thread pool,
+pinned process pool, loopback socket) instead of the old
+:class:`~repro.streamrule.backends.ExecutionMode` switch.  Existing call
+sites keep working unchanged -- constructing with ``mode=`` maps the mode to
+its backend (and warns once); new call sites should pass ``backend=``
+directly or use the session::
 
-Execution modes
----------------
-The paper runs the partition reasoners concurrently on an 8-core machine, so
-the reported latency for ``PR`` is essentially::
-
-    partitioning + max_i(latency of partition i) + combining
-
-Four execution modes are offered; all return identical answer sets and
-differ only in how the partitions are evaluated and how latency is reported:
-
-* ``ExecutionMode.SIMULATED_PARALLEL`` (default) -- evaluate the partitions
-  sequentially but report the latency formula above, i.e. the latency an
-  ideally parallel deployment (the paper's) would observe.  All answers are
-  exact; only the reported latency models the concurrency.
-* ``ExecutionMode.THREADS`` -- a real thread pool (useful when the solver
-  releases the GIL or for I/O-bound format processing); latency is the
-  measured wall-clock of the evaluation phase.  Python's GIL prevents
-  genuine thread-level speed-up for the pure-Python CPU-bound solver.
-* ``ExecutionMode.PROCESSES`` -- true multi-core execution on a persistent
-  pool of worker processes.  Workers are initialized once with the pickled
-  reasoner (program, predicate sets, format processor) and reused across
-  windows; each window's partitions are dispatched as atom batches.  Workers
-  inherit the reasoner's grounding-cache configuration (a cached reasoner
-  yields one private cache per worker; an uncached one stays uncached,
-  keeping the modes comparable).  The pool is organised as one
-  single-worker :class:`~concurrent.futures.ProcessPoolExecutor` per slot
-  and partition ``i`` is always dispatched to slot ``i % workers`` --
-  *worker pinning*: consecutive windows of the same partition track land in
-  the same process, so that worker's grounding cache sees the track's
-  previous instantiation and can serve exact hits or delta repairs from the
-  first recurrence (the ROADMAP's per-worker scheduling item).  Latency is
-  the measured wall-clock of the evaluation phase.  The pool is created
-  lazily on the first ``PROCESSES`` window and bound to the reasoner at
-  that moment; call :meth:`ParallelReasoner.close` (or use the reasoner as
-  a context manager) to release the workers.
-* ``ExecutionMode.SERIAL`` -- plain sequential evaluation with summed
-  latency (the pessimistic bound; useful for ablations).
+    with ParallelReasoner(reasoner, partitioner, backend=ProcessPoolBackend(4)) as pr:
+        for window in windows:
+            pr.reason(window)
 """
 
 from __future__ import annotations
 
-import enum
-import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Optional
 
-from repro.asp.syntax.atoms import Atom
-from repro.core.combining import combine_answer_sets
 from repro.core.partitioner import Partitioner
-from repro.streaming.triples import Triple
 from repro.streaming.window import WindowDelta
-from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
-from repro.streamrule.reasoner import (
-    Reasoner,
-    ReasonerResult,
-    WindowInput,
-    initialize_worker_reasoner,
-    ping_worker,
-    reason_partition_task,
-)
+from repro.streamrule.backends import ExecutionBackend, ExecutionMode, backend_for_mode
+from repro.streamrule.compat import warn_once
+from repro.streamrule.reasoner import Reasoner, WindowInput
+from repro.streamrule.session import ParallelResult, StreamSession
 
 __all__ = ["ExecutionMode", "ParallelReasoner", "ParallelResult"]
 
-AnswerSet = FrozenSet[Atom]
-
-
-class ExecutionMode(enum.Enum):
-    """How the partition reasoners are executed and how latency is reported."""
-
-    SIMULATED_PARALLEL = "simulated_parallel"
-    THREADS = "threads"
-    PROCESSES = "processes"
-    SERIAL = "serial"
-
-
-#: Modes whose reported latency is the measured wall-clock of the evaluation.
-_WALL_CLOCK_MODES = frozenset({ExecutionMode.THREADS, ExecutionMode.PROCESSES})
-
-
-@dataclass(frozen=True)
-class ParallelResult:
-    """Combined answers of one window plus the evaluation record."""
-
-    answers: Tuple[AnswerSet, ...]
-    metrics: ReasonerMetrics
-    partition_results: Tuple[ReasonerResult, ...]
-
-    @property
-    def satisfiable(self) -> bool:
-        return bool(self.answers)
-
 
 class ParallelReasoner:
-    """The reasoner ``PR`` of the extended StreamRule.
+    """The reasoner ``PR`` of the extended StreamRule (deprecated shim).
 
-    In ``ExecutionMode.PROCESSES`` the instance owns a persistent worker
-    pool; it is a context manager, so the idiomatic form is::
+    When its backend owns workers (process pool, loopback sockets) the
+    instance is a context manager::
 
         with ParallelReasoner(reasoner, partitioner, mode=ExecutionMode.PROCESSES) as pr:
             for window in windows:
@@ -128,19 +56,53 @@ class ParallelReasoner:
         self,
         reasoner: Reasoner,
         partitioner: Partitioner,
-        mode: ExecutionMode = ExecutionMode.SIMULATED_PARALLEL,
+        mode: Optional[ExecutionMode] = None,
         max_workers: Optional[int] = None,
         max_combinations: Optional[int] = 64,
+        backend: Optional[ExecutionBackend] = None,
     ):
+        if backend is not None and mode is not None:
+            raise ValueError("pass either a backend or a (deprecated) mode, not both")
+        if backend is not None and max_workers is not None:
+            raise ValueError(
+                "max_workers only applies when a mode is mapped to a backend; "
+                "size the passed backend directly (e.g. ProcessPoolBackend(max_workers=4))"
+            )
+        if backend is None:
+            if mode is not None:
+                warn_once(
+                    "execution-mode",
+                    "ExecutionMode is deprecated; construct the equivalent ExecutionBackend "
+                    "(InlineBackend/ThreadPoolBackend/ProcessPoolBackend/LoopbackSocketBackend) "
+                    "and pass it as backend= (or drive a StreamSession directly).",
+                )
+            backend = backend_for_mode(mode or ExecutionMode.SIMULATED_PARALLEL, max_workers)
         self.reasoner = reasoner
         self.partitioner = partitioner
         self.mode = mode
         self.max_workers = max_workers
         self.max_combinations = max_combinations
-        # One single-worker executor per slot; partition track i is pinned to
-        # slot i % workers so worker-local grounding caches keep seeing the
-        # same track (exact hits and delta repairs survive across windows).
-        self._process_pools: Optional[List[ProcessPoolExecutor]] = None
+        self._session = StreamSession(
+            reasoner,
+            partitioner=partitioner,
+            backend=backend,
+            max_combinations=max_combinations,
+        )
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend evaluating this reasoner's partitions."""
+        return self._session.backend
+
+    @property
+    def session(self) -> StreamSession:
+        """The session this shim delegates to."""
+        return self._session
+
+    @property
+    def _process_pools(self):
+        """Legacy introspection: the pinned executor list of a process backend."""
+        return getattr(self._session.backend, "pools", None)
 
     # ------------------------------------------------------------------ #
     # Worker-pool lifecycle
@@ -152,173 +114,24 @@ class ParallelReasoner:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op unless PROCESSES ran).
+        """Shut down the backend's workers (no-op when none are running).
 
-        Idempotent; a later ``PROCESSES`` window lazily recreates the pool
-        with the reasoner's state at that moment.
+        Idempotent; a later window lazily restarts the backend with the
+        reasoner's state at that moment.
         """
-        if self._process_pools is not None:
-            for pool in self._process_pools:
-                pool.shutdown(wait=True)
-            self._process_pools = None
-
-    def _ensure_process_pools(self) -> List[ProcessPoolExecutor]:
-        """Create the persistent pinned worker pools on first use.
-
-        Every worker is initialized exactly once with the pickled reasoner
-        (see :func:`initialize_worker_reasoner`), so per-window dispatch only
-        ships the partition's atom batch and receives the partition result.
-        One single-worker executor per slot makes the pinning deterministic:
-        submitting to slot ``s`` always runs in slot ``s``'s process.
-        """
-        if self._process_pools is None:
-            workers = self.max_workers or os.cpu_count() or 1
-            payload = pickle.dumps(self.reasoner)
-            pools = [
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    initializer=initialize_worker_reasoner,
-                    initargs=(payload,),
-                )
-                for _ in range(workers)
-            ]
-            # Executors fork their worker lazily on the first submit; ping
-            # every slot so all spawns + reasoner unpickling happen here
-            # (pool setup) rather than inside the first window's measured
-            # evaluation.
-            pings = [pool.submit(ping_worker) for pool in pools]
-            for ping in pings:
-                ping.result()
-            self._process_pools = pools
-        return self._process_pools
+        self._session.close()
 
     # ------------------------------------------------------------------ #
     def reason(self, window: WindowInput, *, delta: Optional[WindowDelta] = None) -> ParallelResult:
-        """Partition, evaluate in parallel, and combine one input window.
+        """Partition, evaluate on the backend, and combine one input window.
 
-        Following Figure 6, the partitioning handler splits the *filtered
-        stream* directly (triples and atoms both expose their predicate), and
-        each partition's reasoner performs its own data format translation --
-        so the transformation cost is parallelised along with the solving.
-
-        ``delta`` signals that this window is the next slide of an
-        overlapping stream.  When the partitioner is *deterministic* (the
-        same item always lands in the same partitions), window-to-window
-        continuity holds per partition as well, so every partition reasoner
-        is evaluated incrementally on its own track: partition ``i``'s
-        grounding delta-repairs partition ``i``'s previous instantiation.
-        Non-deterministic partitioners (the random baseline) ignore the
-        hint -- their layouts reshuffle every window, so there is no
-        continuity to exploit.
+        Deprecated shim over :meth:`StreamSession.evaluate_window` (see that
+        method for the delta semantics); prefer driving a session, which
+        also takes care of windowing and output translation.
         """
-        if self.mode is ExecutionMode.PROCESSES:
-            # One-time pool setup (pickling the reasoner, spawning workers)
-            # must not be billed to the first window's evaluation phase.
-            self._ensure_process_pools()
-
-        incremental = (
-            delta is not None
-            and delta.carries_over
-            and getattr(self.partitioner, "deterministic", False)
+        warn_once(
+            "parallel-reason",
+            "ParallelReasoner.reason is deprecated; use StreamSession.evaluate_window "
+            "(or the session's push/results facade) instead.",
         )
-
-        with Timer() as partitioning_timer:
-            partitions = self.partitioner.partition(window)
-
-        with Timer() as evaluation_timer:
-            partition_results = self._evaluate_partitions(partitions, incremental)
-
-        with Timer() as combining_timer:
-            combined = combine_answer_sets(
-                [result.answers for result in partition_results],
-                max_combinations=self.max_combinations,
-            )
-
-        breakdown = self._latency(partition_results)
-        breakdown.partitioning_seconds += partitioning_timer.seconds
-        breakdown.combining_seconds += combining_timer.seconds
-
-        if self.mode in _WALL_CLOCK_MODES:
-            # The docstring promise for THREADS/PROCESSES: latency is what a
-            # stopwatch around the evaluation phase actually measured.
-            latency_seconds = partitioning_timer.seconds + evaluation_timer.seconds + combining_timer.seconds
-        else:
-            latency_seconds = breakdown.total_seconds
-
-        metrics = ReasonerMetrics(
-            window_size=len(window),
-            latency_seconds=latency_seconds,
-            breakdown=breakdown,
-            partition_sizes=[len(partition) for partition in partitions],
-            answer_count=len(combined),
-            duplication_ratio=(
-                (sum(len(partition) for partition in partitions) - len(window)) / len(window) if window else 0.0
-            ),
-            cache_hits=sum(result.metrics.cache_hits for result in partition_results),
-            cache_misses=sum(result.metrics.cache_misses for result in partition_results),
-            delta_repairs=sum(result.metrics.delta_repairs for result in partition_results),
-            repair_size=sum(result.metrics.repair_size for result in partition_results),
-            repair_rules_changed=sum(result.metrics.repair_rules_changed for result in partition_results),
-            evaluation_wall_seconds=evaluation_timer.seconds,
-            worker_wall_seconds=[result.metrics.latency_seconds for result in partition_results],
-        )
-        return ParallelResult(
-            answers=tuple(combined),
-            metrics=metrics,
-            partition_results=tuple(partition_results),
-        )
-
-    # ------------------------------------------------------------------ #
-    def _evaluate_partitions(
-        self, partitions: Sequence[Sequence[Atom]], incremental: bool = False
-    ) -> List[ReasonerResult]:
-        """Evaluate the non-empty partitions according to the execution mode.
-
-        All modes evaluate the same batch list, which is what makes them
-        answer-set-equivalent; they differ only in *where* the batches run.
-        Each batch keeps its partition index as its *track*: the stable
-        identity under which the grounding caches store per-partition delta
-        states (and, in PROCESSES mode, the pinning key choosing the worker
-        slot).
-        """
-        batches = [(index, list(partition)) for index, partition in enumerate(partitions) if partition]
-        if not batches:
-            # Degenerate window: evaluate the program alone (see module
-            # docstring) so Ans_P matches the unpartitioned reasoner.
-            batches = [(0, [])]
-        if self.mode is ExecutionMode.THREADS:
-            workers = min(self.max_workers or len(batches), len(batches))
-
-            def evaluate(entry: Tuple[int, List[Atom]]) -> ReasonerResult:
-                track, batch = entry
-                return self.reasoner.reason(batch, incremental=incremental, track=track)
-
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(evaluate, batches))
-        if self.mode is ExecutionMode.PROCESSES:
-            pools = self._ensure_process_pools()
-            futures = [
-                pools[track % len(pools)].submit(reason_partition_task, batch, incremental, track)
-                for track, batch in batches
-            ]
-            return [future.result() for future in futures]
-        return [self.reasoner.reason(batch, incremental=incremental, track=track) for track, batch in batches]
-
-    def _latency(self, partition_results: Sequence[ReasonerResult]) -> LatencyBreakdown:
-        """Aggregate the partition latencies according to the execution mode."""
-        if not partition_results:
-            return LatencyBreakdown()
-        if self.mode is ExecutionMode.SERIAL:
-            merged = LatencyBreakdown()
-            for result in partition_results:
-                merged = merged.merged_with(result.metrics.breakdown)
-            return merged
-        # Concurrent modes: the per-stage breakdown is bounded by the slowest
-        # partition (they run -- actually or notionally -- at the same time).
-        slowest = max(partition_results, key=lambda result: result.metrics.breakdown.total_seconds)
-        breakdown = slowest.metrics.breakdown
-        return LatencyBreakdown(
-            transformation_seconds=breakdown.transformation_seconds,
-            grounding_seconds=breakdown.grounding_seconds,
-            solving_seconds=breakdown.solving_seconds,
-        )
+        return self._session.evaluate_window(window, delta=delta)

@@ -1,37 +1,35 @@
-"""The end-to-end (extended) StreamRule pipeline.
+"""The end-to-end (extended) StreamRule pipeline (deprecated shim).
 
 Wires together the stream query processor (CQELS stand-in), a reasoner (the
 plain ``R`` or the parallel ``PR``), and the data format processor producing
 output triples -- the full loop of Figures 1 and 6: Web of Data stream in,
 solutions out.
+
+Since the backend redesign the actual engine is
+:class:`~repro.streamrule.session.StreamSession`; this class remains as a
+thin compatibility layer that builds an equivalent session from its legacy
+constructor arguments.  New code should construct the session directly::
+
+    with StreamSession(program, window=CountWindow(size=1000),
+                       partitioner=partitioner, backend=backend) as session:
+        for solution in session.process(triples):
+            ...
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
-from repro.asp.syntax.atoms import Atom
 from repro.streaming.format import DataFormatProcessor
 from repro.streaming.processor import StreamQueryProcessor
 from repro.streaming.triples import Triple
 from repro.streaming.window import CountWindow, TimeWindow, WindowDelta
-from repro.streamrule.metrics import ReasonerMetrics
-from repro.streamrule.parallel import ParallelReasoner, ParallelResult
-from repro.streamrule.reasoner import Reasoner, ReasonerResult
+from repro.streamrule.compat import warn_once
+from repro.streamrule.parallel import ParallelReasoner
+from repro.streamrule.reasoner import Reasoner
+from repro.streamrule.session import StreamSession, WindowSolution
 
 __all__ = ["StreamRulePipeline", "WindowSolution"]
-
-
-@dataclass(frozen=True)
-class WindowSolution:
-    """Solutions produced for one window."""
-
-    window_index: int
-    window_size: int
-    answers: Tuple[frozenset, ...]
-    solution_triples: Tuple[Triple, ...]
-    metrics: ReasonerMetrics
 
 
 class StreamRulePipeline:
@@ -48,15 +46,18 @@ class StreamRulePipeline:
         self.query_processor = query_processor
         self.window = window or CountWindow(size=1000)
         self.format_processor = format_processor or DataFormatProcessor()
+        self._session: Optional[StreamSession] = None
 
     # ------------------------------------------------------------------ #
     # Resource lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release reasoner-held resources (the PROCESSES worker pool)."""
+        """Release reasoner-held resources (worker pools, sockets)."""
         closer = getattr(self.reasoner, "close", None)
         if callable(closer):
             closer()
+        if self._session is not None:
+            self._session.close()
 
     def __enter__(self) -> "StreamRulePipeline":
         return self
@@ -65,6 +66,36 @@ class StreamRulePipeline:
         self.close()
 
     # ------------------------------------------------------------------ #
+    def session(self) -> StreamSession:
+        """The equivalent :class:`StreamSession` this shim delegates to.
+
+        A :class:`ParallelReasoner` contributes its partitioner and backend
+        (the session *shares* them, so worker pools and caches are reused);
+        a plain :class:`Reasoner` runs unpartitioned and uncombined
+        (``max_combinations=None``), exactly like the pre-session pipeline.
+        """
+        if self._session is None:
+            if isinstance(self.reasoner, ParallelReasoner):
+                inner = self.reasoner.session
+                self._session = StreamSession(
+                    inner.reasoner,
+                    partitioner=inner.partitioner,
+                    backend=inner.backend,
+                    max_combinations=inner.max_combinations,
+                    window=self.window,
+                    query_processor=self.query_processor,
+                    format_processor=self.format_processor,
+                )
+            else:
+                self._session = StreamSession(
+                    self.reasoner,
+                    window=self.window,
+                    query_processor=self.query_processor,
+                    format_processor=self.format_processor,
+                    max_combinations=None,
+                )
+        return self._session
+
     def process_window(
         self,
         window_index: int,
@@ -75,32 +106,25 @@ class StreamRulePipeline:
 
         ``delta`` carries the window's expired/arrived record when the
         stream is iterated delta-aware (see :meth:`process_stream`); it is
-        forwarded to the reasoner so a grounding cache can repair the
-        previous window's instantiation instead of regrounding.
+        forwarded so a grounding cache can repair the previous window's
+        instantiation instead of regrounding.
         """
-        filtered = self.query_processor.process(triples) if self.query_processor else list(triples)
-        result = self.reasoner.reason(filtered, delta=delta)
-        solution_atoms: List[Atom] = sorted({atom for answer in result.answers for atom in answer}, key=str)
-        solution_triples = tuple(
-            self.format_processor.atom_to_triple(atom) for atom in solution_atoms if atom.arity in (1, 2)
-        )
-        return WindowSolution(
-            window_index=window_index,
-            window_size=len(filtered),
-            answers=tuple(result.answers),
-            solution_triples=solution_triples,
-            metrics=result.metrics,
-        )
+        return self.session()._solve_window(window_index, list(triples), delta)
 
     def process_stream(self, triples: Iterable[Triple]) -> Iterator[WindowSolution]:
         """Window an unbounded triple stream and process every window.
 
-        Iterates the window policy's delta API, so overlapping sliding
-        windows carry their expired/arrived deltas down to the reasoner
-        (enabling incremental grounding when a cache is attached).
+        Deprecated shim over :meth:`StreamSession.process`: overlapping
+        sliding windows still carry their expired/arrived deltas down to
+        the reasoner (enabling incremental grounding when a cache is
+        attached).
         """
-        for delta in self.window.deltas(triples):
-            yield self.process_window(delta.index, list(delta.window), delta=delta)
+        warn_once(
+            "process-stream",
+            "StreamRulePipeline.process_stream is deprecated; construct a StreamSession "
+            "and use session.process(triples) (or the push/results facade).",
+        )
+        return self.session().process(triples)
 
     def process_all(self, triples: Iterable[Triple]) -> List[WindowSolution]:
         return list(self.process_stream(triples))

@@ -15,18 +15,18 @@ so recurring window content skips the instantiation phase entirely
 (window-to-window grounding reuse); the per-window hit/miss outcome is
 recorded in the returned metrics.
 
-The module also defines the worker protocol of ``ExecutionMode.PROCESSES``:
-:func:`initialize_worker_reasoner` unpickles the reasoner *once* per worker
-process and :func:`reason_partition_task` evaluates one partition batch
-against it, so the program is serialized once per pool rather than once per
-window.  Both must be module-level functions to be picklable by
-:mod:`concurrent.futures`.
+The module also defines the worker protocol shared by the process-pool and
+loopback-socket execution backends: :func:`initialize_worker_reasoner`
+unpickles the reasoner *once* per worker process and :func:`reason_item_task`
+evaluates one :class:`~repro.streamrule.work.WorkItem` against it, so the
+program is serialized once per pool rather than once per window.  Both must
+be module-level functions to be picklable by :mod:`concurrent.futures`.
 """
 
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.asp.control import Control
@@ -36,9 +36,17 @@ from repro.asp.syntax.program import Program
 from repro.streaming.format import DataFormatProcessor
 from repro.streaming.triples import Triple
 from repro.streaming.window import WindowDelta
+from repro.streamrule.compat import warn_once
 from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
+from repro.streamrule.work import WorkItem
 
-__all__ = ["Reasoner", "ReasonerResult", "initialize_worker_reasoner", "reason_partition_task"]
+__all__ = [
+    "Reasoner",
+    "ReasonerResult",
+    "initialize_worker_reasoner",
+    "reason_item_task",
+    "reason_partition_task",
+]
 
 AnswerSet = FrozenSet[Atom]
 WindowInput = Sequence[Union[Triple, Atom]]
@@ -122,39 +130,25 @@ class Reasoner:
                 raise TypeError(f"window items must be Triple or Atom, got {type(item)!r}")
         return atoms
 
-    def reason(
-        self,
-        window: WindowInput,
-        *,
-        delta: Optional[WindowDelta] = None,
-        incremental: bool = False,
-        track: int = 0,
-    ) -> ReasonerResult:
-        """Evaluate one input window and return the projected answer sets.
+    def reason_item(self, item: WorkItem) -> ReasonerResult:
+        """Evaluate one :class:`~repro.streamrule.work.WorkItem`.
 
-        Passing a :class:`~repro.streaming.window.WindowDelta` (or setting
-        ``incremental=True``) signals that this window is the next slide of
-        the stream identified by ``track``: when a grounding cache is
-        attached, grounding then goes through the cache's delta path, which
-        repairs the track's previous instantiation (retracting expired
-        facts, instantiating from arrived ones) instead of regrounding --
-        see :meth:`GroundingCache.ground_incremental`.  A delta that carries
+        This is the core evaluation path every execution backend dispatches
+        to.  The item's delta/incremental intent selects the grounding
+        route: when a grounding cache is attached and the item wants
+        incremental grounding, the cache's delta path repairs the track's
+        previous instantiation (retracting expired facts, instantiating from
+        arrived ones) instead of regrounding -- see
+        :meth:`GroundingCache.ground_incremental`.  An item that carries
         nothing over (tumbling/hopping windows, the first window of a
-        stream) is ignored: there is no overlap to repair, and maintaining
-        repairable state would only tax the full-reground path.  Without a
-        cache both flags are inert and the window is evaluated exactly as
-        before.
+        stream) takes the plain path: there is no overlap to repair, and
+        maintaining repairable state would only tax the full-reground path.
+        Without a cache the intent is inert.
         """
         with Timer() as transformation_timer:
-            facts = self.to_atoms(window)
+            facts = self.to_atoms(item.facts)
 
-        overlapping = delta is not None and delta.carries_over
-        use_delta = (incremental or overlapping) and self.grounding_cache is not None
-        control = Control(
-            self.program,
-            grounding_cache=self.grounding_cache,
-            delta_track=track if use_delta else None,
-        )
+        control = Control(self.program, grounding_cache=self.grounding_cache, work=item)
         control.add_facts(facts)
         result = control.solve(models=self.max_models)
 
@@ -170,10 +164,10 @@ class Reasoner:
         outcome = control.ground_outcome
         repair = control.repair_stats
         metrics = ReasonerMetrics(
-            window_size=len(window),
+            window_size=len(item.facts),
             latency_seconds=breakdown.total_seconds,
             breakdown=breakdown,
-            partition_sizes=[len(window)],
+            partition_sizes=[len(item.facts)],
             answer_count=len(answers),
             cache_hits=1 if outcome == "hit" else 0,
             cache_misses=1 if outcome == "full" else 0,
@@ -183,9 +177,41 @@ class Reasoner:
         )
         return ReasonerResult(answers=answers, metrics=metrics)
 
+    def reason(
+        self,
+        window: WindowInput,
+        *,
+        delta: Optional[WindowDelta] = None,
+        incremental: bool = False,
+        track: int = 0,
+    ) -> ReasonerResult:
+        """Evaluate one input window (shim over :meth:`reason_item`).
+
+        The ``incremental=``/``track=`` keyword cluster is deprecated in
+        favour of passing a typed :class:`~repro.streamrule.work.WorkItem`
+        to :meth:`reason_item` (or, one level up, of driving a
+        :class:`~repro.streamrule.session.StreamSession`).  Passing a
+        ``delta`` remains supported: it is how a single window annotated
+        with its slide record is evaluated directly.
+        """
+        if incremental or track:
+            warn_once(
+                "reason-kwargs",
+                "Reasoner.reason(incremental=..., track=...) is deprecated; build a "
+                "WorkItem(facts, delta, track, epoch) and call Reasoner.reason_item "
+                "(or use StreamSession, which threads WorkItems end to end).",
+            )
+        item = WorkItem(
+            facts=tuple(window),
+            delta=delta,
+            track=track,
+            incremental=True if incremental else None,
+        )
+        return self.reason_item(item)
+
 
 # --------------------------------------------------------------------------- #
-# ExecutionMode.PROCESSES worker protocol
+# Worker protocol (process-pool and loopback-socket backends)
 # --------------------------------------------------------------------------- #
 #: The per-process reasoner installed by :func:`initialize_worker_reasoner`.
 _WORKER_REASONER: Optional[Reasoner] = None
@@ -219,17 +245,24 @@ def ping_worker() -> bool:
     return _WORKER_REASONER is not None
 
 
-def reason_partition_task(batch: WindowInput, incremental: bool = False, track: int = 0) -> ReasonerResult:
-    """Evaluate one partition batch against the per-process reasoner.
+def reason_item_task(item: WorkItem) -> ReasonerResult:
+    """Evaluate one :class:`WorkItem` against the per-process reasoner.
 
-    ``incremental``/``track`` mirror :meth:`Reasoner.reason`: the parallel
-    reasoner pins each partition track to a fixed worker slot, so the
-    worker-local grounding cache sees consecutive windows of the same track
-    and can delta-repair its last instantiation instead of regrounding.
+    The execution backends pin each partition track to a fixed worker slot
+    (see :mod:`repro.streamrule.placement`), so the worker-local grounding
+    cache sees consecutive windows of the same track and can delta-repair
+    its last instantiation instead of regrounding.
     """
     if _WORKER_REASONER is None:
         raise RuntimeError(
-            "worker process not initialized: reason_partition_task requires a pool "
+            "worker process not initialized: reason_item_task requires a pool "
             "created with initializer=initialize_worker_reasoner"
         )
-    return _WORKER_REASONER.reason(list(batch), incremental=incremental, track=track)
+    return _WORKER_REASONER.reason_item(item)
+
+
+def reason_partition_task(batch: WindowInput, incremental: bool = False, track: int = 0) -> ReasonerResult:
+    """Legacy entry point of the pre-WorkItem worker protocol."""
+    return reason_item_task(
+        WorkItem(facts=tuple(batch), track=track, incremental=True if incremental else None)
+    )

@@ -1,0 +1,435 @@
+"""The unified :class:`StreamSession` facade.
+
+One object wires the whole extended-StreamRule loop together -- window
+policy, stream query processor, partitioning handler, execution backend,
+combining handler, data format processor -- behind a push/pull API::
+
+    with StreamSession(program, window=CountWindow(size=80, slide=20),
+                       partitioner=DependencyPartitioner(plan),
+                       backend=ProcessPoolBackend(max_workers=4)) as session:
+        session.push(triples)            # feed the stream; full windows evaluate
+        session.finish()                 # flush the trailing partial window
+        for solution in session.results():
+            ...
+
+or, for bounded streams, the streaming bulk form::
+
+    for solution in session.process(triples):
+        ...
+
+The session replaces the ``reason(delta=..., incremental=..., track=...)``
+keyword cluster with typed :class:`~repro.streamrule.work.WorkItem` dispatch
+through a pluggable :class:`~repro.streamrule.backends.ExecutionBackend`,
+and makes worker placement an explicit
+:class:`~repro.streamrule.placement.PlacementStrategy`.  The legacy
+``ParallelReasoner.reason`` / ``StreamRulePipeline.process_stream`` entry
+points survive as thin deprecated shims over this class.
+
+Windowing semantics of ``push``
+-------------------------------
+* ``window=None`` -- every ``push`` batch is evaluated as one window
+  (explicit windowing by the caller).
+* a :class:`~repro.streaming.window.CountWindow` -- windows are dispatched
+  incrementally as soon as they complete; the trailing partial window (if
+  the policy emits one) waits for :meth:`finish`.
+* a :class:`~repro.streaming.window.TimeWindow` -- time windows need the
+  whole stream's timestamps (late items may sort into open windows), so
+  evaluation is deferred until :meth:`finish`.
+
+If a remote backend loses a worker connection mid-window
+(:class:`~repro.streamrule.backends.BackendConnectionError`), the session
+falls back to evaluating the affected partitions inline against its own
+reasoner -- the stream keeps flowing on a degraded transport; the
+:attr:`fallbacks` counter records how often that happened.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.asp.syntax.atoms import Atom
+from repro.core.combining import combine_answer_sets
+from repro.core.partitioner import Partitioner, SinglePartitioner
+from repro.asp.syntax.program import Program
+from repro.streaming.format import DataFormatProcessor
+from repro.streaming.processor import StreamQueryProcessor
+from repro.streaming.triples import Triple
+from repro.streaming.window import CountWindow, CountWindowStepper, TimeWindow, WindowDelta
+from repro.streamrule.backends import BackendConnectionError, ExecutionBackend, InlineBackend
+from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
+from repro.streamrule.placement import PlacementStrategy
+from repro.streamrule.reasoner import Reasoner, ReasonerResult
+from repro.streamrule.work import WorkItem
+
+__all__ = ["ParallelResult", "StreamSession", "WindowSolution"]
+
+AnswerSet = frozenset
+StreamItem = Union[Triple, Atom]
+WindowPolicy = Union[CountWindow, TimeWindow]
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Combined answers of one window plus the evaluation record."""
+
+    answers: Tuple[AnswerSet, ...]
+    metrics: ReasonerMetrics
+    partition_results: Tuple[ReasonerResult, ...]
+
+    @property
+    def satisfiable(self) -> bool:
+        return bool(self.answers)
+
+
+@dataclass(frozen=True)
+class WindowSolution:
+    """Solutions produced for one window."""
+
+    window_index: int
+    window_size: int
+    answers: Tuple[frozenset, ...]
+    solution_triples: Tuple[Triple, ...]
+    metrics: ReasonerMetrics
+
+
+class StreamSession:
+    """Facade over windowing, partitioning, backend dispatch, and combining."""
+
+    def __init__(
+        self,
+        program: Union[Program, Reasoner],
+        *,
+        window: Optional[WindowPolicy] = None,
+        backend: Optional[ExecutionBackend] = None,
+        placement: Optional[PlacementStrategy] = None,
+        partitioner: Optional[Partitioner] = None,
+        input_predicates: Optional[Iterable[str]] = None,
+        output_predicates: Optional[Iterable[str]] = None,
+        grounding_cache=None,
+        max_models: Optional[int] = None,
+        max_combinations: Optional[int] = 64,
+        query_processor: Optional[StreamQueryProcessor] = None,
+        format_processor: Optional[DataFormatProcessor] = None,
+        inline_fallback: bool = True,
+    ):
+        """Create a session for ``program``.
+
+        ``program`` may be a :class:`~repro.asp.syntax.program.Program` (a
+        reasoner is built from it and the predicate/cache/model arguments)
+        or a ready-made :class:`Reasoner` (in which case those arguments
+        must be left at their defaults).  ``backend`` defaults to
+        :class:`InlineBackend`; ``placement`` overrides the backend's
+        placement strategy; ``partitioner`` defaults to the trivial
+        single-partition layout (the session then behaves exactly like the
+        unpartitioned reasoner ``R``).
+        """
+        if isinstance(program, Reasoner):
+            if input_predicates is not None or output_predicates is not None:
+                raise ValueError("predicate sets are configured on the passed reasoner")
+            if grounding_cache is not None or max_models is not None:
+                raise ValueError("cache/model limits are configured on the passed reasoner")
+            self.reasoner = program
+        else:
+            self.reasoner = Reasoner(
+                program,
+                input_predicates=input_predicates,
+                output_predicates=output_predicates,
+                format_processor=format_processor,
+                max_models=max_models,
+                grounding_cache=grounding_cache,
+            )
+        self.partitioner: Partitioner = partitioner if partitioner is not None else SinglePartitioner()
+        self.backend: ExecutionBackend = backend if backend is not None else InlineBackend()
+        if placement is not None:
+            if not self.backend.uses_placement:
+                raise ValueError(
+                    f"backend {self.backend.name!r} has no pinned worker slots and never "
+                    "consults a placement strategy; pass a slot-owning backend "
+                    "(ProcessPoolBackend, LoopbackSocketBackend) together with placement="
+                )
+            self.backend.placement = placement
+        self.window = window
+        self.query_processor = query_processor
+        self.format_processor = format_processor or self.reasoner.format_processor
+        self.max_combinations = max_combinations
+        self.inline_fallback = inline_fallback
+        #: How many partition evaluations fell back inline after a backend
+        #: connection loss.
+        self.fallbacks = 0
+        self._buffer: List[StreamItem] = []  # time-window (and windowless) staging
+        self._stepper: Optional[CountWindowStepper] = None  # count-window incremental driver
+        self._push_index = 0  # next window index of the pushed stream
+        self._epoch = 0  # monotonic evaluation counter (cache bookkeeping)
+        self._ready: Deque[WindowSolution] = deque()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the backend's execution resources (pools, sockets)."""
+        self.backend.close()
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Facade: push / results / finish
+    # ------------------------------------------------------------------ #
+    def push(self, items: Union[StreamItem, Iterable[StreamItem]]) -> int:
+        """Feed stream items; evaluate every window that completes.
+
+        Returns the number of windows evaluated by this call.  Completed
+        solutions queue up for :meth:`results`.  Count windows dispatch
+        incrementally as they fill (O(1) bookkeeping per buffered item);
+        time windows are staged until :meth:`finish`, since their layout
+        depends on timestamps still to come.  ``window_index`` on the
+        produced solutions is the window's position in the pushed stream,
+        exactly as :meth:`process` reports it.
+        """
+        batch = self._as_items(items)
+        if self.window is None:
+            index = self._push_index
+            self._push_index += 1
+            self._ready.append(self._solve_window(index, batch, delta=None))
+            return 1
+        if isinstance(self.window, TimeWindow):
+            self._buffer.extend(batch)
+            return 0
+        stepper = self._count_stepper()
+        count = 0
+        for item in batch:
+            delta = stepper.feed(item)
+            if delta is not None:
+                self._ready.append(self._solve_window(delta.index, list(delta.window), delta))
+                count += 1
+        return count
+
+    def finish(self) -> int:
+        """Evaluate everything still staged (partial tails, time windows).
+
+        Returns the number of windows evaluated.  The session remains
+        usable; further pushes start a fresh stream (window indexes restart
+        at 0).
+        """
+        if self.window is None:
+            self._push_index = 0
+            return 0
+        count = 0
+        if isinstance(self.window, TimeWindow):
+            for delta in self.window.deltas(self._buffer):
+                self._ready.append(self._solve_window(delta.index, list(delta.window), delta))
+                count += 1
+            self._buffer = []
+            return count
+        stepper = self._count_stepper()
+        tail = stepper.flush()
+        if tail is not None:
+            self._ready.append(self._solve_window(tail.index, list(tail.window), tail))
+            count = 1
+        self._stepper = None  # next push starts a fresh stream
+        return count
+
+    def results(self) -> Iterator[WindowSolution]:
+        """Drain the completed window solutions, oldest first."""
+        while self._ready:
+            yield self._ready.popleft()
+
+    @staticmethod
+    def _as_items(items: Union[StreamItem, Iterable[StreamItem]]) -> List[StreamItem]:
+        if isinstance(items, (Triple, Atom)):
+            return [items]
+        return list(items)
+
+    def _count_stepper(self) -> CountWindowStepper:
+        if self._stepper is None:
+            assert isinstance(self.window, CountWindow)
+            self._stepper = self.window.stepper()
+        return self._stepper
+
+    # ------------------------------------------------------------------ #
+    # Streaming bulk evaluation
+    # ------------------------------------------------------------------ #
+    def process(self, items: Iterable[StreamItem]) -> Iterator[WindowSolution]:
+        """Window a bounded stream lazily and yield one solution per window.
+
+        This is the one-shot form of the facade (and the engine of the
+        deprecated ``StreamRulePipeline.process_stream`` shim): it bypasses
+        the push buffer, so do not interleave it with :meth:`push`.
+        """
+        if self.window is None:
+            yield self._solve_window(0, list(items), delta=None)
+            return
+        for delta in self.window.deltas(items):
+            yield self._solve_window(delta.index, list(delta.window), delta)
+
+    def process_all(self, items: Iterable[StreamItem]) -> List[WindowSolution]:
+        return list(self.process(items))
+
+    # ------------------------------------------------------------------ #
+    # The engine: one window through partition -> backend -> combine
+    # ------------------------------------------------------------------ #
+    def _solve_window(
+        self, index: int, window_items: List[StreamItem], delta: Optional[WindowDelta]
+    ) -> WindowSolution:
+        filtered = self.query_processor.process(window_items) if self.query_processor else window_items
+        result = self.evaluate_window(filtered, delta=delta, epoch=index)
+        solution_atoms: List[Atom] = sorted({atom for answer in result.answers for atom in answer}, key=str)
+        solution_triples = tuple(
+            self.format_processor.atom_to_triple(atom) for atom in solution_atoms if atom.arity in (1, 2)
+        )
+        return WindowSolution(
+            window_index=index,
+            window_size=len(filtered),
+            answers=tuple(result.answers),
+            solution_triples=solution_triples,
+            metrics=result.metrics,
+        )
+
+    def evaluate_window(
+        self,
+        window: Sequence[StreamItem],
+        *,
+        delta: Optional[WindowDelta] = None,
+        epoch: Optional[int] = None,
+    ) -> ParallelResult:
+        """Partition, dispatch to the backend, and combine one input window.
+
+        Following Figure 6, the partitioning handler splits the *filtered
+        stream* directly (triples and atoms both expose their predicate),
+        and each partition's reasoner performs its own data format
+        translation -- so the transformation cost is parallelised along with
+        the solving.
+
+        ``delta`` signals that this window is the next slide of an
+        overlapping stream.  When the partitioner is *deterministic* (the
+        same item always lands in the same partitions) and the backend
+        preserves per-track continuity (``supports_delta``), every partition
+        is evaluated incrementally on its own track: partition ``i``'s
+        grounding delta-repairs partition ``i``'s previous instantiation.
+        Non-deterministic partitioners (the random baseline) ignore the
+        hint -- their layouts reshuffle every window, so there is no
+        continuity to exploit.
+        """
+        window = list(window)
+        if epoch is None:
+            epoch = self._epoch
+        self._epoch = max(self._epoch, epoch) + 1
+        # Backend start-up (pickling the reasoner, spawning workers) must
+        # not be billed to the first window's evaluation phase.
+        self.backend.start(self.reasoner)
+
+        incremental = (
+            delta is not None
+            and delta.carries_over
+            and getattr(self.partitioner, "deterministic", False)
+            and self.backend.supports_delta
+        )
+
+        with Timer() as partitioning_timer:
+            partitions = self.partitioner.partition(window)
+
+        with Timer() as evaluation_timer:
+            partition_results = self._evaluate_partitions(partitions, incremental, epoch)
+
+        with Timer() as combining_timer:
+            combined = combine_answer_sets(
+                [result.answers for result in partition_results],
+                max_combinations=self.max_combinations,
+            )
+
+        breakdown = self._latency(partition_results)
+        breakdown.partitioning_seconds += partitioning_timer.seconds
+        breakdown.combining_seconds += combining_timer.seconds
+
+        if self.backend.measures_wall_clock:
+            # Real pools report what a stopwatch around the evaluation phase
+            # actually measured.
+            latency_seconds = partitioning_timer.seconds + evaluation_timer.seconds + combining_timer.seconds
+        else:
+            latency_seconds = breakdown.total_seconds
+
+        metrics = ReasonerMetrics(
+            window_size=len(window),
+            latency_seconds=latency_seconds,
+            breakdown=breakdown,
+            partition_sizes=[len(partition) for partition in partitions],
+            answer_count=len(combined),
+            duplication_ratio=(
+                (sum(len(partition) for partition in partitions) - len(window)) / len(window) if window else 0.0
+            ),
+            cache_hits=sum(result.metrics.cache_hits for result in partition_results),
+            cache_misses=sum(result.metrics.cache_misses for result in partition_results),
+            delta_repairs=sum(result.metrics.delta_repairs for result in partition_results),
+            repair_size=sum(result.metrics.repair_size for result in partition_results),
+            repair_rules_changed=sum(result.metrics.repair_rules_changed for result in partition_results),
+            evaluation_wall_seconds=evaluation_timer.seconds,
+            worker_wall_seconds=[result.metrics.latency_seconds for result in partition_results],
+        )
+        return ParallelResult(
+            answers=tuple(combined),
+            metrics=metrics,
+            partition_results=tuple(partition_results),
+        )
+
+    def _evaluate_partitions(
+        self, partitions: Sequence[Sequence[StreamItem]], incremental: bool, epoch: int
+    ) -> List[ReasonerResult]:
+        """Dispatch the non-empty partitions as work items and gather results.
+
+        Empty sub-windows are filtered out before evaluation: they
+        contribute only the program's own consequences, which every other
+        partition already derives, and for non-monotonic programs they would
+        multiply the combination product with spurious picks.  When *every*
+        sub-window is empty, one empty partition is evaluated so the
+        combined answers degenerate to the answer sets of the program itself
+        -- exactly what the unpartitioned reasoner returns for that window.
+        Each batch keeps its partition index as its *track*: the stable
+        identity under which grounding caches store per-partition delta
+        states and placement strategies pin worker slots.
+        """
+        batches = [(index, list(partition)) for index, partition in enumerate(partitions) if partition]
+        if not batches:
+            batches = [(0, [])]
+        items = [
+            WorkItem(facts=tuple(batch), track=track, epoch=epoch, incremental=incremental)
+            for track, batch in batches
+        ]
+        futures = [(item, self.backend.submit(item)) for item in items]
+        results: List[ReasonerResult] = []
+        for item, future in futures:
+            try:
+                results.append(future.result())
+            except BackendConnectionError:
+                if not self.inline_fallback:
+                    raise
+                # Degraded transport: evaluate this partition locally so the
+                # stream keeps flowing; the local cache state differs from
+                # the lost worker's, but answers are equivalent.
+                self.fallbacks += 1
+                results.append(self.reasoner.reason_item(item))
+        return results
+
+    def _latency(self, partition_results: Sequence[ReasonerResult]) -> LatencyBreakdown:
+        """Aggregate the partition latencies according to the backend."""
+        if not partition_results:
+            return LatencyBreakdown()
+        if not self.backend.concurrent:
+            merged = LatencyBreakdown()
+            for result in partition_results:
+                merged = merged.merged_with(result.metrics.breakdown)
+            return merged
+        # Concurrent backends: the per-stage breakdown is bounded by the
+        # slowest partition (they run -- actually or notionally -- at the
+        # same time).
+        slowest = max(partition_results, key=lambda result: result.metrics.breakdown.total_seconds)
+        breakdown = slowest.metrics.breakdown
+        return LatencyBreakdown(
+            transformation_seconds=breakdown.transformation_seconds,
+            grounding_seconds=breakdown.grounding_seconds,
+            solving_seconds=breakdown.solving_seconds,
+        )

@@ -1,0 +1,98 @@
+"""The typed unit of work dispatched to an :class:`ExecutionBackend`.
+
+A :class:`WorkItem` bundles everything one partition (or whole-window)
+evaluation needs -- the facts, the slide delta, the partition *track*, and
+the window *epoch* -- into a single picklable value.  It replaces the
+``reason(window, delta=..., incremental=..., track=...)`` keyword cluster of
+the pre-session API and is the unit that crosses execution boundaries: the
+inline backend hands it to the local reasoner, the process backend ships it
+to a pinned worker, and the loopback-socket backend pickles it over a real
+wire (the first brick of multi-machine sharding, see ROADMAP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
+
+from repro.asp.syntax.atoms import Atom
+from repro.streaming.triples import Triple
+from repro.streaming.window import WindowDelta
+
+__all__ = ["WorkItem"]
+
+#: A window item: an RDF triple (translated by the reasoner's data format
+#: processor) or a ready-made ASP ground atom.
+WorkFact = Union[Triple, Atom]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One unit of reasoning work: a fact batch plus its stream coordinates.
+
+    Parameters
+    ----------
+    facts:
+        The window (or sub-window) content to evaluate: triples and/or atoms.
+    delta:
+        The window's expired/arrived record when the stream is iterated
+        delta-aware.  Only carried on *session-level* items; partition items
+        dispatched over a wire are thinned to the boolean ``incremental``
+        flag (see :meth:`thinned`) so the delta payload is never shipped
+        twice.
+    track:
+        Stable identity of the sub-stream this item belongs to (the
+        partition index under a deterministic partitioner).  Grounding
+        caches key their per-partition delta states on it, and pinned
+        placement uses it to choose a worker slot.
+    epoch:
+        Monotonic window counter of the originating stream.  Lets a worker
+        (local or remote) order items of the same track and lets downstream
+        tooling correlate results with windows.
+    incremental:
+        Three-valued delta-grounding request: ``None`` derives the intent
+        from ``delta`` (repair when the delta carries content over), ``True``
+        forces the incremental path, ``False`` disables it.
+    """
+
+    facts: Tuple[WorkFact, ...]
+    delta: Optional[WindowDelta] = None
+    track: int = 0
+    epoch: int = 0
+    incremental: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "facts", tuple(self.facts))
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    @property
+    def wants_incremental(self) -> bool:
+        """Whether this item asks for delta (incremental) grounding."""
+        if self.incremental is not None:
+            return self.incremental
+        return self.delta is not None and self.delta.carries_over
+
+    @property
+    def signature(self) -> str:
+        """Content signature: the sorted distinct predicates of the facts.
+
+        This is the key of content-based placement: two windows carrying the
+        same predicate mix map to the same signature even when their
+        partition indexes differ, so a consistent-hash placement keeps
+        routing them to the same worker (and its warmed grounding cache).
+        """
+        return "|".join(sorted({fact.predicate for fact in self.facts}))
+
+    def thinned(self) -> "WorkItem":
+        """The wire form of this item: the delta payload collapsed to a flag.
+
+        The delta-grounding caches diff fact sets content-wise, so a worker
+        only needs to know *that* the window overlaps its predecessor, not
+        the expired/arrived triples themselves -- shipping them would roughly
+        double the wire payload of every overlapping window.
+        """
+        if self.delta is None:
+            return self
+        return replace(self, delta=None, incremental=self.wants_incremental)

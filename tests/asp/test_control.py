@@ -4,7 +4,7 @@ import pytest
 
 from repro.asp.control import Control, Model, solve, solve_program
 from repro.asp.syntax.atoms import Atom
-from repro.asp.syntax.parser import parse_program, parse_rule
+from repro.asp.syntax.parser import parse_rule
 from repro.asp.syntax.terms import Constant
 
 

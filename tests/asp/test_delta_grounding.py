@@ -16,7 +16,6 @@ the cases where naive incremental maintenance goes wrong:
 
 from __future__ import annotations
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.asp.errors import GroundingError, SafetyError
-from repro.asp.grounding.grounder import GroundRule, Grounder, ground_program
+from repro.asp.grounding.grounder import GroundRule, ground_program
 from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.parser import parse_program
 from repro.asp.syntax.terms import Constant

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.asp.errors import ParseError
-from repro.asp.syntax.atoms import Comparison, Literal
 from repro.asp.syntax.parser import parse_program, parse_rule, parse_term, tokenize
 from repro.asp.syntax.terms import Constant, FunctionTerm, Variable
 from repro.programs.traffic import PROGRAM_P_PRIME_TEXT, PROGRAM_P_TEXT

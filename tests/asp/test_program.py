@@ -1,10 +1,8 @@
 """Unit tests for the Program container and predicate metadata."""
 
-import pytest
 
 from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.parser import parse_program
-from repro.asp.syntax.terms import Constant
 from repro.programs.traffic import INPUT_PREDICATES
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the DPLL SAT core."""
 
-import pytest
 
 from repro.asp.solving.sat import DPLLSolver, Satisfiability
 

@@ -1,12 +1,9 @@
 """Unit tests for stable-model computation (the solver layer)."""
 
-import pytest
 
 from repro.asp.grounding.grounder import ground_program
 from repro.asp.solving.solver import StableModelSolver, stable_models
-from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.parser import parse_program
-from repro.asp.syntax.terms import Constant
 
 
 def models_of(text, limit=None):

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.asp.syntax.atoms import Atom
-from repro.asp.syntax.parser import parse_program
 from repro.asp.syntax.terms import Constant
 from repro.core.decomposition import decompose
 from repro.core.input_dependency import build_input_dependency_graph

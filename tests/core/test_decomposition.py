@@ -1,11 +1,8 @@
 """Unit tests for the decomposing (duplication) process."""
 
-import pytest
 
-from repro.asp.syntax.parser import parse_program
 from repro.core.decomposition import decompose
-from repro.core.input_dependency import InputDependencyGraph, build_input_dependency_graph
-from repro.graph.undirected import UndirectedGraph
+from repro.core.input_dependency import InputDependencyGraph
 
 
 def graph_from_edges(nodes, edges):

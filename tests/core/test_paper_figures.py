@@ -2,7 +2,6 @@
 
 from repro.core.decomposition import decompose
 from repro.core.extended_dependency import ExtendedDependencyGraph
-from repro.programs.traffic import INPUT_PREDICATES
 
 
 class TestFigure2ExtendedDependencyGraphOfP:

@@ -1,6 +1,5 @@
 """Unit tests for partitioning-plan validation (dependency safety)."""
 
-import pytest
 
 from repro.core.decomposition import decompose
 from repro.core.plan import PartitioningPlan

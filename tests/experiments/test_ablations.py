@@ -1,6 +1,5 @@
 """Unit tests for the ablation drivers (small windows)."""
 
-import pytest
 
 from repro.experiments.ablations import duplication_overhead, partition_count_sweep, resolution_sweep
 

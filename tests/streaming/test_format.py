@@ -3,7 +3,7 @@
 import pytest
 
 from repro.asp.syntax.atoms import Atom
-from repro.asp.syntax.terms import Constant, Variable
+from repro.asp.syntax.terms import Constant
 from repro.streaming.format import DataFormatProcessor
 from repro.streaming.triples import Triple
 from tests.conftest import make_atom

@@ -173,3 +173,29 @@ class TestDeltaReconstruction:
                     covering += 1
                 window_start += slide
             assert counts.get(triple.object, 0) == covering, triple.object
+
+
+class TestCountWindowStepper:
+    @given(window_parameters, st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_stepper_matches_batch_deltas(self, parameters, emit_partial):
+        """Feeding items one at a time yields the exact delta sequence of deltas()."""
+        size, slide, length = parameters
+        items = stream_of(length)
+        policy = CountWindow(size=size, slide=slide, emit_partial=emit_partial)
+        expected = list(policy.deltas(items))
+
+        stepper = policy.stepper()
+        stepped = [delta for item in items if (delta := stepper.feed(item)) is not None]
+        tail = stepper.flush()
+        if tail is not None:
+            stepped.append(tail)
+        assert stepped == expected
+
+    def test_flush_is_idempotent(self):
+        policy = CountWindow(size=4, slide=4)
+        stepper = policy.stepper()
+        for item in stream_of(6):
+            stepper.feed(item)
+        assert stepper.flush() is not None  # the 2-item tail
+        assert stepper.flush() is None  # already emitted

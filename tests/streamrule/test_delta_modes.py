@@ -18,9 +18,16 @@ from repro.core.partitioner import DependencyPartitioner, HashPartitioner, Rando
 from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program
 from repro.streaming.generator import SyntheticStreamConfig, generate_window
 from repro.streaming.window import CountWindow, TimeWindow
+from repro.streamrule.backends import (
+    InlineBackend,
+    LoopbackSocketBackend,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+)
 from repro.streamrule.parallel import ExecutionMode, ParallelReasoner
 from repro.streamrule.pipeline import StreamRulePipeline
 from repro.streamrule.reasoner import Reasoner
+from repro.streamrule.session import StreamSession
 from tests.conftest import make_atom
 
 ALL_MODES = (
@@ -29,6 +36,33 @@ ALL_MODES = (
     ExecutionMode.THREADS,
     ExecutionMode.PROCESSES,
 )
+
+#: Direct-backend rows extending the mode matrix (notably the loopback
+#: socket, which has no ExecutionMode equivalent).
+BACKEND_FACTORIES = {
+    "inline": lambda workers: InlineBackend(),
+    "inline-serial": lambda workers: InlineBackend(simulated=False),
+    "threads": lambda workers: ThreadPoolBackend(max_workers=workers),
+    "processes": lambda workers: ProcessPoolBackend(max_workers=workers),
+    "loopback-socket": lambda workers: LoopbackSocketBackend(max_workers=workers),
+}
+
+#: Every runner of the delta-equivalence matrix: the four legacy modes plus
+#: the named backend factories.
+ALL_RUNNERS = list(ALL_MODES) + list(BACKEND_FACTORIES)
+
+
+def runner_id(runner):
+    return runner.value if isinstance(runner, ExecutionMode) else f"backend:{runner}"
+
+
+def make_parallel(reasoner, partitioner, runner, max_workers=2):
+    """Build a ParallelReasoner for a mode enum or a backend-factory name."""
+    if isinstance(runner, ExecutionMode):
+        return ParallelReasoner(reasoner, partitioner, mode=runner, max_workers=max_workers)
+    return ParallelReasoner(
+        reasoner, partitioner, backend=BACKEND_FACTORIES[runner](max_workers)
+    )
 
 
 def traffic_stream(length, seed=23):
@@ -45,20 +79,23 @@ def cached_reasoner():
 
 
 def scratch_answers_per_window(window_policy, stream, partitioner):
-    """Reference: every window evaluated in SERIAL mode without any cache."""
+    """Reference: every window evaluated serially inline without any cache."""
     reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
-    parallel = ParallelReasoner(reasoner, partitioner, mode=ExecutionMode.SERIAL)
-    return [
-        {frozenset(answer) for answer in parallel.reason(list(window)).answers}
-        for window in window_policy.windows(stream)
-    ]
-
-
-def delta_answers_per_window(window_policy, stream, partitioner, mode, max_workers=2):
-    """Delta path: every window evaluated with its slide delta and a cache."""
-    with ParallelReasoner(cached_reasoner(), partitioner, mode=mode, max_workers=max_workers) as parallel:
+    with StreamSession(
+        reasoner, partitioner=partitioner, backend=InlineBackend(simulated=False)
+    ) as session:
         return [
-            {frozenset(answer) for answer in parallel.reason(list(delta.window), delta=delta).answers}
+            {frozenset(answer) for answer in session.evaluate_window(list(window)).answers}
+            for window in window_policy.windows(stream)
+        ]
+
+
+def delta_answers_per_window(window_policy, stream, partitioner, runner, max_workers=2):
+    """Delta path: every window evaluated with its slide delta and a cache."""
+    with make_parallel(cached_reasoner(), partitioner, runner, max_workers) as parallel:
+        session = parallel.session
+        return [
+            {frozenset(answer) for answer in session.evaluate_window(list(delta.window), delta=delta).answers}
             for delta in window_policy.deltas(stream)
         ]
 
@@ -66,31 +103,31 @@ def delta_answers_per_window(window_policy, stream, partitioner, mode, max_worke
 class TestSlidingWindowEquivalence:
     pytestmark = pytest.mark.slow  # PROCESSES rows spin up worker pools
 
-    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda mode: mode.value)
-    def test_count_window_sliding(self, plan_p, mode):
+    @pytest.mark.parametrize("runner", ALL_RUNNERS, ids=runner_id)
+    def test_count_window_sliding(self, plan_p, runner):
         stream = traffic_stream(240)
         window_policy = CountWindow(size=80, slide=30)
         partitioner = DependencyPartitioner(plan_p)
         expected = scratch_answers_per_window(window_policy, stream, partitioner)
-        actual = delta_answers_per_window(window_policy, stream, partitioner, mode)
+        actual = delta_answers_per_window(window_policy, stream, partitioner, runner)
         assert actual == expected
 
-    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda mode: mode.value)
-    def test_count_window_hash_partitioning(self, mode):
+    @pytest.mark.parametrize("runner", ALL_RUNNERS, ids=runner_id)
+    def test_count_window_hash_partitioning(self, runner):
         stream = traffic_stream(180)
         window_policy = CountWindow(size=60, slide=20)
         partitioner = HashPartitioner(3)
         expected = scratch_answers_per_window(window_policy, stream, partitioner)
-        actual = delta_answers_per_window(window_policy, stream, partitioner, mode)
+        actual = delta_answers_per_window(window_policy, stream, partitioner, runner)
         assert actual == expected
 
-    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda mode: mode.value)
-    def test_time_window_sliding(self, plan_p, mode):
+    @pytest.mark.parametrize("runner", ALL_RUNNERS, ids=runner_id)
+    def test_time_window_sliding(self, plan_p, runner):
         stream = traffic_stream(150)
         window_policy = TimeWindow(duration=50.0, slide=20.0)
         partitioner = DependencyPartitioner(plan_p)
         expected = scratch_answers_per_window(window_policy, stream, partitioner)
-        actual = delta_answers_per_window(window_policy, stream, partitioner, mode)
+        actual = delta_answers_per_window(window_policy, stream, partitioner, runner)
         assert actual == expected
 
     def test_random_partitioner_ignores_delta_hint(self, ):
@@ -121,8 +158,8 @@ picked(X) :- item(X), not dropped(X).
 dropped(X) :- item(X), not picked(X).
 """
 
-    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda mode: mode.value)
-    def test_choice_program_sliding_windows(self, mode):
+    @pytest.mark.parametrize("runner", ALL_RUNNERS, ids=runner_id)
+    def test_choice_program_sliding_windows(self, runner):
         stream = [make_atom("item", index % 5) for index in range(24)]
         window_policy = CountWindow(size=8, slide=3)
         program = parse_program(self.CHOICE_PROGRAM)
@@ -134,14 +171,56 @@ dropped(X) :- item(X), not picked(X).
         ]
 
         cached = Reasoner(program, input_predicates=["item"], grounding_cache=GroundingCache())
-        with ParallelReasoner(cached, HashPartitioner(2), mode=mode, max_workers=2) as parallel:
+        with make_parallel(cached, HashPartitioner(2), runner, max_workers=2) as parallel:
             combined = [
-                {frozenset(answer) for answer in parallel.reason(list(delta.window), delta=delta).answers}
+                {
+                    frozenset(answer)
+                    for answer in parallel.session.evaluate_window(list(delta.window), delta=delta).answers
+                }
                 for delta in window_policy.deltas(stream)
             ]
         # Partition-combined answers for a single-predicate choice program
         # coincide with the unpartitioned ones (no cross-partition joins).
         assert combined == expected
+
+
+class TestBackendWindowKindEquivalence:
+    """Acceptance matrix: backends x {tumbling, sliding, hopping} x delta on/off.
+
+    Identical answer sets for inline (serial and simulated), threads,
+    processes, and loopback-socket backends on every window kind, with the
+    delta path enabled and disabled.
+    """
+
+    pytestmark = pytest.mark.slow
+
+    WINDOW_SCENARIOS = {
+        "tumbling": CountWindow(size=60),
+        "sliding": CountWindow(size=60, slide=20),
+        "hopping": CountWindow(size=40, slide=60),
+    }
+
+    @pytest.mark.parametrize("backend_name", sorted(BACKEND_FACTORIES), ids=str)
+    @pytest.mark.parametrize("window_kind", sorted(WINDOW_SCENARIOS), ids=str)
+    @pytest.mark.parametrize("use_delta", [True, False], ids=["delta", "no-delta"])
+    def test_backend_equivalence(self, backend_name, window_kind, use_delta):
+        stream = traffic_stream(200)
+        window_policy = self.WINDOW_SCENARIOS[window_kind]
+        partitioner = HashPartitioner(3)
+        expected = scratch_answers_per_window(window_policy, stream, partitioner)
+        backend = BACKEND_FACTORIES[backend_name](2)
+        with StreamSession(cached_reasoner(), partitioner=partitioner, backend=backend) as session:
+            if use_delta:
+                actual = [
+                    {frozenset(a) for a in session.evaluate_window(list(delta.window), delta=delta).answers}
+                    for delta in window_policy.deltas(stream)
+                ]
+            else:
+                actual = [
+                    {frozenset(a) for a in session.evaluate_window(list(window)).answers}
+                    for window in window_policy.windows(stream)
+                ]
+        assert actual == expected
 
 
 class TestDeltaMetricsFlow:

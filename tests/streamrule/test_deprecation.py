@@ -1,0 +1,174 @@
+"""The legacy API works unchanged and warns exactly once per construct."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.partitioner import DependencyPartitioner, HashPartitioner
+from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program
+from repro.streaming.generator import SyntheticStreamConfig, generate_window
+from repro.streaming.window import CountWindow
+from repro.streamrule import reset_deprecation_warnings
+from repro.streamrule.backends import ExecutionMode, InlineBackend, ProcessPoolBackend
+from repro.streamrule.parallel import ParallelReasoner
+from repro.streamrule.pipeline import StreamRulePipeline
+from repro.streamrule.reasoner import Reasoner
+from repro.streamrule.session import StreamSession
+
+
+@pytest.fixture(autouse=True)
+def fresh_deprecation_registry():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def traffic_stream(length, seed=11):
+    config = SyntheticStreamConfig(
+        window_size=length, input_predicates=INPUT_PREDICATES, scheme="traffic", seed=seed
+    )
+    return generate_window(config)
+
+
+def traffic_reasoner():
+    return Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+
+
+def recorded_warnings(action):
+    """Run ``action`` under simplefilter('always') and return the warnings."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        action()
+    return [entry for entry in caught if issubclass(entry.category, DeprecationWarning)]
+
+
+class TestExecutionModeShim:
+    def test_mode_construction_warns_once_and_behaves(self, plan_p, motivating_window):
+        partitioner = DependencyPartitioner(plan_p)
+        reasoner = traffic_reasoner()
+
+        first = recorded_warnings(lambda: ParallelReasoner(reasoner, partitioner, mode=ExecutionMode.SERIAL))
+        assert len(first) == 1
+        assert "ExecutionMode is deprecated" in str(first[0].message)
+        # A second legacy construction is silent: one warning per construct.
+        second = recorded_warnings(
+            lambda: ParallelReasoner(reasoner, partitioner, mode=ExecutionMode.SIMULATED_PARALLEL)
+        )
+        assert second == []
+
+        legacy = ParallelReasoner(reasoner, partitioner, mode=ExecutionMode.SERIAL)
+        with StreamSession(reasoner, partitioner=partitioner, backend=InlineBackend(simulated=False)) as session:
+            modern = session.evaluate_window(motivating_window)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = legacy.reason(motivating_window)
+        assert {frozenset(a) for a in result.answers} == {frozenset(a) for a in modern.answers}
+
+    def test_default_mode_does_not_warn(self, plan_p):
+        caught = recorded_warnings(lambda: ParallelReasoner(traffic_reasoner(), DependencyPartitioner(plan_p)))
+        assert caught == []
+
+    def test_mode_and_backend_together_rejected(self, plan_p):
+        with pytest.raises(ValueError):
+            ParallelReasoner(
+                traffic_reasoner(),
+                DependencyPartitioner(plan_p),
+                mode=ExecutionMode.SERIAL,
+                backend=InlineBackend(),
+            )
+
+    def test_max_workers_with_backend_rejected(self, plan_p):
+        # max_workers sizes the mode->backend mapping; with an explicit
+        # backend it would be silently dropped, so it is refused instead.
+        with pytest.raises(ValueError):
+            ParallelReasoner(
+                traffic_reasoner(),
+                DependencyPartitioner(plan_p),
+                backend=InlineBackend(),
+                max_workers=4,
+            )
+
+    def test_mode_mapping_reaches_process_backend(self, plan_p):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            parallel = ParallelReasoner(
+                traffic_reasoner(), DependencyPartitioner(plan_p), mode=ExecutionMode.PROCESSES, max_workers=1
+            )
+        assert isinstance(parallel.backend, ProcessPoolBackend)
+        parallel.close()
+
+
+class TestReasonKwargShims:
+    def test_incremental_track_kwargs_warn_once_and_behave(self):
+        reasoner = traffic_reasoner()
+        window = traffic_stream(40)
+
+        first = recorded_warnings(lambda: reasoner.reason(window, incremental=True, track=2))
+        assert len(first) == 1
+        assert "reason(incremental=..., track=...)" in str(first[0].message)
+        second = recorded_warnings(lambda: reasoner.reason(window, track=1))
+        assert second == []
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = reasoner.reason(window, incremental=False, track=0)
+        plain = reasoner.reason(window)
+        assert {frozenset(a) for a in legacy.answers} == {frozenset(a) for a in plain.answers}
+
+    def test_plain_reason_does_not_warn(self):
+        reasoner = traffic_reasoner()
+        caught = recorded_warnings(lambda: reasoner.reason(traffic_stream(20)))
+        assert caught == []
+
+    def test_parallel_reason_warns_once_and_matches_session(self, plan_p, motivating_window):
+        reasoner = traffic_reasoner()
+        parallel = ParallelReasoner(reasoner, DependencyPartitioner(plan_p))
+
+        results = []
+        first = recorded_warnings(lambda: results.append(parallel.reason(motivating_window)))
+        assert len(first) == 1
+        second = recorded_warnings(lambda: results.append(parallel.reason(motivating_window)))
+        assert second == []
+        modern = parallel.session.evaluate_window(motivating_window)
+        for result in results:
+            assert {frozenset(a) for a in result.answers} == {frozenset(a) for a in modern.answers}
+
+
+class TestPipelineShim:
+    def test_process_stream_warns_once_and_matches_session(self):
+        stream = traffic_stream(120)
+        window = CountWindow(size=40)
+        pipeline = StreamRulePipeline(traffic_reasoner(), window=window)
+
+        collected = []
+        first = recorded_warnings(lambda: collected.extend(pipeline.process_stream(stream)))
+        assert len(first) == 1
+        assert "process_stream is deprecated" in str(first[0].message)
+        second = recorded_warnings(lambda: collected.extend(pipeline.process_stream(stream)))
+        assert second == []
+
+        with StreamSession(traffic_reasoner(), window=window, max_combinations=None) as session:
+            expected = list(session.process(stream))
+        legacy_answers = [{frozenset(a) for a in solution.answers} for solution in collected[: len(expected)]]
+        modern_answers = [{frozenset(a) for a in solution.answers} for solution in expected]
+        assert legacy_answers == modern_answers
+
+    def test_parallel_pipeline_still_works(self, plan_p):
+        stream = traffic_stream(80)
+        parallel = ParallelReasoner(traffic_reasoner(), DependencyPartitioner(plan_p))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with StreamRulePipeline(parallel, window=CountWindow(size=40)) as pipeline:
+                solutions = pipeline.process_all(stream)
+        assert len(solutions) == 2
+
+    def test_hash_partitioned_pipeline_unchanged(self):
+        stream = traffic_stream(60)
+        parallel = ParallelReasoner(traffic_reasoner(), HashPartitioner(2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with StreamRulePipeline(parallel, window=CountWindow(size=30)) as pipeline:
+                solutions = pipeline.process_all(stream)
+        assert [solution.window_index for solution in solutions] == [0, 1]

@@ -1,9 +1,9 @@
 """Cross-mode equivalence: every execution mode returns the same answer sets.
 
-The execution modes differ only in *where* the partition reasoners run
-(inline, thread pool, process pool) and in how latency is reported; the
-answer sets must be identical.  This suite locks that contract in over a
-matrix of programs:
+The execution modes (and the pluggable backends they map to) differ only in
+*where* the partition reasoners run (inline, thread pool, process pool,
+loopback socket) and in how latency is reported; the answer sets must be
+identical.  This suite locks that contract in over a matrix of programs:
 
 * the paper's stratified traffic programs ``P`` and ``P'``,
 * a non-stratified program with multiple answer sets per partition,
@@ -14,14 +14,23 @@ plus the empty-window and single-partition edge cases.
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.asp.grounding.grounder import GroundingCache
 from repro.asp.syntax.parser import parse_program
 from repro.core.partitioner import DependencyPartitioner, HashPartitioner, Partitioner
 from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES
+from repro.streamrule.backends import (
+    InlineBackend,
+    LoopbackSocketBackend,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+)
 from repro.streamrule.parallel import ExecutionMode, ParallelReasoner
 from repro.streamrule.reasoner import Reasoner
+from repro.streamrule.session import StreamSession
 from tests.conftest import make_atom
 
 ALL_MODES = (
@@ -30,6 +39,16 @@ ALL_MODES = (
     ExecutionMode.THREADS,
     ExecutionMode.PROCESSES,
 )
+
+#: The direct-backend rows of the equivalence matrix (label -> factory);
+#: evaluated through StreamSession, the non-deprecated path.
+BACKEND_FACTORIES = {
+    "backend:inline": lambda workers: InlineBackend(),
+    "backend:inline-serial": lambda workers: InlineBackend(simulated=False),
+    "backend:threads": lambda workers: ThreadPoolBackend(max_workers=workers),
+    "backend:processes": lambda workers: ProcessPoolBackend(max_workers=workers),
+    "backend:loopback-socket": lambda workers: LoopbackSocketBackend(max_workers=workers),
+}
 
 
 class PredicateSplit(Partitioner):
@@ -57,14 +76,22 @@ class PredicateSplit(Partitioner):
 
 
 def answers_by_mode(reasoner, partitioner, window, max_workers=2, max_combinations=None):
-    """Evaluate ``window`` under every execution mode; return {mode: answers}."""
+    """Evaluate ``window`` under every mode *and* backend; return {key: answers}."""
     collected = {}
     for mode in ALL_MODES:
-        with ParallelReasoner(
-            reasoner, partitioner, mode=mode, max_workers=max_workers, max_combinations=max_combinations
-        ) as parallel:
-            result = parallel.reason(window)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with ParallelReasoner(
+                reasoner, partitioner, mode=mode, max_workers=max_workers, max_combinations=max_combinations
+            ) as parallel:
+                result = parallel.reason(window)
         collected[mode] = {frozenset(answer) for answer in result.answers}
+    for label, factory in BACKEND_FACTORIES.items():
+        with StreamSession(
+            reasoner, partitioner=partitioner, backend=factory(max_workers), max_combinations=max_combinations
+        ) as session:
+            result = session.evaluate_window(window)
+        collected[label] = {frozenset(answer) for answer in result.answers}
     return collected
 
 

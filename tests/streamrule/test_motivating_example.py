@@ -10,7 +10,6 @@ The paper shows that the specific bad random split W1/W2 produces the wrong
 event; the dependency-aware split never does.
 """
 
-import pytest
 
 from repro.core.accuracy import accuracy_of_answer
 from repro.core.combining import combine_answer_sets

@@ -7,7 +7,6 @@ from repro.core.accuracy import mean_accuracy
 from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES
 from repro.streamrule.parallel import ExecutionMode, ParallelReasoner
 from repro.streamrule.reasoner import Reasoner
-from tests.conftest import make_atom
 
 
 @pytest.fixture

@@ -3,13 +3,12 @@
 import pytest
 
 from repro.core.partitioner import DependencyPartitioner
-from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES
+from repro.programs.traffic import INPUT_PREDICATES
 from repro.streaming.processor import StreamQueryProcessor
 from repro.streaming.triples import Triple
 from repro.streaming.window import CountWindow
 from repro.streamrule.parallel import ParallelReasoner
 from repro.streamrule.pipeline import StreamRulePipeline
-from repro.streamrule.reasoner import Reasoner
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.programs.traffic import DERIVED_PREDICATES, EVENT_PREDICATES, INPUT_PREDICATES
+from repro.programs.traffic import DERIVED_PREDICATES, INPUT_PREDICATES
 from repro.streaming.triples import Triple
 from repro.streamrule.reasoner import Reasoner
 from tests.conftest import make_atom
