@@ -18,6 +18,12 @@ benchmark measures that directly on the paper's synthetic traffic workload:
    produced by periodic sensors or overlapping sliding windows) is run with
    and without a :class:`GroundingCache`, reporting the hit rate and the
    latency ratio.
+4. *TCP worker fleet* -- two real ``python -m repro.streamrule.worker``
+   daemons are spawned on localhost and the same stream is dispatched over
+   ``TcpBackend``, pricing the full framed-socket round trip against inline
+   evaluation, and sweeping a *sliding* window with delta shipping on vs.
+   off to report the wire-bytes-per-window saving of shard-side fact
+   deltas.
 
 Usage::
 
@@ -30,6 +36,7 @@ Options::
     --window-size N triples per window
     --windows N     distinct windows in the stream
     --repeats N     how many times the window stream recurs (cache section)
+    --no-tcp        skip the TCP fleet section (no subprocesses spawned)
 
 Note: genuine speed-up requires genuine cores.  The script prints the host's
 CPU count; on a single-core container the process/loopback rows measure pure
@@ -52,17 +59,20 @@ from repro.asp.grounding import GroundingCache  # noqa: E402
 from repro.core.partitioner import HashPartitioner  # noqa: E402
 from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program  # noqa: E402
 from repro.streaming.generator import SyntheticStreamConfig, generate_window  # noqa: E402
+from repro.streaming.window import CountWindow  # noqa: E402
 from repro.streamrule.backends import (  # noqa: E402
     ExecutionBackend,
     ExecutionMode,
     InlineBackend,
     LoopbackSocketBackend,
     ProcessPoolBackend,
+    TcpBackend,
     ThreadPoolBackend,
     backend_for_mode,
 )
 from repro.streamrule.reasoner import Reasoner  # noqa: E402
 from repro.streamrule.session import StreamSession  # noqa: E402
+from repro.streamrule.worker import spawn_local_workers  # noqa: E402
 
 RESULTS_DIRECTORY = Path(__file__).parent / "results"
 BENCH_SEED = 2017
@@ -191,6 +201,62 @@ def cache_section(windows: Sequence[list], repeats: int, partitions: int) -> Lis
     ]
 
 
+def tcp_section(windows: Sequence[list], workers: int, partitions: int) -> List[str]:
+    """Two real worker daemons: dispatch overhead + delta-vs-full shipping.
+
+    Spawns ``workers`` ``python -m repro.streamrule.worker`` subprocesses
+    on localhost.  Part one prices TCP dispatch like :func:`backend_section`
+    prices the in-process transports (same distinct-window stream, full-fact
+    shipping dominates since nothing overlaps).  Part two concatenates the
+    stream and re-windows it as a *sliding* window (slide = size/4), runs it
+    once with delta shipping and once without, and reports the wire payload
+    per window each way -- the steady-state saving of shard-side fact
+    deltas.
+    """
+    lines: List[str] = [f"TCP worker fleet ({workers} local daemons, k = {partitions} partitions)"]
+    fleet = spawn_local_workers(workers)
+    try:
+        endpoints = [worker.endpoint for worker in fleet]
+        inline = run_stream_on_backend(InlineBackend(), partitions, windows, grounding_cache=GroundingCache())
+        tcp_backend = TcpBackend(endpoints)
+        record = run_stream_on_backend(tcp_backend, partitions, windows, grounding_cache=GroundingCache())
+        overhead_ms = (record["seconds"] - inline["seconds"]) / len(windows) * 1000.0
+        lines.append(f"{'backend':<24}{'wall s':>10}{'items/s':>12}{'ms/win overhead':>17}")
+        lines.append(f"{'inline':<24}{inline['seconds']:>10.3f}{inline['throughput']:>12.0f}{0.0:>17.2f}")
+        lines.append(f"{'tcp':<24}{record['seconds']:>10.3f}{record['throughput']:>12.0f}{overhead_ms:>17.2f}")
+
+        # Delta-shipping sweep: one long sliding stream over the same triples.
+        stream = [triple for window in windows for triple in window]
+        size = max(len(windows[0]), 8)
+        sliding = CountWindow(size=size, slide=max(size // 4, 1), emit_partial=False)
+        lines.append("")
+        lines.append(f"Delta shipping on a sliding window (size {size}, slide {max(size // 4, 1)})")
+        lines.append(f"{'shipping':<24}{'wall s':>10}{'windows':>9}{'KiB sent':>10}{'KiB/win':>9}{'delta frames':>14}")
+        for label, delta_shipping in (("full facts", False), ("fact deltas", True)):
+            backend = TcpBackend(endpoints, delta_shipping=delta_shipping)
+            reasoner = Reasoner(
+                traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES, grounding_cache=GroundingCache()
+            )
+            count = 0
+            with StreamSession(reasoner, partitioner=HashPartitioner(partitions), backend=backend) as session:
+                session.backend.start(reasoner)
+                started = time.perf_counter()
+                for delta in sliding.deltas(stream):
+                    session.evaluate_window(list(delta.window), delta=delta)
+                    count += 1
+                elapsed = time.perf_counter() - started
+            stats = backend.wire_statistics()
+            sent_kib = stats["bytes_out"] / 1024.0
+            lines.append(
+                f"{label:<24}{elapsed:>10.3f}{count:>9d}{sent_kib:>10.1f}"
+                f"{sent_kib / max(count, 1):>9.2f}{int(stats['items_delta']):>14d}"
+            )
+    finally:
+        for worker in fleet:
+            worker.terminate()
+    return lines
+
+
 def positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -215,6 +281,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--window-size", type=positive_int, default=None, help="triples per window")
     parser.add_argument("--windows", type=positive_int, default=None, help="distinct windows in the stream")
     parser.add_argument("--repeats", type=positive_int, default=None, help="stream recurrences for the cache section")
+    parser.add_argument("--no-tcp", action="store_true", help="skip the TCP worker-fleet section")
     parser.add_argument("--no-write", action="store_true", help="do not write benchmarks/results/")
     arguments = parser.parse_args(argv)
 
@@ -235,6 +302,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lines += backend_section(windows, workers=max(worker_counts), partitions=max(worker_counts))
     lines.append("")
     lines += cache_section(windows, repeats, partitions=max(worker_counts))
+    if not arguments.no_tcp:
+        lines.append("")
+        lines += tcp_section(windows, workers=min(2, max(worker_counts)), partitions=max(worker_counts))
 
     report = "\n".join(lines)
     print(report)

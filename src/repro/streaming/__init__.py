@@ -24,15 +24,25 @@ from repro.streaming.generator import (
 )
 from repro.streaming.processor import StreamQueryProcessor
 from repro.streaming.triples import Triple
-from repro.streaming.window import CountWindow, CountWindowStepper, TimeWindow, WindowDelta, WindowedStream
+from repro.streaming.window import (
+    CountWindow,
+    CountWindowStepper,
+    LateArrivalError,
+    TimeWindow,
+    TimeWindowStepper,
+    WindowDelta,
+    WindowedStream,
+)
 
 __all__ = [
     "CountWindow",
     "CountWindowStepper",
     "DataFormatProcessor",
+    "LateArrivalError",
     "StreamQueryProcessor",
     "SyntheticStreamConfig",
     "TimeWindow",
+    "TimeWindowStepper",
     "WindowDelta",
     "TrafficScenarioGenerator",
     "Triple",

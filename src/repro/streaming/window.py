@@ -40,12 +40,32 @@ suffix of the current one, and the two reconstruct each slide exactly.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.streaming.triples import Triple
 
-__all__ = ["CountWindow", "CountWindowStepper", "TimeWindow", "WindowDelta", "WindowedStream"]
+__all__ = [
+    "CountWindow",
+    "CountWindowStepper",
+    "LateArrivalError",
+    "TimeWindow",
+    "TimeWindowStepper",
+    "WindowDelta",
+    "WindowedStream",
+]
+
+
+class LateArrivalError(ValueError):
+    """A pushed triple's timestamp falls inside an already-emitted window.
+
+    Raised by :class:`TimeWindowStepper` under its default ``late="raise"``
+    policy: once a time window has been emitted (and possibly evaluated),
+    an item belonging to it can no longer be windowed exactly.  Streams
+    with unbounded disorder should stay on the batch path
+    (:meth:`TimeWindow.deltas`), which sorts the whole stream first.
+    """
 
 
 @dataclass(frozen=True)
@@ -239,35 +259,187 @@ class TimeWindow:
             yield list(delta.window)
 
     def deltas(self, triples: Iterable[Triple]) -> Iterator[WindowDelta]:
-        """Iterate non-empty windows annotated with expired/arrived deltas."""
-        annotated = self._annotate(triples)
-        if not annotated:
-            return
-        slide = self.slide or self.duration
-        window_start = annotated[0][0]
-        end_time = annotated[-1][0] + 1e-9
-        count = len(annotated)
-        low = high = 0  # [low, high) spans the current window in `annotated`
-        previous_low = previous_high = 0
-        index = 0
-        while window_start <= end_time:
-            window_end = window_start + self.duration
-            while low < count and annotated[low][0] < window_start:
-                low += 1
-            while high < count and annotated[high][0] < window_end:
-                high += 1
-            if high > low:
-                expired = annotated[previous_low : min(low, previous_high)]
-                arrived = annotated[max(low, previous_high) : high]
-                yield WindowDelta(
-                    index=index,
-                    window=tuple(triple for _, triple in annotated[low:high]),
-                    expired=tuple(triple for _, triple in expired),
-                    arrived=tuple(triple for _, triple in arrived),
-                )
-                index += 1
-                previous_low, previous_high = low, high
-            window_start += slide
+        """Iterate non-empty windows annotated with expired/arrived deltas.
+
+        The windowing state machine lives in :class:`TimeWindowStepper`
+        (the push-based form); this batch generator annotates and *sorts*
+        the whole stream first -- which is why it handles arbitrary
+        disorder -- and then simply drives the stepper, so the two
+        iteration styles can never diverge.
+        """
+        stepper = self.stepper()
+        for stamp, triple in self._annotate(triples):
+            yield from stepper.feed_at(stamp, triple)
+        yield from stepper.flush()
+
+    def stepper(self, late: str = "raise") -> "TimeWindowStepper":
+        """An incremental (push-based) driver equivalent to :meth:`deltas`.
+
+        Exact for in-order streams (and for any disorder that never lands
+        inside an already-emitted window); see :class:`TimeWindowStepper`
+        for the ``late`` policies.
+        """
+        return TimeWindowStepper(self, late=late)
+
+
+class TimeWindowStepper:
+    """The time-window state machine, push-based.
+
+    Feed triples one at a time; each call returns the (possibly empty) list
+    of :class:`WindowDelta` records for every window the new item's
+    timestamp proves complete -- a window ``[s, s + duration)`` closes once
+    a timestamp ``>= s + duration`` is seen, i.e. at the exact point the
+    batch path would stop extending it.  :meth:`flush` emits the windows
+    still open at stream end.  :meth:`TimeWindow.deltas` is a thin driver
+    over this class (it sorts, then feeds), so batch iteration and
+    item-wise push yield the identical delta sequence by construction; a
+    :class:`~repro.streamrule.session.StreamSession` uses it for the
+    opt-in *eager* time-window push path: results stream before stream
+    end, and per-item cost is one insort into the open-window buffer --
+    O(open items) worst-case from list shifting, but the buffer holds only
+    the un-expired tail rather than the whole stream, and in-order arrival
+    appends at the end.
+
+    The exactness caveat is inherent to eager emission: an item whose
+    timestamp falls inside an already-emitted window arrives too late to be
+    windowed correctly.  The ``late`` policy decides what happens then --
+    ``"raise"`` (default) raises :class:`LateArrivalError`; ``"drop"``
+    discards the item and counts it in :attr:`late_dropped`.  Timestamps
+    that merely arrive out of order among the still-open windows are
+    handled exactly.  Timestamp-less triples inherit the most recent
+    timestamp, exactly as the batch path's annotation rule does (a leading
+    timestamp-less run is held back until the first real timestamp, which
+    it inherits).
+    """
+
+    def __init__(self, policy: TimeWindow, late: str = "raise"):
+        if late not in ("raise", "drop"):
+            raise ValueError(f'late policy must be "raise" or "drop", got {late!r}')
+        self._policy = policy
+        self._slide = policy.slide or policy.duration
+        self._late = late
+        #: Sorted (stamp, arrival sequence, triple) entries not yet expired.
+        self._pending: List[Tuple[float, int, Triple]] = []
+        self._leading: List[Triple] = []  # timestamp-less prefix, stamp unknown yet
+        self._carry: Optional[float] = None
+        self._sequence = 0
+        self._window_start: Optional[float] = None
+        self._watermark = float("-inf")
+        self._closed_end = float("-inf")  # largest end of any closed window
+        self._previous: List[Tuple[float, int, Triple]] = []
+        self._index = 0
+        #: Items discarded under the ``late="drop"`` policy.
+        self.late_dropped = 0
+
+    @property
+    def index(self) -> int:
+        """Index of the next window to be emitted."""
+        return self._index
+
+    # ------------------------------------------------------------------ #
+    def feed(self, triple: Triple) -> List[WindowDelta]:
+        """Accept one stream item; return the deltas of the windows it closes."""
+        if triple.timestamp is not None:
+            self._carry = triple.timestamp
+        elif self._carry is None:
+            # A leading timestamp-less run inherits the first known
+            # timestamp; hold it back until that timestamp arrives.
+            self._leading.append(triple)
+            return []
+        stamp = self._carry
+        assert stamp is not None
+        emitted: List[WindowDelta] = []
+        if self._leading:
+            backfill, self._leading = self._leading, []
+            for queued in backfill:
+                emitted.extend(self.feed_at(stamp, queued))
+        emitted.extend(self.feed_at(stamp, triple))
+        return emitted
+
+    def feed_at(self, stamp: float, triple: Triple) -> List[WindowDelta]:
+        """Accept one item at an explicit effective timestamp."""
+        if stamp < self._closed_end:
+            if self._late == "drop":
+                self.late_dropped += 1
+                return []
+            raise LateArrivalError(
+                f"timestamp {stamp} falls inside an already-emitted window "
+                f"(closed through {self._closed_end}); sort the stream or use the "
+                f'batch path / late="drop"'
+            )
+        if self._window_start is None:
+            self._window_start = stamp
+        elif self._closed_end == float("-inf"):
+            # Nothing emitted yet: the window grid may still shift left to
+            # start at the earliest timestamp, as the batch path would.
+            self._window_start = min(self._window_start, stamp)
+        entry = (stamp, self._sequence, triple)
+        self._sequence += 1
+        bisect.insort(self._pending, entry)
+        if stamp > self._watermark:
+            self._watermark = stamp
+        emitted: List[WindowDelta] = []
+        while self._window_start is not None and self._window_start + self._policy.duration <= self._watermark:
+            delta = self._emit_current()
+            if delta is not None:
+                emitted.append(delta)
+            self._advance()
+        return emitted
+
+    def flush(self) -> List[WindowDelta]:
+        """End of stream: emit every window still open."""
+        if self._leading:
+            # A fully timestamp-less stream defaults to timestamp 0.0,
+            # matching the batch annotation rule.
+            backfill, self._leading = self._leading, []
+            for queued in backfill:
+                self.feed_at(0.0, queued)
+        if self._window_start is None:
+            return []
+        emitted: List[WindowDelta] = []
+        end_time = self._watermark + 1e-9
+        while self._window_start <= end_time:
+            delta = self._emit_current()
+            if delta is not None:
+                emitted.append(delta)
+            self._advance()
+        return emitted
+
+    # ------------------------------------------------------------------ #
+    def _emit_current(self) -> Optional[WindowDelta]:
+        """Build the delta of the window at ``_window_start`` (None if empty)."""
+        window_start = self._window_start
+        assert window_start is not None
+        window_end = window_start + self._policy.duration
+        cut = 0
+        while cut < len(self._pending) and self._pending[cut][0] < window_start:
+            cut += 1
+        if cut:
+            del self._pending[:cut]
+        take = 0
+        while take < len(self._pending) and self._pending[take][0] < window_end:
+            take += 1
+        if not take:
+            return None
+        entries = self._pending[:take]
+        expired_count = 0
+        while expired_count < len(self._previous) and self._previous[expired_count][0] < window_start:
+            expired_count += 1
+        overlap = len(self._previous) - expired_count
+        delta = WindowDelta(
+            index=self._index,
+            window=tuple(triple for _, _, triple in entries),
+            expired=tuple(triple for _, _, triple in self._previous[:expired_count]),
+            arrived=tuple(triple for _, _, triple in entries[overlap:]),
+        )
+        self._previous = entries
+        self._index += 1
+        return delta
+
+    def _advance(self) -> None:
+        assert self._window_start is not None
+        self._closed_end = max(self._closed_end, self._window_start + self._policy.duration)
+        self._window_start += self._slide
 
 
 class WindowedStream:

@@ -5,9 +5,19 @@
   dispatch (facts, delta, track, epoch).
 * :mod:`repro.streamrule.placement` -- placement strategies mapping work
   items to worker slots (track-pinned, consistent-hash-over-content).
+* :mod:`repro.streamrule.errors` -- the execution-layer exception hierarchy.
+* :mod:`repro.streamrule.net` -- the wire layer of the distributed tier:
+  framed messages, the versioned handshake with capability negotiation,
+  shard-side fact-delta shipping, and bounded-backoff connects.
+* :mod:`repro.streamrule.worker` -- the remote worker daemon
+  (``python -m repro.streamrule.worker --listen HOST:PORT``).
+* :mod:`repro.streamrule.fleet` -- the :class:`WorkerFleet` coordinator
+  mapping placement slots onto worker endpoints, with dead-worker
+  rerouting.
 * :mod:`repro.streamrule.backends` -- the pluggable :class:`ExecutionBackend`
-  protocol and its transports: inline, thread pool, pinned process pool, and
-  the loopback-socket backend that pickles work items over a real wire.
+  protocol and its transports: inline, thread pool, pinned process pool,
+  the loopback-socket backend, and the TCP backend dispatching to a remote
+  worker fleet.
 * :mod:`repro.streamrule.reasoner` -- the reasoner ``R``: data format
   processor plus the ASP solver, evaluating one work item per call
   (the dashed box of Figure 1).
@@ -18,21 +28,26 @@
   (the grey box of Figure 6), now a deprecated shim over the session.
 * :mod:`repro.streamrule.pipeline` -- the legacy end-to-end pipeline,
   likewise a deprecated shim over the session.
+
+The architecture guide (``docs/architecture.md``) walks the full layer
+stack; ``docs/api.md`` is the annotated index of this public surface.
 """
 
 from repro.streamrule.backends import (
-    BackendConnectionError,
-    BackendError,
     ExecutionBackend,
     ExecutionMode,
     InlineBackend,
     LoopbackSocketBackend,
     ProcessPoolBackend,
+    TcpBackend,
     ThreadPoolBackend,
     backend_for_mode,
 )
 from repro.streamrule.compat import reset_deprecation_warnings
+from repro.streamrule.errors import BackendConnectionError, BackendError, HandshakeError, ProtocolError
+from repro.streamrule.fleet import WorkerEndpoint, WorkerFleet
 from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
+from repro.streamrule.net import PROTOCOL_VERSION, WireStats, WorkerClient
 from repro.streamrule.parallel import ParallelReasoner
 from repro.streamrule.pipeline import StreamRulePipeline
 from repro.streamrule.placement import ConsistentHashPlacement, PinnedPlacement, PlacementStrategy
@@ -46,23 +61,46 @@ __all__ = [
     "ConsistentHashPlacement",
     "ExecutionBackend",
     "ExecutionMode",
+    "HandshakeError",
     "InlineBackend",
     "LatencyBreakdown",
     "LoopbackSocketBackend",
+    "PROTOCOL_VERSION",
     "ParallelReasoner",
     "ParallelResult",
     "PinnedPlacement",
     "PlacementStrategy",
     "ProcessPoolBackend",
+    "ProtocolError",
     "Reasoner",
     "ReasonerMetrics",
     "ReasonerResult",
     "StreamRulePipeline",
     "StreamSession",
+    "TcpBackend",
     "ThreadPoolBackend",
     "Timer",
     "WindowSolution",
+    "WireStats",
     "WorkItem",
+    "WorkerClient",
+    "WorkerEndpoint",
+    "WorkerFleet",
+    "WorkerServer",
     "backend_for_mode",
     "reset_deprecation_warnings",
+    "spawn_local_workers",
 ]
+
+#: Worker-daemon names resolved lazily (PEP 562) so that
+#: ``python -m repro.streamrule.worker`` does not find its target module
+#: already imported by this package (runpy would warn and re-execute it).
+_LAZY_WORKER_EXPORTS = ("LocalWorkerProcess", "WorkerServer", "spawn_local_workers")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_WORKER_EXPORTS:
+        from repro.streamrule import worker
+
+        return getattr(worker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

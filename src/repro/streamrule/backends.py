@@ -21,9 +21,16 @@ branch on an execution mode again:
 * :class:`LoopbackSocketBackend` -- pickles every ``WorkItem`` /
   ``ReasonerResult`` over a real local socket pair to a peer holding its own
   unpickled copy of the reasoner.  Functionally it proves the
-  partition/combine protocol survives a wire byte-for-byte -- the first
-  brick of multi-machine sharding (ROADMAP) -- and it is the backend the
-  fault-injection tests drop connections on.
+  partition/combine protocol survives a wire byte-for-byte, and it is the
+  backend the fault-injection tests drop connections on.
+* :class:`TcpBackend` -- the multi-machine transport: dispatches to remote
+  worker daemons (``python -m repro.streamrule.worker``) over the versioned
+  wire protocol of :mod:`repro.streamrule.net`, through a
+  :class:`~repro.streamrule.fleet.WorkerFleet` that spreads placement slots
+  over the worker endpoints, reroutes the slots of a dead worker to the
+  survivors, and ships steady-state sliding windows as fact *deltas*
+  instead of full fact sets.  See ``docs/deployment.md`` for running a
+  fleet.
 
 Lifecycle
 ---------
@@ -43,13 +50,14 @@ import enum
 import os
 import pickle
 import socket
-import struct
 import threading
 import weakref
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from repro.streamrule.errors import BackendConnectionError, BackendError
+from repro.streamrule.fleet import EndpointLike, WorkerEndpoint, WorkerFleet
+from repro.streamrule.net import FrameKind, RemoteFailure, WireStats, recv_frame, send_frame
 from repro.streamrule.placement import PinnedPlacement, PlacementStrategy
 from repro.streamrule.reasoner import (
     Reasoner,
@@ -68,17 +76,10 @@ __all__ = [
     "InlineBackend",
     "LoopbackSocketBackend",
     "ProcessPoolBackend",
+    "TcpBackend",
     "ThreadPoolBackend",
     "backend_for_mode",
 ]
-
-
-class BackendError(RuntimeError):
-    """A backend failed to evaluate a work item."""
-
-
-class BackendConnectionError(BackendError, ConnectionError):
-    """The transport to a worker was lost (triggers inline fallback)."""
 
 
 class ExecutionMode(enum.Enum):
@@ -324,53 +325,28 @@ def _shutdown_executors(executors) -> None:
 # --------------------------------------------------------------------------- #
 # Loopback-socket backend
 # --------------------------------------------------------------------------- #
-_FRAME_HEADER = struct.Struct(">I")
-
-
-def _send_frame(connection: socket.socket, payload: bytes) -> None:
-    connection.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
-
-
-def _recv_exactly(connection: socket.socket, count: int) -> bytes:
-    chunks = []
-    while count:
-        chunk = connection.recv(count)
-        if not chunk:
-            raise EOFError("peer closed the connection")
-        chunks.append(chunk)
-        count -= len(chunk)
-    return b"".join(chunks)
-
-
-def _recv_frame(connection: socket.socket) -> bytes:
-    (length,) = _FRAME_HEADER.unpack(_recv_exactly(connection, _FRAME_HEADER.size))
-    return _recv_exactly(connection, length)
-
-
-@dataclass
-class _RemoteFailure:
-    """Wire wrapper distinguishing a worker-side exception from a result."""
-
-    error: BaseException
-
-    def rebuild(self) -> BaseException:
-        return self.error
-
-
 def _serve_loopback_worker(connection: socket.socket, payload: bytes) -> None:
-    """Peer loop: unpickle the reasoner once, then serve framed work items."""
+    """Peer loop: unpickle the reasoner once, then serve framed work items.
+
+    Uses the shared frame grammar of :mod:`repro.streamrule.net` (``WORK``
+    in, ``RESULT`` out) but skips the TCP handshake: both ends of the
+    socket pair live in this process, so there is no version skew to
+    negotiate.
+    """
     reasoner: Reasoner = pickle.loads(payload)
     try:
         while True:
             try:
-                frame = _recv_frame(connection)
-            except (EOFError, OSError):
+                kind, frame = recv_frame(connection)
+            except (EOFError, OSError, BackendError):
+                break
+            if kind is not FrameKind.WORK:
                 break
             item: WorkItem = pickle.loads(frame)
             try:
                 response: object = reasoner.reason_item(item)
             except BaseException as error:  # noqa: BLE001 - shipped back to the caller
-                response = _RemoteFailure(error)
+                response = RemoteFailure(error)
             try:
                 payload_out = pickle.dumps(response, protocol=pickle.HIGHEST_PROTOCOL)
             except Exception as error:  # noqa: BLE001 - pickling raises Type/Attribute errors too
@@ -378,12 +354,18 @@ def _serve_loopback_worker(connection: socket.socket, payload: bytes) -> None:
                 # as a wrapped failure so the caller sees the real problem
                 # instead of a dead connection.
                 payload_out = pickle.dumps(
-                    _RemoteFailure(BackendError(f"unpicklable worker response ({error!r}): {response!r}")),
+                    RemoteFailure(BackendError(f"unpicklable worker response ({error!r}): {response!r}")),
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
-            _send_frame(connection, payload_out)
+            try:
+                send_frame(connection, FrameKind.RESULT, payload_out)
+            except (OSError, BrokenPipeError):
+                break
     finally:
-        connection.close()
+        try:
+            connection.close()
+        except OSError:
+            pass
 
 
 class _LoopbackSlot:
@@ -457,12 +439,12 @@ class LoopbackSocketBackend(ExecutionBackend):
     @staticmethod
     def _roundtrip(slot: _LoopbackSlot, item: WorkItem) -> ReasonerResult:
         try:
-            _send_frame(slot.client, pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
-            frame = _recv_frame(slot.client)
+            send_frame(slot.client, FrameKind.WORK, pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
+            _, frame = recv_frame(slot.client)
         except (OSError, EOFError) as error:
             raise BackendConnectionError(f"loopback worker connection lost: {error!r}") from error
         response = pickle.loads(frame)
-        if isinstance(response, _RemoteFailure):
+        if isinstance(response, RemoteFailure):
             raise response.rebuild()
         return response
 
@@ -478,6 +460,183 @@ class LoopbackSocketBackend(ExecutionBackend):
 
     def _close(self) -> None:
         finalizer, self._finalizer, self._slots = self._finalizer, None, None
+        if finalizer is not None:
+            finalizer()
+
+
+# --------------------------------------------------------------------------- #
+# TCP backend: remote worker fleet
+# --------------------------------------------------------------------------- #
+def _close_tcp_resources(dispatchers, fleet) -> None:
+    """Finalizer backstop mirroring :func:`_shutdown_executors`."""
+    for dispatcher in dispatchers:
+        dispatcher.shutdown(wait=True)
+    fleet.close()
+
+
+class TcpBackend(ExecutionBackend):
+    """Dispatch work items to remote worker daemons over TCP.
+
+    The multi-machine transport of the execution layer: every endpoint is a
+    ``python -m repro.streamrule.worker`` daemon, reached over the
+    length-prefixed, versioned wire protocol of
+    :mod:`repro.streamrule.net` (see ``docs/wire-protocol.md``).  ``start``
+    pickles the bound reasoner once and ships it to every worker during the
+    handshake; per-item dispatch then ships either a thinned
+    :class:`WorkItem` or -- when the ``delta_shipping`` capability was
+    negotiated and the window overlaps its predecessor -- a
+    :class:`~repro.streamrule.net.FactDelta` frame carrying only the slide.
+
+    Slot routing and fault tolerance live in the
+    :class:`~repro.streamrule.fleet.WorkerFleet`: the placement strategy
+    picks a slot, the fleet maps slots onto endpoints, reroutes the slots of
+    a dead worker to the survivors (retrying the in-flight item there), and
+    raises :class:`BackendConnectionError` once no worker survives -- at
+    which point the session evaluates inline and counts a fallback.  A
+    single-thread dispatcher per slot preserves per-track ordering, exactly
+    like the process-pool and loopback backends.
+
+    Parameters
+    ----------
+    endpoints:
+        Worker addresses (``"host:port"`` strings or
+        :class:`~repro.streamrule.fleet.WorkerEndpoint` instances).
+    slots:
+        Placement slots to spread over the fleet (default:
+        ``len(endpoints)``).
+    placement:
+        Slot-choosing strategy (default :class:`PinnedPlacement`).
+    delta_shipping:
+        Offer shard-side fact-delta shipping in the handshake.
+    heartbeat_interval:
+        Seconds between background heartbeats; ``None`` disables the
+        heartbeat thread (liveness is then discovered on submit).
+    connect_attempts / reconnect_attempts / base_delay / max_delay:
+        Bounded-exponential-backoff budgets for the initial connect and for
+        mid-stream reconnects (see
+        :func:`~repro.streamrule.net.connect_with_backoff`).
+    """
+
+    name = "tcp"
+    is_remote = True
+    uses_placement = True
+    measures_wall_clock = True
+
+    def __init__(
+        self,
+        endpoints: Sequence[EndpointLike],
+        *,
+        slots: Optional[int] = None,
+        placement: Optional[PlacementStrategy] = None,
+        delta_shipping: bool = True,
+        heartbeat_interval: Optional[float] = None,
+        connect_attempts: int = 5,
+        reconnect_attempts: int = 2,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        connect_timeout: float = 5.0,
+    ):
+        super().__init__(placement)
+        self.endpoints = [WorkerEndpoint.parse(endpoint) for endpoint in endpoints]
+        self.slots = slots
+        self.delta_shipping = delta_shipping
+        self.heartbeat_interval = heartbeat_interval
+        self.connect_attempts = connect_attempts
+        self.reconnect_attempts = reconnect_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.connect_timeout = connect_timeout
+        self._fleet: Optional[WorkerFleet] = None
+        self._dispatchers: Optional[List[ThreadPoolExecutor]] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        self._heartbeat_stop: Optional[threading.Event] = None
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._final_stats: Dict[str, float] = {}
+
+    @property
+    def fleet(self) -> Optional[WorkerFleet]:
+        """The live fleet coordinator (``None`` while closed)."""
+        return self._fleet
+
+    def _start(self, reasoner: Reasoner) -> None:
+        fleet = WorkerFleet(
+            self.endpoints,
+            slots=self.slots,
+            delta_shipping=self.delta_shipping,
+            connect_attempts=self.connect_attempts,
+            reconnect_attempts=self.reconnect_attempts,
+            base_delay=self.base_delay,
+            max_delay=self.max_delay,
+            connect_timeout=self.connect_timeout,
+        )
+        fleet.start(pickle.dumps(reasoner))
+        dispatchers = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"tcp-dispatch-{slot}")
+            for slot in range(fleet.slot_count)
+        ]
+        self._fleet = fleet
+        self._dispatchers = dispatchers
+        self._finalizer = weakref.finalize(self, _close_tcp_resources, list(dispatchers), fleet)
+        if self.heartbeat_interval is not None:
+            self._heartbeat_stop = threading.Event()
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(fleet, self._heartbeat_stop, self.heartbeat_interval),
+                name="tcp-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
+
+    @staticmethod
+    def _heartbeat_loop(fleet: WorkerFleet, stop: threading.Event, interval: float) -> None:
+        while not stop.wait(interval):
+            try:
+                fleet.ping()
+            except BackendError:
+                # Liveness probing must never die: whatever a probe hit
+                # (the fleet handles connection losses itself), keep the
+                # remaining endpoints monitored.
+                continue
+
+    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+        self._require_started()
+        assert self._fleet is not None and self._dispatchers is not None
+        slot = self.placement.slot(item, self._fleet.slot_count)
+        return self._dispatchers[slot].submit(self._fleet.roundtrip, slot, item)
+
+    def wire_statistics(self) -> Dict[str, float]:
+        """Fleet traffic counters: frames, payload bytes, reroutes, liveness.
+
+        After ``close`` this keeps answering with the final snapshot of the
+        last fleet, so benchmarks can report traffic once the session is
+        torn down.
+        """
+        if self._fleet is None:
+            return dict(self._final_stats)
+        stats: WireStats = self._fleet.wire_statistics()
+        return {
+            "items_full": float(stats.items_full),
+            "items_delta": float(stats.items_delta),
+            "bytes_full": float(stats.bytes_full),
+            "bytes_delta": float(stats.bytes_delta),
+            "bytes_out": float(stats.bytes_out),
+            "bytes_in": float(stats.bytes_in),
+            "pings": float(stats.pings),
+            "reroutes": float(self._fleet.reroutes),
+            "alive_workers": float(len(self._fleet.alive_endpoints)),
+        }
+
+    def _close(self) -> None:
+        stop, self._heartbeat_stop = self._heartbeat_stop, None
+        thread, self._heartbeat_thread = self._heartbeat_thread, None
+        if stop is not None:
+            stop.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self._final_stats = self.wire_statistics()
+        finalizer, self._finalizer = self._finalizer, None
+        self._dispatchers = None
+        self._fleet = None
         if finalizer is not None:
             finalizer()
 

@@ -1,0 +1,48 @@
+"""Exception hierarchy of the execution layer.
+
+These classes live in their own leaf module so every execution-layer module
+(:mod:`~repro.streamrule.net`, :mod:`~repro.streamrule.fleet`,
+:mod:`~repro.streamrule.backends`, :mod:`~repro.streamrule.session`) can
+raise and catch them without import cycles.  :mod:`repro.streamrule.backends`
+re-exports :class:`BackendError` and :class:`BackendConnectionError` under
+their historical import path.
+
+Hierarchy
+---------
+``BackendError``
+    Any failure of a backend to evaluate a work item.  Not retried.
+``BackendConnectionError``
+    The transport to a worker was lost.  This is the *retriable* class: the
+    fleet coordinator responds by reconnecting/rerouting, and
+    :class:`~repro.streamrule.session.StreamSession` responds by evaluating
+    the affected partitions inline (counted in ``session.fallbacks``).
+``ProtocolError``
+    The peer violated the wire protocol (bad magic, unexpected frame kind,
+    malformed payload).  A protocol violation closes the connection, so it
+    is also a connection error for retry purposes.
+``HandshakeError``
+    The peer rejected the connection during the handshake -- most commonly a
+    protocol-version mismatch between coordinator and worker.  *Not* a
+    connection error: reconnecting to the same worker would fail the same
+    way, so it is raised to the caller instead of triggering a retry.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BackendConnectionError", "BackendError", "HandshakeError", "ProtocolError"]
+
+
+class BackendError(RuntimeError):
+    """A backend failed to evaluate a work item."""
+
+
+class BackendConnectionError(BackendError, ConnectionError):
+    """The transport to a worker was lost (triggers reroute/inline fallback)."""
+
+
+class ProtocolError(BackendConnectionError):
+    """The peer violated the wire protocol; the connection is unusable."""
+
+
+class HandshakeError(BackendError):
+    """The peer rejected the handshake (e.g. protocol-version mismatch)."""

@@ -1,0 +1,364 @@
+"""The :class:`WorkerFleet` coordinator: placement slots over worker endpoints.
+
+The placement layer (:mod:`repro.streamrule.placement`) maps work items to
+abstract *slots*; this module maps slots to *machines*.  A fleet owns one
+:class:`~repro.streamrule.net.WorkerClient` per live endpoint and a
+slot-ownership table (slot ``i`` starts on endpoint ``i % n``).  When a
+worker dies mid-stream the fleet
+
+1. retries the endpoint with bounded exponential backoff
+   (:func:`~repro.streamrule.net.connect_with_backoff` semantics -- a
+   worker restarted by its supervisor picks its slots straight back up),
+2. failing that, marks the endpoint dead and *reroutes* its slots
+   round-robin over the survivors (the in-flight item is resubmitted there,
+   so no window is lost, and since the dead connection never delivered its
+   result, none is duplicated),
+3. and once no endpoint survives, raises
+   :class:`~repro.streamrule.errors.BackendConnectionError` -- which the
+   session answers by evaluating the partition inline, extending its
+   ``fallbacks`` counter.  The stream keeps flowing even with an empty
+   fleet.
+
+Rerouted tracks land on a worker whose grounding cache has no state for
+them; the first item after a reroute is shipped as a full fact set (fresh
+delta-shipping state per connection) and grounds from scratch, after which
+delta shipping and delta grounding resume on the new worker.  Endpoints
+marked dead stay dead for the lifetime of the fleet ``start``; restart the
+backend (or construct a new session) to re-adopt a revived worker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.streamrule.errors import BackendConnectionError, HandshakeError
+from repro.streamrule.net import WireStats, WorkerClient
+from repro.streamrule.reasoner import ReasonerResult
+from repro.streamrule.work import WorkItem
+
+__all__ = ["EndpointLike", "WorkerEndpoint", "WorkerFleet"]
+
+
+@dataclass(frozen=True)
+class WorkerEndpoint:
+    """One worker daemon's address."""
+
+    host: str
+    port: int
+
+    @classmethod
+    def parse(cls, text: "EndpointLike") -> "WorkerEndpoint":
+        """Accept ``"host:port"`` strings, ``(host, port)`` pairs, or instances.
+
+        The single ``host:port`` parser of the execution layer -- the
+        worker CLI's ``--listen`` delegates here too, so the grammar and
+        the port-range validation cannot drift between the two surfaces.
+        """
+        if isinstance(text, WorkerEndpoint):
+            return text
+        if isinstance(text, tuple):
+            host, port = text
+            port = int(port)
+        else:
+            host, separator, port_text = text.rpartition(":")
+            if not separator or not host:
+                raise ValueError(f"expected HOST:PORT, got {text!r}")
+            try:
+                port = int(port_text)
+            except ValueError as error:
+                raise ValueError(f"invalid port in {text!r}") from error
+        if not 0 <= port <= 65535:
+            raise ValueError(f"port {port} out of range")
+        return cls(host, port)
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+#: Anything :meth:`WorkerEndpoint.parse` accepts.
+EndpointLike = Union[str, Tuple[str, int], WorkerEndpoint]
+
+
+class WorkerFleet:
+    """Connection manager + slot router over a set of worker endpoints.
+
+    Thread-safe: the per-slot dispatcher threads of
+    :class:`~repro.streamrule.backends.TcpBackend` call :meth:`roundtrip`
+    concurrently (per-connection serialization lives in
+    :class:`~repro.streamrule.net.WorkerClient`), and the routing table is
+    guarded by the fleet lock.
+
+    Parameters
+    ----------
+    endpoints:
+        Worker addresses (``"host:port"`` strings or
+        :class:`WorkerEndpoint`).  At least one is required.
+    slots:
+        Number of placement slots to spread over the endpoints; defaults to
+        ``len(endpoints)``.  More slots than endpoints is legitimate (slots
+        are the unit of rerouting granularity, endpoints the unit of
+        failure).
+    delta_shipping:
+        Offer the ``delta_shipping`` capability in the handshake (the
+        worker may still decline it).
+    connect_attempts / reconnect_attempts:
+        Backoff budgets for the initial connect and for reviving a dead
+        endpoint mid-stream.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence["EndpointLike"],
+        *,
+        slots: Optional[int] = None,
+        delta_shipping: bool = True,
+        connect_attempts: int = 5,
+        reconnect_attempts: int = 2,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        connect_timeout: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.endpoints: List[WorkerEndpoint] = [WorkerEndpoint.parse(endpoint) for endpoint in endpoints]
+        if not self.endpoints:
+            raise ValueError("a worker fleet needs at least one endpoint")
+        if slots is not None and slots < 1:
+            raise ValueError("a worker fleet needs at least one slot")
+        self.slot_count: int = slots if slots is not None else len(self.endpoints)
+        self.delta_shipping = delta_shipping
+        self.connect_attempts = connect_attempts
+        self.reconnect_attempts = reconnect_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.connect_timeout = connect_timeout
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        #: One lock per endpoint serializing reconnect attempts, so a slow
+        #: reconnect never blocks dispatch on slots of *other* endpoints
+        #: (the global lock only ever guards table mutations, never I/O).
+        self._endpoint_locks = [threading.Lock() for _ in self.endpoints]
+        self._payload: Optional[bytes] = None
+        self._clients: List[Optional[WorkerClient]] = [None] * len(self.endpoints)
+        self._dead: List[bool] = [False] * len(self.endpoints)
+        self._slot_owner: List[int] = [index % len(self.endpoints) for index in range(self.slot_count)]
+        self._retired_stats = WireStats()
+        #: How many slot reassignments dead workers have caused.
+        self.reroutes = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self, reasoner_payload: bytes) -> None:
+        """Connect and handshake every endpoint; ship the reasoner to each.
+
+        Endpoints that cannot be reached within the connect budget are
+        marked dead and their slots rerouted immediately; if *no* endpoint
+        answers, the start fails with :class:`BackendConnectionError`.
+        A :class:`HandshakeError` (version mismatch) always propagates --
+        that is a deployment bug, not a transient fault -- after closing
+        every connection opened so far, so a failed start never leaks
+        sockets.
+        """
+        with self._lock:
+            self._payload = reasoner_payload
+            try:
+                for index in range(len(self.endpoints)):
+                    if self._clients[index] is None and not self._dead[index]:
+                        try:
+                            self._clients[index] = self._connect(
+                                index, self.connect_attempts, reasoner_payload
+                            )
+                        except BackendConnectionError:
+                            self._mark_dead(index)
+            except HandshakeError:
+                for index, client in enumerate(self._clients):
+                    if client is not None:
+                        client.close()
+                        self._clients[index] = None
+                raise
+            if not self._alive_indexes():
+                raise BackendConnectionError(
+                    f"no worker of the fleet {[str(e) for e in self.endpoints]} is reachable"
+                )
+
+    def close(self) -> None:
+        """Close every live connection (idempotent; ``start`` reconnects)."""
+        with self._lock:
+            clients, self._clients = self._clients, [None] * len(self.endpoints)
+            self._dead = [False] * len(self.endpoints)
+            self._slot_owner = [index % len(self.endpoints) for index in range(self.slot_count)]
+            self._payload = None
+        for client in clients:
+            if client is not None:
+                self._retired_stats = self._retired_stats.merged_with(client.stats)
+                client.close()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def roundtrip(self, slot: int, item: WorkItem) -> ReasonerResult:
+        """Evaluate ``item`` on ``slot``'s worker, rerouting around failures.
+
+        Tries every endpoint the slot gets rerouted to at most once per
+        endpoint (plus one bounded reconnect attempt at each), so a
+        cascading outage terminates in a :class:`BackendConnectionError`
+        instead of spinning.
+        """
+        if not 0 <= slot < self.slot_count:
+            raise ValueError(f"slot {slot} out of range for a {self.slot_count}-slot fleet")
+        failure: Optional[BackendConnectionError] = None
+        for _ in range(len(self.endpoints) + 1):
+            client, owner = self._client_for_slot(slot)
+            if client is None:
+                break
+            try:
+                return client.submit_item(item)
+            except BackendConnectionError as error:
+                failure = error
+                self._handle_connection_loss(owner)
+        raise BackendConnectionError(
+            f"no live worker left for slot {slot} "
+            f"(fleet {[str(e) for e in self.endpoints]})"
+        ) from failure
+
+    def ping(self) -> Dict[str, Optional[float]]:
+        """Heartbeat every live endpoint; dead/unresponsive ones map to ``None``.
+
+        A worker that fails its heartbeat is handled exactly like a worker
+        that fails mid-item: bounded reconnect, then slot rerouting.  The
+        TCP backend's heartbeat thread calls this between windows so a
+        silently-gone worker is discovered (and its slots moved) *before*
+        the next window blocks on it.
+        """
+        outcome: Dict[str, Optional[float]] = {}
+        for index, endpoint in enumerate(self.endpoints):
+            with self._lock:
+                client = self._clients[index]
+            if client is None:
+                outcome[str(endpoint)] = None
+                continue
+            try:
+                outcome[str(endpoint)] = client.ping()
+            except BackendConnectionError:
+                outcome[str(endpoint)] = None
+                self._handle_connection_loss(index)
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def alive_endpoints(self) -> List[WorkerEndpoint]:
+        with self._lock:
+            return [self.endpoints[index] for index in self._alive_indexes()]
+
+    def slot_table(self) -> Dict[int, str]:
+        """Current slot -> endpoint routing (diagnostic snapshot)."""
+        with self._lock:
+            return {slot: str(self.endpoints[owner]) for slot, owner in enumerate(self._slot_owner)}
+
+    def wire_statistics(self) -> WireStats:
+        """Aggregate :class:`WireStats` over all connections, live and retired."""
+        with self._lock:
+            clients = [client for client in self._clients if client is not None]
+            merged = self._retired_stats
+        for client in clients:
+            merged = merged.merged_with(client.stats)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Internals (callers hold no lock)
+    # ------------------------------------------------------------------ #
+    def _connect(self, index: int, attempts: int, payload: bytes) -> WorkerClient:
+        endpoint = self.endpoints[index]
+        return WorkerClient(
+            (endpoint.host, endpoint.port),
+            payload,
+            delta_shipping=self.delta_shipping,
+            attempts=attempts,
+            base_delay=self.base_delay,
+            max_delay=self.max_delay,
+            connect_timeout=self.connect_timeout,
+            sleep=self._sleep,
+        )
+
+    def _alive_indexes(self) -> List[int]:
+        return [index for index, client in enumerate(self._clients) if client is not None]
+
+    def _client_for_slot(self, slot: int):
+        """Resolve the slot's current client, rerouting off dead owners."""
+        with self._lock:
+            owner = self._slot_owner[slot]
+            client = self._clients[owner]
+            if client is not None and client.alive:
+                return client, owner
+            alive = self._alive_indexes()
+            if not alive:
+                return None, owner
+            new_owner = alive[slot % len(alive)]
+            if new_owner != owner:
+                self._slot_owner[slot] = new_owner
+                self.reroutes += 1
+            return self._clients[new_owner], new_owner
+
+    def _mark_dead(self, index: int) -> None:
+        """Retire endpoint ``index`` and reroute its slots (lock held)."""
+        client = self._clients[index]
+        if client is not None:
+            self._retired_stats = self._retired_stats.merged_with(client.stats)
+            client.close()
+        self._clients[index] = None
+        self._dead[index] = True
+        alive = self._alive_indexes()
+        if not alive:
+            return
+        for slot, owner in enumerate(self._slot_owner):
+            if owner == index:
+                self._slot_owner[slot] = alive[slot % len(alive)]
+                self.reroutes += 1
+
+    def _handle_connection_loss(self, index: int) -> None:
+        """A connection died: try a bounded reconnect, else retire the endpoint.
+
+        Unlike at :meth:`start` time, a mid-stream :class:`HandshakeError`
+        (the address now answers with a mismatched protocol -- e.g. a
+        supervisor restarted the worker on an older build) retires the
+        endpoint instead of propagating: the stream reroutes to the
+        survivors, and the skew surfaces the next time the backend starts
+        against that endpoint.
+
+        The reconnect itself (backoff sleeps, TCP connect, handshake) runs
+        outside the fleet lock, under a per-endpoint lock -- one worker
+        black-holing packets must never stall dispatch on the other slots.
+        While the reconnect is in flight, :meth:`_client_for_slot` may
+        already reroute this endpoint's slots to survivors; a reconnect
+        that then succeeds simply re-installs the endpoint for the slots
+        still (or again) pointing at it.
+        """
+        with self._endpoint_locks[index]:
+            with self._lock:
+                client = self._clients[index]
+                if client is not None and client.alive:
+                    return  # another thread already revived this endpoint
+                if self._payload is None or self._dead[index]:
+                    return
+                payload = self._payload
+                if client is not None:
+                    # Preserve the dead connection's traffic counters before
+                    # the slot forgets it.
+                    self._retired_stats = self._retired_stats.merged_with(client.stats)
+                    self._clients[index] = None
+            try:
+                revived = self._connect(index, self.reconnect_attempts, payload)
+            except (HandshakeError, BackendConnectionError):
+                with self._lock:
+                    self._mark_dead(index)
+                return
+            with self._lock:
+                if self._dead[index]:
+                    revived.close()
+                else:
+                    self._clients[index] = revived

@@ -1,0 +1,728 @@
+"""The wire layer shared by the TCP backend and the worker daemon.
+
+This module is the single source of truth for how StreamRule work travels
+between machines.  Everything here is transport mechanics; *what* gets
+evaluated is still a :class:`~repro.streamrule.work.WorkItem` and *what*
+comes back is still a :class:`~repro.streamrule.reasoner.ReasonerResult` --
+the same partition/combine protocol the loopback backend proved survives a
+wire, now behind a versioned handshake on a real TCP socket.
+
+Frame format
+------------
+Every message after the 4-byte connection magic is one *frame*::
+
+    +--------------------+-----------+----------------------+
+    | length  (uint32 BE)| kind (u8) | payload (length bytes)|
+    +--------------------+-----------+----------------------+
+
+``kind`` is a :class:`FrameKind`; payloads are pickled Python values
+(pickle protocol :data:`pickle.HIGHEST_PROTOCOL`).  The full frame grammar,
+the handshake sequence, and the failure semantics are specified in
+``docs/wire-protocol.md``.
+
+Handshake
+---------
+1. client sends :data:`MAGIC` + ``HELLO {protocol, capabilities}``;
+2. server answers ``WELCOME {protocol, capabilities}`` (the accepted subset)
+   or ``REJECT {protocol, reason}`` on a version mismatch;
+3. client ships the pickled reasoner in a ``REASONER`` frame;
+4. server instantiates it and answers ``READY``; work frames may now flow.
+
+Capability negotiation keeps the protocol forward-compatible: a capability
+is active only when *both* peers named it in the handshake, so a new
+coordinator talking to an old worker silently degrades (e.g. to full-fact
+shipping) instead of breaking.
+
+Delta shipping
+--------------
+On a sliding window, consecutive work items of one track share most of
+their facts: the window drops its ``slide`` oldest items and appends the
+new arrivals.  When the ``delta_shipping`` capability is negotiated, the
+client-side :class:`DeltaShipper` and the server-side :class:`DeltaDecoder`
+each remember the previous fact tuple per track, and steady-state items
+travel as :class:`FactDelta` frames -- copy-runs over the previous window
+plus the literal arrivals (see :func:`diff_facts`) -- instead of full fact
+sets.  This is the wire-level
+sibling of delta *grounding*: the same overlap that lets a worker repair
+its previous instantiation lets the coordinator skip re-sending the
+overlapping facts, so a ``WindowDelta``-sized frame replaces a window-sized
+one (and :meth:`WorkItem.thinned`'s "never ship the delta twice" concern
+disappears entirely on this transport).
+
+Both peers update their per-track state in lockstep -- the client when it
+encodes, the server when it decodes -- and a transport error closes the
+connection, so the states can never silently diverge: a reconnected client
+starts from an empty shipper and re-sends full facts.
+
+Security
+--------
+The payloads are **pickles**: unpickling executes arbitrary code by design.
+Run workers only on trusted networks (see ``docs/deployment.md``).
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.streamrule.errors import (
+    BackendConnectionError,
+    BackendError,
+    HandshakeError,
+    ProtocolError,
+)
+from repro.streamrule.reasoner import Reasoner, ReasonerResult
+from repro.streamrule.work import WorkFact, WorkItem
+
+__all__ = [
+    "DEFAULT_CAPABILITIES",
+    "DeltaDecoder",
+    "DeltaShipper",
+    "FactDelta",
+    "FrameKind",
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "RemoteFailure",
+    "WireStats",
+    "WorkerClient",
+    "apply_facts_diff",
+    "connect_with_backoff",
+    "diff_facts",
+    "recv_frame",
+    "send_frame",
+    "serve_worker_connection",
+]
+
+#: First bytes of every connection; lets a worker reject stray connections
+#: (port scanners, misdirected HTTP) before touching pickle.
+MAGIC = b"SRW1"
+
+#: Version of the frame grammar + handshake.  Bumped on incompatible
+#: changes; peers with different versions refuse each other in the
+#: handshake (``REJECT``) rather than misparsing frames.  Backwards-
+#: compatible extensions (new optional capabilities) do NOT bump this.
+PROTOCOL_VERSION = 1
+
+#: Capabilities this build can negotiate (name -> default offer).
+DEFAULT_CAPABILITIES: Dict[str, bool] = {"delta_shipping": True}
+
+_FRAME_HEADER = struct.Struct(">IB")
+
+#: Upper bound on a single frame payload; a length beyond this is treated
+#: as a protocol violation (corrupt header) rather than an allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FrameKind(enum.IntEnum):
+    """Discriminator byte of every frame on the wire."""
+
+    HELLO = 1  #: client -> server: ``{protocol, capabilities}``
+    WELCOME = 2  #: server -> client: ``{protocol, capabilities}`` (accepted)
+    REJECT = 3  #: server -> client: ``{protocol, reason}``; connection closes
+    REASONER = 4  #: client -> server: pickled :class:`Reasoner`
+    READY = 5  #: server -> client: reasoner installed, work may flow
+    WORK = 6  #: client -> server: pickled thinned :class:`WorkItem`
+    DELTA = 7  #: client -> server: pickled :class:`FactDelta`
+    RESULT = 8  #: server -> client: pickled :class:`ReasonerResult` or :class:`RemoteFailure`
+    PING = 9  #: either direction: heartbeat probe (empty payload)
+    PONG = 10  #: heartbeat reply (empty payload)
+
+
+# --------------------------------------------------------------------------- #
+# Framing primitives
+# --------------------------------------------------------------------------- #
+def send_frame(connection: socket.socket, kind: FrameKind, payload: bytes = b"") -> None:
+    """Write one ``length | kind | payload`` frame."""
+    connection.sendall(_FRAME_HEADER.pack(len(payload), kind) + payload)
+
+
+def recv_exactly(connection: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`EOFError` on a closed peer."""
+    chunks = []
+    while count:
+        chunk = connection.recv(count)
+        if not chunk:
+            raise EOFError("peer closed the connection")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(connection: socket.socket) -> Tuple[FrameKind, bytes]:
+    """Read one frame; returns ``(kind, payload)``."""
+    length, kind = _FRAME_HEADER.unpack(recv_exactly(connection, _FRAME_HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte bound")
+    try:
+        frame_kind = FrameKind(kind)
+    except ValueError as error:
+        raise ProtocolError(f"unknown frame kind {kind!r}") from error
+    return frame_kind, recv_exactly(connection, length)
+
+
+def _dumps(value: Any) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+@dataclass
+class RemoteFailure:
+    """Wire wrapper distinguishing a worker-side exception from a result.
+
+    Shared by the loopback and TCP transports: an evaluation error on the
+    worker is pickled inside this wrapper, shipped back as a ``RESULT``
+    frame, and re-raised at the caller -- the connection itself survives.
+    """
+
+    error: BaseException
+
+    def rebuild(self) -> BaseException:
+        return self.error
+
+
+# --------------------------------------------------------------------------- #
+# Shard-side fact-delta shipping
+# --------------------------------------------------------------------------- #
+#: An encoded delta operation: either ``(start, length)`` -- copy that run
+#: from the previous fact tuple -- or a tuple of literal facts to insert.
+FactDeltaOp = Union[Tuple[int, int], Tuple[WorkFact, ...]]
+
+#: Minimum matched run worth encoding as a copy op; shorter matches travel
+#: as literals (a copy op costs ~20 pickled bytes).
+MIN_COPY_RUN = 4
+
+#: Duplicate-fact bound: at most this many candidate positions are probed
+#: per fact when matching, so degenerate streams (one fact repeated
+#: thousands of times) stay linear.
+MAX_MATCH_CANDIDATES = 8
+
+
+@dataclass(frozen=True)
+class FactDelta:
+    """The wire form of a steady-state sliding-window work item.
+
+    ``ops`` reconstructs the fact tuple against the track's previous facts
+    -- copy runs for the content both windows share, literals for the
+    arrivals -- so the frame size scales with the *change*, not the window;
+    all other :class:`WorkItem` coordinates travel verbatim.
+    """
+
+    track: int
+    epoch: int
+    incremental: Optional[bool]
+    ops: Tuple[FactDeltaOp, ...]
+
+
+def _is_copy_op(op: FactDeltaOp) -> bool:
+    return len(op) == 2 and isinstance(op[0], int) and isinstance(op[1], int)
+
+
+def overlap_length(previous: Tuple[WorkFact, ...], current: Tuple[WorkFact, ...]) -> int:
+    """Largest ``k`` with ``previous[-k:] == current[:k]`` (0 when disjoint).
+
+    This is exactly the sliding-window overlap structure
+    (:class:`~repro.streaming.window.WindowDelta`): expired facts are a
+    prefix of the previous window, arrived facts a suffix of the current
+    one.  Kept as the reference model (and test oracle) of the overlap the
+    shipper exploits; the production encoder is :func:`diff_facts`, which
+    generalizes this to partitioners that regroup facts, so this helper is
+    deliberately not part of the module's ``__all__`` surface.
+    """
+    if not previous or not current:
+        return 0
+    first = current[0]
+    for index, fact in enumerate(previous):
+        if fact == first:
+            length = len(previous) - index
+            if length <= len(current) and previous[index:] == current[:length]:
+                return length
+    return 0
+
+
+def diff_facts(previous: Tuple[WorkFact, ...], current: Tuple[WorkFact, ...]) -> Tuple[FactDeltaOp, ...]:
+    """Encode ``current`` as copy-runs over ``previous`` plus literal facts.
+
+    A greedy longest-run matcher (the delta-compression classic): for every
+    position of ``current`` it probes where that fact occurs in
+    ``previous`` and extends the longest contiguous match; runs of at least
+    :data:`MIN_COPY_RUN` become ``(start, length)`` copy ops, everything
+    else stays literal.  Cost is linear in practice (each probe either
+    consumes a run or one literal).  This handles both overlap shapes the
+    execution layer produces: order-preserving partitions (one long copy
+    run -- the pure sliding window) and predicate-regrouping partitions
+    (one copy run per predicate group straddling the slide).
+    """
+    index: Dict[WorkFact, List[int]] = {}
+    for position, fact in enumerate(previous):
+        index.setdefault(fact, []).append(position)
+    ops: List[FactDeltaOp] = []
+    literals: List[WorkFact] = []
+    cursor = 0
+    total = len(current)
+    while cursor < total:
+        best_position = -1
+        best_length = 0
+        for position in index.get(current[cursor], ())[:MAX_MATCH_CANDIDATES]:
+            length = 0
+            while (
+                position + length < len(previous)
+                and cursor + length < total
+                and previous[position + length] == current[cursor + length]
+            ):
+                length += 1
+            if length > best_length:
+                best_length, best_position = length, position
+        if best_length >= MIN_COPY_RUN:
+            if literals:
+                ops.append(tuple(literals))
+                literals = []
+            ops.append((best_position, best_length))
+            cursor += best_length
+        else:
+            literals.append(current[cursor])
+            cursor += 1
+    if literals:
+        ops.append(tuple(literals))
+    return tuple(ops)
+
+
+def apply_facts_diff(previous: Tuple[WorkFact, ...], ops: Tuple[FactDeltaOp, ...]) -> Tuple[WorkFact, ...]:
+    """Reconstruct the fact tuple :func:`diff_facts` encoded (exact order)."""
+    parts: List[WorkFact] = []
+    for op in ops:
+        if _is_copy_op(op):
+            start, length = op  # type: ignore[misc]
+            if not (0 <= start and length >= 0 and start + length <= len(previous)):
+                raise ProtocolError(
+                    f"copy op ({start}, {length}) out of range for a {len(previous)}-fact window"
+                )
+            parts.extend(previous[start : start + length])
+        else:
+            parts.extend(op)  # type: ignore[arg-type]
+    return tuple(parts)
+
+
+class DeltaShipper:
+    """Client-side per-track encoder choosing full vs. delta wire forms.
+
+    A delta frame is sent only when its encoded payload is actually smaller
+    than the full fact set's -- so disjoint (tumbling/hopping) windows, and
+    any window the matcher cannot compress, automatically travel full.
+    """
+
+    def __init__(self) -> None:
+        self._previous: Dict[int, Tuple[WorkFact, ...]] = {}
+
+    def encode(self, item: WorkItem) -> Tuple[FrameKind, bytes]:
+        """Encode ``item``; updates the track state as the peer's decoder will."""
+        previous = self._previous.get(item.track)
+        self._previous[item.track] = item.facts
+        full_payload = _dumps(item.thinned())
+        if previous is not None:
+            ops = diff_facts(previous, item.facts)
+            if any(_is_copy_op(op) for op in ops):
+                delta_payload = _dumps(
+                    FactDelta(
+                        track=item.track,
+                        epoch=item.epoch,
+                        incremental=item.wants_incremental,
+                        ops=ops,
+                    )
+                )
+                if len(delta_payload) < len(full_payload):
+                    return FrameKind.DELTA, delta_payload
+        return FrameKind.WORK, full_payload
+
+    def forget(self, track: Optional[int] = None) -> None:
+        """Drop the remembered facts (all tracks, or one)."""
+        if track is None:
+            self._previous.clear()
+        else:
+            self._previous.pop(track, None)
+
+
+class DeltaDecoder:
+    """Server-side per-track decoder mirroring :class:`DeltaShipper`."""
+
+    def __init__(self) -> None:
+        self._previous: Dict[int, Tuple[WorkFact, ...]] = {}
+
+    def decode(self, kind: FrameKind, payload: bytes) -> WorkItem:
+        """Rebuild the :class:`WorkItem` of a ``WORK`` or ``DELTA`` frame."""
+        if kind is FrameKind.WORK:
+            item: WorkItem = pickle.loads(payload)
+            self._previous[item.track] = item.facts
+            return item
+        delta: FactDelta = pickle.loads(payload)
+        previous = self._previous.get(delta.track)
+        if previous is None:
+            raise ProtocolError(f"DELTA frame for track {delta.track} without a previous full window")
+        facts = apply_facts_diff(previous, delta.ops)
+        self._previous[delta.track] = facts
+        return WorkItem(facts=facts, track=delta.track, epoch=delta.epoch, incremental=delta.incremental)
+
+
+# --------------------------------------------------------------------------- #
+# Wire accounting
+# --------------------------------------------------------------------------- #
+@dataclass
+class WireStats:
+    """Per-connection traffic counters (payload bytes, excluding headers)."""
+
+    items_full: int = 0  #: work items shipped as full fact sets
+    items_delta: int = 0  #: work items shipped as :class:`FactDelta` frames
+    bytes_full: int = 0  #: payload bytes of the full items
+    bytes_delta: int = 0  #: payload bytes of the delta items
+    bytes_in: int = 0  #: result payload bytes received
+    pings: int = 0  #: heartbeat round trips completed
+
+    @property
+    def items(self) -> int:
+        return self.items_full + self.items_delta
+
+    @property
+    def bytes_out(self) -> int:
+        return self.bytes_full + self.bytes_delta
+
+    def merged_with(self, other: "WireStats") -> "WireStats":
+        return WireStats(
+            items_full=self.items_full + other.items_full,
+            items_delta=self.items_delta + other.items_delta,
+            bytes_full=self.bytes_full + other.bytes_full,
+            bytes_delta=self.bytes_delta + other.bytes_delta,
+            bytes_in=self.bytes_in + other.bytes_in,
+            pings=self.pings + other.pings,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Connecting with bounded exponential backoff
+# --------------------------------------------------------------------------- #
+def connect_with_backoff(
+    address: Tuple[str, int],
+    *,
+    attempts: int = 5,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+    connect_timeout: float = 5.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> socket.socket:
+    """TCP-connect to ``address``, retrying with exponential backoff.
+
+    Makes up to ``attempts`` attempts; attempt ``i`` (0-based) is preceded
+    by a ``min(max_delay, base_delay * 2**(i-1))`` pause.  Raises
+    :class:`BackendConnectionError` once the budget is exhausted.  ``sleep``
+    is injectable so tests can assert the schedule without waiting it out.
+    """
+    if attempts < 1:
+        raise ValueError("at least one connection attempt is required")
+    delay = base_delay
+    failure: Optional[Exception] = None
+    for attempt in range(attempts):
+        if attempt:
+            sleep(delay)
+            delay = min(max_delay, delay * 2)
+        try:
+            connection = socket.create_connection(address, timeout=connect_timeout)
+            connection.settimeout(None)  # evaluations may legitimately take long
+            return connection
+        except OSError as error:
+            failure = error
+    raise BackendConnectionError(
+        f"could not connect to worker {address[0]}:{address[1]} after {attempts} attempts: {failure!r}"
+    ) from failure
+
+
+# --------------------------------------------------------------------------- #
+# Client side: one framed connection to a worker
+# --------------------------------------------------------------------------- #
+class WorkerClient:
+    """One handshaken connection to a worker daemon.
+
+    Owns the socket, the negotiated capabilities, the per-track
+    :class:`DeltaShipper`, and a :class:`WireStats` record.  All request/
+    response exchanges are serialized internally, so multiple dispatcher
+    threads (and the heartbeat) may share one client.  Any transport error
+    closes the connection and raises :class:`BackendConnectionError`; a
+    closed client is never reused -- the fleet builds a fresh one (with
+    fresh, in-sync delta state) on reconnect.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        reasoner_payload: bytes,
+        *,
+        delta_shipping: bool = True,
+        attempts: int = 5,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        connect_timeout: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.address = address
+        self.stats = WireStats()
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = connect_with_backoff(
+            address,
+            attempts=attempts,
+            base_delay=base_delay,
+            max_delay=max_delay,
+            connect_timeout=connect_timeout,
+            sleep=sleep,
+        )
+        try:
+            self.capabilities = self._handshake(reasoner_payload, delta_shipping)
+        except BaseException:
+            self.close()
+            raise
+        self._shipper = DeltaShipper() if self.capabilities.get("delta_shipping") else None
+
+    # -- lifecycle ------------------------------------------------------- #
+    @property
+    def alive(self) -> bool:
+        return self._sock is not None
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- handshake ------------------------------------------------------- #
+    def _handshake(self, reasoner_payload: bytes, delta_shipping: bool) -> Dict[str, bool]:
+        sock = self._sock
+        assert sock is not None
+        offered = dict(DEFAULT_CAPABILITIES)
+        offered["delta_shipping"] = delta_shipping
+        try:
+            sock.sendall(MAGIC)
+            send_frame(sock, FrameKind.HELLO, _dumps({"protocol": PROTOCOL_VERSION, "capabilities": offered}))
+            kind, payload = recv_frame(sock)
+        except (OSError, EOFError) as error:
+            raise BackendConnectionError(f"handshake with {self.address} failed: {error!r}") from error
+        if kind is FrameKind.REJECT:
+            reject = pickle.loads(payload)
+            raise HandshakeError(
+                f"worker {self.address[0]}:{self.address[1]} rejected the handshake: "
+                f"{reject.get('reason', 'unspecified')} "
+                f"(worker protocol {reject.get('protocol')}, ours {PROTOCOL_VERSION})"
+            )
+        if kind is not FrameKind.WELCOME:
+            raise ProtocolError(f"expected WELCOME, got {kind.name}")
+        welcome = pickle.loads(payload)
+        if welcome.get("protocol") != PROTOCOL_VERSION:
+            raise HandshakeError(
+                f"worker {self.address[0]}:{self.address[1]} speaks protocol "
+                f"{welcome.get('protocol')}, this client speaks {PROTOCOL_VERSION}"
+            )
+        accepted = {name: True for name, on in welcome.get("capabilities", {}).items() if on and offered.get(name)}
+        try:
+            send_frame(sock, FrameKind.REASONER, reasoner_payload)
+            kind, _ = recv_frame(sock)
+        except (OSError, EOFError) as error:
+            raise BackendConnectionError(f"handshake with {self.address} failed: {error!r}") from error
+        if kind is not FrameKind.READY:
+            raise ProtocolError(f"expected READY, got {kind.name}")
+        return accepted
+
+    # -- request/response ------------------------------------------------ #
+    def submit_item(self, item: WorkItem) -> ReasonerResult:
+        """Ship one work item (full or delta form) and await its result."""
+        with self._lock:
+            sock = self._sock
+            if sock is None:
+                raise BackendConnectionError(f"connection to worker {self.address} is closed")
+            if self._shipper is not None:
+                kind, payload = self._shipper.encode(item)
+            else:
+                kind, payload = FrameKind.WORK, _dumps(item.thinned())
+            try:
+                send_frame(sock, kind, payload)
+                response_kind, response = recv_frame(sock)
+            except ProtocolError:
+                # The stream is desynced mid-frame; the connection can never
+                # be trusted again (errors.py: a protocol violation closes
+                # the connection).
+                self.close()
+                raise
+            except (OSError, EOFError) as error:
+                self.close()
+                raise BackendConnectionError(f"connection to worker {self.address} lost: {error!r}") from error
+            if kind is FrameKind.DELTA:
+                self.stats.items_delta += 1
+                self.stats.bytes_delta += len(payload)
+            else:
+                self.stats.items_full += 1
+                self.stats.bytes_full += len(payload)
+            self.stats.bytes_in += len(response)
+        if response_kind is not FrameKind.RESULT:
+            self.close()
+            raise ProtocolError(f"expected RESULT, got {response_kind.name}")
+        try:
+            value = pickle.loads(response)
+        except Exception as error:
+            self.close()
+            raise ProtocolError(f"undecodable RESULT payload from {self.address}: {error!r}") from error
+        if isinstance(value, RemoteFailure):
+            raise value.rebuild()
+        return value
+
+    def ping(self) -> float:
+        """Heartbeat round trip; returns the latency in seconds."""
+        with self._lock:
+            sock = self._sock
+            if sock is None:
+                raise BackendConnectionError(f"connection to worker {self.address} is closed")
+            started = time.perf_counter()
+            try:
+                send_frame(sock, FrameKind.PING)
+                kind, _ = recv_frame(sock)
+            except ProtocolError:
+                self.close()
+                raise
+            except (OSError, EOFError) as error:
+                self.close()
+                raise BackendConnectionError(f"connection to worker {self.address} lost: {error!r}") from error
+            if kind is not FrameKind.PONG:
+                self.close()
+                raise ProtocolError(f"expected PONG, got {kind.name}")
+            self.stats.pings += 1
+            return time.perf_counter() - started
+
+    def try_ping(self) -> bool:
+        """Non-throwing heartbeat; ``False`` (and closed) on a dead peer."""
+        try:
+            self.ping()
+            return True
+        except BackendError:
+            return False
+
+
+# --------------------------------------------------------------------------- #
+# Server side: the per-connection protocol loop
+# --------------------------------------------------------------------------- #
+@dataclass
+class ServedConnection:
+    """Outcome record of one served connection (returned for logging/tests)."""
+
+    items: int = 0
+    deltas: int = 0
+    pings: int = 0
+    rejected: Optional[str] = None
+    capabilities: Dict[str, bool] = field(default_factory=dict)
+
+
+def serve_worker_connection(
+    connection: socket.socket,
+    *,
+    capabilities: Optional[Dict[str, bool]] = None,
+    protocol_version: int = PROTOCOL_VERSION,
+    reasoner_factory: Callable[[bytes], Reasoner] = pickle.loads,
+) -> ServedConnection:
+    """Serve one coordinator connection until it closes.
+
+    The server half of the protocol: validate magic, negotiate the
+    handshake, install the shipped reasoner, then answer ``WORK`` /
+    ``DELTA`` / ``PING`` frames until EOF.  Worker-side evaluation errors
+    are wrapped in :class:`RemoteFailure` result frames; only transport
+    errors end the loop.  Used by the daemon in
+    :mod:`repro.streamrule.worker` (one call per accepted connection) and
+    by in-process servers in the tests.
+    """
+    record = ServedConnection()
+    supported = dict(DEFAULT_CAPABILITIES) if capabilities is None else dict(capabilities)
+    try:
+        try:
+            magic = recv_exactly(connection, len(MAGIC))
+        except (EOFError, OSError):
+            return record
+        if magic != MAGIC:
+            record.rejected = "bad magic"
+            return record
+        kind, payload = recv_frame(connection)
+        if kind is not FrameKind.HELLO:
+            record.rejected = f"expected HELLO, got {kind.name}"
+            return record
+        hello = pickle.loads(payload)
+        if hello.get("protocol") != protocol_version:
+            record.rejected = f"protocol {hello.get('protocol')} != {protocol_version}"
+            send_frame(
+                connection,
+                FrameKind.REJECT,
+                _dumps({"protocol": protocol_version, "reason": "protocol version mismatch"}),
+            )
+            return record
+        accepted = {
+            name: True for name, on in hello.get("capabilities", {}).items() if on and supported.get(name)
+        }
+        record.capabilities = accepted
+        send_frame(connection, FrameKind.WELCOME, _dumps({"protocol": protocol_version, "capabilities": accepted}))
+        kind, payload = recv_frame(connection)
+        if kind is not FrameKind.REASONER:
+            record.rejected = f"expected REASONER, got {kind.name}"
+            return record
+        reasoner = reasoner_factory(payload)
+        send_frame(connection, FrameKind.READY)
+
+        decoder = DeltaDecoder()
+        while True:
+            try:
+                kind, payload = recv_frame(connection)
+            except (EOFError, OSError):
+                return record
+            if kind is FrameKind.PING:
+                record.pings += 1
+                send_frame(connection, FrameKind.PONG)
+                continue
+            if kind not in (FrameKind.WORK, FrameKind.DELTA):
+                return record  # protocol violation: drop the connection
+            try:
+                item = decoder.decode(kind, payload)
+            except BaseException as error:  # noqa: BLE001 - reported, then the connection dies
+                # A frame that cannot be decoded leaves the decoder's
+                # per-track state behind the shipper's; the connection must
+                # die so both sides restart from empty, in-sync state
+                # (the module invariant).  Best-effort error report first.
+                try:
+                    send_frame(connection, FrameKind.RESULT, _dumps(RemoteFailure(
+                        ProtocolError(f"undecodable {kind.name} frame: {error!r}")
+                    )))
+                except (OSError, TypeError, ValueError, pickle.PicklingError):
+                    pass
+                return record
+            response: object
+            try:
+                response = reasoner.reason_item(item)
+            except BaseException as error:  # noqa: BLE001 - shipped back to the caller
+                response = RemoteFailure(error)
+            try:
+                response_payload = _dumps(response)
+            except Exception as error:  # noqa: BLE001 - pickling raises Type/Attribute errors too
+                response_payload = _dumps(
+                    RemoteFailure(BackendError(f"unpicklable worker response ({error!r}): {response!r}"))
+                )
+            record.items += 1
+            if kind is FrameKind.DELTA:
+                record.deltas += 1
+            send_frame(connection, FrameKind.RESULT, response_payload)
+    except (EOFError, OSError):
+        return record
+    finally:
+        try:
+            connection.close()
+        except OSError:
+            pass

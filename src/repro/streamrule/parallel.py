@@ -25,6 +25,9 @@ directly or use the session::
     with ParallelReasoner(reasoner, partitioner, backend=ProcessPoolBackend(4)) as pr:
         for window in windows:
             pr.reason(window)
+
+The canonical migration table (every shim, every replacement) is
+``docs/migration.md``.
 """
 
 from __future__ import annotations

@@ -14,6 +14,9 @@ constructor arguments.  New code should construct the session directly::
                        partitioner=partitioner, backend=backend) as session:
         for solution in session.process(triples):
             ...
+
+The canonical migration table (every shim, every replacement) is
+``docs/migration.md``.
 """
 
 from __future__ import annotations

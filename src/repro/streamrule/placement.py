@@ -1,9 +1,13 @@
 """Placement strategies: which worker slot evaluates a work item.
 
-Backends with pinned slots (one grounding cache per worker process or
-loopback peer) ask a :class:`PlacementStrategy` to map every
-:class:`~repro.streamrule.work.WorkItem` to a slot.  Placement decides cache
-locality, not correctness: all strategies yield identical answer sets.
+Backends with pinned slots (one grounding cache per worker process,
+loopback peer, or remote worker) ask a :class:`PlacementStrategy` to map
+every :class:`~repro.streamrule.work.WorkItem` to a slot.  Placement
+decides cache locality, not correctness: all strategies yield identical
+answer sets.  Slots are deliberately *abstract*: on the TCP backend the
+:class:`~repro.streamrule.fleet.WorkerFleet` owns the second map from slots
+to machines, which is how dead-worker rerouting happens without the
+placement layer noticing (see ``docs/architecture.md``).
 
 * :class:`PinnedPlacement` -- ``track % slots``, the PR-2 behaviour: stable
   partition indexes keep landing on the same worker, so its cache sees

@@ -32,9 +32,17 @@ Windowing semantics of ``push``
 * a :class:`~repro.streaming.window.CountWindow` -- windows are dispatched
   incrementally as soon as they complete; the trailing partial window (if
   the policy emits one) waits for :meth:`finish`.
-* a :class:`~repro.streaming.window.TimeWindow` -- time windows need the
-  whole stream's timestamps (late items may sort into open windows), so
-  evaluation is deferred until :meth:`finish`.
+* a :class:`~repro.streaming.window.TimeWindow` -- by default, time windows
+  need the whole stream's timestamps (arbitrarily late items may sort into
+  any window), so evaluation is deferred until :meth:`finish`.  Pass
+  ``eager_time_windows=True`` to evaluate windows as soon as an arriving
+  timestamp proves them complete (the
+  :class:`~repro.streaming.window.TimeWindowStepper` push path): results
+  stream before :meth:`finish`, at the price of an exactness gate -- an
+  item whose timestamp lands inside an already-evaluated window raises
+  :class:`~repro.streaming.window.LateArrivalError`.  The asymmetry is
+  inherent: count windows close on arrival order alone, time windows close
+  only once the timestamps say so.
 
 If a remote backend loses a worker connection mid-window
 (:class:`~repro.streamrule.backends.BackendConnectionError`), the session
@@ -46,6 +54,7 @@ reasoner -- the stream keeps flowing on a degraded transport; the
 from __future__ import annotations
 
 from collections import deque
+from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Deque, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -56,7 +65,7 @@ from repro.asp.syntax.program import Program
 from repro.streaming.format import DataFormatProcessor
 from repro.streaming.processor import StreamQueryProcessor
 from repro.streaming.triples import Triple
-from repro.streaming.window import CountWindow, CountWindowStepper, TimeWindow, WindowDelta
+from repro.streaming.window import CountWindow, CountWindowStepper, TimeWindow, TimeWindowStepper, WindowDelta
 from repro.streamrule.backends import BackendConnectionError, ExecutionBackend, InlineBackend
 from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
 from repro.streamrule.placement import PlacementStrategy
@@ -113,6 +122,7 @@ class StreamSession:
         query_processor: Optional[StreamQueryProcessor] = None,
         format_processor: Optional[DataFormatProcessor] = None,
         inline_fallback: bool = True,
+        eager_time_windows: bool = False,
     ):
         """Create a session for ``program``.
 
@@ -123,7 +133,11 @@ class StreamSession:
         :class:`InlineBackend`; ``placement`` overrides the backend's
         placement strategy; ``partitioner`` defaults to the trivial
         single-partition layout (the session then behaves exactly like the
-        unpartitioned reasoner ``R``).
+        unpartitioned reasoner ``R``).  ``inline_fallback`` controls
+        whether a lost worker connection degrades to local evaluation (the
+        default) or propagates; ``eager_time_windows`` opts :meth:`push`
+        into streaming time-window evaluation (see the module docstring
+        for the exactness trade-off).
         """
         if isinstance(program, Reasoner):
             if input_predicates is not None or output_predicates is not None:
@@ -155,11 +169,13 @@ class StreamSession:
         self.format_processor = format_processor or self.reasoner.format_processor
         self.max_combinations = max_combinations
         self.inline_fallback = inline_fallback
+        self.eager_time_windows = eager_time_windows
         #: How many partition evaluations fell back inline after a backend
         #: connection loss.
         self.fallbacks = 0
         self._buffer: List[StreamItem] = []  # time-window (and windowless) staging
         self._stepper: Optional[CountWindowStepper] = None  # count-window incremental driver
+        self._time_stepper: Optional[TimeWindowStepper] = None  # eager time-window driver
         self._push_index = 0  # next window index of the pushed stream
         self._epoch = 0  # monotonic evaluation counter (cache bookkeeping)
         self._ready: Deque[WindowSolution] = deque()
@@ -185,9 +201,12 @@ class StreamSession:
 
         Returns the number of windows evaluated by this call.  Completed
         solutions queue up for :meth:`results`.  Count windows dispatch
-        incrementally as they fill (O(1) bookkeeping per buffered item);
-        time windows are staged until :meth:`finish`, since their layout
-        depends on timestamps still to come.  ``window_index`` on the
+        incrementally as they fill (O(1) bookkeeping per buffered item).
+        Time windows are staged until :meth:`finish` by default (their
+        layout depends on timestamps still to come); with
+        ``eager_time_windows=True`` they dispatch as soon as an arriving
+        timestamp proves them complete, at the price of the late-arrival
+        gate described in the module docstring.  ``window_index`` on the
         produced solutions is the window's position in the pushed stream,
         exactly as :meth:`process` reports it.
         """
@@ -198,8 +217,16 @@ class StreamSession:
             self._ready.append(self._solve_window(index, batch, delta=None))
             return 1
         if isinstance(self.window, TimeWindow):
-            self._buffer.extend(batch)
-            return 0
+            if not self.eager_time_windows:
+                self._buffer.extend(batch)
+                return 0
+            stepper = self._eager_time_stepper()
+            count = 0
+            for item in batch:
+                for delta in stepper.feed(item):
+                    self._ready.append(self._solve_window(delta.index, list(delta.window), delta))
+                    count += 1
+            return count
         stepper = self._count_stepper()
         count = 0
         for item in batch:
@@ -221,6 +248,13 @@ class StreamSession:
             return 0
         count = 0
         if isinstance(self.window, TimeWindow):
+            if self.eager_time_windows:
+                stepper = self._eager_time_stepper()
+                for delta in stepper.flush():
+                    self._ready.append(self._solve_window(delta.index, list(delta.window), delta))
+                    count += 1
+                self._time_stepper = None  # next push starts a fresh stream
+                return count
             for delta in self.window.deltas(self._buffer):
                 self._ready.append(self._solve_window(delta.index, list(delta.window), delta))
                 count += 1
@@ -250,6 +284,12 @@ class StreamSession:
             assert isinstance(self.window, CountWindow)
             self._stepper = self.window.stepper()
         return self._stepper
+
+    def _eager_time_stepper(self) -> TimeWindowStepper:
+        if self._time_stepper is None:
+            assert isinstance(self.window, TimeWindow)
+            self._time_stepper = self.window.stepper()
+        return self._time_stepper
 
     # ------------------------------------------------------------------ #
     # Streaming bulk evaluation
@@ -399,10 +439,21 @@ class StreamSession:
             WorkItem(facts=tuple(batch), track=track, epoch=epoch, incremental=incremental)
             for track, batch in batches
         ]
-        futures = [(item, self.backend.submit(item)) for item in items]
+        futures: List[Tuple[WorkItem, Optional["Future[ReasonerResult]"]]] = []
+        for item in items:
+            try:
+                futures.append((item, self.backend.submit(item)))
+            except BackendConnectionError:
+                # The backend refused the item outright (e.g. a TCP fleet
+                # with no live worker left); mark it for inline evaluation.
+                if not self.inline_fallback:
+                    raise
+                futures.append((item, None))
         results: List[ReasonerResult] = []
         for item, future in futures:
             try:
+                if future is None:
+                    raise BackendConnectionError("backend rejected the item at submit time")
                 results.append(future.result())
             except BackendConnectionError:
                 if not self.inline_fallback:

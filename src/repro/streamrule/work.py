@@ -6,8 +6,11 @@ the window *epoch* -- into a single picklable value.  It replaces the
 ``reason(window, delta=..., incremental=..., track=...)`` keyword cluster of
 the pre-session API and is the unit that crosses execution boundaries: the
 inline backend hands it to the local reasoner, the process backend ships it
-to a pinned worker, and the loopback-socket backend pickles it over a real
-wire (the first brick of multi-machine sharding, see ROADMAP).
+to a pinned worker, the loopback-socket backend pickles it over a local
+socket pair, and the TCP backend frames it to remote worker daemons --
+either whole (:meth:`WorkItem.thinned`) or, on delta-capable connections,
+as a :class:`~repro.streamrule.net.FactDelta` that re-ships only what
+changed since the track's previous window (see ``docs/wire-protocol.md``).
 """
 
 from __future__ import annotations
@@ -86,12 +89,18 @@ class WorkItem:
         return "|".join(sorted({fact.predicate for fact in self.facts}))
 
     def thinned(self) -> "WorkItem":
-        """The wire form of this item: the delta payload collapsed to a flag.
+        """The full-facts wire form: the delta payload collapsed to a flag.
 
         The delta-grounding caches diff fact sets content-wise, so a worker
         only needs to know *that* the window overlaps its predecessor, not
         the expired/arrived triples themselves -- shipping them would roughly
         double the wire payload of every overlapping window.
+
+        On delta-capable transports (a negotiated
+        :class:`~repro.streamrule.backends.TcpBackend` connection) this is
+        only the *fallback* form: steady-state overlapping windows do not
+        re-ship the facts at all, travelling as
+        :class:`~repro.streamrule.net.FactDelta` frames instead.
         """
         if self.delta is None:
             return self

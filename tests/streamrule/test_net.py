@@ -1,0 +1,558 @@
+"""Wire-layer tests: framing, handshake, delta shipping, failure semantics.
+
+The unhappy paths of the distributed tier, as specified in
+``docs/wire-protocol.md``: handshake version mismatches refuse cleanly,
+delta frames are measurably smaller than full fact sets on sliding windows,
+reconnects back off exponentially, a worker dying mid-window gets its slots
+rerouted without losing or duplicating a window, and an empty fleet
+degrades to inline evaluation.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import time
+
+import pytest
+
+from repro.asp.syntax.parser import parse_program
+from repro.core.partitioner import HashPartitioner
+from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program
+from repro.streaming.generator import SyntheticStreamConfig, generate_window
+from repro.streaming.window import CountWindow
+from repro.streamrule.backends import InlineBackend, TcpBackend
+from repro.streamrule.errors import BackendConnectionError, HandshakeError, ProtocolError
+from repro.streamrule.fleet import WorkerEndpoint, WorkerFleet
+from repro.streamrule.net import (
+    DeltaDecoder,
+    DeltaShipper,
+    FrameKind,
+    WorkerClient,
+    apply_facts_diff,
+    connect_with_backoff,
+    diff_facts,
+    overlap_length,
+    recv_frame,
+    send_frame,
+)
+from repro.streamrule.reasoner import Reasoner
+from repro.streamrule.session import StreamSession
+from repro.streamrule.work import WorkItem
+from repro.streamrule.worker import WorkerServer, parse_listen_address
+from tests.conftest import make_atom
+
+CHOICE_PROGRAM = """\
+picked(X) :- item(X), not dropped(X).
+dropped(X) :- item(X), not picked(X).
+"""
+
+
+def choice_reasoner():
+    return Reasoner(parse_program(CHOICE_PROGRAM), input_predicates=["item"])
+
+
+def choice_payload():
+    return pickle.dumps(choice_reasoner())
+
+
+def work_item(count=3, track=0, epoch=0):
+    return WorkItem(facts=tuple(make_atom("item", index) for index in range(count)), track=track, epoch=epoch)
+
+
+def traffic_stream(length, seed=31):
+    config = SyntheticStreamConfig(
+        window_size=length, input_predicates=INPUT_PREDICATES, scheme="traffic", seed=seed
+    )
+    return generate_window(config)
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+class TestFraming:
+    def test_frame_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, FrameKind.WORK, b"payload-bytes")
+            kind, payload = recv_frame(right)
+            assert kind is FrameKind.WORK
+            assert payload == b"payload-bytes"
+        finally:
+            left.close()
+            right.close()
+
+    def test_empty_payload_frames(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, FrameKind.PING)
+            kind, payload = recv_frame(right)
+            assert kind is FrameKind.PING and payload == b""
+        finally:
+            left.close()
+            right.close()
+
+    def test_unknown_frame_kind_is_a_protocol_error(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x00\x00\x00\x00\xfe")  # length 0, kind 254
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_closed_peer_raises_eof(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+
+# --------------------------------------------------------------------------- #
+# Delta shipping codec
+# --------------------------------------------------------------------------- #
+class TestOverlap:
+    def test_sliding_overlap(self):
+        previous = tuple(range(10))
+        current = tuple(range(3, 13))
+        assert overlap_length(previous, current) == 7
+
+    def test_disjoint_windows(self):
+        assert overlap_length((1, 2, 3), (4, 5, 6)) == 0
+
+    def test_identical_windows(self):
+        facts = tuple(range(5))
+        assert overlap_length(facts, facts) == 5
+
+    def test_empty_sides(self):
+        assert overlap_length((), (1,)) == 0
+        assert overlap_length((1,), ()) == 0
+
+    def test_current_contained_in_previous_suffix(self):
+        assert overlap_length((1, 2, 3, 4), (3, 4)) == 2
+
+
+class TestFactsDiff:
+    def test_sliding_shape_is_one_copy_run(self):
+        previous = tuple(make_atom("p", value) for value in range(20))
+        current = previous[5:] + tuple(make_atom("p", value) for value in range(100, 105))
+        ops = diff_facts(previous, current)
+        assert ops[0] == (5, 15)  # the shared suffix, one copy op
+        assert apply_facts_diff(previous, ops) == current
+
+    def test_regrouped_shape_copies_each_group(self):
+        # A predicate-regrouping partitioner keeps the shared content
+        # mid-sequence, per predicate group -- one copy run per group.
+        group_a = tuple(make_atom("a", value) for value in range(12))
+        group_b = tuple(make_atom("b", value) for value in range(12))
+        previous = group_a + group_b
+        current = (
+            group_a[4:] + tuple(make_atom("a", value) for value in range(100, 103))
+            + group_b[4:] + tuple(make_atom("b", value) for value in range(200, 203))
+        )
+        ops = diff_facts(previous, current)
+        copy_ops = [op for op in ops if isinstance(op[0], int)]
+        assert len(copy_ops) == 2
+        assert sum(length for _, length in copy_ops) == 16
+        assert apply_facts_diff(previous, ops) == current
+
+    def test_disjoint_content_is_all_literal(self):
+        previous = tuple(make_atom("p", value) for value in range(10))
+        current = tuple(make_atom("p", value) for value in range(100, 110))
+        ops = diff_facts(previous, current)
+        assert len(ops) == 1 and not isinstance(ops[0][0], int)
+        assert apply_facts_diff(previous, ops) == current
+
+    def test_duplicate_facts_round_trip(self):
+        repeated = make_atom("p", 1)
+        previous = (repeated,) * 10
+        current = (repeated,) * 7 + tuple(make_atom("q", value) for value in range(3))
+        ops = diff_facts(previous, current)
+        assert apply_facts_diff(previous, ops) == current
+
+    def test_out_of_range_copy_op_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            apply_facts_diff((make_atom("p", 1),), ((0, 5),))
+
+
+class TestDeltaCodec:
+    def test_round_trip_reconstructs_every_window(self):
+        stream = traffic_stream(120)
+        shipper, decoder = DeltaShipper(), DeltaDecoder()
+        for delta in CountWindow(size=40, slide=10).deltas(stream):
+            item = WorkItem(facts=tuple(delta.window), delta=delta, track=2, epoch=delta.index)
+            kind, payload = shipper.encode(item)
+            rebuilt = decoder.decode(kind, payload)
+            assert rebuilt.facts == item.facts
+            assert rebuilt.track == 2 and rebuilt.epoch == delta.index
+            assert rebuilt.wants_incremental == item.wants_incremental
+
+    def test_sliding_delta_frames_are_measurably_smaller(self):
+        """Acceptance: steady-state sliding windows ship WindowDelta-sized frames."""
+        stream = traffic_stream(400)
+        shipper = DeltaShipper()
+        sizes = {FrameKind.WORK: [], FrameKind.DELTA: []}
+        for delta in CountWindow(size=150, slide=25).deltas(stream):
+            item = WorkItem(facts=tuple(delta.window), delta=delta, track=0, epoch=delta.index)
+            kind, payload = shipper.encode(item)
+            sizes[kind].append(len(payload))
+        assert len(sizes[FrameKind.WORK]) == 1  # only the first window ships full
+        assert len(sizes[FrameKind.DELTA]) >= 8  # every slide after that is a delta
+        full = sizes[FrameKind.WORK][0]
+        assert max(sizes[FrameKind.DELTA]) < full / 2  # slide is 1/6 of the window
+        assert sum(sizes[FrameKind.DELTA]) / len(sizes[FrameKind.DELTA]) < full / 3
+
+    def test_tumbling_windows_ship_full(self):
+        stream = traffic_stream(120)
+        shipper = DeltaShipper()
+        kinds = []
+        for delta in CountWindow(size=40).deltas(stream):
+            item = WorkItem(facts=tuple(delta.window), delta=delta, track=0, epoch=delta.index)
+            kinds.append(shipper.encode(item)[0])
+        assert all(kind is FrameKind.WORK for kind in kinds)
+
+    def test_decoder_rejects_delta_without_previous_window(self):
+        shipper, decoder = DeltaShipper(), DeltaDecoder()
+        first = work_item(count=10, track=7)
+        shipper.encode(first)
+        overlapping = WorkItem(facts=first.facts[2:] + (make_atom("item", 99),), track=7, epoch=1)
+        kind, payload = shipper.encode(overlapping)
+        assert kind is FrameKind.DELTA
+        with pytest.raises(ProtocolError):
+            decoder.decode(kind, payload)
+
+    def test_forget_resets_to_full_shipping(self):
+        shipper = DeltaShipper()
+        item = work_item(count=10)
+        shipper.encode(item)
+        shipper.forget()
+        kind, _ = shipper.encode(item)
+        assert kind is FrameKind.WORK
+
+
+# --------------------------------------------------------------------------- #
+# Handshake
+# --------------------------------------------------------------------------- #
+class TestHandshake:
+    def test_version_mismatch_is_refused_with_both_versions(self):
+        with WorkerServer(protocol_version=99) as server:
+            with pytest.raises(HandshakeError) as outcome:
+                WorkerClient(server.address, choice_payload(), attempts=1)
+            message = str(outcome.value)
+            assert "99" in message and "1" in message
+
+    def test_mismatched_client_does_not_kill_the_server(self):
+        with WorkerServer(protocol_version=99) as server:
+            with pytest.raises(HandshakeError):
+                WorkerClient(server.address, choice_payload(), attempts=1)
+            assert server.running
+        with WorkerServer() as server:
+            with WorkerClient(server.address, choice_payload(), attempts=1) as client:
+                assert client.submit_item(work_item()).answers
+
+    def test_capability_negotiation_degrades_to_full_shipping(self):
+        stream = traffic_stream(90)
+        reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+        with WorkerServer(capabilities={"delta_shipping": False}) as server:
+            with WorkerClient(server.address, pickle.dumps(reasoner)) as client:
+                assert "delta_shipping" not in client.capabilities
+                for delta in CountWindow(size=30, slide=10).deltas(stream):
+                    item = WorkItem(facts=tuple(delta.window), delta=delta, epoch=delta.index)
+                    client.submit_item(item)
+                assert client.stats.items_delta == 0
+                assert client.stats.items_full > 0
+
+    def test_delta_capability_negotiated_by_default(self):
+        with WorkerServer() as server:
+            with WorkerClient(server.address, choice_payload()) as client:
+                assert client.capabilities.get("delta_shipping") is True
+
+    def test_client_can_decline_delta_shipping(self):
+        with WorkerServer() as server:
+            with WorkerClient(server.address, choice_payload(), delta_shipping=False) as client:
+                assert "delta_shipping" not in client.capabilities
+
+    def test_heartbeat_ping(self):
+        with WorkerServer() as server:
+            with WorkerClient(server.address, choice_payload()) as client:
+                latency = client.ping()
+                assert latency >= 0.0
+                assert client.stats.pings == 1
+                assert client.try_ping()
+
+
+# --------------------------------------------------------------------------- #
+# Reconnect with bounded exponential backoff
+# --------------------------------------------------------------------------- #
+class TestBackoff:
+    @staticmethod
+    def _free_port():
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_exhausted_budget_raises_connection_error(self):
+        sleeps = []
+        with pytest.raises(BackendConnectionError):
+            connect_with_backoff(
+                ("127.0.0.1", self._free_port()),
+                attempts=4,
+                base_delay=0.05,
+                max_delay=0.15,
+                sleep=sleeps.append,
+            )
+        # attempts - 1 pauses, doubling up to the cap: 0.05, 0.1, 0.15.
+        assert sleeps == [0.05, 0.1, 0.15]
+
+    def test_connects_once_the_worker_comes_back(self):
+        port = self._free_port()
+        server = WorkerServer(port=port)
+        attempts = {"count": 0}
+
+        def sleep_then_start(delay):
+            attempts["count"] += 1
+            if attempts["count"] == 2:
+                server.start()  # the worker "restarts" during the backoff
+
+        try:
+            connection = connect_with_backoff(
+                ("127.0.0.1", port), attempts=5, base_delay=0.01, sleep=sleep_then_start
+            )
+            connection.close()
+            assert attempts["count"] >= 2
+        finally:
+            server.stop()
+
+    def test_at_least_one_attempt_required(self):
+        with pytest.raises(ValueError):
+            connect_with_backoff(("127.0.0.1", 1), attempts=0)
+
+
+# --------------------------------------------------------------------------- #
+# Worker death: rerouting without losing or duplicating windows
+# --------------------------------------------------------------------------- #
+class TestWorkerDeath:
+    def test_dead_worker_slots_reroute_to_survivors(self):
+        stream = traffic_stream(200)
+        window = CountWindow(size=80, slide=20)
+        partitioner = HashPartitioner(3)
+        reference = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+        with StreamSession(reference, partitioner=partitioner, backend=InlineBackend(simulated=False)) as session:
+            expected = [
+                {frozenset(answer) for answer in session.evaluate_window(list(w)).answers}
+                for w in window.windows(stream)
+            ]
+
+        first, second = WorkerServer(), WorkerServer()
+        first.start()
+        second.start()
+        try:
+            backend = TcpBackend([first.address, second.address], reconnect_attempts=1, base_delay=0.01)
+            reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+            solutions = []
+            with StreamSession(reasoner, partitioner=partitioner, backend=backend) as session:
+                for index, delta in enumerate(window.deltas(stream)):
+                    if index == 2:
+                        first.stop()  # one worker dies mid-stream
+                    result = session.evaluate_window(list(delta.window), delta=delta)
+                    solutions.append({frozenset(answer) for answer in result.answers})
+                # No window lost, none duplicated, all answers exact.
+                assert len(solutions) == len(expected)
+                assert solutions == expected
+                assert session.fallbacks == 0  # the fleet absorbed the fault
+                assert backend.fleet.reroutes >= 1
+                survivors = [str(endpoint) for endpoint in backend.fleet.alive_endpoints]
+                assert survivors == [f"{second.address[0]}:{second.address[1]}"]
+                # Every slot now routes to the survivor.
+                assert set(backend.fleet.slot_table().values()) == set(survivors)
+        finally:
+            first.stop()
+            second.stop()
+
+    def test_empty_fleet_falls_back_inline(self):
+        stream = traffic_stream(120)
+        window = CountWindow(size=60, slide=30)
+        partitioner = HashPartitioner(2)
+        servers = [WorkerServer(), WorkerServer()]
+        for server in servers:
+            server.start()
+        try:
+            backend = TcpBackend(
+                [server.address for server in servers], reconnect_attempts=1, base_delay=0.01
+            )
+            reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+            with StreamSession(reasoner, partitioner=partitioner, backend=backend) as session:
+                deltas = list(window.deltas(stream))
+                session.evaluate_window(list(deltas[0].window), delta=deltas[0])
+                for server in servers:
+                    server.stop()  # the whole fleet goes dark
+                result = session.evaluate_window(list(deltas[1].window), delta=deltas[1])
+                assert result.answers  # the stream kept flowing...
+                assert session.fallbacks > 0  # ...on inline evaluation
+                assert backend.fleet.alive_endpoints == []
+
+                reference = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+                with StreamSession(reference, partitioner=partitioner) as inline_session:
+                    expected = inline_session.evaluate_window(list(deltas[1].window))
+                assert set(result.answers) == set(expected.answers)
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_fleet_refuses_without_fallback_when_disabled(self):
+        server = WorkerServer()
+        server.start()
+        backend = TcpBackend([server.address], reconnect_attempts=1, base_delay=0.01)
+        reasoner = choice_reasoner()
+        try:
+            with StreamSession(reasoner, backend=backend, inline_fallback=False) as session:
+                session.evaluate_window([make_atom("item", 1)])
+                server.stop()
+                with pytest.raises(BackendConnectionError):
+                    session.evaluate_window([make_atom("item", 2)])
+        finally:
+            server.stop()
+
+    def test_worker_restarted_with_wrong_version_is_retired_not_fatal(self):
+        # A supervisor restarts a dead worker on a mismatched build: the
+        # mid-stream reconnect hits a HandshakeError, which must retire the
+        # endpoint and reroute -- not crash the stream (version skew is
+        # only fatal at backend start).
+        first, second = WorkerServer(), WorkerServer()
+        first.start()
+        second.start()
+        first_port = first.address[1]
+        imposter = None
+        try:
+            backend = TcpBackend([first.address, second.address], reconnect_attempts=1, base_delay=0.01)
+            with StreamSession(choice_reasoner(), backend=backend, inline_fallback=False) as session:
+                session.evaluate_window([make_atom("item", 1)])
+                first.stop()
+                imposter = WorkerServer(port=first_port, protocol_version=99)
+                imposter.start()
+                result = session.evaluate_window([make_atom("item", 2)])
+                assert result.answers  # rerouted to the survivor
+                assert [str(e) for e in backend.fleet.alive_endpoints] == [
+                    f"{second.address[0]}:{second.address[1]}"
+                ]
+        finally:
+            first.stop()
+            second.stop()
+            if imposter is not None:
+                imposter.stop()
+
+    def test_heartbeat_discovers_a_dead_worker_between_windows(self):
+        first, second = WorkerServer(), WorkerServer()
+        first.start()
+        second.start()
+        try:
+            backend = TcpBackend(
+                [first.address, second.address],
+                heartbeat_interval=0.05,
+                reconnect_attempts=1,
+                base_delay=0.01,
+            )
+            with StreamSession(choice_reasoner(), backend=backend) as session:
+                session.evaluate_window([make_atom("item", 1)])
+                first.stop()
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline and len(backend.fleet.alive_endpoints) > 1:
+                    time.sleep(0.05)
+                # The heartbeat noticed the death without any submit.
+                assert len(backend.fleet.alive_endpoints) == 1
+        finally:
+            first.stop()
+            second.stop()
+
+
+class TestFleetCoordinator:
+    def test_more_slots_than_endpoints_spread_round_robin(self):
+        with WorkerServer() as first, WorkerServer() as second:
+            fleet = WorkerFleet([first.address, second.address], slots=4)
+            fleet.start(choice_payload())
+            try:
+                table = fleet.slot_table()
+                assert len(table) == 4
+                assert set(table.values()) == {str(WorkerEndpoint.parse(first.address)),
+                                               str(WorkerEndpoint.parse(second.address))}
+                assert table[0] == table[2] and table[1] == table[3]
+            finally:
+                fleet.close()
+
+    def test_unreachable_endpoint_at_start_is_routed_around(self):
+        dead_port_probe = socket.socket()
+        dead_port_probe.bind(("127.0.0.1", 0))
+        dead_address = dead_port_probe.getsockname()[:2]
+        dead_port_probe.close()
+        with WorkerServer() as alive:
+            fleet = WorkerFleet([dead_address, alive.address], connect_attempts=1, base_delay=0.01)
+            fleet.start(choice_payload())
+            try:
+                assert [str(e) for e in fleet.alive_endpoints] == [f"{alive.address[0]}:{alive.address[1]}"]
+                assert fleet.roundtrip(0, work_item()).answers  # slot 0 rerouted
+            finally:
+                fleet.close()
+
+    def test_start_with_no_reachable_worker_raises(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        address = probe.getsockname()[:2]
+        probe.close()
+        fleet = WorkerFleet([address], connect_attempts=1, base_delay=0.01)
+        with pytest.raises(BackendConnectionError):
+            fleet.start(choice_payload())
+
+    def test_endpoint_parsing(self):
+        endpoint = WorkerEndpoint.parse("worker-3.internal:7700")
+        assert endpoint.host == "worker-3.internal" and endpoint.port == 7700
+        assert str(endpoint) == "worker-3.internal:7700"
+        assert WorkerEndpoint.parse(endpoint) is endpoint
+        assert WorkerEndpoint.parse(("127.0.0.1", 9)) == WorkerEndpoint("127.0.0.1", 9)
+        with pytest.raises(ValueError):
+            WorkerEndpoint.parse("no-port")
+
+    def test_listen_address_parsing(self):
+        assert parse_listen_address("0.0.0.0:7700") == ("0.0.0.0", 7700)
+        with pytest.raises(ValueError):
+            parse_listen_address("7700")
+        with pytest.raises(ValueError):
+            parse_listen_address("host:notaport")
+        with pytest.raises(ValueError):
+            parse_listen_address("host:70000")
+
+
+# --------------------------------------------------------------------------- #
+# Wire statistics: delta shipping visible end to end
+# --------------------------------------------------------------------------- #
+class TestWireStatistics:
+    def test_sliding_stream_ships_mostly_deltas(self):
+        stream = traffic_stream(200)
+        window = CountWindow(size=80, slide=20)
+        with WorkerServer() as server:
+            backend = TcpBackend([server.address])
+            reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+            with StreamSession(reasoner, partitioner=HashPartitioner(2), backend=backend) as session:
+                for delta in window.deltas(stream):
+                    session.evaluate_window(list(delta.window), delta=delta)
+            stats = backend.wire_statistics()  # final snapshot survives close
+        assert stats["items_delta"] > stats["items_full"]
+        assert stats["bytes_delta"] / stats["items_delta"] < stats["bytes_full"] / stats["items_full"]
+
+    def test_delta_shipping_disabled_ships_everything_full(self):
+        stream = traffic_stream(120)
+        window = CountWindow(size=60, slide=20)
+        with WorkerServer() as server:
+            backend = TcpBackend([server.address], delta_shipping=False)
+            reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+            with StreamSession(reasoner, backend=backend) as session:
+                for delta in window.deltas(stream):
+                    session.evaluate_window(list(delta.window), delta=delta)
+            stats = backend.wire_statistics()
+        assert stats["items_delta"] == 0
+        assert stats["items_full"] > 0
