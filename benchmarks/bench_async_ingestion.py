@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Producer throughput: synchronous vs pipelined ingestion per backend.
+
+The paper's premise is sustained input rates: the producer must keep feeding
+the stream while the reasoners work.  Before pipelining, ``StreamSession.push``
+blocked on every completed window -- the producer idled for exactly as long
+as the slowest partition reasoned, wasting the concurrency the thread /
+process / TCP backends provide.  With pipelined ingestion
+(``max_inflight > 1``) push dispatches the window and returns; this
+benchmark prices the difference on the paper's synthetic traffic workload:
+
+* per backend (thread pool, pinned process pool, TCP worker fleet), the
+  same tumbling window stream is pushed item by item twice -- once with
+  ``max_inflight=1`` (the pre-pipelining synchronous loop) and once
+  pipelined -- and both the *producer-side* throughput (items/s of the push
+  loop alone) and the *end-to-end* throughput (push + finish + drain) are
+  reported, along with the backpressure counters;
+* both runs must produce identical answer sets (asserted), so the speed-up
+  is never bought with correctness.
+
+Producer-side speed-up appears on any host (the push loop stops waiting out
+round trips); end-to-end speed-up on multi-worker backends additionally
+needs real cores, so the script prints the host's CPU count next to the
+verdict.  The acceptance bar (see ISSUE/CI): pipelined push >= 1.3x producer
+throughput over synchronous on a >= 2-worker backend.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_async_ingestion.py [--quick]
+
+Options::
+
+    --quick          small windows / few repeats (CI smoke run)
+    --window-size N  triples per window
+    --windows N      windows in the stream
+    --max-inflight N pipelined in-flight bound (default 8)
+    --workers N      worker count per backend (default 2)
+    --no-tcp         skip the TCP fleet section (no subprocesses spawned)
+    --no-write       do not write benchmarks/results/ or BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.bench_json import write_bench_json  # noqa: E402
+from repro.asp.grounding import GroundingCache  # noqa: E402
+from repro.core.partitioner import HashPartitioner  # noqa: E402
+from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program  # noqa: E402
+from repro.streaming.generator import SyntheticStreamConfig, generate_window  # noqa: E402
+from repro.streaming.window import CountWindow  # noqa: E402
+from repro.streamrule.backends import (  # noqa: E402
+    ExecutionBackend,
+    ProcessPoolBackend,
+    TcpBackend,
+    ThreadPoolBackend,
+)
+from repro.streamrule.reasoner import Reasoner  # noqa: E402
+from repro.streamrule.session import StreamSession  # noqa: E402
+from repro.streamrule.worker import spawn_local_workers  # noqa: E402
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
+BENCH_SEED = 2017
+
+#: The acceptance bar for the producer-side speed-up on multi-worker backends.
+TARGET_PRODUCER_SPEEDUP = 1.3
+
+
+def make_stream(window_count: int, window_size: int) -> List[list]:
+    windows = []
+    for index in range(window_count):
+        config = SyntheticStreamConfig(
+            window_size=window_size,
+            input_predicates=INPUT_PREDICATES,
+            scheme="traffic",
+            seed=BENCH_SEED + index,
+        )
+        windows.append(generate_window(config))
+    return windows
+
+
+def run_ingestion(
+    backend: ExecutionBackend,
+    windows: Sequence[list],
+    window_size: int,
+    max_inflight: int,
+    partitions: int,
+) -> Dict[str, object]:
+    """Push the stream item by item; time the push loop and the whole run."""
+    reasoner = Reasoner(
+        traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES, grounding_cache=GroundingCache()
+    )
+    stream = [triple for window in windows for triple in window]
+    with StreamSession(
+        reasoner,
+        window=CountWindow(size=window_size, emit_partial=False),
+        partitioner=HashPartitioner(partitions),
+        backend=backend,
+        max_inflight=max_inflight,
+    ) as session:
+        session.backend.start(reasoner)  # pool/fleet spin-up outside the timed region
+        started = time.perf_counter()
+        for triple in stream:
+            session.push([triple])
+        producer_seconds = time.perf_counter() - started
+        session.finish()
+        answers = [
+            {frozenset(answer) for answer in solution.answers} for solution in session.results()
+        ]
+        total_seconds = time.perf_counter() - started
+        ingestion = session.ingestion
+    items = len(stream)
+    return {
+        "producer_seconds": producer_seconds,
+        "total_seconds": total_seconds,
+        "producer_throughput": items / producer_seconds if producer_seconds else float("inf"),
+        "e2e_throughput": items / total_seconds if total_seconds else float("inf"),
+        "answers": answers,
+        "stalls": ingestion.backpressure_stalls,
+        "high_water": ingestion.inflight_high_water,
+        "dispatched_ahead": ingestion.dispatched_ahead,
+    }
+
+
+def backend_comparison(
+    label: str,
+    backend_factory: Callable[[], ExecutionBackend],
+    windows: Sequence[list],
+    window_size: int,
+    max_inflight: int,
+    partitions: int,
+    metrics: Dict[str, float],
+) -> List[str]:
+    """One backend, two runs: max_inflight=1 vs the pipelined bound."""
+    sync = run_ingestion(backend_factory(), windows, window_size, 1, partitions)
+    piped = run_ingestion(backend_factory(), windows, window_size, max_inflight, partitions)
+    if sync["answers"] != piped["answers"]:
+        raise AssertionError(f"{label}: pipelined answers diverged from the synchronous run")
+    producer_speedup = sync["producer_seconds"] / piped["producer_seconds"] if piped["producer_seconds"] else float("inf")
+    e2e_speedup = sync["total_seconds"] / piped["total_seconds"] if piped["total_seconds"] else float("inf")
+    metrics[f"producer_speedup_{label}"] = producer_speedup
+    metrics[f"e2e_speedup_{label}"] = e2e_speedup
+    verdict = "PASS" if producer_speedup >= TARGET_PRODUCER_SPEEDUP else "MISS"
+    return [
+        f"{label} (answers identical across both runs)",
+        f"{'mode':<16}{'push s':>9}{'total s':>9}{'push items/s':>14}{'e2e items/s':>13}"
+        f"{'stalls':>8}{'inflight':>10}",
+        f"{'sync (1)':<16}{sync['producer_seconds']:>9.3f}{sync['total_seconds']:>9.3f}"
+        f"{sync['producer_throughput']:>14.0f}{sync['e2e_throughput']:>13.0f}"
+        f"{sync['stalls']:>8}{sync['high_water']:>10}",
+        f"{f'pipelined ({max_inflight})':<16}{piped['producer_seconds']:>9.3f}{piped['total_seconds']:>9.3f}"
+        f"{piped['producer_throughput']:>14.0f}{piped['e2e_throughput']:>13.0f}"
+        f"{piped['stalls']:>8}{piped['high_water']:>10}",
+        f"producer speed-up: {producer_speedup:.2f}x (target >= {TARGET_PRODUCER_SPEEDUP}x: {verdict}); "
+        f"end-to-end: {e2e_speedup:.2f}x",
+    ]
+
+
+def positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--quick", action="store_true", help="CI smoke run: small windows, few repeats")
+    parser.add_argument("--window-size", type=positive_int, default=None, help="triples per window")
+    parser.add_argument("--windows", type=positive_int, default=None, help="windows in the stream")
+    parser.add_argument("--max-inflight", type=positive_int, default=8, help="pipelined in-flight bound")
+    parser.add_argument("--workers", type=positive_int, default=2, help="worker count per backend")
+    parser.add_argument("--no-tcp", action="store_true", help="skip the TCP worker-fleet section")
+    parser.add_argument("--no-write", action="store_true", help="do not write results/ or BENCH_*.json")
+    arguments = parser.parse_args(argv)
+
+    window_size = arguments.window_size if arguments.window_size is not None else (150 if arguments.quick else 800)
+    window_count = arguments.windows if arguments.windows is not None else (6 if arguments.quick else 10)
+    workers = arguments.workers
+    partitions = workers
+
+    lines = [
+        "bench_async_ingestion",
+        f"host cores: {os.cpu_count()}  (end-to-end speed-up > 1 requires > 1 core;",
+        "producer-side speed-up only needs the push loop to stop waiting)",
+        f"stream: {window_count} x {window_size} triples, tumbling windows, traffic scheme, "
+        f"seed {BENCH_SEED}; k = {partitions} partitions, {workers} workers",
+        "",
+    ]
+    windows = make_stream(window_count, window_size)
+    metrics: Dict[str, float] = {}
+
+    lines += backend_comparison(
+        "threads",
+        lambda: ThreadPoolBackend(max_workers=workers),
+        windows, window_size, arguments.max_inflight, partitions, metrics,
+    )
+    lines.append("")
+    lines += backend_comparison(
+        "processes",
+        lambda: ProcessPoolBackend(max_workers=workers),
+        windows, window_size, arguments.max_inflight, partitions, metrics,
+    )
+
+    if not arguments.no_tcp:
+        fleet = spawn_local_workers(workers)
+        try:
+            endpoints = [worker.endpoint for worker in fleet]
+            lines.append("")
+            lines += backend_comparison(
+                "tcp",
+                lambda: TcpBackend(endpoints),
+                windows, window_size, arguments.max_inflight, partitions, metrics,
+            )
+        finally:
+            for worker in fleet:
+                worker.terminate()
+
+    report = "\n".join(lines)
+    print(report)
+    if not arguments.no_write:
+        RESULTS_DIRECTORY.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIRECTORY / "async_ingestion.txt"
+        path.write_text(report + "\n")
+        bench_path = write_bench_json(
+            "async_ingestion",
+            metrics,
+            meta={
+                "window_size": window_size,
+                "windows": window_count,
+                "workers": workers,
+                "max_inflight": arguments.max_inflight,
+                "quick": arguments.quick,
+            },
+        )
+        print(f"\nwritten to {path} and {bench_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,7 +41,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
+from benchmarks.bench_json import write_bench_json  # noqa: E402
 from repro.asp.grounding import GroundingCache  # noqa: E402
 from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program  # noqa: E402
 from repro.streaming.generator import SyntheticStreamConfig, generate_window  # noqa: E402
@@ -94,7 +96,9 @@ def run_windows(stream: Sequence, window: CountWindow, use_delta: bool) -> Dict[
     }
 
 
-def ratio_section(stream: Sequence, window_size: int, ratios: Sequence[float]) -> List[str]:
+def ratio_section(
+    stream: Sequence, window_size: int, ratios: Sequence[float], metrics: Optional[Dict[str, float]] = None
+) -> List[str]:
     lines = [
         f"{'slide/size':<12}{'windows':>8}{'full ms':>10}{'delta ms':>10}{'speed-up':>10}"
         f"{'steady x':>10}{'repairs':>9}{'churn':>8}{'rules':>7}",
@@ -118,6 +122,9 @@ def ratio_section(stream: Sequence, window_size: int, ratios: Sequence[float]) -
             f"{delta['mean_repair_rules']:>7.0f}"
         )
         verdicts.append((ratio, steady))
+        if metrics is not None:
+            metrics[f"total_speedup_r{ratio:g}"] = speedup
+            metrics[f"steady_speedup_r{ratio:g}"] = steady
     lines.append("")
     lines.append("churn = mean repaired facts / window size; rules = mean ground instances")
     lines.append("touched per repair; steady x = median per-window grounding ratio after")
@@ -172,7 +179,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "",
     ]
     stream = make_stream(stream_length)
-    lines += ratio_section(stream, window_size, ratios)
+    metrics: Dict[str, float] = {}
+    lines += ratio_section(stream, window_size, ratios, metrics)
 
     report = "\n".join(lines)
     print(report)
@@ -180,7 +188,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         RESULTS_DIRECTORY.mkdir(parents=True, exist_ok=True)
         path = RESULTS_DIRECTORY / "delta_grounding.txt"
         path.write_text(report + "\n")
-        print(f"\nwritten to {path}")
+        bench_path = write_bench_json(
+            "delta_grounding",
+            metrics,
+            meta={"window_size": window_size, "stream_length": stream_length, "quick": arguments.quick},
+        )
+        print(f"\nwritten to {path} and {bench_path}")
     return 0
 
 

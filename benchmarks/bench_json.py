@@ -1,0 +1,87 @@
+"""Machine-readable benchmark emission: the ``BENCH_<name>.json`` trajectory.
+
+Every benchmark in this directory renders a human-readable table under
+``benchmarks/results/`` *and* emits one ``BENCH_<name>.json`` file at the
+repository root with its headline metrics.  The JSON is the machine half of
+the perf story: CI runs the quick benchmarks on every pull request, compares
+the emitted metrics against the committed baseline
+(``benchmarks/bench_baseline.json``) with a tolerance band
+(:mod:`benchmarks.check_regression`), and uploads the files as build
+artifacts -- so a slowdown of a protected hot path fails the build instead
+of landing silently, and the per-commit trajectory of the numbers is
+downloadable instead of empty.
+
+Schema of one emission::
+
+    {
+      "benchmark": "<name>",
+      "schema": 1,
+      "meta": {...},                 # free-form run description (host, sizes)
+      "metrics": {"<metric>": 1.23}  # flat name -> float
+    }
+
+Metric names are the contract between a benchmark and the baseline: rename
+one and :mod:`benchmarks.check_regression` fails loudly (a missing metric is
+a gate failure, never a silent skip).  Prefer *ratio* metrics (speed-ups,
+overhead per window, bytes per window) over absolute wall-clock where
+possible -- ratios transfer between machines, which keeps the committed
+baseline meaningful on developer laptops and CI runners alike.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["REPO_ROOT", "host_meta", "load_bench_json", "write_bench_json"]
+
+#: Where the ``BENCH_*.json`` trajectory lives: the repository root.
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SCHEMA_VERSION = 1
+
+
+def host_meta() -> Dict[str, Any]:
+    """Run environment recorded next to the metrics (never compared)."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def write_bench_json(
+    name: str,
+    metrics: Mapping[str, float],
+    *,
+    meta: Optional[Mapping[str, Any]] = None,
+    directory: Optional[Path] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``metrics`` must be flat name -> number; values are coerced to float so
+    the file diffs cleanly and the regression gate never has to guess types.
+    """
+    payload = {
+        "benchmark": name,
+        "schema": SCHEMA_VERSION,
+        "meta": {**host_meta(), **(dict(meta) if meta else {})},
+        "metrics": {key: float(value) for key, value in metrics.items()},
+    }
+    path = (directory or REPO_ROOT) / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_json(path: Path) -> Dict[str, Any]:
+    """Load one emission, validating the envelope the gate depends on."""
+    payload = json.loads(Path(path).read_text())
+    for key in ("benchmark", "metrics"):
+        if key not in payload:
+            raise ValueError(f"{path}: not a BENCH emission (missing {key!r})")
+    if not isinstance(payload["metrics"], dict):
+        raise ValueError(f"{path}: metrics must be an object")
+    return payload

@@ -54,7 +54,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
+from benchmarks.bench_json import write_bench_json  # noqa: E402
 from repro.asp.grounding import GroundingCache  # noqa: E402
 from repro.core.partitioner import HashPartitioner  # noqa: E402
 from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program  # noqa: E402
@@ -136,7 +138,9 @@ def run_stream(
     )
 
 
-def scaling_section(worker_counts: Sequence[int], windows: Sequence[list]) -> List[str]:
+def scaling_section(
+    worker_counts: Sequence[int], windows: Sequence[list], metrics: Optional[Dict[str, float]] = None
+) -> List[str]:
     # Every row evaluates the *same* partition layout (k = max workers) so the
     # speed-up column isolates where the partitions run; varying k per row
     # would change the workload itself (evaluations, duplication, combining).
@@ -152,10 +156,14 @@ def scaling_section(worker_counts: Sequence[int], windows: Sequence[list]) -> Li
         speedup = baseline["seconds"] / record["seconds"] if record["seconds"] else float("inf")
         label = f"PROCESSES x{workers}"
         lines.append(f"{label:<24}{record['seconds']:>10.3f}{record['throughput']:>12.0f}{speedup:>10.2f}")
+        if metrics is not None:
+            metrics[f"process_speedup_x{workers}"] = speedup
     return lines
 
 
-def backend_section(windows: Sequence[list], workers: int, partitions: int) -> List[str]:
+def backend_section(
+    windows: Sequence[list], workers: int, partitions: int, metrics: Optional[Dict[str, float]] = None
+) -> List[str]:
     """Sweep all four backends over the same stream; price their dispatch.
 
     Dispatch overhead is the extra wall-clock per window relative to inline
@@ -184,14 +192,21 @@ def backend_section(windows: Sequence[list], workers: int, partitions: int) -> L
             f"{name:<24}{record['seconds']:>10.3f}{record['throughput']:>12.0f}"
             f"{overhead_ms:>17.2f}{record['cache_hit_rate']:>10.2f}"
         )
+        if metrics is not None and name != "inline":
+            metrics[f"overhead_ms_{name}"] = overhead_ms
     return lines
 
 
-def cache_section(windows: Sequence[list], repeats: int, partitions: int) -> List[str]:
+def cache_section(
+    windows: Sequence[list], repeats: int, partitions: int, metrics: Optional[Dict[str, float]] = None
+) -> List[str]:
     stream = list(windows) * repeats
     cold = run_stream(ExecutionMode.SERIAL, None, partitions, stream, grounding_cache=None)
     warm = run_stream(ExecutionMode.SERIAL, None, partitions, stream, grounding_cache=GroundingCache())
     ratio = cold["seconds"] / warm["seconds"] if warm["seconds"] else float("inf")
+    if metrics is not None:
+        metrics["cache_speedup"] = ratio
+        metrics["cache_hit_rate"] = warm["cache_hit_rate"]
     return [
         f"Grounding cache on a recurring stream ({len(windows)} windows x{repeats})",
         f"{'configuration':<24}{'wall s':>10}{'items/s':>12}{'hit rate':>10}",
@@ -201,7 +216,9 @@ def cache_section(windows: Sequence[list], repeats: int, partitions: int) -> Lis
     ]
 
 
-def tcp_section(windows: Sequence[list], workers: int, partitions: int) -> List[str]:
+def tcp_section(
+    windows: Sequence[list], workers: int, partitions: int, metrics: Optional[Dict[str, float]] = None
+) -> List[str]:
     """Two real worker daemons: dispatch overhead + delta-vs-full shipping.
 
     Spawns ``workers`` ``python -m repro.streamrule.worker`` subprocesses
@@ -221,6 +238,8 @@ def tcp_section(windows: Sequence[list], workers: int, partitions: int) -> List[
         tcp_backend = TcpBackend(endpoints)
         record = run_stream_on_backend(tcp_backend, partitions, windows, grounding_cache=GroundingCache())
         overhead_ms = (record["seconds"] - inline["seconds"]) / len(windows) * 1000.0
+        if metrics is not None:
+            metrics["overhead_ms_tcp"] = overhead_ms
         lines.append(f"{'backend':<24}{'wall s':>10}{'items/s':>12}{'ms/win overhead':>17}")
         lines.append(f"{'inline':<24}{inline['seconds']:>10.3f}{inline['throughput']:>12.0f}{0.0:>17.2f}")
         lines.append(f"{'tcp':<24}{record['seconds']:>10.3f}{record['throughput']:>12.0f}{overhead_ms:>17.2f}")
@@ -232,6 +251,7 @@ def tcp_section(windows: Sequence[list], workers: int, partitions: int) -> List[
         lines.append("")
         lines.append(f"Delta shipping on a sliding window (size {size}, slide {max(size // 4, 1)})")
         lines.append(f"{'shipping':<24}{'wall s':>10}{'windows':>9}{'KiB sent':>10}{'KiB/win':>9}{'delta frames':>14}")
+        kib_per_window: Dict[str, float] = {}
         for label, delta_shipping in (("full facts", False), ("fact deltas", True)):
             backend = TcpBackend(endpoints, delta_shipping=delta_shipping)
             reasoner = Reasoner(
@@ -247,9 +267,14 @@ def tcp_section(windows: Sequence[list], workers: int, partitions: int) -> List[
                 elapsed = time.perf_counter() - started
             stats = backend.wire_statistics()
             sent_kib = stats["bytes_out"] / 1024.0
+            kib_per_window[label] = sent_kib / max(count, 1)
             lines.append(
                 f"{label:<24}{elapsed:>10.3f}{count:>9d}{sent_kib:>10.1f}"
                 f"{sent_kib / max(count, 1):>9.2f}{int(stats['items_delta']):>14d}"
+            )
+        if metrics is not None and kib_per_window.get("full facts"):
+            metrics["delta_wire_saving"] = 1.0 - (
+                kib_per_window["fact deltas"] / kib_per_window["full facts"]
             )
     finally:
         for worker in fleet:
@@ -297,14 +322,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "",
     ]
     windows = make_windows(window_count, window_size)
-    lines += scaling_section(worker_counts, windows)
+    metrics: Dict[str, float] = {}
+    lines += scaling_section(worker_counts, windows, metrics)
     lines.append("")
-    lines += backend_section(windows, workers=max(worker_counts), partitions=max(worker_counts))
+    lines += backend_section(windows, workers=max(worker_counts), partitions=max(worker_counts), metrics=metrics)
     lines.append("")
-    lines += cache_section(windows, repeats, partitions=max(worker_counts))
+    lines += cache_section(windows, repeats, partitions=max(worker_counts), metrics=metrics)
     if not arguments.no_tcp:
         lines.append("")
-        lines += tcp_section(windows, workers=min(2, max(worker_counts)), partitions=max(worker_counts))
+        lines += tcp_section(
+            windows, workers=min(2, max(worker_counts)), partitions=max(worker_counts), metrics=metrics
+        )
 
     report = "\n".join(lines)
     print(report)
@@ -312,7 +340,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         RESULTS_DIRECTORY.mkdir(parents=True, exist_ok=True)
         path = RESULTS_DIRECTORY / "multicore_scaling.txt"
         path.write_text(report + "\n")
-        print(f"\nwritten to {path}")
+        bench_path = write_bench_json(
+            "multicore_scaling",
+            metrics,
+            meta={
+                "window_size": window_size,
+                "windows": window_count,
+                "worker_counts": list(worker_counts),
+                "tcp": not arguments.no_tcp,
+                "quick": arguments.quick,
+            },
+        )
+        print(f"\nwritten to {path} and {bench_path}")
     return 0
 
 

@@ -3,13 +3,19 @@
 One benchmarked sweep per program (so the table generation itself is timed
 and runs under ``--benchmark-only``); the rendered tables are written to
 ``benchmarks/results/figure07.txt`` .. ``figure10.txt`` and mirrored in
-EXPERIMENTS.md.
+EXPERIMENTS.md.  Each sweep also emits ``BENCH_report_<program>.json``
+(machine-readable per-benchmark timings: sweep wall-clock plus the total
+per-configuration latencies behind the figures) so the perf trajectory of
+the paper reproduction itself is a build artifact, not only a table.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from benchmarks.bench_json import write_bench_json
 from benchmarks.conftest import RANDOM_KS, bench_window_sizes, write_result_table
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import run_figure, run_window_sweep
@@ -31,7 +37,9 @@ def _sweep(program: str):
 @pytest.mark.parametrize("program,latency_figure,accuracy_figure", [("P", 7, 8), ("P_prime", 9, 10)])
 def test_report_regenerates_paper_figures(benchmark, program, latency_figure, accuracy_figure):
     """Run the full window sweep for one program and write its two figures."""
+    sweep_started = time.perf_counter()
     records = benchmark.pedantic(_sweep, args=(program,), rounds=1, iterations=1, warmup_rounds=0)
+    sweep_seconds = time.perf_counter() - sweep_started
 
     latency_series = run_figure(latency_figure, records=records)
     accuracy_series = run_figure(accuracy_figure, records=records)
@@ -39,6 +47,19 @@ def test_report_regenerates_paper_figures(benchmark, program, latency_figure, ac
     write_result_table(f"figure{latency_figure:02d}.txt", render_figure(latency_series))
     write_result_table(f"figure{accuracy_figure:02d}.txt", render_figure(accuracy_series))
     write_result_table(f"sweep_{program}.csv", records_to_csv(records))
+
+    # Machine-readable per-benchmark timings: the sweep's wall clock and the
+    # total latency of every reasoner configuration across the window sizes.
+    metrics = {"sweep_seconds": sweep_seconds}
+    for configuration in records[0].latency_ms:
+        metrics[f"total_latency_ms_{configuration}"] = sum(
+            record.latency_ms[configuration] for record in records
+        )
+    write_bench_json(
+        f"report_{program}",
+        metrics,
+        meta={"window_sizes": list(WINDOW_SIZES), "figures": [latency_figure, accuracy_figure]},
+    )
 
     benchmark.group = "paper figure regeneration"
     benchmark.extra_info["program"] = program

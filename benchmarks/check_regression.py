@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""The perf-regression gate: compare ``BENCH_*.json`` against the baseline.
+
+CI runs the quick benchmarks (which emit ``BENCH_<name>.json`` at the repo
+root, see :mod:`benchmarks.bench_json`) and then this script, which compares
+every metric named in the committed baseline
+(``benchmarks/bench_baseline.json``) against the fresh emission within a
+tolerance band.  The build fails when a protected metric regresses -- e.g.
+the pipelined producer speed-up dropping below its floor, or per-window
+dispatch overhead growing past the band.
+
+Baseline schema::
+
+    {
+      "default_tolerance": 0.25,
+      "benchmarks": {
+        "<name>": {                      # matches BENCH_<name>.json
+          "metrics": {
+            "<metric>": {
+              "value": 3.0,              # the recorded baseline
+              "direction": "higher",     # "higher" = bigger is better
+              "tolerance": 0.25,         # optional per-metric override
+              "floor": 1.3               # optional hard bound ("higher")
+              # "ceiling": 25.0          # optional hard bound ("lower")
+            }
+          }
+        }
+      }
+    }
+
+Rules (deliberately strict -- the gate must fail loudly, never rot):
+
+* a baselined benchmark with no emission among the inputs FAILS;
+* a baselined metric missing from its emission FAILS (renames must update
+  the baseline in the same commit);
+* ``direction: higher`` fails when ``current < value * (1 - tolerance)`` or
+  below the hard ``floor``; ``direction: lower`` fails when
+  ``current > value * (1 + tolerance)`` or above the hard ``ceiling``;
+* emitted metrics absent from the baseline are listed as unguarded, so new
+  benchmarks show up in the log until someone baselines them.
+
+``--update`` refreshes the recorded ``value`` of every baselined metric from
+the current emissions (directions, tolerances, and bounds are kept) -- run
+the full benchmarks, eyeball the report, then commit the new baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py [BENCH_*.json ...]
+    PYTHONPATH=src python benchmarks/check_regression.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.bench_json import REPO_ROOT, load_bench_json  # noqa: E402
+
+BASELINE_PATH = Path(__file__).parent / "bench_baseline.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_baseline(path: Path) -> dict:
+    baseline = json.loads(path.read_text())
+    if "benchmarks" not in baseline:
+        raise ValueError(f"{path}: baseline needs a 'benchmarks' object")
+    return baseline
+
+
+def discover_emissions(paths: Sequence[str]) -> Dict[str, dict]:
+    """Map benchmark name -> emission payload for the given (or globbed) files."""
+    files = [Path(path) for path in paths] if paths else sorted(REPO_ROOT.glob("BENCH_*.json"))
+    emissions: Dict[str, dict] = {}
+    for file in files:
+        payload = load_bench_json(file)
+        emissions[payload["benchmark"]] = payload
+    return emissions
+
+
+def check_metric(name: str, spec: dict, current: Optional[float], default_tolerance: float) -> List[str]:
+    """Return failure messages for one metric (empty = pass)."""
+    if current is None:
+        return [f"{name}: baselined metric missing from the emission"]
+    value = float(spec["value"])
+    direction = spec.get("direction", "higher")
+    tolerance = float(spec.get("tolerance", default_tolerance))
+    failures = []
+    if direction == "higher":
+        band = value * (1.0 - tolerance)
+        if current < band:
+            failures.append(f"{name}: {current:.3f} fell below the band {band:.3f} (baseline {value:.3f}, -{tolerance:.0%})")
+        floor = spec.get("floor")
+        if floor is not None and current < float(floor):
+            failures.append(f"{name}: {current:.3f} is below the hard floor {float(floor):.3f}")
+    elif direction == "lower":
+        band = value * (1.0 + tolerance)
+        if current > band:
+            failures.append(f"{name}: {current:.3f} rose above the band {band:.3f} (baseline {value:.3f}, +{tolerance:.0%})")
+        ceiling = spec.get("ceiling")
+        if ceiling is not None and current > float(ceiling):
+            failures.append(f"{name}: {current:.3f} is above the hard ceiling {float(ceiling):.3f}")
+    else:
+        failures.append(f"{name}: unknown direction {direction!r} in the baseline")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("emissions", nargs="*", help="BENCH_*.json files (default: glob the repo root)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH, help="baseline file to compare against")
+    parser.add_argument("--update", action="store_true", help="refresh baseline values from the current emissions")
+    arguments = parser.parse_args(argv)
+
+    baseline = load_baseline(arguments.baseline)
+    default_tolerance = float(baseline.get("default_tolerance", DEFAULT_TOLERANCE))
+    emissions = discover_emissions(arguments.emissions)
+
+    if arguments.update:
+        refreshed = 0
+        for bench_name, bench_spec in baseline["benchmarks"].items():
+            emission = emissions.get(bench_name)
+            if emission is None:
+                print(f"[skip] {bench_name}: no emission to update from")
+                continue
+            for metric_name, spec in bench_spec.get("metrics", {}).items():
+                current = emission["metrics"].get(metric_name)
+                if current is None:
+                    print(f"[skip] {bench_name}.{metric_name}: missing from the emission")
+                    continue
+                spec["value"] = round(float(current), 4)
+                refreshed += 1
+        arguments.baseline.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"refreshed {refreshed} baseline values into {arguments.baseline}")
+        return 0
+
+    failures: List[str] = []
+    checked = 0
+    for bench_name, bench_spec in baseline["benchmarks"].items():
+        emission = emissions.get(bench_name)
+        if emission is None:
+            failures.append(f"{bench_name}: baselined benchmark produced no BENCH_{bench_name}.json")
+            continue
+        guarded = bench_spec.get("metrics", {})
+        for metric_name, spec in guarded.items():
+            current = emission["metrics"].get(metric_name)
+            outcome = check_metric(f"{bench_name}.{metric_name}", spec, current, default_tolerance)
+            checked += 1
+            if outcome:
+                failures.extend(outcome)
+                print(f"[FAIL] {bench_name}.{metric_name}: current={current}")
+            else:
+                print(
+                    f"[ ok ] {bench_name}.{metric_name}: current={current:.3f} "
+                    f"baseline={float(spec['value']):.3f} ({spec.get('direction', 'higher')})"
+                )
+        unguarded = sorted(set(emission["metrics"]) - set(guarded))
+        if unguarded:
+            print(f"[info] {bench_name}: unguarded metrics: {', '.join(unguarded)}")
+    for bench_name in sorted(set(emissions) - set(baseline["benchmarks"])):
+        print(f"[info] {bench_name}: emission has no baseline entry (not gated)")
+
+    if failures:
+        print(f"\nperf-regression gate: {len(failures)} failure(s) over {checked} guarded metric(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nperf-regression gate: all {checked} guarded metrics within the band")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

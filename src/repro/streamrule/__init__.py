@@ -46,28 +46,37 @@ from repro.streamrule.backends import (
 from repro.streamrule.compat import reset_deprecation_warnings
 from repro.streamrule.errors import BackendConnectionError, BackendError, HandshakeError, ProtocolError
 from repro.streamrule.fleet import WorkerEndpoint, WorkerFleet
-from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
+from repro.streamrule.metrics import IngestionStats, LatencyBreakdown, ReasonerMetrics, Timer
 from repro.streamrule.net import PROTOCOL_VERSION, WireStats, WorkerClient
 from repro.streamrule.parallel import ParallelReasoner
 from repro.streamrule.pipeline import StreamRulePipeline
 from repro.streamrule.placement import ConsistentHashPlacement, PinnedPlacement, PlacementStrategy
 from repro.streamrule.reasoner import Reasoner, ReasonerResult
-from repro.streamrule.session import ParallelResult, StreamSession, WindowSolution
+from repro.streamrule.session import (
+    DEFAULT_MAX_INFLIGHT,
+    ParallelResult,
+    PendingWindow,
+    StreamSession,
+    WindowSolution,
+)
 from repro.streamrule.work import WorkItem
 
 __all__ = [
     "BackendConnectionError",
     "BackendError",
     "ConsistentHashPlacement",
+    "DEFAULT_MAX_INFLIGHT",
     "ExecutionBackend",
     "ExecutionMode",
     "HandshakeError",
+    "IngestionStats",
     "InlineBackend",
     "LatencyBreakdown",
     "LoopbackSocketBackend",
     "PROTOCOL_VERSION",
     "ParallelReasoner",
     "ParallelResult",
+    "PendingWindow",
     "PinnedPlacement",
     "PlacementStrategy",
     "ProcessPoolBackend",

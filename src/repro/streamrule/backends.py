@@ -124,6 +124,14 @@ class ExecutionBackend(abc.ABC):
         Whether reported window latency is the measured wall-clock of the
         evaluation phase (real pools) rather than the modelled aggregate
         (inline evaluation).
+    ``pipelined``
+        Whether :meth:`submit` is genuinely non-blocking -- the returned
+        future makes progress while the caller does something else, so
+        dispatching several windows ahead of the gather point buys real
+        concurrency.  The session uses this to pick its default
+        ``max_inflight``: pipelined backends default to dispatch-ahead
+        ingestion, non-pipelined ones (inline evaluation, whose ``submit``
+        *is* the evaluation) stay synchronous.
     """
 
     name: str = "abstract"
@@ -132,10 +140,14 @@ class ExecutionBackend(abc.ABC):
     uses_placement: bool = False
     concurrent: bool = True
     measures_wall_clock: bool = False
+    pipelined: bool = False
 
     def __init__(self, placement: Optional[PlacementStrategy] = None):
         self.placement: PlacementStrategy = placement or PinnedPlacement()
         self._reasoner: Optional[Reasoner] = None
+        self._depth_lock = threading.Lock()
+        self._inflight_items = 0
+        self._inflight_high_water = 0
 
     # -- lifecycle ------------------------------------------------------- #
     @property
@@ -183,9 +195,42 @@ class ExecutionBackend(abc.ABC):
         self.close()
 
     # -- dispatch -------------------------------------------------------- #
-    @abc.abstractmethod
     def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
-        """Schedule ``item`` for evaluation and return its future result."""
+        """Schedule ``item`` for evaluation and return its future result.
+
+        The call itself never blocks on the *evaluation* (for pipelined
+        backends it only enqueues; for the inline backend the future is
+        already resolved) and keeps the submitted-but-unfinished count that
+        :meth:`queue_depth` reports -- observability into how far the
+        backend has fallen behind (the session's backpressure itself is
+        enforced by its own ``max_inflight`` window bound, not by this
+        counter).
+        """
+        future = self._submit(item)
+        with self._depth_lock:
+            self._inflight_items += 1
+            self._inflight_high_water = max(self._inflight_high_water, self._inflight_items)
+        future.add_done_callback(self._note_done)
+        return future
+
+    def _note_done(self, _future: "Future[ReasonerResult]") -> None:
+        with self._depth_lock:
+            self._inflight_items -= 1
+
+    def queue_depth(self) -> int:
+        """Work items submitted but not yet finished (0 while idle/closed)."""
+        with self._depth_lock:
+            return self._inflight_items
+
+    @property
+    def queue_high_water(self) -> int:
+        """Most items ever simultaneously in flight on this backend."""
+        with self._depth_lock:
+            return self._inflight_high_water
+
+    @abc.abstractmethod
+    def _submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+        """Transport hook: schedule ``item`` and return its future."""
 
     def _require_started(self) -> Reasoner:
         if self._reasoner is None:
@@ -212,7 +257,7 @@ class InlineBackend(ExecutionBackend):
         self.simulated = simulated
         self.concurrent = simulated
 
-    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+    def _submit(self, item: WorkItem) -> "Future[ReasonerResult]":
         reasoner = self._require_started()
         future: "Future[ReasonerResult]" = Future()
         try:
@@ -227,6 +272,7 @@ class ThreadPoolBackend(ExecutionBackend):
 
     name = "threads"
     measures_wall_clock = True
+    pipelined = True
 
     def __init__(self, max_workers: Optional[int] = None, placement: Optional[PlacementStrategy] = None):
         super().__init__(placement)
@@ -239,7 +285,7 @@ class ThreadPoolBackend(ExecutionBackend):
         self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="streamrule-worker")
         self._finalizer = weakref.finalize(self, _shutdown_executors, [self._pool])
 
-    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+    def _submit(self, item: WorkItem) -> "Future[ReasonerResult]":
         reasoner = self._require_started()
         assert self._pool is not None
         return self._pool.submit(reasoner.reason_item, item)
@@ -268,6 +314,7 @@ class ProcessPoolBackend(ExecutionBackend):
     is_remote = True
     uses_placement = True
     measures_wall_clock = True
+    pipelined = True
 
     def __init__(self, max_workers: Optional[int] = None, placement: Optional[PlacementStrategy] = None):
         super().__init__(placement)
@@ -299,7 +346,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._pools = pools
         self._finalizer = weakref.finalize(self, _shutdown_executors, list(pools))
 
-    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+    def _submit(self, item: WorkItem) -> "Future[ReasonerResult]":
         self._require_started()
         assert self._pools is not None
         slot = self.placement.slot(item, len(self._pools))
@@ -417,6 +464,7 @@ class LoopbackSocketBackend(ExecutionBackend):
     is_remote = True
     uses_placement = True
     measures_wall_clock = True
+    pipelined = True
 
     def __init__(self, max_workers: Optional[int] = None, placement: Optional[PlacementStrategy] = None):
         super().__init__(placement)
@@ -430,7 +478,7 @@ class LoopbackSocketBackend(ExecutionBackend):
         self._slots = [_LoopbackSlot(index, payload) for index in range(workers)]
         self._finalizer = weakref.finalize(self, _close_loopback_slots, list(self._slots))
 
-    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+    def _submit(self, item: WorkItem) -> "Future[ReasonerResult]":
         self._require_started()
         assert self._slots is not None
         slot = self._slots[self.placement.slot(item, len(self._slots))]
@@ -521,6 +569,7 @@ class TcpBackend(ExecutionBackend):
     is_remote = True
     uses_placement = True
     measures_wall_clock = True
+    pipelined = True
 
     def __init__(
         self,
@@ -598,11 +647,17 @@ class TcpBackend(ExecutionBackend):
                 # remaining endpoints monitored.
                 continue
 
-    def submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+    def _submit(self, item: WorkItem) -> "Future[ReasonerResult]":
         self._require_started()
         assert self._fleet is not None and self._dispatchers is not None
         slot = self.placement.slot(item, self._fleet.slot_count)
         return self._dispatchers[slot].submit(self._fleet.roundtrip, slot, item)
+
+    def pending_items(self) -> Dict[str, int]:
+        """Wire-level queue depth per endpoint (see :meth:`WorkerFleet.pending_items`)."""
+        if self._fleet is None:
+            return {}
+        return self._fleet.pending_items()
 
     def wire_statistics(self) -> Dict[str, float]:
         """Fleet traffic counters: frames, payload bytes, reroutes, liveness.

@@ -206,6 +206,15 @@ class WorkerFleet:
         endpoint (plus one bounded reconnect attempt at each), so a
         cascading outage terminates in a :class:`BackendConnectionError`
         instead of spinning.
+
+        This covers *pending* dispatches too: connections are pipelined, so
+        when a worker dies with several frames outstanding, every waiting
+        roundtrip (not only the one whose receive hit the error) gets a
+        :class:`BackendConnectionError` from the client's ticket queue and
+        re-enters this loop -- each in-flight item is resubmitted on the
+        slot's rerouted owner, in its dispatcher's original order, so a
+        mid-burst crash loses no window and duplicates none (the dead
+        connection never delivered their results).
         """
         if not 0 <= slot < self.slot_count:
             raise ValueError(f"slot {slot} out of range for a {self.slot_count}-slot fleet")
@@ -259,6 +268,21 @@ class WorkerFleet:
         """Current slot -> endpoint routing (diagnostic snapshot)."""
         with self._lock:
             return {slot: str(self.endpoints[owner]) for slot, owner in enumerate(self._slot_owner)}
+
+    def pending_items(self) -> Dict[str, int]:
+        """Frames in flight per endpoint (sent, response not yet received).
+
+        The wire-level queue-depth introspection behind the backend's
+        backpressure accounting: on a pipelined connection several work
+        frames may be outstanding at once, and this snapshot shows how far
+        each worker has fallen behind its coordinator-side dispatchers.
+        """
+        with self._lock:
+            clients = list(zip(self.endpoints, self._clients))
+        return {
+            str(endpoint): (client.pending_count if client is not None else 0)
+            for endpoint, client in clients
+        }
 
     def wire_statistics(self) -> WireStats:
         """Aggregate :class:`WireStats` over all connections, live and retired."""

@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["LatencyBreakdown", "ReasonerMetrics", "Timer"]
+__all__ = ["IngestionStats", "LatencyBreakdown", "ReasonerMetrics", "Timer"]
 
 
 class Timer:
@@ -69,6 +69,49 @@ class LatencyBreakdown:
 
 
 @dataclass
+class IngestionStats:
+    """Producer-side record of pipelined ingestion (one per session).
+
+    Under pipelined ingestion (``StreamSession(max_inflight > 1)``) a window
+    is *dispatched* when its partitions are submitted to the backend and
+    *gathered* when its futures are collected and combined.  The counters
+    here describe how far the two phases actually drifted apart:
+
+    ``inflight_high_water``
+        Most windows ever simultaneously dispatched-but-not-gathered.  Equals
+        1 for a synchronous session.
+    ``dispatched_ahead``
+        Dispatches that happened while at least one earlier window was still
+        in flight -- the windows that actually ran ahead of the gather point.
+    ``backpressure_stalls``
+        Times the producer had to wait for the oldest in-flight window
+        because the ``max_inflight`` bound was reached *and* that window was
+        not yet finished -- i.e. the backend genuinely fell behind the
+        producer (a full queue whose head is already done gathers without
+        waiting and is not a stall).
+    ``backpressure_wait_seconds``
+        Wall-clock the producer spent inside those stalls.
+    """
+
+    windows_dispatched: int = 0
+    windows_gathered: int = 0
+    inflight_high_water: int = 0
+    dispatched_ahead: int = 0
+    backpressure_stalls: int = 0
+    backpressure_wait_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "windows_dispatched": float(self.windows_dispatched),
+            "windows_gathered": float(self.windows_gathered),
+            "inflight_high_water": float(self.inflight_high_water),
+            "dispatched_ahead": float(self.dispatched_ahead),
+            "backpressure_stalls": float(self.backpressure_stalls),
+            "backpressure_wait_seconds": self.backpressure_wait_seconds,
+        }
+
+
+@dataclass
 class ReasonerMetrics:
     """One window's evaluation record.
 
@@ -83,7 +126,14 @@ class ReasonerMetrics:
     ``repair_rules_changed``), or a full (re)grounding (``cache_misses``).  ``evaluation_wall_seconds`` is the measured wall-clock of the
     partition-evaluation phase and ``worker_wall_seconds`` the in-worker
     wall-clock of each *evaluated* partition, populated by the parallel
-    reasoner.  Note the alignment: ``worker_wall_seconds`` parallels
+    reasoner.  Under pipelined ingestion (``StreamSession(max_inflight>1)``,
+    the default on pipelined backends) ``evaluation_wall_seconds`` -- and
+    with it ``latency_seconds`` on wall-clock-measuring backends -- is the
+    window's *dispatch-to-gather* span, which includes the time it sat in
+    flight behind its predecessors; compare per-window latencies across
+    configurations only at equal ``max_inflight`` (use ``max_inflight=1``
+    or ``evaluate_window`` for queue-free numbers; ``worker_wall_seconds``
+    is always pure in-worker time).  Note the alignment: ``worker_wall_seconds`` parallels
     ``ParallelResult.partition_results`` (empty partitions are filtered out
     before evaluation), whereas ``partition_sizes`` records the
     partitioner's full layout including empty partitions -- do not zip the

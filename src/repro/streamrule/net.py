@@ -33,6 +33,17 @@ is active only when *both* peers named it in the handshake, so a new
 coordinator talking to an old worker silently degrades (e.g. to full-fact
 shipping) instead of breaking.
 
+Pipelined frames
+----------------
+The connection is *not* strict request/response: a coordinator may have
+several ``WORK``/``DELTA`` (and ``PING``) frames outstanding at once.  The
+server always answers strictly in request order, which is what lets the
+client match responses to callers with a plain FIFO ticket queue
+(:class:`WorkerClient`) and lets the worker read and decode ahead of its
+evaluation loop (``read_ahead`` in :func:`serve_worker_connection`).  Any
+transport error still kills the whole connection -- in-flight frames are
+failed at the client and resubmitted elsewhere by the fleet.
+
 Delta shipping
 --------------
 On a sliding window, consecutive work items of one track share most of
@@ -64,12 +75,14 @@ from __future__ import annotations
 
 import enum
 import pickle
+import queue
 import socket
 import struct
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from repro.streamrule.errors import (
     BackendConnectionError,
@@ -441,16 +454,46 @@ def connect_with_backoff(
 # --------------------------------------------------------------------------- #
 # Client side: one framed connection to a worker
 # --------------------------------------------------------------------------- #
+class _Ticket:
+    """One in-flight request awaiting its FIFO-ordered response frame."""
+
+    __slots__ = ("event", "kind", "payload", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.kind: Optional[FrameKind] = None
+        self.payload: Optional[bytes] = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, kind: FrameKind, payload: bytes) -> None:
+        self.kind, self.payload = kind, payload
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        if not self.event.is_set():
+            self.error = error
+            self.event.set()
+
+
 class WorkerClient:
     """One handshaken connection to a worker daemon.
 
     Owns the socket, the negotiated capabilities, the per-track
-    :class:`DeltaShipper`, and a :class:`WireStats` record.  All request/
-    response exchanges are serialized internally, so multiple dispatcher
-    threads (and the heartbeat) may share one client.  Any transport error
-    closes the connection and raises :class:`BackendConnectionError`; a
-    closed client is never reused -- the fleet builds a fresh one (with
-    fresh, in-sync delta state) on reconnect.
+    :class:`DeltaShipper`, and a :class:`WireStats` record.  The connection
+    is *pipelined*: sends and receives are serialized separately, so several
+    dispatcher threads (and the heartbeat) may each have a frame outstanding
+    on the one socket at the same time -- the worker answers strictly in
+    request order, so responses are matched to callers by a FIFO ticket
+    queue rather than by locking the socket across the whole round trip.
+    While one caller waits out a long evaluation, the next caller's frame is
+    already in the worker's receive buffer (and, with server-side
+    read-ahead, already decoded), which is what lets a pipelined session
+    keep a remote worker saturated.  Any transport error closes the
+    connection, raises at the caller that hit it, and fails every other
+    in-flight ticket with :class:`BackendConnectionError` (their results can
+    never arrive, so the fleet reroutes and resubmits them); a closed client
+    is never reused -- the fleet builds a fresh one (with fresh, in-sync
+    delta state) on reconnect.
     """
 
     def __init__(
@@ -467,7 +510,15 @@ class WorkerClient:
     ):
         self.address = address
         self.stats = WireStats()
-        self._lock = threading.Lock()
+        #: Serializes frame *sends* (and the delta-shipper state, which must
+        #: advance in wire order).
+        self._send_lock = threading.Lock()
+        #: At most one thread reads the socket at a time; responses are
+        #: delivered to the head of the ticket queue.
+        self._recv_lock = threading.Lock()
+        #: Guards the ticket queue and the traffic counters.
+        self._state_lock = threading.Lock()
+        self._pending: Deque[_Ticket] = deque()
         self._sock: Optional[socket.socket] = connect_with_backoff(
             address,
             attempts=attempts,
@@ -540,9 +591,102 @@ class WorkerClient:
         return accepted
 
     # -- request/response ------------------------------------------------ #
+    @property
+    def pending_count(self) -> int:
+        """Frames sent whose responses have not yet arrived."""
+        with self._state_lock:
+            return len(self._pending)
+
+    def _post(self, kind: FrameKind, payload: bytes) -> _Ticket:
+        """Send one frame and enqueue its response ticket (FIFO order)."""
+        sock = self._sock
+        if sock is None:
+            raise BackendConnectionError(f"connection to worker {self.address} is closed")
+        ticket = _Ticket()
+        try:
+            send_frame(sock, kind, payload)
+        except (OSError, BrokenPipeError) as error:
+            failure = BackendConnectionError(f"connection to worker {self.address} lost: {error!r}")
+            self._abort(failure)
+            raise failure from error
+        with self._state_lock:
+            self._pending.append(ticket)
+        return ticket
+
+    def _await(self, ticket: _Ticket) -> Tuple[FrameKind, bytes]:
+        """Block until ``ticket`` resolves, receiving frames when it is our turn.
+
+        The elevator pattern: whichever waiter holds the receive lock reads
+        response frames off the socket and delivers them to the head of the
+        ticket queue (the worker answers strictly in request order) until its
+        own ticket resolves; everyone else blocks on the lock or on their
+        already-set event.
+        """
+        while not ticket.event.is_set():
+            with self._recv_lock:
+                if ticket.event.is_set():
+                    continue
+                self._receive_one()
+        if ticket.error is not None:
+            raise ticket.error
+        assert ticket.kind is not None and ticket.payload is not None
+        return ticket.kind, ticket.payload
+
+    def _receive_one(self) -> None:
+        """Receive one frame and resolve the oldest ticket (recv lock held)."""
+        sock = self._sock
+        if sock is None:
+            failure = BackendConnectionError(f"connection to worker {self.address} is closed")
+            self._abort(failure)
+            raise failure
+        try:
+            kind, payload = recv_frame(sock)
+        except ProtocolError as error:
+            # The stream is desynced mid-frame; the connection can never
+            # be trusted again (errors.py: a protocol violation closes
+            # the connection).
+            self._abort(error)
+            raise
+        except (OSError, EOFError) as error:
+            failure = BackendConnectionError(f"connection to worker {self.address} lost: {error!r}")
+            self._abort(failure)
+            raise failure from error
+        with self._state_lock:
+            self.stats.bytes_in += len(payload)
+            ticket = self._pending.popleft() if self._pending else None
+        if ticket is None:
+            failure = ProtocolError(f"unsolicited {kind.name} frame from {self.address}")
+            self._abort(failure)
+            raise failure
+        ticket.resolve(kind, payload)
+
+    def _abort(self, cause: BaseException) -> None:
+        """Close the connection and fail every in-flight ticket.
+
+        The pending results can never arrive once the stream is broken, so
+        their waiters get :class:`BackendConnectionError` -- the signal the
+        fleet answers by rerouting the slot and resubmitting the item.
+        """
+        self.close()
+        with self._state_lock:
+            pending, self._pending = list(self._pending), deque()
+        if pending:
+            failure = (
+                cause
+                if isinstance(cause, BackendConnectionError)
+                else BackendConnectionError(f"connection to worker {self.address} aborted: {cause!r}")
+            )
+            for ticket in pending:
+                ticket.fail(failure)
+
     def submit_item(self, item: WorkItem) -> ReasonerResult:
-        """Ship one work item (full or delta form) and await its result."""
-        with self._lock:
+        """Ship one work item (full or delta form) and await its result.
+
+        The send returns as soon as the frame is on the wire; the calling
+        thread then waits on the FIFO ticket queue, so concurrent callers
+        keep multiple work frames outstanding on this one connection.
+        """
+        with self._send_lock:
             sock = self._sock
             if sock is None:
                 raise BackendConnectionError(f"connection to worker {self.address} is closed")
@@ -550,58 +694,50 @@ class WorkerClient:
                 kind, payload = self._shipper.encode(item)
             else:
                 kind, payload = FrameKind.WORK, _dumps(item.thinned())
-            try:
-                send_frame(sock, kind, payload)
-                response_kind, response = recv_frame(sock)
-            except ProtocolError:
-                # The stream is desynced mid-frame; the connection can never
-                # be trusted again (errors.py: a protocol violation closes
-                # the connection).
-                self.close()
-                raise
-            except (OSError, EOFError) as error:
-                self.close()
-                raise BackendConnectionError(f"connection to worker {self.address} lost: {error!r}") from error
-            if kind is FrameKind.DELTA:
-                self.stats.items_delta += 1
-                self.stats.bytes_delta += len(payload)
-            else:
-                self.stats.items_full += 1
-                self.stats.bytes_full += len(payload)
-            self.stats.bytes_in += len(response)
+            ticket = self._post(kind, payload)
+            with self._state_lock:
+                if kind is FrameKind.DELTA:
+                    self.stats.items_delta += 1
+                    self.stats.bytes_delta += len(payload)
+                else:
+                    self.stats.items_full += 1
+                    self.stats.bytes_full += len(payload)
+        response_kind, response = self._await(ticket)
         if response_kind is not FrameKind.RESULT:
-            self.close()
-            raise ProtocolError(f"expected RESULT, got {response_kind.name}")
+            failure = ProtocolError(f"expected RESULT, got {response_kind.name}")
+            self._abort(failure)
+            raise failure
         try:
             value = pickle.loads(response)
         except Exception as error:
-            self.close()
-            raise ProtocolError(f"undecodable RESULT payload from {self.address}: {error!r}") from error
+            failure = ProtocolError(f"undecodable RESULT payload from {self.address}: {error!r}")
+            self._abort(failure)
+            raise failure from error
         if isinstance(value, RemoteFailure):
             raise value.rebuild()
         return value
 
     def ping(self) -> float:
-        """Heartbeat round trip; returns the latency in seconds."""
-        with self._lock:
-            sock = self._sock
-            if sock is None:
+        """Heartbeat round trip; returns the latency in seconds.
+
+        On a pipelined connection the PONG queues behind the responses of
+        the frames sent before it, so the reported latency includes any
+        evaluation already in flight -- a heartbeat measures worker
+        *liveness*, not idle round-trip time.
+        """
+        started = time.perf_counter()
+        with self._send_lock:
+            if self._sock is None:
                 raise BackendConnectionError(f"connection to worker {self.address} is closed")
-            started = time.perf_counter()
-            try:
-                send_frame(sock, FrameKind.PING)
-                kind, _ = recv_frame(sock)
-            except ProtocolError:
-                self.close()
-                raise
-            except (OSError, EOFError) as error:
-                self.close()
-                raise BackendConnectionError(f"connection to worker {self.address} lost: {error!r}") from error
-            if kind is not FrameKind.PONG:
-                self.close()
-                raise ProtocolError(f"expected PONG, got {kind.name}")
+            ticket = self._post(FrameKind.PING, b"")
+        kind, _ = self._await(ticket)
+        if kind is not FrameKind.PONG:
+            failure = ProtocolError(f"expected PONG, got {kind.name}")
+            self._abort(failure)
+            raise failure
+        with self._state_lock:
             self.stats.pings += 1
-            return time.perf_counter() - started
+        return time.perf_counter() - started
 
     def try_ping(self) -> bool:
         """Non-throwing heartbeat; ``False`` (and closed) on a dead peer."""
@@ -632,6 +768,7 @@ def serve_worker_connection(
     capabilities: Optional[Dict[str, bool]] = None,
     protocol_version: int = PROTOCOL_VERSION,
     reasoner_factory: Callable[[bytes], Reasoner] = pickle.loads,
+    read_ahead: int = 8,
 ) -> ServedConnection:
     """Serve one coordinator connection until it closes.
 
@@ -642,6 +779,16 @@ def serve_worker_connection(
     errors end the loop.  Used by the daemon in
     :mod:`repro.streamrule.worker` (one call per accepted connection) and
     by in-process servers in the tests.
+
+    ``read_ahead`` is the server half of connection pipelining: a reader
+    thread receives and decodes up to that many frames ahead of the
+    evaluation loop, so a pipelining coordinator's next window is already
+    unpickled when the current evaluation finishes, and responses still go
+    out strictly in request order (the invariant the client's FIFO ticket
+    queue relies on).  The bound matters: once the queue is full the reader
+    stops reading, the kernel's receive window fills, and the coordinator's
+    sends block -- which is exactly how worker-side overload propagates back
+    through the session's ``max_inflight`` bound to stall the producer.
     """
     record = ServedConnection()
     supported = dict(DEFAULT_CAPABILITIES) if capabilities is None else dict(capabilities)
@@ -679,46 +826,83 @@ def serve_worker_connection(
         send_frame(connection, FrameKind.READY)
 
         decoder = DeltaDecoder()
-        while True:
-            try:
-                kind, payload = recv_frame(connection)
-            except (EOFError, OSError):
-                return record
-            if kind is FrameKind.PING:
-                record.pings += 1
-                send_frame(connection, FrameKind.PONG)
-                continue
-            if kind not in (FrameKind.WORK, FrameKind.DELTA):
-                return record  # protocol violation: drop the connection
-            try:
-                item = decoder.decode(kind, payload)
-            except BaseException as error:  # noqa: BLE001 - reported, then the connection dies
-                # A frame that cannot be decoded leaves the decoder's
-                # per-track state behind the shipper's; the connection must
-                # die so both sides restart from empty, in-sync state
-                # (the module invariant).  Best-effort error report first.
+        frames: "queue.Queue[Tuple[Optional[FrameKind], Any]]" = queue.Queue(maxsize=max(1, read_ahead))
+        done = threading.Event()
+
+        def _offer(entry: Tuple[Optional[FrameKind], Any]) -> bool:
+            # Never block forever on a full queue: if the evaluation loop is
+            # gone (done set), drop the entry and let the reader exit.
+            while not done.is_set():
                 try:
-                    send_frame(connection, FrameKind.RESULT, _dumps(RemoteFailure(
-                        ProtocolError(f"undecodable {kind.name} frame: {error!r}")
-                    )))
-                except (OSError, TypeError, ValueError, pickle.PicklingError):
-                    pass
-                return record
-            response: object
-            try:
-                response = reasoner.reason_item(item)
-            except BaseException as error:  # noqa: BLE001 - shipped back to the caller
-                response = RemoteFailure(error)
-            try:
-                response_payload = _dumps(response)
-            except Exception as error:  # noqa: BLE001 - pickling raises Type/Attribute errors too
-                response_payload = _dumps(
-                    RemoteFailure(BackendError(f"unpicklable worker response ({error!r}): {response!r}"))
-                )
-            record.items += 1
-            if kind is FrameKind.DELTA:
-                record.deltas += 1
-            send_frame(connection, FrameKind.RESULT, response_payload)
+                    frames.put(entry, timeout=0.1)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def _read_ahead() -> None:
+            # Receive and decode ahead of the evaluation loop.  Decoding
+            # happens here, in receive order, so the delta decoder's
+            # per-track state advances exactly as the shipper's did.
+            while True:
+                try:
+                    kind, payload = recv_frame(connection)
+                except (EOFError, OSError, ProtocolError):
+                    _offer((None, None))
+                    return
+                if kind is FrameKind.PING:
+                    if not _offer((kind, None)):
+                        return
+                    continue
+                if kind not in (FrameKind.WORK, FrameKind.DELTA):
+                    _offer((None, None))  # protocol violation: drop the connection
+                    return
+                try:
+                    item = decoder.decode(kind, payload)
+                except BaseException as error:  # noqa: BLE001 - reported, then the connection dies
+                    # A frame that cannot be decoded leaves the decoder's
+                    # per-track state behind the shipper's; the connection
+                    # must die so both sides restart from empty, in-sync
+                    # state (the module invariant).
+                    _offer((None, ProtocolError(f"undecodable {kind.name} frame: {error!r}")))
+                    return
+                if not _offer((kind, item)):
+                    return
+
+        reader = threading.Thread(target=_read_ahead, name="streamrule-conn-reader", daemon=True)
+        reader.start()
+        try:
+            while True:
+                kind, item = frames.get()
+                if kind is None:
+                    if item is not None:
+                        # Decode failure: best-effort error report first.
+                        try:
+                            send_frame(connection, FrameKind.RESULT, _dumps(RemoteFailure(item)))
+                        except (OSError, TypeError, ValueError, pickle.PicklingError):
+                            pass
+                    return record
+                if kind is FrameKind.PING:
+                    record.pings += 1
+                    send_frame(connection, FrameKind.PONG)
+                    continue
+                response: object
+                try:
+                    response = reasoner.reason_item(item)
+                except BaseException as error:  # noqa: BLE001 - shipped back to the caller
+                    response = RemoteFailure(error)
+                try:
+                    response_payload = _dumps(response)
+                except Exception as error:  # noqa: BLE001 - pickling raises Type/Attribute errors too
+                    response_payload = _dumps(
+                        RemoteFailure(BackendError(f"unpicklable worker response ({error!r}): {response!r}"))
+                    )
+                record.items += 1
+                if kind is FrameKind.DELTA:
+                    record.deltas += 1
+                send_frame(connection, FrameKind.RESULT, response_payload)
+        finally:
+            done.set()
     except (EOFError, OSError):
         return record
     finally:

@@ -88,6 +88,9 @@ class StreamRulePipeline:
                     window=self.window,
                     query_processor=self.query_processor,
                     format_processor=self.format_processor,
+                    # Shared backend, shared pipelining: the shim streams
+                    # with the same in-flight bound the inner session would.
+                    max_inflight=inner.max_inflight,
                 )
             else:
                 self._session = StreamSession(

@@ -44,15 +44,44 @@ Windowing semantics of ``push``
   inherent: count windows close on arrival order alone, time windows close
   only once the timestamps say so.
 
+Pipelined ingestion
+-------------------
+On a backend whose futures make progress concurrently (``backend.pipelined``:
+thread pool, process pool, loopback, TCP fleet), :meth:`push` does not wait
+for a completed window's answers: the window's partitions are *dispatched*
+to the backend and push returns immediately, so the producer keeps feeding
+while workers reason.  A bounded in-flight queue (``max_inflight``) applies
+backpressure -- once that many windows are dispatched but not yet gathered,
+the next dispatch first blocks on the oldest window, so an overwhelmed
+backend slows the producer down instead of buffering without bound.
+:meth:`results` and :meth:`finish` gather the in-flight futures in dispatch
+order, which re-serializes emission: solutions always come out in window
+order, whatever order the backend finished them in.  ``max_inflight=1``
+reproduces the synchronous behaviour exactly (each window is gathered
+before ``push`` returns), and is the automatic choice on non-pipelined
+backends (inline evaluation).  Per-track FIFO ordering -- the precondition
+for delta grounding and delta shipping -- is preserved by the backends'
+pinned slot dispatchers, so pipelining never reorders the windows one
+worker sees.  Note the error-timing consequence: an evaluation error in a
+dispatched window surfaces at its *gather* point (a later ``push`` under
+backpressure, ``results``, ``finish``, or ``close``), not at the ``push``
+that dispatched it.  The :attr:`ingestion` record
+(:class:`~repro.streamrule.metrics.IngestionStats`) reports the in-flight
+high-water mark, how many windows ran ahead, and how often backpressure
+actually stalled the producer.
+
 If a remote backend loses a worker connection mid-window
 (:class:`~repro.streamrule.backends.BackendConnectionError`), the session
 falls back to evaluating the affected partitions inline against its own
 reasoner -- the stream keeps flowing on a degraded transport; the
-:attr:`fallbacks` counter records how often that happened.
+:attr:`fallbacks` counter records how often that happened.  Under pipelined
+ingestion the same fallback applies to a *late* connection loss: a future
+that fails after dispatch is re-evaluated inline at gather time.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -67,16 +96,23 @@ from repro.streaming.processor import StreamQueryProcessor
 from repro.streaming.triples import Triple
 from repro.streaming.window import CountWindow, CountWindowStepper, TimeWindow, TimeWindowStepper, WindowDelta
 from repro.streamrule.backends import BackendConnectionError, ExecutionBackend, InlineBackend
-from repro.streamrule.metrics import LatencyBreakdown, ReasonerMetrics, Timer
+from repro.streamrule.metrics import IngestionStats, LatencyBreakdown, ReasonerMetrics, Timer
 from repro.streamrule.placement import PlacementStrategy
 from repro.streamrule.reasoner import Reasoner, ReasonerResult
 from repro.streamrule.work import WorkItem
 
-__all__ = ["ParallelResult", "StreamSession", "WindowSolution"]
+__all__ = ["DEFAULT_MAX_INFLIGHT", "ParallelResult", "PendingWindow", "StreamSession", "WindowSolution"]
 
 AnswerSet = frozenset
 StreamItem = Union[Triple, Atom]
 WindowPolicy = Union[CountWindow, TimeWindow]
+
+#: Default in-flight bound of pipelined ingestion: how many windows may be
+#: dispatched but not yet gathered before ``push`` blocks on the oldest one.
+#: Small enough that an overwhelmed backend stalls the producer within a few
+#: windows, large enough to keep every worker slot of a typical fleet busy
+#: while the producer windows the next batch.
+DEFAULT_MAX_INFLIGHT = 4
 
 
 @dataclass(frozen=True)
@@ -103,6 +139,30 @@ class WindowSolution:
     metrics: ReasonerMetrics
 
 
+@dataclass
+class PendingWindow:
+    """One window dispatched to the backend but not yet gathered.
+
+    The session's unit of pipelining bookkeeping: everything the gather side
+    needs to finish the evaluation -- the submitted futures (``None`` where
+    the backend refused the item at submit time and the inline fallback will
+    evaluate it), the already-measured partitioning cost, and the window's
+    stream coordinates for the eventual :class:`WindowSolution`.
+    """
+
+    index: int
+    epoch: int
+    window: List[StreamItem]
+    partition_sizes: List[int]
+    submissions: List[Tuple[WorkItem, Optional["Future[ReasonerResult]"]]]
+    partitioning_seconds: float
+    dispatched_at: float
+
+    def done(self) -> bool:
+        """Whether every dispatched partition has finished (or was refused)."""
+        return all(future is None or future.done() for _, future in self.submissions)
+
+
 class StreamSession:
     """Facade over windowing, partitioning, backend dispatch, and combining."""
 
@@ -123,6 +183,7 @@ class StreamSession:
         format_processor: Optional[DataFormatProcessor] = None,
         inline_fallback: bool = True,
         eager_time_windows: bool = False,
+        max_inflight: Optional[int] = None,
     ):
         """Create a session for ``program``.
 
@@ -137,7 +198,13 @@ class StreamSession:
         whether a lost worker connection degrades to local evaluation (the
         default) or propagates; ``eager_time_windows`` opts :meth:`push`
         into streaming time-window evaluation (see the module docstring
-        for the exactness trade-off).
+        for the exactness trade-off); ``max_inflight`` bounds how many
+        windows :meth:`push` may dispatch ahead of the gather point
+        (pipelined ingestion, see the module docstring) -- the default
+        (``None``) resolves to :data:`DEFAULT_MAX_INFLIGHT` on pipelined
+        backends and to 1 (fully synchronous) on inline evaluation, and
+        ``max_inflight=1`` always reproduces the synchronous behaviour
+        exactly.
         """
         if isinstance(program, Reasoner):
             if input_predicates is not None or output_predicates is not None:
@@ -170,51 +237,79 @@ class StreamSession:
         self.max_combinations = max_combinations
         self.inline_fallback = inline_fallback
         self.eager_time_windows = eager_time_windows
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.max_inflight = max_inflight
         #: How many partition evaluations fell back inline after a backend
         #: connection loss.
         self.fallbacks = 0
+        #: Producer-side pipelining record (dispatch-ahead, backpressure).
+        self.ingestion = IngestionStats()
         self._buffer: List[StreamItem] = []  # time-window (and windowless) staging
         self._stepper: Optional[CountWindowStepper] = None  # count-window incremental driver
         self._time_stepper: Optional[TimeWindowStepper] = None  # eager time-window driver
         self._push_index = 0  # next window index of the pushed stream
         self._epoch = 0  # monotonic evaluation counter (cache bookkeeping)
         self._ready: Deque[WindowSolution] = deque()
+        self._inflight: Deque[PendingWindow] = deque()  # dispatched, not yet gathered
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
-    def close(self) -> None:
-        """Release the backend's execution resources (pools, sockets)."""
-        self.backend.close()
+    def close(self, drain: bool = True) -> None:
+        """Release the backend's execution resources (pools, sockets).
+
+        With ``drain=True`` (the default), windows still in flight are
+        gathered into the results queue first, so solutions dispatched by
+        :meth:`push` survive the close and remain drainable through
+        :meth:`results`.  Pass ``drain=False`` to abandon them instead --
+        the exception-unwind path, where blocking on (or raising from)
+        half-finished futures would mask the error already propagating.
+        """
+        try:
+            if drain:
+                self._drain_inflight()
+        finally:
+            self.backend.close()
 
     def __enter__(self) -> "StreamSession":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.close()
+        # On a clean exit, flush the pipeline; when an exception is already
+        # propagating, abandon the in-flight windows -- a deferred
+        # evaluation error (or a slow backend) during cleanup must never
+        # replace or delay the error the caller needs to see.
+        self.close(drain=exc_info[0] is None)
 
     # ------------------------------------------------------------------ #
     # Facade: push / results / finish
     # ------------------------------------------------------------------ #
     def push(self, items: Union[StreamItem, Iterable[StreamItem]]) -> int:
-        """Feed stream items; evaluate every window that completes.
+        """Feed stream items; dispatch every window that completes.
 
-        Returns the number of windows evaluated by this call.  Completed
-        solutions queue up for :meth:`results`.  Count windows dispatch
-        incrementally as they fill (O(1) bookkeeping per buffered item).
-        Time windows are staged until :meth:`finish` by default (their
-        layout depends on timestamps still to come); with
-        ``eager_time_windows=True`` they dispatch as soon as an arriving
-        timestamp proves them complete, at the price of the late-arrival
-        gate described in the module docstring.  ``window_index`` on the
-        produced solutions is the window's position in the pushed stream,
-        exactly as :meth:`process` reports it.
+        Returns the number of windows dispatched by this call.  On a
+        pipelined backend the call does not wait for the answers: windows
+        are dispatched up to the ``max_inflight`` bound (backpressure blocks
+        on the oldest once it is reached) and their solutions are gathered
+        -- in window order -- by :meth:`results`, :meth:`finish`, or a later
+        push's backpressure; with ``max_inflight=1`` (the automatic choice
+        on inline evaluation) each window is gathered before push returns,
+        the classic synchronous loop.  Count windows dispatch incrementally
+        as they fill (O(1) bookkeeping per buffered item).  Time windows are
+        staged until :meth:`finish` by default (their layout depends on
+        timestamps still to come); with ``eager_time_windows=True`` they
+        dispatch as soon as an arriving timestamp proves them complete, at
+        the price of the late-arrival gate described in the module
+        docstring.  ``window_index`` on the produced solutions is the
+        window's position in the pushed stream, exactly as :meth:`process`
+        reports it.
         """
         batch = self._as_items(items)
         if self.window is None:
             index = self._push_index
             self._push_index += 1
-            self._ready.append(self._solve_window(index, batch, delta=None))
+            self._enqueue_window(index, batch, delta=None)
             return 1
         if isinstance(self.window, TimeWindow):
             if not self.eager_time_windows:
@@ -224,7 +319,7 @@ class StreamSession:
             count = 0
             for item in batch:
                 for delta in stepper.feed(item):
-                    self._ready.append(self._solve_window(delta.index, list(delta.window), delta))
+                    self._enqueue_window(delta.index, list(delta.window), delta)
                     count += 1
             return count
         stepper = self._count_stepper()
@@ -232,17 +327,25 @@ class StreamSession:
         for item in batch:
             delta = stepper.feed(item)
             if delta is not None:
-                self._ready.append(self._solve_window(delta.index, list(delta.window), delta))
+                self._enqueue_window(delta.index, list(delta.window), delta)
                 count += 1
         return count
 
     def finish(self) -> int:
         """Evaluate everything still staged (partial tails, time windows).
 
-        Returns the number of windows evaluated.  The session remains
+        Returns the number of windows dispatched by this call, and gathers
+        *all* in-flight windows into the results queue -- after ``finish``,
+        :meth:`results` drains without blocking.  The session remains
         usable; further pushes start a fresh stream (window indexes restart
         at 0).
         """
+        count = self._finish_dispatch()
+        self._drain_inflight()
+        return count
+
+    def _finish_dispatch(self) -> int:
+        """Dispatch the staged tail windows; returns how many there were."""
         if self.window is None:
             self._push_index = 0
             return 0
@@ -251,27 +354,110 @@ class StreamSession:
             if self.eager_time_windows:
                 stepper = self._eager_time_stepper()
                 for delta in stepper.flush():
-                    self._ready.append(self._solve_window(delta.index, list(delta.window), delta))
+                    self._enqueue_window(delta.index, list(delta.window), delta)
                     count += 1
                 self._time_stepper = None  # next push starts a fresh stream
                 return count
             for delta in self.window.deltas(self._buffer):
-                self._ready.append(self._solve_window(delta.index, list(delta.window), delta))
+                self._enqueue_window(delta.index, list(delta.window), delta)
                 count += 1
             self._buffer = []
             return count
         stepper = self._count_stepper()
         tail = stepper.flush()
         if tail is not None:
-            self._ready.append(self._solve_window(tail.index, list(tail.window), tail))
+            self._enqueue_window(tail.index, list(tail.window), tail)
             count = 1
         self._stepper = None  # next push starts a fresh stream
         return count
 
-    def results(self) -> Iterator[WindowSolution]:
-        """Drain the completed window solutions, oldest first."""
-        while self._ready:
-            yield self._ready.popleft()
+    def results(self, wait: bool = True) -> Iterator[WindowSolution]:
+        """Stream the window solutions in window order, oldest first.
+
+        Already-gathered solutions yield immediately; windows still in
+        flight are gathered as the iterator reaches them, so iterating
+        ``results()`` concurrently with the backend's evaluation
+        re-serializes the emission order without a barrier.
+
+        ``wait`` decides what happens when the iterator reaches a window
+        whose evaluation has not finished.  ``True`` (the default) blocks on
+        its futures -- exhausting the iterator is a full drain, exactly the
+        pre-pipelining contract.  ``False`` stops there instead: only
+        finished windows are yielded, the producer is never blocked, and the
+        window is picked up by a later drain.  Use ``wait=False`` inside a
+        push loop to keep dispatch running ahead (a full drain between
+        pushes would re-serialize the whole pipeline); ``finish()`` remains
+        the barrier that guarantees everything is gathered.
+
+        One degraded-transport caveat: a window whose items were *refused
+        at submit time* (empty fleet) counts as finished -- its work never
+        reached the backend, so even the ``wait=False`` drain evaluates it
+        inline here.  With no backend left there is no asynchrony to
+        preserve; the alternative (blocking ``push`` instead) would only
+        move the same work earlier.
+        """
+        while self._ready or self._inflight:
+            if self._ready:
+                yield self._ready.popleft()
+                continue
+            if not wait and not self._inflight[0].done():
+                return
+            self._gather_oldest()
+
+    # ------------------------------------------------------------------ #
+    # Pipelined dispatch bookkeeping
+    # ------------------------------------------------------------------ #
+    def effective_max_inflight(self) -> int:
+        """The resolved in-flight bound: the explicit ``max_inflight``, else
+        :data:`DEFAULT_MAX_INFLIGHT` on a pipelined backend and 1 otherwise."""
+        if self.max_inflight is not None:
+            return self.max_inflight
+        return DEFAULT_MAX_INFLIGHT if self.backend.pipelined else 1
+
+    def _dispatch_into(
+        self,
+        inflight: "Deque[PendingWindow]",
+        index: int,
+        items: List[StreamItem],
+        delta: Optional[WindowDelta],
+    ) -> None:
+        """Dispatch one window into an in-flight queue, keeping the stats."""
+        if inflight:
+            self.ingestion.dispatched_ahead += 1
+        inflight.append(self._dispatch_window(index, items, delta))
+        self.ingestion.inflight_high_water = max(self.ingestion.inflight_high_water, len(inflight))
+
+    def _enqueue_window(self, index: int, items: List[StreamItem], delta: Optional[WindowDelta]) -> None:
+        """Dispatch one completed window, applying the in-flight bound.
+
+        The window joins the in-flight queue; once the queue holds
+        ``max_inflight`` windows the oldest is gathered before control
+        returns -- with ``max_inflight=1`` that degenerates to the
+        synchronous dispatch-then-gather loop.
+        """
+        self._dispatch_into(self._inflight, index, items, delta)
+        limit = self.effective_max_inflight()
+        while len(self._inflight) >= limit:
+            self._gather_oldest(backpressure=True)
+
+    def _gather_oldest(self, backpressure: bool = False) -> None:
+        """Gather the oldest in-flight window into the results queue."""
+        pending = self._inflight.popleft()
+        if backpressure and not pending.done():
+            # The bound was hit while the head window was still being
+            # evaluated: the backend genuinely fell behind the producer.
+            self.ingestion.backpressure_stalls += 1
+            with Timer() as stall:
+                solution = self._gather_solution(pending)
+            self.ingestion.backpressure_wait_seconds += stall.seconds
+        else:
+            solution = self._gather_solution(pending)
+        self._ready.append(solution)
+
+    def _drain_inflight(self) -> None:
+        """Gather every in-flight window into the results queue."""
+        while self._inflight:
+            self._gather_oldest()
 
     @staticmethod
     def _as_items(items: Union[StreamItem, Iterable[StreamItem]]) -> List[StreamItem]:
@@ -299,32 +485,62 @@ class StreamSession:
 
         This is the one-shot form of the facade (and the engine of the
         deprecated ``StreamRulePipeline.process_stream`` shim): it bypasses
-        the push buffer, so do not interleave it with :meth:`push`.
+        the push buffer, so do not interleave it with :meth:`push`.  It
+        pipelines exactly like :meth:`push` -- up to ``max_inflight``
+        windows are dispatched ahead of the one being yielded, so on a
+        concurrent backend the next windows evaluate while the caller
+        consumes the current solution.
         """
         if self.window is None:
             yield self._solve_window(0, list(items), delta=None)
             return
+        limit = self.effective_max_inflight()
+        # A local queue, not self._inflight: the caller owns the solutions
+        # here (they are yielded, never staged in _ready), and an abandoned
+        # generator must not leave windows behind for push's bookkeeping.
+        # Stall accounting stays push-specific -- the consumer of this
+        # iterator is the one pacing it.
+        inflight: Deque[PendingWindow] = deque()
         for delta in self.window.deltas(items):
-            yield self._solve_window(delta.index, list(delta.window), delta)
+            self._dispatch_into(inflight, delta.index, list(delta.window), delta)
+            while len(inflight) >= limit:
+                yield self._gather_solution(inflight.popleft())
+        while inflight:
+            yield self._gather_solution(inflight.popleft())
 
     def process_all(self, items: Iterable[StreamItem]) -> List[WindowSolution]:
         return list(self.process(items))
 
     # ------------------------------------------------------------------ #
-    # The engine: one window through partition -> backend -> combine
+    # The engine: one window through partition -> backend -> combine,
+    # split into a dispatch half and a gather half so ingestion can run
+    # several windows ahead of the gather point.
     # ------------------------------------------------------------------ #
     def _solve_window(
         self, index: int, window_items: List[StreamItem], delta: Optional[WindowDelta]
     ) -> WindowSolution:
+        """Dispatch and immediately gather one window (the synchronous form)."""
+        return self._gather_solution(self._dispatch_window(index, window_items, delta))
+
+    def _dispatch_window(
+        self, index: int, window_items: List[StreamItem], delta: Optional[WindowDelta]
+    ) -> PendingWindow:
+        """Filter and dispatch one stream window (the facade's dispatch half)."""
         filtered = self.query_processor.process(window_items) if self.query_processor else window_items
-        result = self.evaluate_window(filtered, delta=delta, epoch=index)
+        self.ingestion.windows_dispatched += 1
+        return self._dispatch_evaluation(filtered, delta=delta, epoch=index, index=index)
+
+    def _gather_solution(self, pending: PendingWindow) -> WindowSolution:
+        """Gather one dispatched window into its :class:`WindowSolution`."""
+        result = self._gather_evaluation(pending)
+        self.ingestion.windows_gathered += 1
         solution_atoms: List[Atom] = sorted({atom for answer in result.answers for atom in answer}, key=str)
         solution_triples = tuple(
             self.format_processor.atom_to_triple(atom) for atom in solution_atoms if atom.arity in (1, 2)
         )
         return WindowSolution(
-            window_index=index,
-            window_size=len(filtered),
+            window_index=pending.index,
+            window_size=len(pending.window),
             answers=tuple(result.answers),
             solution_triples=solution_triples,
             metrics=result.metrics,
@@ -354,6 +570,33 @@ class StreamSession:
         Non-deterministic partitioners (the random baseline) ignore the
         hint -- their layouts reshuffle every window, so there is no
         continuity to exploit.
+
+        This method is always synchronous (dispatch immediately followed by
+        gather), whatever ``max_inflight`` says -- pipelining applies to the
+        push/process facade, whose window ordering the session controls.
+        """
+        return self._gather_evaluation(self._dispatch_evaluation(window, delta=delta, epoch=epoch))
+
+    def _dispatch_evaluation(
+        self,
+        window: Sequence[StreamItem],
+        *,
+        delta: Optional[WindowDelta],
+        epoch: Optional[int],
+        index: Optional[int] = None,
+    ) -> PendingWindow:
+        """Partition one window and submit its work items (non-blocking).
+
+        Empty sub-windows are filtered out before dispatch: they contribute
+        only the program's own consequences, which every other partition
+        already derives, and for non-monotonic programs they would multiply
+        the combination product with spurious picks.  When *every*
+        sub-window is empty, one empty partition is evaluated so the
+        combined answers degenerate to the answer sets of the program itself
+        -- exactly what the unpartitioned reasoner returns for that window.
+        Each batch keeps its partition index as its *track*: the stable
+        identity under which grounding caches store per-partition delta
+        states and placement strategies pin worker slots.
         """
         window = list(window)
         if epoch is None:
@@ -373,8 +616,61 @@ class StreamSession:
         with Timer() as partitioning_timer:
             partitions = self.partitioner.partition(window)
 
-        with Timer() as evaluation_timer:
-            partition_results = self._evaluate_partitions(partitions, incremental, epoch)
+        batches = [(track, list(partition)) for track, partition in enumerate(partitions) if partition]
+        if not batches:
+            batches = [(0, [])]
+        items = [
+            WorkItem(facts=tuple(batch), track=track, epoch=epoch, incremental=incremental)
+            for track, batch in batches
+        ]
+        dispatched_at = time.perf_counter()
+        submissions: List[Tuple[WorkItem, Optional["Future[ReasonerResult]"]]] = []
+        for item in items:
+            try:
+                submissions.append((item, self.backend.submit(item)))
+            except BackendConnectionError:
+                # The backend refused the item outright (e.g. a TCP fleet
+                # with no live worker left); mark it for inline evaluation
+                # at gather time.
+                if not self.inline_fallback:
+                    raise
+                submissions.append((item, None))
+        return PendingWindow(
+            index=index if index is not None else epoch,
+            epoch=epoch,
+            window=window,
+            partition_sizes=[len(partition) for partition in partitions],
+            submissions=submissions,
+            partitioning_seconds=partitioning_timer.seconds,
+            dispatched_at=dispatched_at,
+        )
+
+    def _gather_evaluation(self, pending: PendingWindow) -> ParallelResult:
+        """Collect one dispatched window's futures and combine the answers.
+
+        A future that fails with :class:`BackendConnectionError` *after*
+        dispatch (the worker died while the window was in flight) is
+        re-evaluated inline here, exactly like a submit-time refusal --
+        the late sibling of the session's inline fallback.
+        """
+        partition_results: List[ReasonerResult] = []
+        for item, future in pending.submissions:
+            try:
+                if future is None:
+                    raise BackendConnectionError("backend rejected the item at submit time")
+                partition_results.append(future.result())
+            except BackendConnectionError:
+                if not self.inline_fallback:
+                    raise
+                # Degraded transport: evaluate this partition locally so the
+                # stream keeps flowing; the local cache state differs from
+                # the lost worker's, but answers are equivalent.
+                self.fallbacks += 1
+                partition_results.append(self.reasoner.reason_item(item))
+        # Under pipelined ingestion this includes the time the window sat in
+        # flight behind its predecessors, i.e. it is the window's dispatch-
+        # to-gather wall clock, not pure evaluation.
+        evaluation_seconds = time.perf_counter() - pending.dispatched_at
 
         with Timer() as combining_timer:
             combined = combine_answer_sets(
@@ -383,31 +679,32 @@ class StreamSession:
             )
 
         breakdown = self._latency(partition_results)
-        breakdown.partitioning_seconds += partitioning_timer.seconds
+        breakdown.partitioning_seconds += pending.partitioning_seconds
         breakdown.combining_seconds += combining_timer.seconds
 
         if self.backend.measures_wall_clock:
             # Real pools report what a stopwatch around the evaluation phase
             # actually measured.
-            latency_seconds = partitioning_timer.seconds + evaluation_timer.seconds + combining_timer.seconds
+            latency_seconds = pending.partitioning_seconds + evaluation_seconds + combining_timer.seconds
         else:
             latency_seconds = breakdown.total_seconds
 
+        window = pending.window
         metrics = ReasonerMetrics(
             window_size=len(window),
             latency_seconds=latency_seconds,
             breakdown=breakdown,
-            partition_sizes=[len(partition) for partition in partitions],
+            partition_sizes=list(pending.partition_sizes),
             answer_count=len(combined),
             duplication_ratio=(
-                (sum(len(partition) for partition in partitions) - len(window)) / len(window) if window else 0.0
+                (sum(pending.partition_sizes) - len(window)) / len(window) if window else 0.0
             ),
             cache_hits=sum(result.metrics.cache_hits for result in partition_results),
             cache_misses=sum(result.metrics.cache_misses for result in partition_results),
             delta_repairs=sum(result.metrics.delta_repairs for result in partition_results),
             repair_size=sum(result.metrics.repair_size for result in partition_results),
             repair_rules_changed=sum(result.metrics.repair_rules_changed for result in partition_results),
-            evaluation_wall_seconds=evaluation_timer.seconds,
+            evaluation_wall_seconds=evaluation_seconds,
             worker_wall_seconds=[result.metrics.latency_seconds for result in partition_results],
         )
         return ParallelResult(
@@ -415,55 +712,6 @@ class StreamSession:
             metrics=metrics,
             partition_results=tuple(partition_results),
         )
-
-    def _evaluate_partitions(
-        self, partitions: Sequence[Sequence[StreamItem]], incremental: bool, epoch: int
-    ) -> List[ReasonerResult]:
-        """Dispatch the non-empty partitions as work items and gather results.
-
-        Empty sub-windows are filtered out before evaluation: they
-        contribute only the program's own consequences, which every other
-        partition already derives, and for non-monotonic programs they would
-        multiply the combination product with spurious picks.  When *every*
-        sub-window is empty, one empty partition is evaluated so the
-        combined answers degenerate to the answer sets of the program itself
-        -- exactly what the unpartitioned reasoner returns for that window.
-        Each batch keeps its partition index as its *track*: the stable
-        identity under which grounding caches store per-partition delta
-        states and placement strategies pin worker slots.
-        """
-        batches = [(index, list(partition)) for index, partition in enumerate(partitions) if partition]
-        if not batches:
-            batches = [(0, [])]
-        items = [
-            WorkItem(facts=tuple(batch), track=track, epoch=epoch, incremental=incremental)
-            for track, batch in batches
-        ]
-        futures: List[Tuple[WorkItem, Optional["Future[ReasonerResult]"]]] = []
-        for item in items:
-            try:
-                futures.append((item, self.backend.submit(item)))
-            except BackendConnectionError:
-                # The backend refused the item outright (e.g. a TCP fleet
-                # with no live worker left); mark it for inline evaluation.
-                if not self.inline_fallback:
-                    raise
-                futures.append((item, None))
-        results: List[ReasonerResult] = []
-        for item, future in futures:
-            try:
-                if future is None:
-                    raise BackendConnectionError("backend rejected the item at submit time")
-                results.append(future.result())
-            except BackendConnectionError:
-                if not self.inline_fallback:
-                    raise
-                # Degraded transport: evaluate this partition locally so the
-                # stream keeps flowing; the local cache state differs from
-                # the lost worker's, but answers are equivalent.
-                self.fallbacks += 1
-                results.append(self.reasoner.reason_item(item))
-        return results
 
     def _latency(self, partition_results: Sequence[ReasonerResult]) -> LatencyBreakdown:
         """Aggregate the partition latencies according to the backend."""

@@ -72,8 +72,11 @@ class WorkerServer:
     ``capabilities`` restricts what the server negotiates (e.g.
     ``{"delta_shipping": False}`` forces full-fact shipping -- the knob the
     capability-negotiation tests and the benchmark's delta-vs-full sweep
-    turn), and ``protocol_version`` can be overridden to simulate a
-    mismatched deployment in tests.
+    turn), ``protocol_version`` can be overridden to simulate a mismatched
+    deployment in tests, and ``read_ahead`` bounds how many frames each
+    connection receives and decodes ahead of its evaluation loop (the
+    server half of connection pipelining -- see
+    :func:`~repro.streamrule.net.serve_worker_connection`).
     """
 
     def __init__(
@@ -83,11 +86,13 @@ class WorkerServer:
         *,
         capabilities: Optional[Dict[str, bool]] = None,
         protocol_version: Optional[int] = None,
+        read_ahead: int = 8,
     ):
         self.host = host
         self.port = port
         self.capabilities = capabilities
         self.protocol_version = protocol_version
+        self.read_ahead = read_ahead
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._connections: List[socket.socket] = []
@@ -182,6 +187,7 @@ class WorkerServer:
             record = serve_worker_connection(
                 connection,
                 capabilities=self.capabilities,
+                read_ahead=self.read_ahead,
                 **({"protocol_version": self.protocol_version} if self.protocol_version is not None else {}),
             )
             if record.rejected:
@@ -320,6 +326,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="refuse the delta_shipping capability (coordinators fall back to full fact sets)",
     )
+    parser.add_argument(
+        "--read-ahead",
+        type=int,
+        default=8,
+        metavar="N",
+        help="frames each connection receives and decodes ahead of its evaluation loop "
+        "(bounds per-connection memory; 1 disables read-ahead; default 8)",
+    )
     parser.add_argument("--verbose", "-v", action="store_true", help="log connections and handshakes to stderr")
     arguments = parser.parse_args(argv)
 
@@ -328,8 +342,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         stream=sys.stderr,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
+    if arguments.read_ahead < 1:
+        parser.error("--read-ahead must be at least 1")
     capabilities = {"delta_shipping": not arguments.no_delta}
-    server = WorkerServer(arguments.listen[0], arguments.listen[1], capabilities=capabilities)
+    server = WorkerServer(
+        arguments.listen[0],
+        arguments.listen[1],
+        capabilities=capabilities,
+        read_ahead=arguments.read_ahead,
+    )
     host, port = server.start()
     print(f"listening on {host}:{port}", flush=True)
 

@@ -47,6 +47,22 @@ class TestProtocol:
         for backend_class in (InlineBackend, ThreadPoolBackend, ProcessPoolBackend, LoopbackSocketBackend):
             assert backend_class.supports_delta is True
 
+    def test_pipelined_capability_flags(self):
+        # Inline evaluation resolves the future inside submit, so dispatching
+        # ahead buys nothing; every pool/wire transport is pipelined.
+        assert InlineBackend.pipelined is False
+        for backend_class in (ThreadPoolBackend, ProcessPoolBackend, LoopbackSocketBackend):
+            assert backend_class.pipelined is True
+
+    def test_queue_depth_counts_unfinished_submissions(self):
+        backend = InlineBackend()
+        backend.start(choice_reasoner())
+        assert backend.queue_depth() == 0
+        backend.submit(work_item()).result()
+        # Inline futures resolve during submit: depth never lingers.
+        assert backend.queue_depth() == 0
+        assert backend.queue_high_water >= 1
+
     def test_submit_before_start_raises(self):
         with pytest.raises(BackendError):
             InlineBackend().submit(work_item())

@@ -155,6 +155,39 @@ class TestPipelineShim:
         modern_answers = [{frozenset(a) for a in solution.answers} for solution in expected]
         assert legacy_answers == modern_answers
 
+    def test_process_stream_on_pipelined_session_warns_and_matches(self):
+        """The legacy shim over a *pipelined* session still warns and behaves.
+
+        A ``ParallelReasoner`` on a pipelined backend hands the shim a
+        session that dispatches windows ahead; the deprecation warning must
+        fire exactly once regardless, and the streamed solutions must match
+        the synchronous reference.
+        """
+        from repro.streamrule.backends import ThreadPoolBackend
+
+        stream = traffic_stream(120)
+        window = CountWindow(size=40)
+        parallel = ParallelReasoner(
+            traffic_reasoner(), HashPartitioner(2), backend=ThreadPoolBackend(max_workers=2)
+        )
+        parallel.session.max_inflight = 4  # explicit dispatch-ahead
+        with StreamRulePipeline(parallel, window=window) as pipeline:
+            collected = []
+            first = recorded_warnings(lambda: collected.extend(pipeline.process_stream(stream)))
+            assert len(first) == 1
+            assert "process_stream is deprecated" in str(first[0].message)
+            # The shim's session inherited the pipelined in-flight bound.
+            assert pipeline.session().max_inflight == 4
+            second = recorded_warnings(lambda: collected.extend(pipeline.process_stream(stream)))
+            assert second == []
+        with StreamSession(
+            traffic_reasoner(), window=window, partitioner=HashPartitioner(2)
+        ) as reference_session:
+            expected = list(reference_session.process(stream))
+        legacy_answers = [{frozenset(a) for a in solution.answers} for solution in collected[: len(expected)]]
+        modern_answers = [{frozenset(a) for a in solution.answers} for solution in expected]
+        assert legacy_answers == modern_answers
+
     def test_parallel_pipeline_still_works(self, plan_p):
         stream = traffic_stream(80)
         parallel = ParallelReasoner(traffic_reasoner(), DependencyPartitioner(plan_p))

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import pickle
 import socket
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -25,6 +27,8 @@ from repro.streamrule.backends import InlineBackend, TcpBackend
 from repro.streamrule.errors import BackendConnectionError, HandshakeError, ProtocolError
 from repro.streamrule.fleet import WorkerEndpoint, WorkerFleet
 from repro.streamrule.net import (
+    MAGIC,
+    PROTOCOL_VERSION,
     DeltaDecoder,
     DeltaShipper,
     FrameKind,
@@ -33,6 +37,7 @@ from repro.streamrule.net import (
     connect_with_backoff,
     diff_facts,
     overlap_length,
+    recv_exactly,
     recv_frame,
     send_frame,
 )
@@ -556,3 +561,103 @@ class TestWireStatistics:
             stats = backend.wire_statistics()
         assert stats["items_delta"] == 0
         assert stats["items_full"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Pipelined connections: multiple outstanding frames per socket
+# --------------------------------------------------------------------------- #
+class _SilentServer:
+    """Handshakes like a worker, then swallows frames without answering.
+
+    The fixture for the fail-all-pending test: it lets any number of work
+    frames pile up unanswered, then severs the connection on demand.
+    """
+
+    def __init__(self):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self.address = self._listener.getsockname()[:2]
+        self.frames_seen = 0
+        self._connection = None
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        connection, _ = self._listener.accept()
+        self._connection = connection
+        try:
+            assert recv_exactly(connection, len(MAGIC)) == MAGIC
+            recv_frame(connection)  # HELLO
+            send_frame(
+                connection,
+                FrameKind.WELCOME,
+                pickle.dumps({"protocol": PROTOCOL_VERSION, "capabilities": {}}),
+            )
+            recv_frame(connection)  # REASONER
+            send_frame(connection, FrameKind.READY)
+            while True:
+                recv_frame(connection)  # swallow work frames, answer nothing
+                self.frames_seen += 1
+        except (EOFError, OSError):
+            return
+
+    def sever(self):
+        if self._connection is not None:
+            try:
+                self._connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._connection.close()
+
+    def close(self):
+        self.sever()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5.0)
+
+
+class TestPipelinedConnection:
+    """The FIFO ticket queue: several frames in flight on one connection."""
+
+    def test_concurrent_submits_share_one_connection(self):
+        with WorkerServer() as server:
+            with WorkerClient(server.address, choice_payload()) as client:
+                items = [work_item(count=3, track=track, epoch=track) for track in range(6)]
+                with ThreadPoolExecutor(max_workers=6) as pool:
+                    results = list(pool.map(client.submit_item, items))
+        assert all(result.answers for result in results)
+        assert client.stats.items == 6
+        assert client.pending_count == 0
+
+    def test_heartbeat_interleaves_with_pipelined_work(self):
+        with WorkerServer() as server:
+            with WorkerClient(server.address, choice_payload()) as client:
+                with ThreadPoolExecutor(max_workers=4) as pool:
+                    work = [pool.submit(client.submit_item, work_item(track=track)) for track in range(3)]
+                    ping = pool.submit(client.ping)
+                    assert all(future.result().answers for future in work)
+                    assert ping.result() >= 0.0
+        assert client.stats.pings == 1
+        assert client.stats.items == 3
+
+    def test_connection_loss_fails_every_pending_ticket(self):
+        server = _SilentServer()
+        try:
+            client = WorkerClient(server.address, choice_payload(), attempts=1)
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                futures = [pool.submit(client.submit_item, work_item(track=track)) for track in range(2)]
+                deadline = time.monotonic() + 5.0
+                while client.pending_count < 2 and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert client.pending_count == 2  # both frames outstanding, none answered
+                server.sever()
+                for future in futures:
+                    with pytest.raises(BackendConnectionError):
+                        future.result(timeout=5.0)
+            assert not client.alive
+            assert client.pending_count == 0
+        finally:
+            server.close()

@@ -151,3 +151,44 @@ class TestKillAWorker:
         finally:
             for worker in workers:
                 worker.terminate()
+
+    def test_killed_worker_with_pending_pipelined_dispatches_resubmits(self):
+        """Regression: a reroute must also resubmit *pending* dispatches.
+
+        Under pipelined ingestion a slot can have several windows in flight
+        on its worker when that worker dies -- the one whose receive hit the
+        error and the ones queued behind it.  Every one of them must be
+        resubmitted on the rerouted slot (not lost, not duplicated, and not
+        silently degraded to the inline fallback).
+        """
+        stream = traffic_stream(260)
+        window_policy = CountWindow(size=60, slide=20)
+        partitioner = HashPartitioner(3)
+        expected = scratch_answers_per_window(window_policy, stream, partitioner)
+        workers = spawn_local_workers(2)
+        try:
+            backend = TcpBackend(
+                [worker.endpoint for worker in workers], reconnect_attempts=1, base_delay=0.01
+            )
+            reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+            with StreamSession(
+                reasoner,
+                window=window_policy,
+                partitioner=partitioner,
+                backend=backend,
+                max_inflight=8,
+            ) as session:
+                # Fill the pipe: several windows dispatched, none gathered.
+                session.push(stream[: len(stream) // 2])
+                assert session.ingestion.inflight_high_water > 1
+                workers[0].kill()  # SIGKILL with the victim's slot mid-burst
+                session.push(stream[len(stream) // 2 :])
+                session.finish()
+                actual = [{frozenset(a) for a in solution.answers} for solution in session.results()]
+                assert actual == expected  # no lost/duplicated/reordered windows
+                assert session.fallbacks == 0  # resubmitted on the survivor, not inline
+                assert backend.fleet.reroutes >= 1
+                assert [str(e) for e in backend.fleet.alive_endpoints] == [workers[1].endpoint]
+        finally:
+            for worker in workers:
+                worker.terminate()
