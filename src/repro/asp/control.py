@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import, avoids a layerin
     from repro.streamrule.work import WorkItem
 
 from repro.asp.grounding.grounder import GroundProgram, Grounder, GroundingCache, RepairStats
+from repro.asp.solving.incremental import SolveStats, SolverCache
 from repro.asp.solving.solver import StableModelSolver
 from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.parser import parse_program
@@ -90,6 +91,13 @@ class Control:
     same delta path (``delta_track = work.track`` when the item wants
     incremental grounding and a cache is attached), and the item stays
     available as :attr:`work` / :attr:`epoch` for downstream bookkeeping.
+
+    ``solver_track`` (with a ``solver_cache``) does for solving what
+    ``delta_track`` does for grounding: :meth:`solve` then repairs the
+    track's persistent solver state -- cached well-founded strata plus a
+    selector-guarded completion encoding -- and re-solves under assumptions
+    instead of solving from scratch.  The track is derived from ``work`` the
+    same way as ``delta_track`` when not given explicitly.
     """
 
     def __init__(
@@ -98,6 +106,8 @@ class Control:
         grounding_cache: Optional[GroundingCache] = None,
         delta_track: Optional[int] = None,
         work: Optional["WorkItem"] = None,
+        solver_cache: Optional[SolverCache] = None,
+        solver_track: Optional[int] = None,
     ):
         self._program = program.copy() if program is not None else Program()
         self._grounding_cache = grounding_cache
@@ -110,10 +120,20 @@ class Control:
         ):
             delta_track = work.track
         self._delta_track = delta_track
+        self._solver_cache = solver_cache
+        if (
+            solver_track is None
+            and work is not None
+            and solver_cache is not None
+            and work.wants_incremental
+        ):
+            solver_track = work.track
+        self._solver_track = solver_track
         self._ground_program: Optional[GroundProgram] = None
         self._ground_from_cache: Optional[bool] = None
         self._ground_outcome: Optional[str] = None
         self._repair_stats: Optional[RepairStats] = None
+        self._solve_stats: Optional[SolveStats] = None
         self._grounding_seconds = 0.0
 
     # ------------------------------------------------------------------ #
@@ -202,6 +222,12 @@ class Control:
         grounding outcome was ``"repair"``)."""
         return self._repair_stats
 
+    @property
+    def solve_stats(self) -> Optional[SolveStats]:
+        """Record of the last incremental solve (``None`` without a
+        ``solver_cache``-backed track or before :meth:`solve`)."""
+        return self._solve_stats
+
     def solve(self, models: Optional[int] = None) -> SolveResult:
         """Ground (if needed) and enumerate up to ``models`` answer sets.
 
@@ -211,7 +237,13 @@ class Control:
         limit = None if not models else models
         ground = self.ground()
         started = time.perf_counter()
-        found = [Model(frozenset(model)) for model in StableModelSolver(ground).models(limit=limit)]
+        if self._solver_cache is not None and self._solver_track is not None:
+            model_sets, self._solve_stats = self._solver_cache.solve_incremental(
+                ground, track=self._solver_track, limit=limit
+            )
+            found = [Model(frozenset(model)) for model in model_sets]
+        else:
+            found = [Model(frozenset(model)) for model in StableModelSolver(ground).models(limit=limit)]
         solving_seconds = time.perf_counter() - started
         return SolveResult(
             models=tuple(found),

@@ -3,13 +3,25 @@
 The stable-model search only needs a propositional backend for programs that
 are not solved outright by the well-founded fast path (i.e. programs with
 cycles through negation or with disjunctive heads).  Those residual problems
-are small in this reproduction, so a clean DPLL with unit propagation,
-two-literal watching and chronological backtracking is sufficient and keeps
-the engine dependency-free.
+are small in this reproduction, so a clean DPLL with watch-driven unit
+propagation and chronological backtracking is sufficient and keeps the
+engine dependency-free.
 
 Variables are positive integers ``1..n``; a literal is ``+v`` or ``-v``.
-Clauses are lists of literals.  Model enumeration is supported by adding
-blocking clauses between calls.
+Clauses are lists of literals.  Unit propagation is driven by a two-literal
+watch index: each clause watches two of its literals (one for a unit
+clause), and an assignment only visits the clauses watching the falsified
+literal instead of re-scanning the whole clause database.  The branching
+heuristic (:meth:`_pick_branch`) still scans for an unsatisfied clause --
+watching accelerates *propagation*, not decision picking.
+
+Model enumeration is supported by adding blocking clauses between calls,
+and :meth:`solve` takes ``assumptions``: literals fixed below every
+decision, so the search never flips them and an unsatisfiable core of
+assumptions reports UNSAT without touching the clause database.  Clauses
+can be retracted again with :meth:`remove_clause` -- the incremental
+solving layer uses this to drop window-scoped blocking clauses and
+invalidated learned clauses between re-solves.
 """
 
 from __future__ import annotations
@@ -29,12 +41,19 @@ class Satisfiability(enum.Enum):
 
 
 class DPLLSolver:
-    """DPLL with watched literals, unit propagation and model enumeration."""
+    """DPLL with two-literal watches, unit propagation and model enumeration."""
 
     def __init__(self, variable_count: int = 0):
         self._variable_count = variable_count
-        self._clauses: List[List[int]] = []
+        #: Clause database; ``None`` marks a removed (retracted) clause.
+        self._clauses: List[Optional[List[int]]] = []
+        #: literal -> indices of clauses currently watching that literal.
+        #: Positions 0 and 1 of each clause hold its watched literals (a
+        #: unit clause watches its single literal once, at position 0).
         self._watches: Dict[int, List[int]] = {}
+        #: Indices of unit clauses: their literals seed every solve call.
+        self._unit_clauses: List[int] = []
+        self._alive_count = 0
         self._empty_clause = False
 
     # ------------------------------------------------------------------ #
@@ -50,39 +69,82 @@ class DPLLSolver:
 
     @property
     def clause_count(self) -> int:
-        return len(self._clauses)
+        """Number of live (non-removed) clauses."""
+        return self._alive_count
 
-    def add_clause(self, literals: Iterable[int]) -> None:
-        """Add a clause; duplicate literals are removed, tautologies skipped."""
+    @property
+    def removed_clause_count(self) -> int:
+        """Number of tombstoned slots still occupying the clause database."""
+        return len(self._clauses) - self._alive_count
+
+    def clause_literals(self, clause_index: int) -> Optional[List[int]]:
+        """Literals of a live clause (copy), or ``None`` when removed."""
+        clause = self._clauses[clause_index]
+        return None if clause is None else list(clause)
+
+    def add_clause(self, literals: Iterable[int]) -> Optional[int]:
+        """Add a clause; duplicate literals are removed, tautologies skipped.
+
+        Returns the clause's index (the handle :meth:`remove_clause`
+        accepts), or ``None`` when the clause was dropped as a tautology or
+        recorded as the empty clause.
+        """
         clause = sorted(set(literals), key=abs)
         if not clause:
             self._empty_clause = True
-            return
+            return None
         seen: Set[int] = set(clause)
         if any(-literal in seen for literal in clause):
-            return  # tautology
+            return None  # tautology
         for literal in clause:
             if abs(literal) > self._variable_count:
                 self._variable_count = abs(literal)
         clause_index = len(self._clauses)
         self._clauses.append(clause)
-        # Watch the first two literals (or the single literal twice).
+        self._alive_count += 1
+        # Watch the first two literals; a unit clause registers its single
+        # literal exactly once.
         self._watches.setdefault(clause[0], []).append(clause_index)
-        self._watches.setdefault(clause[-1 if len(clause) == 1 else 1], []).append(clause_index)
+        if len(clause) == 1:
+            self._unit_clauses.append(clause_index)
+        else:
+            self._watches.setdefault(clause[1], []).append(clause_index)
+        return clause_index
 
     def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
         for clause in clauses:
             self.add_clause(clause)
 
+    def remove_clause(self, clause_index: int) -> None:
+        """Retract a clause previously returned by :meth:`add_clause`.
+
+        The slot is tombstoned; watch lists drop the index lazily during
+        propagation.  Must not be called while a :meth:`solve` is running
+        (the solver is single-shot between calls, so this only matters for
+        re-entrant use).
+        """
+        if self._clauses[clause_index] is not None:
+            self._clauses[clause_index] = None
+            self._alive_count -= 1
+
     # ------------------------------------------------------------------ #
     # Solving
     # ------------------------------------------------------------------ #
     def solve(self, assumptions: Sequence[int] = ()) -> Tuple[Satisfiability, Optional[Dict[int, bool]]]:
-        """Search for a model; returns (status, assignment or None)."""
+        """Search for a model; returns (status, assignment or None).
+
+        ``assumptions`` are assigned before any decision and are never
+        flipped by backtracking: when the clauses are unsatisfiable under
+        them, the call returns UNSAT even if the clause set alone is
+        satisfiable.  The solver itself is unchanged by the call, so
+        repeated solves under different assumptions reuse the same clause
+        database -- the incremental re-solving workhorse.
+        """
         if self._empty_clause:
             return Satisfiability.UNSATISFIABLE, None
         assignment: Dict[int, bool] = {}
         trail: List[Tuple[int, bool]] = []  # (literal, is_decision)
+        queue: List[int] = []  # literals assigned true, pending watch visits
 
         def value(literal: int) -> Optional[bool]:
             variable_value = assignment.get(abs(literal))
@@ -98,37 +160,70 @@ class DPLLSolver:
                 return False
             assignment[abs(literal)] = literal > 0
             trail.append((literal, is_decision))
+            queue.append(literal)
             return True
 
         def propagate() -> bool:
-            """Exhaustive unit propagation over all clauses (simple but robust)."""
-            changed = True
-            while changed:
-                changed = False
-                for clause in self._clauses:
-                    unassigned: Optional[int] = None
-                    satisfied = False
-                    unassigned_count = 0
-                    for literal in clause:
-                        literal_value = value(literal)
-                        if literal_value is True:
-                            satisfied = True
-                            break
-                        if literal_value is None:
-                            unassigned_count += 1
-                            unassigned = literal
-                    if satisfied:
+            """Watch-driven unit propagation from the queued assignments."""
+            while queue:
+                falsified = -queue.pop()
+                watchers = self._watches.get(falsified)
+                if not watchers:
+                    continue
+                kept: List[int] = []
+                conflict = False
+                for clause_index in watchers:
+                    clause = self._clauses[clause_index]
+                    if clause is None:
+                        continue  # retracted clause: drop the stale entry
+                    if conflict:
+                        kept.append(clause_index)
                         continue
-                    if unassigned_count == 0:
-                        return False
-                    if unassigned_count == 1 and unassigned is not None:
-                        if not assign(unassigned, is_decision=False):
-                            return False
-                        changed = True
+                    if len(clause) == 1:
+                        # A falsified unit clause is an immediate conflict.
+                        kept.append(clause_index)
+                        conflict = True
+                        continue
+                    # Normalize: the falsified watch sits at position 1.
+                    if clause[0] == falsified:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    other = clause[0]
+                    other_value = value(other)
+                    if other_value is True:
+                        kept.append(clause_index)
+                        continue
+                    # Look for a replacement watch among the tail literals.
+                    moved = False
+                    for position in range(2, len(clause)):
+                        if value(clause[position]) is not False:
+                            clause[1], clause[position] = clause[position], clause[1]
+                            self._watches.setdefault(clause[1], []).append(clause_index)
+                            moved = True
+                            break
+                    if moved:
+                        continue
+                    # No replacement: the clause is unit on `other` (or
+                    # conflicting when `other` is already false).
+                    kept.append(clause_index)
+                    if other_value is False:
+                        conflict = True
+                        continue
+                    assign(other, is_decision=False)
+                if len(kept) != len(watchers):
+                    if kept:
+                        self._watches[falsified] = kept
+                    else:
+                        del self._watches[falsified]
+                else:
+                    self._watches[falsified] = kept
+                if conflict:
+                    queue.clear()
+                    return False
             return True
 
         def backtrack() -> Optional[int]:
             """Undo up to and including the last decision; return its literal."""
+            queue.clear()
             while trail:
                 literal, is_decision = trail.pop()
                 del assignment[abs(literal)]
@@ -136,7 +231,17 @@ class DPLLSolver:
                     return literal
             return None
 
+        # Unit clauses seed the assignment (watches only fire on changes).
+        for clause_index in self._unit_clauses:
+            clause = self._clauses[clause_index]
+            if clause is None:
+                continue
+            if not assign(clause[0], is_decision=False):
+                return Satisfiability.UNSATISFIABLE, None
+
         for literal in assumptions:
+            if abs(literal) > self._variable_count:
+                self._variable_count = abs(literal)
             if not assign(literal, is_decision=False):
                 return Satisfiability.UNSATISFIABLE, None
 
@@ -153,7 +258,9 @@ class DPLLSolver:
                 return Satisfiability.SATISFIABLE, model
             if not assign(decision, is_decision=True) or not propagate():
                 # Conflict: flip the most recent decision that has not been
-                # tried both ways.
+                # tried both ways.  Assumptions sit below every decision, so
+                # they are never flipped -- exhausting the decisions means
+                # UNSAT under the given assumptions.
                 while True:
                     flipped = backtrack()
                     if flipped is None:
@@ -167,6 +274,8 @@ class DPLLSolver:
     def _pick_branch(self, assignment: Dict[int, bool]) -> Optional[int]:
         """Pick the next unassigned variable appearing in an unsatisfied clause."""
         for clause in self._clauses:
+            if clause is None:
+                continue
             clause_satisfied = False
             candidate: Optional[int] = None
             for literal in clause:

@@ -27,7 +27,38 @@ from repro.asp.solving.unfounded import greatest_unfounded_set
 from repro.asp.solving.wellfounded import well_founded_model
 from repro.asp.syntax.atoms import Atom
 
-__all__ = ["StableModelSolver", "stable_models"]
+__all__ = [
+    "StableModelSolver",
+    "constraints_satisfied",
+    "seed_wellfounded_consequences",
+    "stable_models",
+]
+
+
+def seed_wellfounded_consequences(encoding, wf_model) -> None:
+    """Add the well-founded consequences to a completion encoding as units.
+
+    Both polarities are guarded by encoding membership: an atom may be
+    well-founded while absent from the completion's variable table (e.g.
+    when seeding a persistent encoding that only covers the residual rules),
+    and an unguarded lookup would raise ``KeyError`` instead of skipping it.
+    """
+    for atom in wf_model.true:
+        if atom in encoding.atom_to_variable:
+            encoding.solver.add_clause([encoding.variable(atom)])
+    for atom in wf_model.false:
+        if atom in encoding.atom_to_variable:
+            encoding.solver.add_clause([-encoding.variable(atom)])
+
+
+def constraints_satisfied(constraints, model: Set[Atom]) -> bool:
+    """True when ``model`` violates none of the integrity constraints."""
+    for rule in constraints:
+        if all(atom in model for atom in rule.positive_body) and not any(
+            atom in model for atom in rule.negative_body
+        ):
+            return False
+    return True
 
 
 class StableModelSolver:
@@ -69,12 +100,7 @@ class StableModelSolver:
         # Residual search: completion models filtered by the unfounded check.
         encoding = build_completion(self.ground)
         produced = 0
-        # Seed the search with the well-founded consequences to prune early.
-        for atom in wf_model.true:
-            encoding.solver.add_clause([encoding.variable(atom)])
-        for atom in wf_model.false:
-            if atom in encoding.atom_to_variable:
-                encoding.solver.add_clause([-encoding.variable(atom)])
+        seed_wellfounded_consequences(encoding, wf_model)
         while limit is None or produced < limit:
             status, assignment = encoding.solver.solve()
             if status is Satisfiability.UNSATISFIABLE or assignment is None:
@@ -143,12 +169,7 @@ class StableModelSolver:
     # Constraints
     # ------------------------------------------------------------------ #
     def _constraints_satisfied(self, model: Set[Atom]) -> bool:
-        for rule in self._constraints:
-            if all(atom in model for atom in rule.positive_body) and not any(
-                atom in model for atom in rule.negative_body
-            ):
-                return False
-        return True
+        return constraints_satisfied(self._constraints, model)
 
 
 def stable_models(ground: GroundProgram, limit: Optional[int] = None) -> List[Set[Atom]]:

@@ -52,10 +52,9 @@ def greatest_unfounded_set(ground: GroundProgram, model: Set[Atom]) -> Set[Atom]
                 continue
             true_heads = [atom for atom in rule.head if atom in model]
             if len(true_heads) != 1:
-                # Disjunctive rule satisfied by several true heads does not
-                # provide unambiguous support to any single one of them.
-                if not true_heads:
-                    continue
+                # No true head: the rule supports nothing.  Several true
+                # heads: a disjunctive rule does not provide unambiguous
+                # support to any single one of them.
                 continue
             head = true_heads[0]
             if head not in founded:

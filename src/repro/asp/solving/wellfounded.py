@@ -27,7 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Set
 from repro.asp.grounding.grounder import GroundProgram, GroundRule
 from repro.asp.syntax.atoms import Atom
 
-__all__ = ["WellFoundedModel", "well_founded_model"]
+__all__ = ["WellFoundedModel", "alternating_fixpoint", "well_founded_model"]
 
 
 @dataclass(frozen=True)
@@ -90,7 +90,35 @@ def _least_model(rules: List[GroundRule], facts: Set[Atom], assume_false: Set[At
                 if head is not None and head not in derived:
                     derived.add(head)
                     queue.append(head)
-    return derived & universe | (derived - universe)
+    # Every derived atom is a fact or a rule head, both of which the caller
+    # includes in ``universe``, so no restriction to the universe is needed.
+    return derived
+
+
+def alternating_fixpoint(rules: List[GroundRule], facts: Set[Atom], universe: Set[Atom]):
+    """Run Van Gelder's alternating fixpoint over an explicit subprogram.
+
+    Returns ``(true_set, possible_set)``: the well-founded-true atoms and
+    the possibly-true atoms (their difference is the undefined set; atoms of
+    ``universe`` outside ``possible_set`` are well-founded-false).  Exposed
+    separately from :func:`well_founded_model` so that the incremental
+    solving layer can evaluate stratum slices of the residual program
+    without materialising a full :class:`WellFoundedModel` each time.
+    """
+
+    def gamma(assume_false: Set[Atom]) -> Set[Atom]:
+        return _least_model(rules, facts, assume_false, universe)
+
+    # Alternating fixpoint.  true_set grows, possible_set shrinks.
+    true_set: Set[Atom] = set()
+    possible_set: Set[Atom] = set(universe)
+    while True:
+        new_true = gamma(universe - possible_set)
+        new_possible = gamma(universe - new_true)
+        if new_true == true_set and new_possible == possible_set:
+            break
+        true_set, possible_set = new_true, new_possible
+    return true_set, possible_set
 
 
 def well_founded_model(ground: GroundProgram) -> WellFoundedModel:
@@ -105,18 +133,7 @@ def well_founded_model(ground: GroundProgram) -> WellFoundedModel:
     for rule in rules:
         universe.update(rule.atoms())
 
-    def gamma(assume_false: Set[Atom]) -> Set[Atom]:
-        return _least_model(rules, facts, assume_false, universe)
-
-    # Alternating fixpoint.  true_set grows, possible_set shrinks.
-    true_set: Set[Atom] = set()
-    possible_set: Set[Atom] = set(universe)
-    while True:
-        new_true = gamma(universe - possible_set)
-        new_possible = gamma(universe - new_true)
-        if new_true == true_set and new_possible == possible_set:
-            break
-        true_set, possible_set = new_true, new_possible
+    true_set, possible_set = alternating_fixpoint(rules, facts, universe)
 
     false_set = universe - possible_set
     undefined = possible_set - true_set

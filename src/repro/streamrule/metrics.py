@@ -151,6 +151,21 @@ class ReasonerMetrics:
     delta_repairs: int = 0
     repair_size: int = 0
     repair_rules_changed: int = 0
+    #: Incremental-solving counters (zero without a ``solver_cache``):
+    #: ``assumption_resolves`` counts partitions answered by repairing the
+    #: track's persistent solver state and re-solving under assumptions,
+    #: ``solver_full_solves`` those solved from scratch (first window of a
+    #: track, or a disjunctive fallback).  ``encoding_repairs`` counts
+    #: persistent-completion repairs, ``solver_clauses_retained`` /
+    #: ``solver_clauses_dropped`` learned and encoding clauses kept across or
+    #: removed by the repair, and ``solver_strata_reused`` well-founded
+    #: strata served from cache instead of recomputed.
+    assumption_resolves: int = 0
+    solver_full_solves: int = 0
+    encoding_repairs: int = 0
+    solver_clauses_retained: int = 0
+    solver_clauses_dropped: int = 0
+    solver_strata_reused: int = 0
     evaluation_wall_seconds: Optional[float] = None
     worker_wall_seconds: List[float] = field(default_factory=list)
 
@@ -182,6 +197,12 @@ class ReasonerMetrics:
             "delta_repairs": float(self.delta_repairs),
             "repair_size": float(self.repair_size),
             "repair_rules_changed": float(self.repair_rules_changed),
+            "assumption_resolves": float(self.assumption_resolves),
+            "solver_full_solves": float(self.solver_full_solves),
+            "encoding_repairs": float(self.encoding_repairs),
+            "solver_clauses_retained": float(self.solver_clauses_retained),
+            "solver_clauses_dropped": float(self.solver_clauses_dropped),
+            "solver_strata_reused": float(self.solver_strata_reused),
             "evaluation_wall_ms": (
                 self.evaluation_wall_seconds * 1000.0 if self.evaluation_wall_seconds is not None else 0.0
             ),

@@ -31,6 +31,7 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Un
 
 from repro.asp.control import Control
 from repro.asp.grounding.grounder import GroundingCache
+from repro.asp.solving.incremental import SolverCache
 from repro.asp.syntax.atoms import Atom
 from repro.asp.syntax.program import Program
 from repro.streaming.format import DataFormatProcessor
@@ -82,6 +83,7 @@ class Reasoner:
         format_processor: Optional[DataFormatProcessor] = None,
         max_models: Optional[int] = None,
         grounding_cache: Optional[GroundingCache] = None,
+        solver_cache: Optional[SolverCache] = None,
     ):
         """Create a reasoner for ``program``.
 
@@ -105,6 +107,14 @@ class Reasoner:
             content (same fact set) then skips regrounding.  The cache is
             thread-safe, so one instance may be shared by concurrent
             threads; worker processes each hold their own.
+        solver_cache:
+            Optional window-to-window solver state (the solving-layer
+            counterpart of ``grounding_cache``): sliding windows then repair
+            the track's persistent solver state -- cached well-founded
+            strata and a selector-guarded completion encoding -- and
+            re-solve under assumptions instead of solving from scratch.
+            Thread-safe with per-track locks; worker processes each warm
+            their own (see :meth:`SolverCache.__reduce__`).
         """
         self.program = program
         self.input_predicates: Set[str] = (
@@ -116,6 +126,7 @@ class Reasoner:
         self.format_processor = format_processor or DataFormatProcessor()
         self.max_models = max_models
         self.grounding_cache = grounding_cache
+        self.solver_cache = solver_cache
 
     # ------------------------------------------------------------------ #
     def to_atoms(self, window: WindowInput) -> List[Atom]:
@@ -148,7 +159,12 @@ class Reasoner:
         with Timer() as transformation_timer:
             facts = self.to_atoms(item.facts)
 
-        control = Control(self.program, grounding_cache=self.grounding_cache, work=item)
+        control = Control(
+            self.program,
+            grounding_cache=self.grounding_cache,
+            solver_cache=self.solver_cache,
+            work=item,
+        )
         control.add_facts(facts)
         result = control.solve(models=self.max_models)
 
@@ -163,6 +179,7 @@ class Reasoner:
         )
         outcome = control.ground_outcome
         repair = control.repair_stats
+        solve_stats = control.solve_stats
         metrics = ReasonerMetrics(
             window_size=len(item.facts),
             latency_seconds=breakdown.total_seconds,
@@ -174,6 +191,12 @@ class Reasoner:
             delta_repairs=1 if outcome == "repair" else 0,
             repair_size=repair.repair_size if repair is not None else 0,
             repair_rules_changed=(repair.rules_deleted + repair.rules_added) if repair is not None else 0,
+            assumption_resolves=1 if solve_stats is not None and solve_stats.is_incremental else 0,
+            solver_full_solves=1 if solve_stats is not None and not solve_stats.is_incremental else 0,
+            encoding_repairs=solve_stats.encoding_repairs if solve_stats is not None else 0,
+            solver_clauses_retained=solve_stats.clauses_retained if solve_stats is not None else 0,
+            solver_clauses_dropped=solve_stats.clauses_dropped if solve_stats is not None else 0,
+            solver_strata_reused=solve_stats.strata_reused if solve_stats is not None else 0,
         )
         return ReasonerResult(answers=answers, metrics=metrics)
 

@@ -177,6 +177,7 @@ class StreamSession:
         input_predicates: Optional[Iterable[str]] = None,
         output_predicates: Optional[Iterable[str]] = None,
         grounding_cache=None,
+        solver_cache=None,
         max_models: Optional[int] = None,
         max_combinations: Optional[int] = 64,
         query_processor: Optional[StreamQueryProcessor] = None,
@@ -190,7 +191,11 @@ class StreamSession:
         ``program`` may be a :class:`~repro.asp.syntax.program.Program` (a
         reasoner is built from it and the predicate/cache/model arguments)
         or a ready-made :class:`Reasoner` (in which case those arguments
-        must be left at their defaults).  ``backend`` defaults to
+        must be left at their defaults).  ``grounding_cache`` enables
+        window-to-window grounding reuse and ``solver_cache`` its
+        solving-layer counterpart: persistent per-track solver state
+        repaired from the window delta and re-solved under assumptions
+        (see :class:`~repro.asp.solving.incremental.SolverCache`).  ``backend`` defaults to
         :class:`InlineBackend`; ``placement`` overrides the backend's
         placement strategy; ``partitioner`` defaults to the trivial
         single-partition layout (the session then behaves exactly like the
@@ -209,7 +214,7 @@ class StreamSession:
         if isinstance(program, Reasoner):
             if input_predicates is not None or output_predicates is not None:
                 raise ValueError("predicate sets are configured on the passed reasoner")
-            if grounding_cache is not None or max_models is not None:
+            if grounding_cache is not None or solver_cache is not None or max_models is not None:
                 raise ValueError("cache/model limits are configured on the passed reasoner")
             self.reasoner = program
         else:
@@ -220,6 +225,7 @@ class StreamSession:
                 format_processor=format_processor,
                 max_models=max_models,
                 grounding_cache=grounding_cache,
+                solver_cache=solver_cache,
             )
         self.partitioner: Partitioner = partitioner if partitioner is not None else SinglePartitioner()
         self.backend: ExecutionBackend = backend if backend is not None else InlineBackend()
@@ -704,6 +710,12 @@ class StreamSession:
             delta_repairs=sum(result.metrics.delta_repairs for result in partition_results),
             repair_size=sum(result.metrics.repair_size for result in partition_results),
             repair_rules_changed=sum(result.metrics.repair_rules_changed for result in partition_results),
+            assumption_resolves=sum(result.metrics.assumption_resolves for result in partition_results),
+            solver_full_solves=sum(result.metrics.solver_full_solves for result in partition_results),
+            encoding_repairs=sum(result.metrics.encoding_repairs for result in partition_results),
+            solver_clauses_retained=sum(result.metrics.solver_clauses_retained for result in partition_results),
+            solver_clauses_dropped=sum(result.metrics.solver_clauses_dropped for result in partition_results),
+            solver_strata_reused=sum(result.metrics.solver_strata_reused for result in partition_results),
             evaluation_wall_seconds=evaluation_seconds,
             worker_wall_seconds=[result.metrics.latency_seconds for result in partition_results],
         )

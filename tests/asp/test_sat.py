@@ -1,5 +1,6 @@
 """Unit tests for the DPLL SAT core."""
 
+from hypothesis import given, settings, strategies as st
 
 from repro.asp.solving.sat import DPLLSolver, Satisfiability
 
@@ -63,6 +64,138 @@ class TestBasicSolving:
         assert model[2] is True
         status, _ = solver.solve(assumptions=[-1, -2])
         assert status is Satisfiability.UNSATISFIABLE
+
+    def test_contradictory_assumptions_are_unsat(self):
+        solver = DPLLSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[1, -1])[0] is Satisfiability.UNSATISFIABLE
+
+    def test_assumptions_do_not_mutate_the_solver(self):
+        solver = DPLLSolver()
+        solver.add_clauses([[1, 2], [-1, 2]])
+        assert solver.solve(assumptions=[-2])[0] is Satisfiability.UNSATISFIABLE
+        # The same solver answers SAT again: assumptions are call-scoped.
+        status, model = solver.solve()
+        assert status is Satisfiability.SATISFIABLE
+        assert model[2] is True
+
+    def test_unsat_under_assumptions_but_sat_without(self):
+        # Classic even-loop shape: satisfiable, but pinning both choices off
+        # kills every model.  The conflict surfaces during search (the
+        # assumptions themselves propagate fine in isolation).
+        solver = DPLLSolver()
+        solver.add_clauses([[1, 2], [-1, -2], [3, 1], [3, 2]])
+        assert solver.solve()[0] is Satisfiability.SATISFIABLE
+        assert solver.solve(assumptions=[-3])[0] is Satisfiability.UNSATISFIABLE
+        assert solver.solve()[0] is Satisfiability.SATISFIABLE
+
+
+class TestWatchBookkeeping:
+    def test_unit_clause_registers_a_single_watch_entry(self):
+        solver = DPLLSolver()
+        index = solver.add_clause([1])
+        # A unit clause watches its only literal exactly once (the old code
+        # registered the same entry twice).
+        assert solver._watches[1] == [index]
+
+    def test_binary_clause_watches_both_literals(self):
+        solver = DPLLSolver()
+        index = solver.add_clause([1, -2])
+        assert index in solver._watches[1]
+        assert index in solver._watches[-2]
+
+    def test_propagation_moves_watches_off_falsified_literals(self):
+        solver = DPLLSolver()
+        index = solver.add_clause([1, 2, 3])
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        status, model = solver.solve()
+        assert status is Satisfiability.SATISFIABLE
+        assert model[3] is True
+        # After solving, the ternary clause no longer watches two falsified
+        # literals: at most one of its watch entries sits on a false literal.
+        watch_literals = [
+            literal for literal, indices in solver._watches.items() if index in indices
+        ]
+        assert len(watch_literals) == 2
+
+    def test_removed_clause_no_longer_constrains(self):
+        solver = DPLLSolver()
+        solver.add_clause([1])
+        index = solver.add_clause([-1])
+        assert solver.solve()[0] is Satisfiability.UNSATISFIABLE
+        solver.remove_clause(index)
+        assert solver.clause_count == 1
+        assert solver.removed_clause_count == 1
+        status, model = solver.solve()
+        assert status is Satisfiability.SATISFIABLE
+        assert model[1] is True
+
+    def test_remove_is_idempotent(self):
+        solver = DPLLSolver()
+        index = solver.add_clause([1, 2])
+        solver.remove_clause(index)
+        solver.remove_clause(index)
+        assert solver.clause_count == 0
+
+    def test_clause_literals_accessor(self):
+        solver = DPLLSolver()
+        index = solver.add_clause([2, -1])
+        assert sorted(solver.clause_literals(index), key=abs) == [-1, 2]
+        solver.remove_clause(index)
+        assert solver.clause_literals(index) is None
+
+
+def _clauses_strategy():
+    literal = st.integers(min_value=1, max_value=6).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clause = st.lists(literal, min_size=1, max_size=4)
+    return st.lists(clause, min_size=0, max_size=14)
+
+
+def _assumptions_strategy():
+    literal = st.integers(min_value=1, max_value=6).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    return st.lists(literal, min_size=0, max_size=4)
+
+
+class TestAssumptionProperties:
+    """solve(assumptions=) must agree with adding the assumptions as units."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(clauses=_clauses_strategy(), assumptions=_assumptions_strategy())
+    def test_assumption_solve_matches_unit_clause_solve(self, clauses, assumptions):
+        assumed = DPLLSolver()
+        assumed.add_clauses(clauses)
+        status, model = assumed.solve(assumptions=assumptions)
+
+        fresh = DPLLSolver()
+        fresh.add_clauses(clauses)
+        for literal in assumptions:
+            fresh.add_clause([literal])
+        reference_status, _ = fresh.solve()
+
+        assert status is reference_status
+        if status is Satisfiability.SATISFIABLE:
+            # The returned model satisfies every clause and every assumption.
+            # Tautological clauses are never stored, so their variables may
+            # stay unassigned: treat an absent variable as false (the
+            # tautology is then satisfied through its negative literal).
+            for clause in clauses:
+                assert any((literal > 0) == model.get(abs(literal), False) for literal in clause)
+            for literal in assumptions:
+                assert (literal > 0) == model[abs(literal)]
+
+    @settings(max_examples=100, deadline=None)
+    @given(clauses=_clauses_strategy(), assumptions=_assumptions_strategy())
+    def test_solver_state_survives_assumption_solves(self, clauses, assumptions):
+        solver = DPLLSolver()
+        solver.add_clauses(clauses)
+        baseline = solver.solve()[0]
+        solver.solve(assumptions=assumptions)
+        assert solver.solve()[0] is baseline
 
 
 class TestModelEnumeration:

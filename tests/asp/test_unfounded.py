@@ -48,6 +48,27 @@ class TestUnfoundedSets:
         # With a single true head, that head is supported.
         assert is_founded(ground, {atom("a")})
 
+    def test_disjunctive_rule_with_three_true_heads_supports_none(self):
+        # Regression for the old dead ``len(true_heads) == 0 and len(...) > 1``
+        # branch: a disjunctive rule whose head has *several* true atoms must
+        # not count as support for any of them -- minimality requires an
+        # unambiguous single true head.
+        ground = ground_program(parse_program("a | b | c."))
+        model = {atom("a"), atom("b"), atom("c")}
+        assert greatest_unfounded_set(ground, model) == model
+        # Two of three true: still ambiguous, still no support.
+        assert greatest_unfounded_set(ground, {atom("a"), atom("b")}) == {atom("a"), atom("b")}
+        # Exactly one true head is supported, whichever one it is.
+        for name in ("a", "b", "c"):
+            assert is_founded(ground, {atom(name)})
+
+    def test_multi_true_heads_with_independent_support_stay_founded(self):
+        # The disjunctive rule supports neither a nor b, but each has its own
+        # normal rule, so the model as a whole remains founded.
+        ground = ground_program(parse_program("a | b. a :- x. b :- y. x. y."))
+        model = {atom("a"), atom("b"), atom("x"), atom("y")}
+        assert is_founded(ground, model)
+
     def test_motivating_example_answer_is_founded(self, program_p, motivating_window):
         ground = ground_program(program_p.with_facts(motivating_window))
         model = set(ground.facts)
