@@ -17,7 +17,11 @@ on the paper's synthetic traffic workload:
   (delta-grounding + solver cache), with identical answer sets asserted
   window by window,
 * reuse metrics: assumption re-solves vs full solves, encoding repairs,
-  and learned/encoding clauses retained vs dropped.
+  and learned/encoding clauses retained vs dropped,
+* a *unit-propagation* microbenchmark: a long implication chain is solved
+  under a single assumption, pricing raw literal propagation through the
+  solver's int-indexed assignment arrays (the hot loop the interned-id
+  refactor moved off dict-of-Atom lookups).
 
 Expectation: the incremental path wins for overlapping windows (the focal
 acceptance ratio is slide = size/8) because the scratch well-founded
@@ -41,6 +45,7 @@ from __future__ import annotations
 import argparse
 import statistics
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -50,6 +55,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 from benchmarks.bench_json import write_bench_json  # noqa: E402
 from repro.asp.grounding import GroundingCache  # noqa: E402
 from repro.asp.solving.incremental import SolverCache  # noqa: E402
+from repro.asp.solving.sat import DPLLSolver, Satisfiability  # noqa: E402
 from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program  # noqa: E402
 from repro.streaming.generator import SyntheticStreamConfig, generate_window  # noqa: E402
 from repro.streaming.window import CountWindow  # noqa: E402
@@ -152,6 +158,35 @@ def ratio_section(
     return lines
 
 
+def propagation_section(
+    variables: int, repeats: int, metrics: Optional[Dict[str, float]] = None
+) -> List[str]:
+    """Price raw unit propagation on an implication chain.
+
+    ``x1 -> x2 -> ... -> xn`` solved under the assumption ``x1``: every
+    clause fires exactly once, so the run is a pure cascade through the
+    solver's assignment/watch arrays with no search.  The reported rate is
+    literals propagated per second (best of ``repeats``).
+    """
+    solver = DPLLSolver(variables)
+    solver.add_clauses([-index, index + 1] for index in range(1, variables))
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        verdict, model = solver.solve(assumptions=[1])
+        best = min(best, time.perf_counter() - started)
+    assert verdict is Satisfiability.SATISFIABLE and model is not None
+    assert all(model.get(index, False) for index in range(1, variables + 1))
+    rate = variables / best if best else float("inf")
+    if metrics is not None:
+        metrics["sat_propagation_rate"] = rate
+    return [
+        f"Unit propagation on a {variables}-variable implication chain (best of {repeats})",
+        f"{'cascade s':>10}{'literals/s':>14}",
+        f"{best:>10.4f}{rate:>14.0f}",
+    ]
+
+
 def positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -195,6 +230,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     stream = make_stream(stream_length)
     metrics: Dict[str, float] = {}
     lines += ratio_section(stream, window_size, ratios, metrics)
+    lines.append("")
+    lines += propagation_section(
+        variables=2_000 if arguments.quick else 20_000, repeats=3, metrics=metrics
+    )
 
     report = "\n".join(lines)
     print(report)

@@ -10,10 +10,12 @@ benchmark measures that directly on the paper's synthetic traffic workload:
    increasing worker counts; reported throughput is triples/second of
    measured wall-clock.
 2. *backend sweep* -- the same stream is pushed through every execution
-   backend (inline, thread pool, pinned process pool, loopback socket),
-   reporting throughput, the per-window dispatch overhead relative to
-   inline evaluation, and cache statistics.  The loopback row prices the
-   full pickle-over-a-wire round trip that multi-machine sharding will pay.
+   backend (inline, thread pool, pinned process pool, loopback socket,
+   shared-memory ring), reporting throughput, the per-window dispatch
+   overhead relative to inline evaluation, and cache statistics.  The
+   loopback row prices the full pickle-over-a-wire round trip that
+   multi-machine sharding will pay; the shared-memory row prices the
+   interned-id frames through a ``multiprocessing.shared_memory`` ring.
 3. *window-to-window grounding cache* -- a recurring window stream (as
    produced by periodic sensors or overlapping sliding windows) is run with
    and without a :class:`GroundingCache`, reporting the hit rate and the
@@ -68,6 +70,7 @@ from repro.streamrule.backends import (  # noqa: E402
     InlineBackend,
     LoopbackSocketBackend,
     ProcessPoolBackend,
+    SharedMemoryBackend,
     TcpBackend,
     ThreadPoolBackend,
     backend_for_mode,
@@ -99,14 +102,23 @@ def run_stream_on_backend(
     partitions: int,
     windows: Sequence[list],
     grounding_cache: Optional[GroundingCache] = None,
+    warmup: bool = False,
 ) -> Dict[str, float]:
-    """Evaluate ``windows`` on ``backend``; return wall-clock plus cache stats."""
+    """Evaluate ``windows`` on ``backend``; return wall-clock plus cache stats.
+
+    ``warmup`` evaluates the first window once outside the timed region, so
+    one-time costs a backend pays lazily on first dispatch (spawned-child
+    interpreter boot, reasoner unpickling, symbol-table sync) are excluded
+    and the numbers price *steady-state* dispatch.
+    """
     reasoner = Reasoner(
         traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES, grounding_cache=grounding_cache
     )
     hits = misses = answers = 0
     with StreamSession(reasoner, partitioner=HashPartitioner(partitions), backend=backend) as session:
         session.backend.start(reasoner)  # pool spin-up outside the timed region
+        if warmup and windows:
+            session.evaluate_window(windows[0])
         started = time.perf_counter()
         for window in windows:
             result = session.evaluate_window(window)
@@ -168,14 +180,18 @@ def backend_section(
 
     Dispatch overhead is the extra wall-clock per window relative to inline
     evaluation of the identical partition layout -- the cost of futures and
-    thread hops (threads), pickling + IPC (processes), or a full pickled
-    socket round trip per partition (loopback).
+    thread hops (threads), pickling + IPC (processes), a full pickled
+    socket round trip per partition (loopback), or interned-id frames
+    through a shared-memory ring (shared-memory).  The
+    ``shm_vs_threads_overhead`` ratio is the interned-id process-dispatch
+    tax relative to the cheapest concurrent backend.
     """
     backends = [
         ("inline", InlineBackend()),
         ("threads", ThreadPoolBackend(max_workers=workers)),
         ("processes", ProcessPoolBackend(max_workers=workers)),
         ("loopback-socket", LoopbackSocketBackend(max_workers=workers)),
+        ("shared-memory", SharedMemoryBackend(max_workers=workers)),
     ]
     lines = [
         f"Backend sweep (x{workers} workers, hash partitioning, k = {partitions} partitions, cached)",
@@ -183,7 +199,9 @@ def backend_section(
     ]
     records = {}
     for name, backend in backends:
-        records[name] = run_stream_on_backend(backend, partitions, windows, grounding_cache=GroundingCache())
+        records[name] = run_stream_on_backend(
+            backend, partitions, windows, grounding_cache=GroundingCache(), warmup=True
+        )
     baseline_seconds = records["inline"]["seconds"]
     for name, _ in backends:
         record = records[name]
@@ -194,6 +212,15 @@ def backend_section(
         )
         if metrics is not None and name != "inline":
             metrics[f"overhead_ms_{name}"] = overhead_ms
+    if metrics is not None:
+        # Process-dispatch tax of the shm ring relative to the cheapest
+        # concurrent transport.  The denominator is floored at half a
+        # millisecond per window: thread-hop overhead below that is timer
+        # noise and would explode the ratio meaninglessly.
+        per_window_ms = lambda name: (records[name]["seconds"] - baseline_seconds) / len(windows) * 1000.0  # noqa: E731
+        metrics["shm_vs_threads_overhead"] = max(per_window_ms("shared-memory"), 0.0) / max(
+            per_window_ms("threads"), 0.5
+        )
     return lines
 
 

@@ -20,8 +20,10 @@ Baseline schema::
               "value": 3.0,              # the recorded baseline
               "direction": "higher",     # "higher" = bigger is better
               "tolerance": 0.25,         # optional per-metric override
-              "floor": 1.3               # optional hard bound ("higher")
-              # "ceiling": 25.0          # optional hard bound ("lower")
+              "floor": 1.3,              # optional hard bound ("higher")
+              # "ceiling": 25.0,         # optional hard bound ("lower")
+              "min_cpu_count": 2         # optional: informational (not
+                                         # gated) on hosts with fewer cores
             }
           }
         }
@@ -36,6 +38,10 @@ Rules (deliberately strict -- the gate must fail loudly, never rot):
 * ``direction: higher`` fails when ``current < value * (1 - tolerance)`` or
   below the hard ``floor``; ``direction: lower`` fails when
   ``current > value * (1 + tolerance)`` or above the hard ``ceiling``;
+* a metric with ``min_cpu_count`` is demoted to informational (reported,
+  never failed) when the emitting host has fewer cores -- parallel
+  speed-ups are physically impossible on a single-core CI runner, and a
+  gate that fails on hardware rather than on code would rot;
 * emitted metrics absent from the baseline are listed as unguarded, so new
   benchmarks show up in the log until someone baselines them.
 
@@ -148,6 +154,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         guarded = bench_spec.get("metrics", {})
         for metric_name, spec in guarded.items():
             current = emission["metrics"].get(metric_name)
+            min_cpu_count = spec.get("min_cpu_count")
+            if min_cpu_count is not None:
+                cpu_count = emission.get("meta", {}).get("cpu_count") or 0
+                if cpu_count < int(min_cpu_count):
+                    print(
+                        f"[info] {bench_name}.{metric_name}: current={current} not gated "
+                        f"(host has {cpu_count} core(s), metric needs {min_cpu_count})"
+                    )
+                    continue
             outcome = check_metric(f"{bench_name}.{metric_name}", spec, current, default_tolerance)
             checked += 1
             if outcome:

@@ -63,6 +63,7 @@ from repro.asp.grounding.substitution import Substitution, match_atom
 from repro.asp.syntax.atoms import Atom, Comparison, Literal
 from repro.asp.syntax.program import Program
 from repro.asp.syntax.rules import Rule
+from repro.asp.syntax.symbols import SymbolTable
 
 __all__ = [
     "DeltaGrounding",
@@ -168,28 +169,44 @@ class GroundProgram:
 # Indexed atom store
 # --------------------------------------------------------------------------- #
 class _AtomStore:
-    """Per-predicate store of ground atoms with lazily built join indexes."""
+    """Per-predicate store of ground atoms with lazily built join indexes.
 
-    def __init__(self) -> None:
+    Membership is tracked as a set of interned symbol ids against a
+    :class:`~repro.asp.syntax.symbols.SymbolTable` -- an atom is hashed
+    once when first interned, and every subsequent membership probe keys
+    on a machine int.  The table may be shared (``DeltaGrounding`` passes
+    one so ids survive store rebuilds across repairs); by default the
+    store owns a private table.
+    """
+
+    def __init__(self, symbols: Optional[SymbolTable] = None) -> None:
+        self.symbols = symbols if symbols is not None else SymbolTable()
         self._by_signature: Dict[Tuple[str, int], List[Atom]] = {}
-        self._members: Set[Atom] = set()
+        self._member_ids: Set[int] = set()
         # (signature, bound positions) -> (indexed_upto, {key values -> [atoms]})
         self._indexes: Dict[Tuple[Tuple[str, int], Tuple[int, ...]], Tuple[int, Dict[Tuple, List[Atom]]]] = {}
 
     def __contains__(self, atom: Atom) -> bool:
-        return atom in self._members
+        atom_id = self.symbols.id_of(atom)
+        return atom_id is not None and atom_id in self._member_ids
 
     def __len__(self) -> int:
-        return len(self._members)
+        return len(self._member_ids)
 
     def atoms(self) -> Set[Atom]:
-        return set(self._members)
+        resolve = self.symbols.resolve
+        return {resolve(atom_id) for atom_id in self._member_ids}
+
+    def member_ids(self) -> Set[int]:
+        """Snapshot of the member atoms as interned ids."""
+        return set(self._member_ids)
 
     def add(self, atom: Atom) -> bool:
         """Add a ground atom; return True when it was not present before."""
-        if atom in self._members:
+        atom_id = self.symbols.intern(atom)
+        if atom_id in self._member_ids:
             return False
-        self._members.add(atom)
+        self._member_ids.add(atom_id)
         self._by_signature.setdefault(atom.signature, []).append(atom)
         return True
 
@@ -216,7 +233,7 @@ class _AtomStore:
             return population
         # Fully-ground pattern: a membership probe beats building an index.
         if len(bound_positions) == len(instantiated.arguments):
-            return [instantiated] if instantiated in self._members else []
+            return [instantiated] if instantiated in self else []
         key_positions = tuple(bound_positions)
         index_key = (signature, key_positions)
         indexed_upto, table = self._indexes.get(index_key, (0, {}))
@@ -508,12 +525,17 @@ class Grounder:
         extra_facts: Optional[Iterable[Atom]] = None,
         *,
         certain_negative_drop: bool = True,
+        symbols: Optional[SymbolTable] = None,
     ):
         self.program = program.copy()
         if extra_facts is not None:
             self.program.add_facts(extra_facts)
         check_safety(self.program)
         self._certain_negative_drop = certain_negative_drop
+        # Symbol table backing the possible-atom store; DeltaGrounding passes
+        # a shared table so interned ids stay stable across repair-time store
+        # rebuilds.  None means each _instantiate owns a fresh table.
+        self._symbols = symbols
 
     # ------------------------------------------------------------------ #
     def ground(self) -> GroundProgram:
@@ -536,7 +558,7 @@ class Grounder:
         Returns the possible-atom store, the certain facts, the unsimplified
         ground rules, and the dedup keys of the recorded instances.
         """
-        possible = _AtomStore()
+        possible = _AtomStore(self._symbols)
         certain: Set[Atom] = set()
         ground_rules: List[GroundRule] = []
         seen_rules: Set[Tuple] = set()
@@ -788,7 +810,15 @@ class Grounder:
                 new_atoms.add(atom)
 
         ground = GroundRule(head=head, positive_body=positive, negative_body=negative)
-        key = (head, positive, negative)
+        # Dedup instances on interned-id triples: a window emits the same
+        # instance through many bindings, and id-tuple hashing beats
+        # re-hashing three atom tuples every time.
+        intern = possible.symbols.intern
+        key = (
+            tuple(map(intern, head)),
+            tuple(map(intern, positive)),
+            tuple(map(intern, negative)),
+        )
         if key not in seen_rules:
             seen_rules.add(key)
             ground_rules.append(ground)
@@ -873,15 +903,21 @@ class DeltaGrounding:
                 bucket = self._rules_by_predicate.setdefault(literal.predicate, [])
                 if rule not in bucket:
                     bucket.append(rule)
-        self._machine = Grounder(program, certain_negative_drop=False)
+        # One symbol table for the lifetime of the state: atom ids survive
+        # store rebuilds across repairs, so the repair indexes below can key
+        # on dense ints instead of re-hashing atoms window after window.
+        self._symbols = SymbolTable()
+        self._machine = Grounder(program, certain_negative_drop=False, symbols=self._symbols)
         self.facts: Set[Atom] = set(fact_atoms)
 
         store, _certain, ground_rules, seen = self._machine._instantiate()
         self._store = store
         self._seen: Set[Tuple] = seen
         self._instances: Dict[int, GroundRule] = {}
-        self._body_index: Dict[Atom, Set[int]] = {}
-        self._head_index: Dict[Atom, Set[int]] = {}
+        #: interned atom id -> instance ids whose positive body contains it.
+        self._body_index: Dict[int, Set[int]] = {}
+        #: interned atom id -> instance ids deriving it.
+        self._head_index: Dict[int, Set[int]] = {}
         self._next_id = 0
         for ground in ground_rules:
             self._add_instance(ground)
@@ -889,30 +925,40 @@ class DeltaGrounding:
     # ------------------------------------------------------------------ #
     # Instance bookkeeping
     # ------------------------------------------------------------------ #
+    def _seen_key(self, ground: GroundRule) -> Tuple:
+        intern = self._symbols.intern
+        return (
+            tuple(map(intern, ground.head)),
+            tuple(map(intern, ground.positive_body)),
+            tuple(map(intern, ground.negative_body)),
+        )
+
     def _add_instance(self, ground: GroundRule) -> None:
         instance_id = self._next_id
         self._next_id += 1
         self._instances[instance_id] = ground
+        intern = self._symbols.intern
         for atom in set(ground.positive_body):
-            self._body_index.setdefault(atom, set()).add(instance_id)
+            self._body_index.setdefault(intern(atom), set()).add(instance_id)
         for atom in ground.head:
-            self._head_index.setdefault(atom, set()).add(instance_id)
+            self._head_index.setdefault(intern(atom), set()).add(instance_id)
 
     def _remove_instance(self, instance_id: int) -> None:
         ground = self._instances.pop(instance_id)
-        self._seen.discard((ground.head, ground.positive_body, ground.negative_body))
+        self._seen.discard(self._seen_key(ground))
+        intern = self._symbols.intern
         for atom in set(ground.positive_body):
-            bucket = self._body_index.get(atom)
+            bucket = self._body_index.get(intern(atom))
             if bucket is not None:
                 bucket.discard(instance_id)
                 if not bucket:
-                    del self._body_index[atom]
+                    del self._body_index[intern(atom)]
         for atom in ground.head:
-            bucket = self._head_index.get(atom)
+            bucket = self._head_index.get(intern(atom))
             if bucket is not None:
                 bucket.discard(instance_id)
                 if not bucket:
-                    del self._head_index[atom]
+                    del self._head_index[intern(atom)]
 
     @property
     def instance_count(self) -> int:
@@ -923,42 +969,49 @@ class DeltaGrounding:
     # ------------------------------------------------------------------ #
     def repair(self, new_facts: Iterable[Atom]) -> RepairStats:
         """Move the instantiation from ``self.facts`` to ``new_facts``."""
+        table = self._symbols
+        intern = table.intern
         target = set(new_facts)
         retracted = self.facts - target
         asserted = target - self.facts
+        target_ids = set(table.intern_many(target))
 
-        # 1. Overdelete ---------------------------------------------------- #
-        dead_atoms: Set[Atom] = set()
+        # 1. Overdelete (the cascade runs entirely over interned ids) ------ #
+        dead_ids: Set[int] = set()
         dead_instances: Set[int] = set()
-        worklist: List[Atom] = list(retracted)
+        worklist: List[int] = [intern(atom) for atom in retracted]
         while worklist:
-            atom = worklist.pop()
-            if atom in dead_atoms or atom in target:
+            atom_id = worklist.pop()
+            if atom_id in dead_ids or atom_id in target_ids:
                 continue
-            dead_atoms.add(atom)
-            for instance_id in self._body_index.get(atom, ()):
+            dead_ids.add(atom_id)
+            for instance_id in self._body_index.get(atom_id, ()):
                 if instance_id in dead_instances:
                     continue
                 dead_instances.add(instance_id)
-                worklist.extend(self._instances[instance_id].head)
+                worklist.extend(intern(head) for head in self._instances[instance_id].head)
         for instance_id in dead_instances:
             self._remove_instance(instance_id)
 
         # 2. Rescue: overdeleted atoms with a surviving alternative support. #
-        rescued = {atom for atom in dead_atoms if self._head_index.get(atom)}
-        dead_atoms -= rescued
+        rescued_ids = {atom_id for atom_id in dead_ids if self._head_index.get(atom_id)}
+        dead_ids -= rescued_ids
 
         # Rebuild the possible-atom store without the dead atoms (the store
         # is append-only; a rebuild is O(atoms) with small constants, far
-        # below the join work a full reground would redo).
-        if dead_atoms:
-            survivors = self._store.atoms() - dead_atoms
-            self._store = _AtomStore()
-            for atom in survivors:
-                self._store.add(atom)
+        # below the join work a full reground would redo).  The rebuilt
+        # store shares the state's symbol table, so surviving ids are
+        # unchanged.
+        resolve = table.resolve
+        if dead_ids:
+            survivor_ids = self._store.member_ids() - dead_ids
+            self._store = _AtomStore(table)
+            for atom_id in survivor_ids:
+                self._store.add(resolve(atom_id))
 
         # 3. Assert + re-derive -------------------------------------------- #
         self.facts = target
+        rescued = {resolve(atom_id) for atom_id in rescued_ids}
         seeds: Set[Atom] = set(rescued)
         for atom in asserted:
             if self._store.add(atom):
@@ -999,7 +1052,7 @@ class DeltaGrounding:
             asserted=len(asserted),
             rules_deleted=len(dead_instances),
             rules_added=rules_added,
-            atoms_deleted=len(dead_atoms),
+            atoms_deleted=len(dead_ids),
             atoms_added=atoms_added + len(seeds - rescued),
         )
 
@@ -1007,35 +1060,43 @@ class DeltaGrounding:
     # Emission
     # ------------------------------------------------------------------ #
     def _certain_closure(self) -> Set[Atom]:
-        """Definite consequences of the current state (facts + definite rules)."""
-        certain: Set[Atom] = set(self.facts)
+        """Definite consequences of the current state (facts + definite rules).
+
+        The fixpoint runs over interned ids: the queue, the certain set and
+        the body-index probes all key on machine ints, resolving back to
+        atoms only once at the end.
+        """
+        table = self._symbols
+        intern = table.intern
+        certain_ids: Set[int] = set(table.intern_many(self.facts))
         remaining: Dict[int, int] = {}
-        queue: List[Atom] = list(self.facts)
+        queue: List[int] = list(certain_ids)
         for instance_id, ground in self._instances.items():
             if len(ground.head) != 1 or ground.negative_body:
                 continue
             need = len(set(ground.positive_body))
             if need == 0:
-                head = ground.head[0]
-                if head not in certain:
-                    certain.add(head)
-                    queue.append(head)
+                head_id = intern(ground.head[0])
+                if head_id not in certain_ids:
+                    certain_ids.add(head_id)
+                    queue.append(head_id)
             else:
                 remaining[instance_id] = need
         while queue:
-            atom = queue.pop()
-            for instance_id in self._body_index.get(atom, ()):
+            atom_id = queue.pop()
+            for instance_id in self._body_index.get(atom_id, ()):
                 need = remaining.get(instance_id)
                 if need is None:
                     continue
                 need -= 1
                 remaining[instance_id] = need
                 if need == 0:
-                    head = self._instances[instance_id].head[0]
-                    if head not in certain:
-                        certain.add(head)
-                        queue.append(head)
-        return certain
+                    head_id = intern(self._instances[instance_id].head[0])
+                    if head_id not in certain_ids:
+                        certain_ids.add(head_id)
+                        queue.append(head_id)
+        resolve = table.resolve
+        return {resolve(atom_id) for atom_id in certain_ids}
 
     def to_ground_program(self) -> GroundProgram:
         """Simplify the current state into a fresh :class:`GroundProgram`."""

@@ -55,6 +55,7 @@ from repro.asp.solving.solver import StableModelSolver, constraints_satisfied
 from repro.asp.solving.unfounded import greatest_unfounded_set
 from repro.asp.solving.wellfounded import alternating_fixpoint
 from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.symbols import SymbolTable
 
 __all__ = ["IncrementalSolver", "SolveStats", "SolverCache"]
 
@@ -159,7 +160,12 @@ class _PersistentEncoding:
 
     def __init__(self) -> None:
         self.solver = DPLLSolver()
-        self.atom_to_variable: Dict[Atom, int] = {}
+        #: Interner of the atoms this encoding has ever seen; the mapping
+        #: to solver variables below keys on its dense ids, so the hot
+        #: atom->variable lookups of enumeration hash each atom once for
+        #: the lifetime of the encoding.
+        self.symbols = SymbolTable()
+        self.atom_to_variable: Dict[int, int] = {}
         self.rule_entries: Dict[GroundRule, _RuleEntry] = {}
         self.fact_entries: Dict[Atom, _FactEntry] = {}
         #: Active atoms and their support state; membership here defines
@@ -170,11 +176,16 @@ class _PersistentEncoding:
         self._atom_refs: Dict[Atom, int] = {}
 
     # -- atom bookkeeping ---------------------------------------------- #
+    def variable_of(self, atom: Atom) -> int:
+        """Solver variable of an atom already registered via _variable_of."""
+        return self.atom_to_variable[self.symbols.intern(atom)]
+
     def _variable_of(self, atom: Atom) -> int:
-        variable = self.atom_to_variable.get(atom)
+        atom_id = self.symbols.intern(atom)
+        variable = self.atom_to_variable.get(atom_id)
         if variable is None:
             variable = self.solver.new_variable()
-            self.atom_to_variable[atom] = variable
+            self.atom_to_variable[atom_id] = variable
         return variable
 
     def _retain_atoms(self, atoms: Iterable[Atom], dirty: Set[Atom]) -> None:
@@ -313,7 +324,7 @@ class _PersistentEncoding:
             if support.clause_id is not None:
                 self.solver.remove_clause(support.clause_id)
                 counters.clauses_dropped += 1
-            support.clause_id = self.solver.add_clause([-self.atom_to_variable[atom]] + support.bodies)
+            support.clause_id = self.solver.add_clause([-self.variable_of(atom)] + support.bodies)
 
         if self.solver.removed_clause_count > _COMPACTION_THRESHOLD and (
             self.solver.removed_clause_count > self.solver.clause_count
@@ -589,9 +600,9 @@ class IncrementalSolver:
         # is known false.
         for atom in encoding.supports:
             if atom in facts or atom in wf_true:
-                assumptions.append(encoding.atom_to_variable[atom])
+                assumptions.append(encoding.variable_of(atom))
             elif atom not in wf_undefined:
-                assumptions.append(-encoding.atom_to_variable[atom])
+                assumptions.append(-encoding.variable_of(atom))
 
         active_atoms = list(encoding.supports)
         models: List[Set[Atom]] = []
@@ -602,10 +613,10 @@ class IncrementalSolver:
                 if status is Satisfiability.UNSATISFIABLE or assignment is None:
                     break
                 candidate = {
-                    atom for atom in active_atoms if assignment.get(encoding.atom_to_variable[atom], False)
+                    atom for atom in active_atoms if assignment.get(encoding.variable_of(atom), False)
                 }
                 blocking = [
-                    (-encoding.atom_to_variable[atom] if atom in candidate else encoding.atom_to_variable[atom])
+                    (-encoding.variable_of(atom) if atom in candidate else encoding.variable_of(atom))
                     for atom in active_atoms
                 ]
                 if blocking:
@@ -636,7 +647,7 @@ class IncrementalSolver:
         moment that could happen.
         """
         sources: List[GroundRule] = []
-        clause = [-encoding.atom_to_variable[atom] for atom in unfounded]
+        clause = [-encoding.variable_of(atom) for atom in unfounded]
         for rule, entry in encoding.rule_entries.items():
             if entry.head is None or entry.head not in unfounded:
                 continue

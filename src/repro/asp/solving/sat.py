@@ -8,10 +8,15 @@ propagation and chronological backtracking is sufficient and keeps the
 engine dependency-free.
 
 Variables are positive integers ``1..n``; a literal is ``+v`` or ``-v``.
-Clauses are lists of literals.  Unit propagation is driven by a two-literal
-watch index: each clause watches two of its literals (one for a unit
-clause), and an assignment only visits the clauses watching the falsified
-literal instead of re-scanning the whole clause database.  The branching
+Clauses are lists of literals.  The per-solve assignment is a flat
+int-indexed array over the dense variable ids (slot ``v`` holds 1/-1/0),
+so evaluating a literal is two array reads rather than a dict probe --
+the ids are dense because the incremental encoding layer interns atoms
+through a :class:`~repro.asp.syntax.symbols.SymbolTable` before they ever
+reach the solver.  Unit propagation is driven by a two-literal watch
+index: each clause watches two of its literals (one for a unit clause),
+and an assignment only visits the clauses watching the falsified literal
+instead of re-scanning the whole clause database.  The branching
 heuristic (:meth:`_pick_branch`) still scans for an unsatisfied clause --
 watching accelerates *propagation*, not decision picking.
 
@@ -142,23 +147,29 @@ class DPLLSolver:
         """
         if self._empty_clause:
             return Satisfiability.UNSATISFIABLE, None
-        assignment: Dict[int, bool] = {}
+        # Assumptions may mention fresh variables; grow the space first so
+        # the assignment array below covers them.
+        for literal in assumptions:
+            if abs(literal) > self._variable_count:
+                self._variable_count = abs(literal)
+        # Int-indexed assignment array over interned variable ids: slot v
+        # holds 1 (true), -1 (false) or 0 (unassigned).  Propagation is the
+        # hash-heaviest loop of the solver; indexing a flat array beats a
+        # dict probe per literal visit.
+        values: List[int] = [0] * (self._variable_count + 1)
         trail: List[Tuple[int, bool]] = []  # (literal, is_decision)
         queue: List[int] = []  # literals assigned true, pending watch visits
 
-        def value(literal: int) -> Optional[bool]:
-            variable_value = assignment.get(abs(literal))
-            if variable_value is None:
-                return None
-            return variable_value if literal > 0 else not variable_value
+        def literal_value(literal: int) -> int:
+            """Truth of a literal under the current assignment: 1/-1/0."""
+            return values[literal] if literal > 0 else -values[-literal]
 
         def assign(literal: int, is_decision: bool) -> bool:
-            current = value(literal)
-            if current is True:
-                return True
-            if current is False:
-                return False
-            assignment[abs(literal)] = literal > 0
+            variable = literal if literal > 0 else -literal
+            current = values[variable]
+            if current != 0:
+                return (current > 0) == (literal > 0)
+            values[variable] = 1 if literal > 0 else -1
             trail.append((literal, is_decision))
             queue.append(literal)
             return True
@@ -188,14 +199,14 @@ class DPLLSolver:
                     if clause[0] == falsified:
                         clause[0], clause[1] = clause[1], clause[0]
                     other = clause[0]
-                    other_value = value(other)
-                    if other_value is True:
+                    other_value = literal_value(other)
+                    if other_value > 0:
                         kept.append(clause_index)
                         continue
                     # Look for a replacement watch among the tail literals.
                     moved = False
                     for position in range(2, len(clause)):
-                        if value(clause[position]) is not False:
+                        if literal_value(clause[position]) >= 0:
                             clause[1], clause[position] = clause[position], clause[1]
                             self._watches.setdefault(clause[1], []).append(clause_index)
                             moved = True
@@ -205,7 +216,7 @@ class DPLLSolver:
                     # No replacement: the clause is unit on `other` (or
                     # conflicting when `other` is already false).
                     kept.append(clause_index)
-                    if other_value is False:
+                    if other_value < 0:
                         conflict = True
                         continue
                     assign(other, is_decision=False)
@@ -226,7 +237,7 @@ class DPLLSolver:
             queue.clear()
             while trail:
                 literal, is_decision = trail.pop()
-                del assignment[abs(literal)]
+                values[abs(literal)] = 0
                 if is_decision:
                     return literal
             return None
@@ -240,8 +251,6 @@ class DPLLSolver:
                 return Satisfiability.UNSATISFIABLE, None
 
         for literal in assumptions:
-            if abs(literal) > self._variable_count:
-                self._variable_count = abs(literal)
             if not assign(literal, is_decision=False):
                 return Satisfiability.UNSATISFIABLE, None
 
@@ -249,12 +258,14 @@ class DPLLSolver:
             return Satisfiability.UNSATISFIABLE, None
 
         while True:
-            decision = self._pick_branch(assignment)
+            decision = self._pick_branch(values)
             if decision is None:
-                # Complete assignment for all mentioned variables.
-                model = dict(assignment)
-                for variable in range(1, self._variable_count + 1):
-                    model.setdefault(variable, False)
+                # Complete assignment for all mentioned variables
+                # (unassigned variables default to false).
+                model = {
+                    variable: values[variable] > 0
+                    for variable in range(1, self._variable_count + 1)
+                }
                 return Satisfiability.SATISFIABLE, model
             if not assign(decision, is_decision=True) or not propagate():
                 # Conflict: flip the most recent decision that has not been
@@ -271,7 +282,7 @@ class DPLLSolver:
                         break
             # loop continues with further decisions
 
-    def _pick_branch(self, assignment: Dict[int, bool]) -> Optional[int]:
+    def _pick_branch(self, values: List[int]) -> Optional[int]:
         """Pick the next unassigned variable appearing in an unsatisfied clause."""
         for clause in self._clauses:
             if clause is None:
@@ -279,11 +290,11 @@ class DPLLSolver:
             clause_satisfied = False
             candidate: Optional[int] = None
             for literal in clause:
-                variable_value = assignment.get(abs(literal))
-                if variable_value is None:
+                variable_value = values[literal if literal > 0 else -literal]
+                if variable_value == 0:
                     if candidate is None:
                         candidate = literal
-                elif (variable_value and literal > 0) or (not variable_value and literal < 0):
+                elif (variable_value > 0) == (literal > 0):
                     clause_satisfied = True
                     break
             if not clause_satisfied and candidate is not None:

@@ -4,6 +4,7 @@ from repro.asp.syntax.atoms import Atom, Comparison, Literal
 from repro.asp.syntax.parser import parse_program, parse_rule, parse_term
 from repro.asp.syntax.program import Program
 from repro.asp.syntax.rules import Rule
+from repro.asp.syntax.symbols import SymbolDelta, SymbolSyncError, SymbolTable, pack_ids, unpack_ids
 from repro.asp.syntax.terms import Constant, FunctionTerm, Term, Variable
 
 __all__ = [
@@ -14,8 +15,13 @@ __all__ = [
     "Literal",
     "Program",
     "Rule",
+    "SymbolDelta",
+    "SymbolSyncError",
+    "SymbolTable",
     "Term",
     "Variable",
+    "pack_ids",
+    "unpack_ids",
     "parse_program",
     "parse_rule",
     "parse_term",

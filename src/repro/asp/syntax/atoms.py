@@ -44,17 +44,14 @@ class Atom:
             object.__setattr__(self, "_hash", cached)
         return cached
 
-    def __getstate__(self):
-        # Never ship the cached hash across a pickle boundary: string hashing
-        # is randomized per interpreter (PYTHONHASHSEED), so a hash cached in
-        # the parent would disagree with hashes computed in a spawn-started
-        # worker process, silently breaking set/dict membership there.
-        return (self.predicate, self.arguments)
-
-    def __setstate__(self, state) -> None:
-        object.__setattr__(self, "predicate", state[0])
-        object.__setattr__(self, "arguments", state[1])
-        object.__setattr__(self, "_hash", 0)
+    def __reduce__(self):
+        # Unpickle through the normal constructor so __post_init__ validation
+        # runs on the receiving side, and never ship the cached hash across a
+        # pickle boundary: string hashing is randomized per interpreter
+        # (PYTHONHASHSEED), so a hash cached in the parent would disagree with
+        # hashes computed in a spawn-started worker process, silently breaking
+        # set/dict membership there.  The constructor leaves _hash at 0.
+        return (Atom, (self.predicate, self.arguments))
 
     @property
     def arity(self) -> int:

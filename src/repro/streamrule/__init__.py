@@ -16,8 +16,11 @@
   rerouting.
 * :mod:`repro.streamrule.backends` -- the pluggable :class:`ExecutionBackend`
   protocol and its transports: inline, thread pool, pinned process pool,
-  the loopback-socket backend, and the TCP backend dispatching to a remote
-  worker fleet.
+  the loopback-socket backend, the shared-memory backend, and the TCP
+  backend dispatching to a remote worker fleet.
+* :mod:`repro.streamrule.shm` -- the shared-memory rings behind
+  :class:`SharedMemoryBackend`: same-host worker processes reached through
+  ``/dev/shm`` with facts travelling as packed symbol-id arrays.
 * :mod:`repro.streamrule.reasoner` -- the reasoner ``R``: data format
   processor plus the ASP solver, evaluating one work item per call
   (the dashed box of Figure 1).
@@ -39,6 +42,7 @@ from repro.streamrule.backends import (
     InlineBackend,
     LoopbackSocketBackend,
     ProcessPoolBackend,
+    SharedMemoryBackend,
     TcpBackend,
     ThreadPoolBackend,
     backend_for_mode,
@@ -81,6 +85,7 @@ __all__ = [
     "PlacementStrategy",
     "ProcessPoolBackend",
     "ProtocolError",
+    "SharedMemoryBackend",
     "Reasoner",
     "ReasonerMetrics",
     "ReasonerResult",

@@ -66,6 +66,7 @@ from repro.streamrule.reasoner import (
     ping_worker,
     reason_item_task,
 )
+from repro.streamrule.shm import DEFAULT_RING_CAPACITY, ShmSlot, ShmSlotStats
 from repro.streamrule.work import WorkItem
 
 __all__ = [
@@ -76,6 +77,7 @@ __all__ = [
     "InlineBackend",
     "LoopbackSocketBackend",
     "ProcessPoolBackend",
+    "SharedMemoryBackend",
     "TcpBackend",
     "ThreadPoolBackend",
     "backend_for_mode",
@@ -556,6 +558,10 @@ class TcpBackend(ExecutionBackend):
         Slot-choosing strategy (default :class:`PinnedPlacement`).
     delta_shipping:
         Offer shard-side fact-delta shipping in the handshake.
+    symbol_ids:
+        Offer interned-id fact shipping in the handshake: facts travel as
+        packed u32 id arrays against per-connection synced symbol tables
+        instead of pickled atoms.
     heartbeat_interval:
         Seconds between background heartbeats; ``None`` disables the
         heartbeat thread (liveness is then discovered on submit).
@@ -578,6 +584,7 @@ class TcpBackend(ExecutionBackend):
         slots: Optional[int] = None,
         placement: Optional[PlacementStrategy] = None,
         delta_shipping: bool = True,
+        symbol_ids: bool = True,
         heartbeat_interval: Optional[float] = None,
         connect_attempts: int = 5,
         reconnect_attempts: int = 2,
@@ -589,6 +596,7 @@ class TcpBackend(ExecutionBackend):
         self.endpoints = [WorkerEndpoint.parse(endpoint) for endpoint in endpoints]
         self.slots = slots
         self.delta_shipping = delta_shipping
+        self.symbol_ids = symbol_ids
         self.heartbeat_interval = heartbeat_interval
         self.connect_attempts = connect_attempts
         self.reconnect_attempts = reconnect_attempts
@@ -612,6 +620,7 @@ class TcpBackend(ExecutionBackend):
             self.endpoints,
             slots=self.slots,
             delta_shipping=self.delta_shipping,
+            symbol_ids=self.symbol_ids,
             connect_attempts=self.connect_attempts,
             reconnect_attempts=self.reconnect_attempts,
             base_delay=self.base_delay,
@@ -674,6 +683,8 @@ class TcpBackend(ExecutionBackend):
             "items_delta": float(stats.items_delta),
             "bytes_full": float(stats.bytes_full),
             "bytes_delta": float(stats.bytes_delta),
+            "symbol_frames": float(stats.symbol_frames),
+            "bytes_symbols": float(stats.bytes_symbols),
             "bytes_out": float(stats.bytes_out),
             "bytes_in": float(stats.bytes_in),
             "pings": float(stats.pings),
@@ -694,6 +705,119 @@ class TcpBackend(ExecutionBackend):
         self._fleet = None
         if finalizer is not None:
             finalizer()
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory backend: same-host processes, zero-pickle dispatch
+# --------------------------------------------------------------------------- #
+class SharedMemoryBackend(ExecutionBackend):
+    """Dispatch to pinned same-host worker processes over shared memory.
+
+    The zero-copy sibling of :class:`ProcessPoolBackend`: workers are still
+    separate (``spawn``-started) processes evaluating thinned
+    :class:`WorkItem`\\ s, but dispatch crosses the process boundary through
+    a pair of shared-memory rings per slot instead of a pickled-object pipe
+    (see :mod:`repro.streamrule.shm`).  Facts travel as packed u32 symbol
+    ids against per-direction synced
+    :class:`~repro.asp.syntax.symbols.SymbolTable` replicas -- in steady
+    state a window costs ``4 bytes x |window|`` written straight into
+    ``/dev/shm``, with no pickling of atoms in either direction.
+
+    Same capability surface as the other remote backends: one single-thread
+    dispatcher per slot preserves per-track ordering (so delta grounding
+    keeps working), the placement strategy routes items to slots, and a
+    dead worker raises :class:`BackendConnectionError` at the caller -- the
+    session answers with its inline fallback.  :meth:`drop_worker` is the
+    fault-injection hook the crash tests (and the example) use.
+    """
+
+    name = "shared-memory"
+    is_remote = True
+    uses_placement = True
+    measures_wall_clock = True
+    pipelined = True
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        placement: Optional[PlacementStrategy] = None,
+        *,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+    ):
+        super().__init__(placement)
+        self.max_workers = max_workers
+        self.ring_capacity = ring_capacity
+        self._slots: Optional[List[ShmSlot]] = None
+        self._dispatchers: Optional[List[ThreadPoolExecutor]] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        self._final_stats: Dict[str, float] = {}
+
+    @property
+    def slots(self) -> Optional[List[ShmSlot]]:
+        """The live worker slots (``None`` while closed)."""
+        return self._slots
+
+    def _start(self, reasoner: Reasoner) -> None:
+        workers = self.max_workers or os.cpu_count() or 1
+        payload = pickle.dumps(reasoner)
+        slots = [ShmSlot(index, payload, capacity=self.ring_capacity) for index in range(workers)]
+        self._slots = slots
+        self._dispatchers = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"shm-dispatch-{slot.index}")
+            for slot in slots
+        ]
+        self._finalizer = weakref.finalize(
+            self, _close_shm_resources, list(self._dispatchers), list(slots)
+        )
+
+    def _submit(self, item: WorkItem) -> "Future[ReasonerResult]":
+        self._require_started()
+        assert self._slots is not None and self._dispatchers is not None
+        slot = self.placement.slot(item, len(self._slots))
+        return self._dispatchers[slot].submit(self._slots[slot].roundtrip, item.thinned())
+
+    def drop_worker(self, slot: int = 0) -> None:
+        """Fault injection: hard-kill one slot's worker process."""
+        self._require_started()
+        assert self._slots is not None
+        self._slots[slot].kill()
+
+    def shm_statistics(self) -> Dict[str, float]:
+        """Ring traffic counters summed over the slots.
+
+        After ``close`` this keeps answering with the final snapshot, so
+        benchmarks can report traffic once the session is torn down.
+        """
+        if self._slots is None:
+            return dict(self._final_stats)
+        totals = ShmSlotStats()
+        for slot in self._slots:
+            totals = totals.merged_with(slot.stats)
+        return {
+            "items": float(totals.items),
+            "symbols_out": float(totals.symbols_out),
+            "symbols_in": float(totals.symbols_in),
+            "bytes_out": float(totals.bytes_out),
+            "bytes_in": float(totals.bytes_in),
+            "oversizes": float(totals.oversizes),
+            "alive_workers": float(sum(1 for slot in self._slots if slot.process.is_alive())),
+        }
+
+    def _close(self) -> None:
+        self._final_stats = self.shm_statistics()
+        finalizer, self._finalizer = self._finalizer, None
+        self._dispatchers = None
+        self._slots = None
+        if finalizer is not None:
+            finalizer()
+
+
+def _close_shm_resources(dispatchers, slots) -> None:
+    """Finalizer backstop mirroring :func:`_close_tcp_resources`."""
+    for dispatcher in dispatchers:
+        dispatcher.shutdown(wait=True)
+    for slot in slots:
+        slot.close()
 
 
 # --------------------------------------------------------------------------- #

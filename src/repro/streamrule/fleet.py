@@ -101,9 +101,9 @@ class WorkerFleet:
         ``len(endpoints)``.  More slots than endpoints is legitimate (slots
         are the unit of rerouting granularity, endpoints the unit of
         failure).
-    delta_shipping:
-        Offer the ``delta_shipping`` capability in the handshake (the
-        worker may still decline it).
+    delta_shipping / symbol_ids:
+        Offer the ``delta_shipping`` / ``symbol_ids`` capabilities in the
+        handshake (the worker may still decline either).
     connect_attempts / reconnect_attempts:
         Backoff budgets for the initial connect and for reviving a dead
         endpoint mid-stream.
@@ -115,6 +115,7 @@ class WorkerFleet:
         *,
         slots: Optional[int] = None,
         delta_shipping: bool = True,
+        symbol_ids: bool = True,
         connect_attempts: int = 5,
         reconnect_attempts: int = 2,
         base_delay: float = 0.05,
@@ -129,6 +130,7 @@ class WorkerFleet:
             raise ValueError("a worker fleet needs at least one slot")
         self.slot_count: int = slots if slots is not None else len(self.endpoints)
         self.delta_shipping = delta_shipping
+        self.symbol_ids = symbol_ids
         self.connect_attempts = connect_attempts
         self.reconnect_attempts = reconnect_attempts
         self.base_delay = base_delay
@@ -302,6 +304,7 @@ class WorkerFleet:
             (endpoint.host, endpoint.port),
             payload,
             delta_shipping=self.delta_shipping,
+            symbol_ids=self.symbol_ids,
             attempts=attempts,
             base_delay=self.base_delay,
             max_delay=self.max_delay,

@@ -65,6 +65,21 @@ encodes, the server when it decodes -- and a transport error closes the
 connection, so the states can never silently diverge: a reconnected client
 starts from an empty shipper and re-sends full facts.
 
+Interned symbol ids
+-------------------
+Under the ``symbol_ids`` capability the peers additionally maintain a
+per-connection replica pair of append-only
+:class:`~repro.asp.syntax.symbols.SymbolTable`\\ s.  The shipper interns
+every fact and sends the table's new tail ahead of the work frame as a
+one-way ``SYMBOLS`` frame (a pickled
+:class:`~repro.asp.syntax.symbols.SymbolDelta`; no response, so the FIFO
+response order is undisturbed); work frames then carry flat u32 id arrays
+(:class:`IdWorkItem`, or :class:`IdFactDelta` copy-runs on a sliding
+window) instead of pickled atoms.  In steady state every fact in a window
+has already been interned by an earlier window, so the wire cost of a
+window collapses to ``4 bytes x |window|`` -- and, like delta shipping,
+any desync kills the connection and both sides restart from empty tables.
+
 Security
 --------
 The payloads are **pickles**: unpickling executes arbitrary code by design.
@@ -84,6 +99,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 
+from repro.asp.syntax.symbols import SymbolDelta, SymbolTable, pack_ids, unpack_ids
 from repro.streamrule.errors import (
     BackendConnectionError,
     BackendError,
@@ -99,14 +115,18 @@ __all__ = [
     "DeltaShipper",
     "FactDelta",
     "FrameKind",
+    "IdFactDelta",
+    "IdWorkItem",
     "MAGIC",
     "PROTOCOL_VERSION",
     "RemoteFailure",
     "WireStats",
     "WorkerClient",
     "apply_facts_diff",
+    "apply_id_runs",
     "connect_with_backoff",
     "diff_facts",
+    "diff_id_runs",
     "recv_frame",
     "send_frame",
     "serve_worker_connection",
@@ -123,7 +143,11 @@ MAGIC = b"SRW1"
 PROTOCOL_VERSION = 1
 
 #: Capabilities this build can negotiate (name -> default offer).
-DEFAULT_CAPABILITIES: Dict[str, bool] = {"delta_shipping": True}
+#: ``delta_shipping``: steady-state windows travel as copy-run deltas.
+#: ``symbol_ids``: facts are interned per connection (``SYMBOLS`` frames
+#: sync the table) and work items carry flat id arrays instead of
+#: pickled atom graphs.
+DEFAULT_CAPABILITIES: Dict[str, bool] = {"delta_shipping": True, "symbol_ids": True}
 
 _FRAME_HEADER = struct.Struct(">IB")
 
@@ -140,11 +164,12 @@ class FrameKind(enum.IntEnum):
     REJECT = 3  #: server -> client: ``{protocol, reason}``; connection closes
     REASONER = 4  #: client -> server: pickled :class:`Reasoner`
     READY = 5  #: server -> client: reasoner installed, work may flow
-    WORK = 6  #: client -> server: pickled thinned :class:`WorkItem`
-    DELTA = 7  #: client -> server: pickled :class:`FactDelta`
+    WORK = 6  #: client -> server: pickled thinned :class:`WorkItem` (or :class:`IdWorkItem`)
+    DELTA = 7  #: client -> server: pickled :class:`FactDelta` (or :class:`IdFactDelta`)
     RESULT = 8  #: server -> client: pickled :class:`ReasonerResult` or :class:`RemoteFailure`
     PING = 9  #: either direction: heartbeat probe (empty payload)
     PONG = 10  #: heartbeat reply (empty payload)
+    SYMBOLS = 11  #: client -> server: pickled :class:`SymbolDelta`; one-way, no response
 
 
 # --------------------------------------------------------------------------- #
@@ -257,24 +282,19 @@ def overlap_length(previous: Tuple[WorkFact, ...], current: Tuple[WorkFact, ...]
     return 0
 
 
-def diff_facts(previous: Tuple[WorkFact, ...], current: Tuple[WorkFact, ...]) -> Tuple[FactDeltaOp, ...]:
-    """Encode ``current`` as copy-runs over ``previous`` plus literal facts.
+def _diff_runs(previous: Tuple, current: Tuple) -> List[Tuple[bool, Tuple]]:
+    """Greedy longest-run matcher shared by the fact and id delta forms.
 
-    A greedy longest-run matcher (the delta-compression classic): for every
-    position of ``current`` it probes where that fact occurs in
-    ``previous`` and extends the longest contiguous match; runs of at least
-    :data:`MIN_COPY_RUN` become ``(start, length)`` copy ops, everything
-    else stays literal.  Cost is linear in practice (each probe either
-    consumes a run or one literal).  This handles both overlap shapes the
-    execution layer produces: order-preserving partitions (one long copy
-    run -- the pure sliding window) and predicate-regrouping partitions
-    (one copy run per predicate group straddling the slide).
+    Returns tagged runs ``(is_copy, payload)``: copies carry ``(start,
+    length)`` into ``previous``, literal runs carry the items themselves.
+    Tagging matters for the id form, where a two-int literal run would be
+    indistinguishable from a copy op.
     """
-    index: Dict[WorkFact, List[int]] = {}
+    index: Dict[Any, List[int]] = {}
     for position, fact in enumerate(previous):
         index.setdefault(fact, []).append(position)
-    ops: List[FactDeltaOp] = []
-    literals: List[WorkFact] = []
+    runs: List[Tuple[bool, Tuple]] = []
+    literals: List[Any] = []
     cursor = 0
     total = len(current)
     while cursor < total:
@@ -292,16 +312,32 @@ def diff_facts(previous: Tuple[WorkFact, ...], current: Tuple[WorkFact, ...]) ->
                 best_length, best_position = length, position
         if best_length >= MIN_COPY_RUN:
             if literals:
-                ops.append(tuple(literals))
+                runs.append((False, tuple(literals)))
                 literals = []
-            ops.append((best_position, best_length))
+            runs.append((True, (best_position, best_length)))
             cursor += best_length
         else:
             literals.append(current[cursor])
             cursor += 1
     if literals:
-        ops.append(tuple(literals))
-    return tuple(ops)
+        runs.append((False, tuple(literals)))
+    return runs
+
+
+def diff_facts(previous: Tuple[WorkFact, ...], current: Tuple[WorkFact, ...]) -> Tuple[FactDeltaOp, ...]:
+    """Encode ``current`` as copy-runs over ``previous`` plus literal facts.
+
+    A greedy longest-run matcher (the delta-compression classic): for every
+    position of ``current`` it probes where that fact occurs in
+    ``previous`` and extends the longest contiguous match; runs of at least
+    :data:`MIN_COPY_RUN` become ``(start, length)`` copy ops, everything
+    else stays literal.  Cost is linear in practice (each probe either
+    consumes a run or one literal).  This handles both overlap shapes the
+    execution layer produces: order-preserving partitions (one long copy
+    run -- the pure sliding window) and predicate-regrouping partitions
+    (one copy run per predicate group straddling the slide).
+    """
+    return tuple(payload for _is_copy, payload in _diff_runs(previous, current))
 
 
 def apply_facts_diff(previous: Tuple[WorkFact, ...], ops: Tuple[FactDeltaOp, ...]) -> Tuple[WorkFact, ...]:
@@ -320,23 +356,140 @@ def apply_facts_diff(previous: Tuple[WorkFact, ...], ops: Tuple[FactDeltaOp, ...
     return tuple(parts)
 
 
+# --------------------------------------------------------------------------- #
+# Interned-id wire forms (the ``symbol_ids`` capability)
+# --------------------------------------------------------------------------- #
+#: An id delta operation: ``(start, length)`` copies that run from the
+#: previous id tuple; a ``bytes`` value is a packed literal id run
+#: (:func:`repro.asp.syntax.symbols.pack_ids`).  The two are structurally
+#: distinct, unlike int facts in :data:`FactDeltaOp` tuples.
+IdRunOp = Union[Tuple[int, int], bytes]
+
+
+@dataclass(frozen=True)
+class IdWorkItem:
+    """Full wire form of a work item under the ``symbol_ids`` capability.
+
+    ``id_data`` is the window's fact tuple as a packed u32 id array against
+    the connection's synced symbol table -- any symbol it references was
+    shipped in an earlier (or the immediately preceding) ``SYMBOLS`` frame.
+    """
+
+    track: int
+    epoch: int
+    incremental: Optional[bool]
+    id_data: bytes
+
+
+@dataclass(frozen=True)
+class IdFactDelta:
+    """Delta wire form of a steady-state work item under ``symbol_ids``."""
+
+    track: int
+    epoch: int
+    incremental: Optional[bool]
+    ops: Tuple[IdRunOp, ...]
+
+
+def diff_id_runs(previous: Tuple[int, ...], current: Tuple[int, ...]) -> Tuple[IdRunOp, ...]:
+    """Encode an id tuple as copy runs over the previous one (id form of
+    :func:`diff_facts`); literal runs are packed to bytes."""
+    return tuple(
+        payload if is_copy else pack_ids(payload) for is_copy, payload in _diff_runs(previous, current)
+    )
+
+
+def apply_id_runs(previous: Tuple[int, ...], ops: Tuple[IdRunOp, ...]) -> Tuple[int, ...]:
+    """Reconstruct the id tuple :func:`diff_id_runs` encoded."""
+    parts: List[int] = []
+    for op in ops:
+        if isinstance(op, bytes):
+            parts.extend(unpack_ids(op))
+        else:
+            start, length = op
+            if not (0 <= start and length >= 0 and start + length <= len(previous)):
+                raise ProtocolError(
+                    f"id copy op ({start}, {length}) out of range for a {len(previous)}-id window"
+                )
+            parts.extend(previous[start : start + length])
+    return tuple(parts)
+
+
 class DeltaShipper:
     """Client-side per-track encoder choosing full vs. delta wire forms.
 
     A delta frame is sent only when its encoded payload is actually smaller
     than the full fact set's -- so disjoint (tumbling/hopping) windows, and
     any window the matcher cannot compress, automatically travel full.
+
+    With ``symbol_ids`` on, the shipper additionally interns every fact in
+    a connection-scoped :class:`SymbolTable` and emits the table's new tail
+    as a ``SYMBOLS`` frame ahead of the work frame
+    (:meth:`encode_frames`); the work frames themselves then carry flat id
+    arrays (:class:`IdWorkItem` / :class:`IdFactDelta`), so a steady-state
+    window whose facts are all known to the peer crosses the wire without
+    pickling a single atom.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, delta_shipping: bool = True, symbol_ids: bool = False) -> None:
+        self._delta_shipping = delta_shipping
         self._previous: Dict[int, Tuple[WorkFact, ...]] = {}
+        self._prev_ids: Dict[int, Tuple[int, ...]] = {}
+        self._table: Optional[SymbolTable] = SymbolTable() if symbol_ids else None
+        self._synced = 0
+
+    def encode_frames(self, item: WorkItem) -> List[Tuple[FrameKind, bytes]]:
+        """Encode ``item`` into the frames to send, in order.
+
+        The last frame is always the work frame (``WORK`` or ``DELTA``);
+        under ``symbol_ids`` it may be preceded by one ``SYMBOLS`` frame
+        carrying the symbols the peer has not seen yet.  Track state (and
+        the synced-table watermark) advances exactly as the peer's decoder
+        will on receipt.
+        """
+        thin = item.thinned()
+        if self._table is None:
+            return [self._encode_facts(item, thin)]
+        frames: List[Tuple[FrameKind, bytes]] = []
+        ids = tuple(self._table.intern_many(item.facts))
+        sync = self._table.diff_since(self._synced)
+        if sync:
+            frames.append((FrameKind.SYMBOLS, _dumps(sync)))
+            self._synced = sync.stop
+        previous = self._prev_ids.get(item.track)
+        self._prev_ids[item.track] = ids
+        full_payload = _dumps(
+            IdWorkItem(track=item.track, epoch=item.epoch, incremental=thin.incremental, id_data=pack_ids(ids))
+        )
+        if self._delta_shipping and previous is not None:
+            ops = diff_id_runs(previous, ids)
+            if any(not isinstance(op, bytes) for op in ops):
+                delta_payload = _dumps(
+                    IdFactDelta(
+                        track=item.track,
+                        epoch=item.epoch,
+                        incremental=item.wants_incremental,
+                        ops=ops,
+                    )
+                )
+                if len(delta_payload) < len(full_payload):
+                    frames.append((FrameKind.DELTA, delta_payload))
+                    return frames
+        frames.append((FrameKind.WORK, full_payload))
+        return frames
 
     def encode(self, item: WorkItem) -> Tuple[FrameKind, bytes]:
-        """Encode ``item``; updates the track state as the peer's decoder will."""
+        """Encode ``item`` as a single work frame (legacy, pre-``symbol_ids``)."""
+        frames = self.encode_frames(item)
+        if len(frames) != 1:
+            raise RuntimeError("a symbol-id shipper may emit SYMBOLS frames; use encode_frames")
+        return frames[0]
+
+    def _encode_facts(self, item: WorkItem, thin: WorkItem) -> Tuple[FrameKind, bytes]:
         previous = self._previous.get(item.track)
         self._previous[item.track] = item.facts
-        full_payload = _dumps(item.thinned())
-        if previous is not None:
+        full_payload = _dumps(thin)
+        if self._delta_shipping and previous is not None:
             ops = diff_facts(previous, item.facts)
             if any(_is_copy_op(op) for op in ops):
                 delta_payload = _dumps(
@@ -355,23 +508,55 @@ class DeltaShipper:
         """Drop the remembered facts (all tracks, or one)."""
         if track is None:
             self._previous.clear()
+            self._prev_ids.clear()
         else:
             self._previous.pop(track, None)
+            self._prev_ids.pop(track, None)
 
 
 class DeltaDecoder:
-    """Server-side per-track decoder mirroring :class:`DeltaShipper`."""
+    """Server-side per-track decoder mirroring :class:`DeltaShipper`.
+
+    Holds the replica :class:`SymbolTable` of the connection: ``SYMBOLS``
+    frames append to it (:meth:`apply_symbols`), and id-form work frames
+    resolve their id arrays against it.  An id the table cannot resolve
+    means a lost ``SYMBOLS`` frame -- the error propagates and kills the
+    connection, exactly like a desynced fact delta.
+    """
 
     def __init__(self) -> None:
         self._previous: Dict[int, Tuple[WorkFact, ...]] = {}
+        self._prev_ids: Dict[int, Tuple[int, ...]] = {}
+        self._table = SymbolTable()
+
+    def apply_symbols(self, payload: bytes) -> int:
+        """Apply a ``SYMBOLS`` frame; returns the number of new symbols."""
+        delta: SymbolDelta = pickle.loads(payload)
+        return self._table.apply(delta)
 
     def decode(self, kind: FrameKind, payload: bytes) -> WorkItem:
         """Rebuild the :class:`WorkItem` of a ``WORK`` or ``DELTA`` frame."""
+        value = pickle.loads(payload)
         if kind is FrameKind.WORK:
-            item: WorkItem = pickle.loads(payload)
+            if isinstance(value, IdWorkItem):
+                ids = unpack_ids(value.id_data)
+                facts = self._table.resolve_many(ids)
+                self._prev_ids[value.track] = ids
+                return WorkItem(
+                    facts=facts, track=value.track, epoch=value.epoch, incremental=value.incremental
+                )
+            item: WorkItem = value
             self._previous[item.track] = item.facts
             return item
-        delta: FactDelta = pickle.loads(payload)
+        if isinstance(value, IdFactDelta):
+            previous_ids = self._prev_ids.get(value.track)
+            if previous_ids is None:
+                raise ProtocolError(f"DELTA frame for track {value.track} without a previous full window")
+            ids = apply_id_runs(previous_ids, value.ops)
+            self._prev_ids[value.track] = ids
+            facts = self._table.resolve_many(ids)
+            return WorkItem(facts=facts, track=value.track, epoch=value.epoch, incremental=value.incremental)
+        delta: FactDelta = value
         previous = self._previous.get(delta.track)
         if previous is None:
             raise ProtocolError(f"DELTA frame for track {delta.track} without a previous full window")
@@ -391,6 +576,8 @@ class WireStats:
     items_delta: int = 0  #: work items shipped as :class:`FactDelta` frames
     bytes_full: int = 0  #: payload bytes of the full items
     bytes_delta: int = 0  #: payload bytes of the delta items
+    symbol_frames: int = 0  #: ``SYMBOLS`` table-sync frames sent
+    bytes_symbols: int = 0  #: payload bytes of the symbol-sync frames
     bytes_in: int = 0  #: result payload bytes received
     pings: int = 0  #: heartbeat round trips completed
 
@@ -400,7 +587,7 @@ class WireStats:
 
     @property
     def bytes_out(self) -> int:
-        return self.bytes_full + self.bytes_delta
+        return self.bytes_full + self.bytes_delta + self.bytes_symbols
 
     def merged_with(self, other: "WireStats") -> "WireStats":
         return WireStats(
@@ -408,6 +595,8 @@ class WireStats:
             items_delta=self.items_delta + other.items_delta,
             bytes_full=self.bytes_full + other.bytes_full,
             bytes_delta=self.bytes_delta + other.bytes_delta,
+            symbol_frames=self.symbol_frames + other.symbol_frames,
+            bytes_symbols=self.bytes_symbols + other.bytes_symbols,
             bytes_in=self.bytes_in + other.bytes_in,
             pings=self.pings + other.pings,
         )
@@ -502,6 +691,7 @@ class WorkerClient:
         reasoner_payload: bytes,
         *,
         delta_shipping: bool = True,
+        symbol_ids: bool = True,
         attempts: int = 5,
         base_delay: float = 0.05,
         max_delay: float = 2.0,
@@ -528,11 +718,15 @@ class WorkerClient:
             sleep=sleep,
         )
         try:
-            self.capabilities = self._handshake(reasoner_payload, delta_shipping)
+            self.capabilities = self._handshake(reasoner_payload, delta_shipping, symbol_ids)
         except BaseException:
             self.close()
             raise
-        self._shipper = DeltaShipper() if self.capabilities.get("delta_shipping") else None
+        use_delta = bool(self.capabilities.get("delta_shipping"))
+        use_ids = bool(self.capabilities.get("symbol_ids"))
+        self._shipper = (
+            DeltaShipper(delta_shipping=use_delta, symbol_ids=use_ids) if (use_delta or use_ids) else None
+        )
 
     # -- lifecycle ------------------------------------------------------- #
     @property
@@ -554,11 +748,12 @@ class WorkerClient:
         self.close()
 
     # -- handshake ------------------------------------------------------- #
-    def _handshake(self, reasoner_payload: bytes, delta_shipping: bool) -> Dict[str, bool]:
+    def _handshake(self, reasoner_payload: bytes, delta_shipping: bool, symbol_ids: bool) -> Dict[str, bool]:
         sock = self._sock
         assert sock is not None
         offered = dict(DEFAULT_CAPABILITIES)
         offered["delta_shipping"] = delta_shipping
+        offered["symbol_ids"] = symbol_ids
         try:
             sock.sendall(MAGIC)
             send_frame(sock, FrameKind.HELLO, _dumps({"protocol": PROTOCOL_VERSION, "capabilities": offered}))
@@ -691,9 +886,22 @@ class WorkerClient:
             if sock is None:
                 raise BackendConnectionError(f"connection to worker {self.address} is closed")
             if self._shipper is not None:
-                kind, payload = self._shipper.encode(item)
+                frames = self._shipper.encode_frames(item)
             else:
-                kind, payload = FrameKind.WORK, _dumps(item.thinned())
+                frames = [(FrameKind.WORK, _dumps(item.thinned()))]
+            # Leading SYMBOLS frames are one-way (no response, so no ticket);
+            # only the trailing work frame enters the FIFO ticket queue.
+            for sync_kind, sync_payload in frames[:-1]:
+                try:
+                    send_frame(sock, sync_kind, sync_payload)
+                except (OSError, BrokenPipeError) as error:
+                    failure = BackendConnectionError(f"connection to worker {self.address} lost: {error!r}")
+                    self._abort(failure)
+                    raise failure from error
+                with self._state_lock:
+                    self.stats.symbol_frames += 1
+                    self.stats.bytes_symbols += len(sync_payload)
+            kind, payload = frames[-1]
             ticket = self._post(kind, payload)
             with self._state_lock:
                 if kind is FrameKind.DELTA:
@@ -757,6 +965,7 @@ class ServedConnection:
 
     items: int = 0
     deltas: int = 0
+    symbols: int = 0  #: SYMBOLS table-sync frames applied
     pings: int = 0
     rejected: Optional[str] = None
     capabilities: Dict[str, bool] = field(default_factory=dict)
@@ -853,6 +1062,17 @@ def serve_worker_connection(
                 if kind is FrameKind.PING:
                     if not _offer((kind, None)):
                         return
+                    continue
+                if kind is FrameKind.SYMBOLS:
+                    # One-way table sync: apply in receive order, no queue
+                    # entry (so no response frame -- the FIFO order the
+                    # client's ticket queue relies on is undisturbed).
+                    try:
+                        decoder.apply_symbols(payload)
+                    except BaseException as error:  # noqa: BLE001 - reported, then the connection dies
+                        _offer((None, ProtocolError(f"undecodable SYMBOLS frame: {error!r}")))
+                        return
+                    record.symbols += 1
                     continue
                 if kind not in (FrameKind.WORK, FrameKind.DELTA):
                     _offer((None, None))  # protocol violation: drop the connection

@@ -327,6 +327,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="refuse the delta_shipping capability (coordinators fall back to full fact sets)",
     )
     parser.add_argument(
+        "--no-symbol-ids",
+        action="store_true",
+        help="refuse the symbol_ids capability (coordinators ship pickled atoms instead of interned ids)",
+    )
+    parser.add_argument(
         "--read-ahead",
         type=int,
         default=8,
@@ -344,7 +349,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if arguments.read_ahead < 1:
         parser.error("--read-ahead must be at least 1")
-    capabilities = {"delta_shipping": not arguments.no_delta}
+    capabilities = {
+        "delta_shipping": not arguments.no_delta,
+        "symbol_ids": not arguments.no_symbol_ids,
+    }
     server = WorkerServer(
         arguments.listen[0],
         arguments.listen[1],

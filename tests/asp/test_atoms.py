@@ -25,6 +25,44 @@ class TestAtom:
         assert clone._hash == 0  # recomputed lazily in the target interpreter
         assert clone == atom and hash(clone) == hash(atom)
 
+    def test_reduce_goes_through_the_constructor(self):
+        # __reduce__ must rebuild via Atom(predicate, arguments) -- not via
+        # state restoration -- so __post_init__ validation runs on unpickle.
+        atom = Atom("p", (Constant(1), Constant("a")))
+        hash(atom)
+        callable_, args = atom.__reduce__()
+        assert callable_ is Atom
+        assert args == ("p", (Constant(1), Constant("a")))  # no cached hash shipped
+
+    def test_cached_hash_invariant_across_hash_seeds(self):
+        # The end-to-end PYTHONHASHSEED regression: a pickled atom must keep
+        # working as a set member in an interpreter with a different hash
+        # seed (the spawn-started worker scenario).
+        import os
+        import pickle
+        import subprocess
+        import sys
+
+        atom = Atom("p", (Constant(1), Constant("abc")))
+        hash(atom)  # populate the cache before pickling
+        payload = pickle.dumps({atom: True})
+        probe = (
+            "import pickle, sys\n"
+            "mapping = pickle.loads(sys.stdin.buffer.read())\n"
+            "from repro.asp.syntax.atoms import Atom\n"
+            "from repro.asp.syntax.terms import Constant\n"
+            "atom = Atom('p', (Constant(1), Constant('abc')))\n"
+            "assert mapping[atom] is True\n"
+            "print('ok')\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        completed = subprocess.run(
+            [sys.executable, "-c", probe], input=payload, capture_output=True, env=env
+        )
+        assert completed.returncode == 0, completed.stderr.decode()
+        assert completed.stdout.strip() == b"ok"
+
     def test_signature(self):
         atom = Atom("average_speed", (Constant("newcastle"), Constant(10)))
         assert atom.signature == ("average_speed", 2)

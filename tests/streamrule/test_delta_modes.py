@@ -22,6 +22,7 @@ from repro.streamrule.backends import (
     InlineBackend,
     LoopbackSocketBackend,
     ProcessPoolBackend,
+    SharedMemoryBackend,
     ThreadPoolBackend,
 )
 from repro.streamrule.parallel import ExecutionMode, ParallelReasoner
@@ -45,6 +46,7 @@ BACKEND_FACTORIES = {
     "threads": lambda workers: ThreadPoolBackend(max_workers=workers),
     "processes": lambda workers: ProcessPoolBackend(max_workers=workers),
     "loopback-socket": lambda workers: LoopbackSocketBackend(max_workers=workers),
+    "shared-memory": lambda workers: SharedMemoryBackend(max_workers=workers),
 }
 
 #: Every runner of the delta-equivalence matrix: the four legacy modes plus

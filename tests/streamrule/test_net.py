@@ -32,10 +32,14 @@ from repro.streamrule.net import (
     DeltaDecoder,
     DeltaShipper,
     FrameKind,
+    IdFactDelta,
+    IdWorkItem,
     WorkerClient,
     apply_facts_diff,
+    apply_id_runs,
     connect_with_backoff,
     diff_facts,
+    diff_id_runs,
     overlap_length,
     recv_exactly,
     recv_frame,
@@ -237,6 +241,156 @@ class TestDeltaCodec:
         shipper.forget()
         kind, _ = shipper.encode(item)
         assert kind is FrameKind.WORK
+
+
+# --------------------------------------------------------------------------- #
+# Interned-id shipping (the symbol_ids capability)
+# --------------------------------------------------------------------------- #
+class TestIdRuns:
+    def test_round_trip_with_overlap(self):
+        previous = tuple(range(100, 140))
+        current = previous[10:] + tuple(range(500, 510))
+        ops = diff_id_runs(previous, current)
+        assert any(isinstance(op, tuple) for op in ops)  # a copy run was found
+        assert apply_id_runs(previous, ops) == current
+
+    def test_two_int_literal_run_is_not_mistaken_for_a_copy(self):
+        # The regression the tagged diff core exists for: over id tuples a
+        # two-int literal run is structurally identical to a (start, length)
+        # copy op; the id form disambiguates by packing literals to bytes.
+        previous = ()
+        current = (5, 7)
+        ops = diff_id_runs(previous, current)
+        assert all(isinstance(op, bytes) for op in ops)
+        assert apply_id_runs(previous, ops) == current
+
+    def test_out_of_range_copy_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            apply_id_runs((1, 2), ((0, 5),))
+
+
+class TestSymbolIdCodec:
+    @staticmethod
+    def pump(shipper, decoder, item):
+        """Ship one item through the paired codec, returning (kinds, rebuilt)."""
+        kinds, rebuilt = [], None
+        for kind, payload in shipper.encode_frames(item):
+            kinds.append(kind)
+            if kind is FrameKind.SYMBOLS:
+                decoder.apply_symbols(payload)
+            else:
+                rebuilt = decoder.decode(kind, payload)
+        return kinds, rebuilt
+
+    def test_first_window_ships_symbols_then_id_work(self):
+        shipper = DeltaShipper(symbol_ids=True)
+        frames = shipper.encode_frames(work_item(count=5))
+        assert [kind for kind, _ in frames] == [FrameKind.SYMBOLS, FrameKind.WORK]
+        assert isinstance(pickle.loads(frames[1][1]), IdWorkItem)
+
+    def test_steady_state_window_ships_only_an_id_delta(self):
+        shipper, decoder = DeltaShipper(symbol_ids=True), DeltaDecoder()
+        first = work_item(count=10, track=3)
+        self.pump(shipper, decoder, first)
+        overlapping = WorkItem(facts=first.facts[2:] + (make_atom("item", 99),), track=3, epoch=1)
+        self.pump(shipper, decoder, overlapping)  # interns item(99)
+        steady = WorkItem(facts=overlapping.facts, track=3, epoch=2)
+        kinds, rebuilt = self.pump(shipper, decoder, steady)
+        assert kinds == [FrameKind.DELTA]  # no new symbols, no full facts
+        assert rebuilt.facts == steady.facts
+
+    def test_round_trip_reconstructs_every_window(self):
+        stream = traffic_stream(120)
+        shipper, decoder = DeltaShipper(symbol_ids=True), DeltaDecoder()
+        for delta in CountWindow(size=40, slide=10).deltas(stream):
+            item = WorkItem(facts=tuple(delta.window), delta=delta, track=2, epoch=delta.index)
+            kinds, rebuilt = self.pump(shipper, decoder, item)
+            assert kinds[-1] in (FrameKind.WORK, FrameKind.DELTA)
+            assert rebuilt.facts == item.facts
+            assert rebuilt.track == 2 and rebuilt.epoch == delta.index
+            assert rebuilt.wants_incremental == item.wants_incremental
+
+    def test_id_frames_beat_pickles_on_a_recurring_universe(self):
+        """Acceptance: known facts cross the wire as 4-byte ids.
+
+        The scenario delta shipping cannot compress: windows drawn from a
+        recurring fact universe but *reordered* each time (a hash
+        partitioner regrouping facts, a shuffling source), which breaks the
+        copy-run matcher and forces legacy shipping back to full pickled
+        fact sets.  Interned shipping pickles each symbol once, in the
+        first sync, and re-ships it as 4 bytes forever after.
+        """
+        import random
+
+        universe = [make_atom("reading", index) for index in range(100)]
+        shuffler = random.Random(11)
+        legacy = DeltaShipper()
+        interned = DeltaShipper(symbol_ids=True)
+        legacy_bytes = interned_bytes = 0
+        for epoch in range(10):
+            facts = list(universe)
+            shuffler.shuffle(facts)
+            item = WorkItem(facts=tuple(facts), track=0, epoch=epoch)
+            legacy_bytes += len(legacy.encode(item)[1])
+            interned_bytes += sum(len(payload) for _, payload in interned.encode_frames(item))
+        assert interned_bytes < legacy_bytes / 2
+
+    def test_plain_delta_shipper_never_emits_symbol_frames(self):
+        item = work_item(count=5)
+        assert [kind for kind, _ in DeltaShipper().encode_frames(item)] == [FrameKind.WORK]
+        # encode() stays valid for the legacy single-frame configuration.
+        kind, _ = DeltaShipper().encode(item)
+        assert kind is FrameKind.WORK
+
+    def test_encode_refuses_multi_frame_configurations(self):
+        shipper = DeltaShipper(symbol_ids=True)
+        with pytest.raises(RuntimeError):
+            shipper.encode(work_item(count=3))
+
+    def test_decoder_rejects_a_symbol_gap(self):
+        shipper, decoder = DeltaShipper(symbol_ids=True), DeltaDecoder()
+        frames = shipper.encode_frames(work_item(count=5))
+        # Drop the SYMBOLS frame: the work frame's ids cannot resolve.
+        work_kind, work_payload = frames[-1]
+        with pytest.raises(IndexError):
+            decoder.decode(work_kind, work_payload)
+
+    def test_symbol_sync_applies_idempotently(self):
+        shipper, decoder = DeltaShipper(symbol_ids=True), DeltaDecoder()
+        frames = shipper.encode_frames(work_item(count=4))
+        sync_payload = frames[0][1]
+        assert decoder.apply_symbols(sync_payload) == 4
+        assert decoder.apply_symbols(sync_payload) == 0  # replay is a no-op
+
+
+class TestSymbolIdWire:
+    def test_end_to_end_matches_inline(self):
+        stream = traffic_stream(90)
+        reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+        with WorkerServer() as server:
+            with WorkerClient(server.address, pickle.dumps(reasoner)) as client:
+                assert client.capabilities.get("symbol_ids") is True
+                inline = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+                for delta in CountWindow(size=30, slide=10).deltas(stream):
+                    item = WorkItem(facts=tuple(delta.window), delta=delta, epoch=delta.index)
+                    over_the_wire = client.submit_item(item)
+                    local = inline.reason_item(item)
+                    assert set(over_the_wire.answers) == set(local.answers)
+                assert client.stats.symbol_frames > 0
+                assert client.stats.bytes_symbols > 0
+
+    def test_client_can_decline_symbol_ids(self):
+        with WorkerServer() as server:
+            with WorkerClient(server.address, choice_payload(), symbol_ids=False) as client:
+                assert "symbol_ids" not in client.capabilities
+                assert client.submit_item(work_item()).answers
+                assert client.stats.symbol_frames == 0
+
+    def test_server_can_refuse_symbol_ids(self):
+        with WorkerServer(capabilities={"delta_shipping": True, "symbol_ids": False}) as server:
+            with WorkerClient(server.address, choice_payload()) as client:
+                assert "symbol_ids" not in client.capabilities
+                assert client.submit_item(work_item()).answers
 
 
 # --------------------------------------------------------------------------- #

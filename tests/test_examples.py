@@ -4,6 +4,8 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 
 EXAMPLES_DIRECTORY = Path(__file__).resolve().parent.parent / "examples"
 
@@ -49,3 +51,13 @@ class TestExamples:
         output = run_example("paper_experiments.py", "--figure", "8", "--window-sizes", "200,400")
         assert "Figure 8: accuracy (program P)" in output
         assert "PR_Dep" in output
+
+    @pytest.mark.slow  # spawns shared-memory worker processes
+    def test_shared_memory_survives_a_worker_kill(self):
+        output = run_example("shared_memory.py", "--windows", "4", "--window-size", "300")
+        assert "killing worker process 0 mid-stream" in output
+        assert "ring statistics:" in output
+        # The kill degrades partitions to inline evaluation, never wedges.
+        assert "inline fallbacks after the kill: 0" not in output
+        data_rows = [line for line in output.splitlines() if line.strip() and line.lstrip()[0].isdigit()]
+        assert len(data_rows) == 4  # every window produced a solution row
