@@ -307,6 +307,11 @@ class GroundingCache:
         self.delta_rebuilds = 0
         self.repaired_atoms = 0
         self.repaired_rules = 0
+        # Human-readable track names (track -> label), attached by owners
+        # that multiplex many logical streams over one cache -- the query
+        # server labels each tenant lane's track range so the per-track
+        # delta states stay attributable in the ops metrics export.
+        self._track_labels: Dict[int, str] = {}
         # Rendered-rules memo: tuple of rule ids -> (strong refs, rendering).
         # In the streaming setting the rule part is fixed while the facts
         # change per window, and Program.copy shares the Rule objects -- so
@@ -489,6 +494,16 @@ class GroundingCache:
             self.repaired_atoms = 0
             self.repaired_rules = 0
 
+    def label_track(self, track: int, label: str) -> None:
+        """Name a delta track (observability only; evaluation ignores it)."""
+        with self._lock:
+            self._track_labels[track] = label
+
+    def track_labels(self) -> Dict[int, str]:
+        """The labels attached via :meth:`label_track` (a copy)."""
+        with self._lock:
+            return dict(self._track_labels)
+
     def statistics(self) -> Dict[str, float]:
         return {
             "entries": float(len(self._entries)),
@@ -500,6 +515,7 @@ class GroundingCache:
             "delta_rebuilds": float(self.delta_rebuilds),
             "repaired_atoms": float(self.repaired_atoms),
             "repaired_rules": float(self.repaired_rules),
+            "labeled_tracks": float(len(self._track_labels)),
         }
 
 

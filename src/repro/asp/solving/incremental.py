@@ -693,6 +693,9 @@ class SolverCache:
         self._strata_reused = 0
         self._strata_recomputed = 0
         self._evictions = 0
+        # Track -> human-readable name, attached by multiplexing owners
+        # (see GroundingCache.label_track); observability only.
+        self._track_labels: Dict[int, str] = {}
 
     def solve_incremental(
         self, ground: GroundProgram, track: int, limit: Optional[int] = None
@@ -725,6 +728,16 @@ class SolverCache:
             self._strata_recomputed += stats.strata_recomputed
         return models, stats
 
+    def label_track(self, track: int, label: str) -> None:
+        """Name a solver track (observability only; solving ignores it)."""
+        with self._lock:
+            self._track_labels[track] = label
+
+    def track_labels(self) -> Dict[int, str]:
+        """The labels attached via :meth:`label_track` (a copy)."""
+        with self._lock:
+            return dict(self._track_labels)
+
     def statistics(self) -> Dict[str, float]:
         with self._lock:
             return {
@@ -738,6 +751,7 @@ class SolverCache:
                 "strata_recomputed": float(self._strata_recomputed),
                 "solver_states": float(len(self._states)),
                 "evictions": float(self._evictions),
+                "labeled_tracks": float(len(self._track_labels)),
             }
 
     def clear(self) -> None:

@@ -1,5 +1,15 @@
-"""The paper's example logic programs and their metadata."""
+"""The paper's example logic programs and their metadata.
 
+:mod:`repro.programs.traffic` is the paper's own workload (Listing 1);
+:mod:`repro.programs.fraud` and :mod:`repro.programs.iot` are additional
+standing-query scenarios for the multi-tenant query server, with distinct
+window/recursion/negation profiles.  The scenario modules share constant
+names (``INPUT_PREDICATES`` and friends) -- import those from the modules
+themselves; this package re-exports only the unambiguous program builders.
+"""
+
+from repro.programs.fraud import fraud_program, fraud_program_extended
+from repro.programs.iot import iot_program, iot_program_extended
 from repro.programs.traffic import (
     DERIVED_PREDICATES,
     EVENT_PREDICATES,
@@ -21,6 +31,10 @@ __all__ = [
     "OUTPUT_PREDICATES",
     "PROGRAM_P_TEXT",
     "PROGRAM_P_PRIME_TEXT",
+    "fraud_program",
+    "fraud_program_extended",
+    "iot_program",
+    "iot_program_extended",
     "motivating_example_window",
     "traffic_program",
     "traffic_program_prime",

@@ -1,0 +1,118 @@
+"""A fraud-detection scenario program for the multi-tenant query server.
+
+A second standing-query workload besides the paper's traffic programs
+(:mod:`repro.programs.traffic`), with a deliberately different profile:
+transfer chains make the program *recursive* (``chain`` is a transitive
+closure, something the traffic rules never exercise), and the cash-out rule
+uses negation over an *input* predicate (``not verified``).  The natural
+window shape is sliding (a laundering chain straddles window boundaries),
+where the IoT workload (:mod:`repro.programs.iot`) tumbles.
+
+``FRAUD_PROGRAM_EXTENDED_TEXT`` adds round-trip detection on top, defining
+only new predicates -- so the base and extended desks can co-register on a
+query server sharing every base rule (their shared fraction is 1.0 relative
+to the smaller program).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.parser import parse_program
+from repro.asp.syntax.program import Program
+
+__all__ = [
+    "ALERT_PREDICATES",
+    "DERIVED_PREDICATES",
+    "EXTENDED_ALERT_PREDICATES",
+    "FRAUD_PROGRAM_EXTENDED_TEXT",
+    "FRAUD_PROGRAM_TEXT",
+    "INPUT_PREDICATES",
+    "SAMPLE_WINDOW_TEXT",
+    "fraud_program",
+    "fraud_program_extended",
+    "sample_window",
+]
+
+#: The base fraud-desk rules.
+FRAUD_PROGRAM_TEXT = """\
+% a transaction moving serious money
+big_txn(T) :- amount(T, X), X > 500.
+% accounts linked by a big transfer
+linked(A, B) :- sent(A, T), received(B, T), big_txn(T).
+% the transitive closure of transfers (recursive!)
+chain(A, B) :- linked(A, B).
+chain(A, C) :- chain(A, B), linked(B, C).
+% money reachable into a blacklisted account
+laundering(A) :- chain(A, B), blacklisted(B).
+% a big cash withdrawal by an account nobody vetted
+cashout_risk(A) :- sent(A, T), big_txn(T), withdrawal(T), not verified(A).
+% either pattern raises an alert
+fraud_alert(A) :- laundering(A).
+fraud_alert(A) :- cashout_risk(A).
+"""
+
+#: Round-trip detection on top of the base rules.  Only *new* head
+#: predicates, so the extended desk can share a query server with the base
+#: desk (the union-program compatibility check requires exactly this).
+FRAUD_PROGRAM_EXTENDED_TEXT = FRAUD_PROGRAM_TEXT + """\
+% money that comes back to its source went in a circle
+round_trip(A) :- chain(A, B), chain(B, A).
+structuring_alert(A) :- round_trip(A).
+"""
+
+INPUT_PREDICATES: Tuple[str, ...] = (
+    "sent",
+    "received",
+    "amount",
+    "withdrawal",
+    "blacklisted",
+    "verified",
+)
+
+DERIVED_PREDICATES: Tuple[str, ...] = (
+    "big_txn",
+    "linked",
+    "chain",
+    "laundering",
+    "cashout_risk",
+    "fraud_alert",
+)
+
+#: What the base fraud desk subscribes to.
+ALERT_PREDICATES: Tuple[str, ...] = ("fraud_alert", "laundering", "cashout_risk")
+
+#: What the extended desk subscribes to.
+EXTENDED_ALERT_PREDICATES: Tuple[str, ...] = ALERT_PREDICATES + ("structuring_alert",)
+
+#: A hand-written window where both alert paths fire: acc1 -> acc2 -> acc3
+#: (blacklisted) is a laundering chain, and acc4 cashes out unverified.
+SAMPLE_WINDOW_TEXT = """\
+sent(acc1, t1).
+received(acc2, t1).
+amount(t1, 900).
+sent(acc2, t2).
+received(acc3, t2).
+amount(t2, 800).
+blacklisted(acc3).
+sent(acc4, t3).
+amount(t3, 700).
+withdrawal(t3).
+verified(acc1).
+"""
+
+
+def fraud_program() -> Program:
+    """The base fraud-desk program."""
+    return parse_program(FRAUD_PROGRAM_TEXT, name="fraud")
+
+
+def fraud_program_extended() -> Program:
+    """The base program plus round-trip (structuring) detection."""
+    return parse_program(FRAUD_PROGRAM_EXTENDED_TEXT, name="fraud_extended")
+
+
+def sample_window() -> List[Atom]:
+    """The hand-written sample window, as ground atoms."""
+    return [rule.head[0] for rule in parse_program(SAMPLE_WINDOW_TEXT).rules]

@@ -1,0 +1,117 @@
+"""An IoT anomaly-detection scenario program for the query server.
+
+The third standing-query workload (besides traffic and fraud), chosen for
+yet another profile: *no* recursion, but negation stacked over **derived**
+predicates -- ``silent`` negates the derived ``reporting``, and ``overheat``
+negates both an input (``ventilated``) and a derived (``faulty``) predicate,
+so the program has two strata of negation where traffic has one and fraud
+negates only inputs.  Sensor telemetry reads naturally in *tumbling*
+windows (each reporting interval judged on its own), where fraud slides.
+
+``IOT_PROGRAM_EXTENDED_TEXT`` adds maintenance triage with only new head
+predicates, so base and extended monitors can share a query server.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.parser import parse_program
+from repro.asp.syntax.program import Program
+
+__all__ = [
+    "ANOMALY_PREDICATES",
+    "DERIVED_PREDICATES",
+    "EXTENDED_ANOMALY_PREDICATES",
+    "INPUT_PREDICATES",
+    "IOT_PROGRAM_EXTENDED_TEXT",
+    "IOT_PROGRAM_TEXT",
+    "SAMPLE_WINDOW_TEXT",
+    "iot_program",
+    "iot_program_extended",
+    "sample_window",
+]
+
+#: The base anomaly-monitor rules.
+IOT_PROGRAM_TEXT = """\
+% extreme readings
+high_reading(S) :- reading(S, V), V > 90.
+low_reading(S) :- reading(S, V), V < 10.
+% a sensor swinging between extremes in one window is broken
+faulty(S) :- high_reading(S), low_reading(S).
+% a sensor that produced any reading this window
+reporting(S) :- reading(S, V).
+% a registered sensor that said nothing (negation over a derived predicate)
+silent(S) :- registered(S), not reporting(S).
+% a hot zone without ventilation, discounting broken sensors
+overheat(Z) :- located(S, Z), high_reading(S), not faulty(S), not ventilated(Z).
+% a zone whose sensor went dark
+blind_spot(Z) :- located(S, Z), silent(S).
+% either condition is an anomaly
+anomaly(Z) :- overheat(Z).
+anomaly(Z) :- blind_spot(Z).
+"""
+
+#: Maintenance triage on top of the base rules; only new head predicates,
+#: so the extended monitor can share a server with the base one.
+IOT_PROGRAM_EXTENDED_TEXT = IOT_PROGRAM_TEXT + """\
+% broken or dark sensors go on the maintenance list
+maintenance_ticket(S) :- faulty(S).
+maintenance_ticket(S) :- silent(S).
+"""
+
+INPUT_PREDICATES: Tuple[str, ...] = (
+    "reading",
+    "located",
+    "ventilated",
+    "registered",
+)
+
+DERIVED_PREDICATES: Tuple[str, ...] = (
+    "high_reading",
+    "low_reading",
+    "faulty",
+    "reporting",
+    "silent",
+    "overheat",
+    "blind_spot",
+    "anomaly",
+)
+
+#: What the base monitor subscribes to.
+ANOMALY_PREDICATES: Tuple[str, ...] = ("anomaly", "overheat", "blind_spot")
+
+#: What the extended monitor subscribes to.
+EXTENDED_ANOMALY_PREDICATES: Tuple[str, ...] = ANOMALY_PREDICATES + ("maintenance_ticket",)
+
+#: A hand-written window where both anomaly paths fire: zone_a overheats
+#: (s1 reads hot, not ventilated), s3 is registered but silent so zone_c is
+#: a blind spot, and s2 is faulty (both extremes) so zone_b stays quiet.
+SAMPLE_WINDOW_TEXT = """\
+reading(s1, 95).
+located(s1, zone_a).
+reading(s2, 99).
+reading(s2, 5).
+located(s2, zone_b).
+registered(s3).
+located(s3, zone_c).
+registered(s1).
+registered(s2).
+ventilated(zone_b).
+"""
+
+
+def iot_program() -> Program:
+    """The base anomaly-monitor program."""
+    return parse_program(IOT_PROGRAM_TEXT, name="iot")
+
+
+def iot_program_extended() -> Program:
+    """The base program plus maintenance triage."""
+    return parse_program(IOT_PROGRAM_EXTENDED_TEXT, name="iot_extended")
+
+
+def sample_window() -> List[Atom]:
+    """The hand-written sample window, as ground atoms."""
+    return [rule.head[0] for rule in parse_program(SAMPLE_WINDOW_TEXT).rules]

@@ -17,6 +17,8 @@ provides a faithful, self-contained stand-in:
 
 from repro.streaming.format import DataFormatProcessor
 from repro.streaming.generator import (
+    FraudScenarioGenerator,
+    IotScenarioGenerator,
     SyntheticStreamConfig,
     TrafficScenarioGenerator,
     UniformTripleGenerator,
@@ -40,6 +42,8 @@ __all__ = [
     "DataFormatProcessor",
     "LateArrivalError",
     "StreamQueryProcessor",
+    "FraudScenarioGenerator",
+    "IotScenarioGenerator",
     "SyntheticStreamConfig",
     "TimeWindow",
     "TimeWindowStepper",

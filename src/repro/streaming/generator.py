@@ -4,7 +4,7 @@ The paper builds its experimental data "by randomly generating triples where
 each p belongs to inpre(P).  For s or o, we randomly generate their values
 as numbers bound by n, where n is the size of the input window."
 
-Two generators are provided:
+Four generators are provided:
 
 * :class:`UniformTripleGenerator` -- the literal scheme above: predicates
   uniform over ``inpre(P)``, subject and object uniform integers bounded by
@@ -18,8 +18,13 @@ Two generators are provided:
   the substitution documented in DESIGN.md: the paper's exact random ranges
   are under-specified, so the scenario generator preserves the property that
   matters -- joins between predicates share subjects at a controllable rate.
+* :class:`FraudScenarioGenerator` / :class:`IotScenarioGenerator` -- the
+  same calibration idea for the query-server scenario programs
+  (:mod:`repro.programs.fraud`, :mod:`repro.programs.iot`): entity pools
+  sized so that joins (account--transaction, sensor--zone) actually meet
+  inside one window and the recursive / negation-heavy rules fire.
 
-Both generators are deterministic for a fixed seed.
+All generators are deterministic for a fixed seed.
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.streaming.triples import Triple
 
 __all__ = [
+    "FraudScenarioGenerator",
+    "IotScenarioGenerator",
     "SyntheticStreamConfig",
     "TrafficScenarioGenerator",
     "UniformTripleGenerator",
@@ -50,7 +57,8 @@ class SyntheticStreamConfig:
         The predicates ``inpre(P)`` that triples may use.
     scheme:
         ``"uniform"`` for the paper's literal scheme, ``"traffic"`` for the
-        calibrated traffic scenario.
+        calibrated traffic scenario, ``"fraud"`` / ``"iot"`` for the
+        query-server scenario workloads.
     seed:
         Random seed (windows are reproducible for a fixed seed).
     value_bound:
@@ -62,6 +70,12 @@ class SyntheticStreamConfig:
     car_count:
         Number of distinct cars in the traffic scheme (defaults to
         ``max(10, window_size // 50)``).
+    primary_count:
+        Size of the primary entity pool in the fraud/iot schemes (accounts
+        respectively sensors); defaults are scheme-specific.
+    secondary_count:
+        Size of the secondary entity pool in the fraud/iot schemes
+        (transactions respectively zones); defaults are scheme-specific.
     """
 
     window_size: int
@@ -71,14 +85,18 @@ class SyntheticStreamConfig:
     value_bound: Optional[int] = None
     location_count: Optional[int] = None
     car_count: Optional[int] = None
+    primary_count: Optional[int] = None
+    secondary_count: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.window_size < 0:
             raise ValueError("window_size must be non-negative")
         if not self.input_predicates:
             raise ValueError("at least one input predicate is required")
-        if self.scheme not in ("uniform", "traffic"):
-            raise ValueError(f"unknown scheme {self.scheme!r} (expected 'uniform' or 'traffic')")
+        if self.scheme not in ("uniform", "traffic", "fraud", "iot"):
+            raise ValueError(
+                f"unknown scheme {self.scheme!r} (expected 'uniform', 'traffic', 'fraud', or 'iot')"
+            )
 
 
 class UniformTripleGenerator:
@@ -177,8 +195,113 @@ class TrafficScenarioGenerator:
         return Triple(roll.randrange(bound), predicate, roll.randrange(bound), timestamp)
 
 
+class FraudScenarioGenerator:
+    """Calibrated transaction workload for :mod:`repro.programs.fraud`.
+
+    Subjects are accounts (``acc_i``) and transactions (``txn_j``).  The
+    transaction pool is kept small relative to the window so that
+    ``sent``/``received``/``amount`` triples for the same transaction meet
+    inside one window and the transfer-chain recursion has edges to close:
+
+    * ``sent(A, T)`` / ``received(B, T)`` link accounts to transactions,
+    * ``amount(T, X)`` with ``X`` uniform in [0, 1000) -- "big" (``> 500``)
+      about half the time,
+    * ``withdrawal(T)``, ``blacklisted(A)``, ``verified(A)`` are unary
+      markers on a fraction of the entities.
+    """
+
+    def __init__(self, config: SyntheticStreamConfig):
+        self._config = config
+        self._random = random.Random(config.seed)
+
+    def generate(self) -> List[Triple]:
+        config = self._config
+        size = config.window_size
+        account_count = config.primary_count or max(6, size // 12)
+        transaction_count = config.secondary_count or max(8, size // 6)
+        accounts = [f"acc_{index}" for index in range(account_count)]
+        transactions = [f"txn_{index}" for index in range(transaction_count)]
+        predicates = list(config.input_predicates)
+
+        triples: List[Triple] = []
+        for index in range(size):
+            predicate = self._random.choice(predicates)
+            triples.append(self._make_triple(predicate, accounts, transactions, float(index)))
+        return triples
+
+    # ------------------------------------------------------------------ #
+    def _make_triple(
+        self, predicate: str, accounts: Sequence[str], transactions: Sequence[str], timestamp: float
+    ) -> Triple:
+        roll = self._random
+        if predicate == "sent":
+            return Triple(roll.choice(accounts), predicate, roll.choice(transactions), timestamp)
+        if predicate == "received":
+            return Triple(roll.choice(accounts), predicate, roll.choice(transactions), timestamp)
+        if predicate == "amount":
+            return Triple(roll.choice(transactions), predicate, roll.randrange(0, 1000), timestamp)
+        if predicate == "withdrawal":
+            return Triple(roll.choice(transactions), predicate, "true", timestamp)
+        if predicate == "blacklisted":
+            return Triple(roll.choice(accounts), predicate, "true", timestamp)
+        if predicate == "verified":
+            return Triple(roll.choice(accounts), predicate, "true", timestamp)
+        bound = max(1, self._config.window_size)
+        return Triple(roll.randrange(bound), predicate, roll.randrange(bound), timestamp)
+
+
+class IotScenarioGenerator:
+    """Calibrated telemetry workload for :mod:`repro.programs.iot`.
+
+    Subjects are sensors (``sensor_i``) mapped onto a small pool of zones
+    (``zone_j``).  Readings spread over [0, 120) so both extremes (``> 90``,
+    ``< 10``) occur; ``registered`` markers outnumber actual readings per
+    sensor enough that some registered sensors stay silent in a window,
+    which is what exercises the negation-over-derived ``silent`` rule.
+    """
+
+    def __init__(self, config: SyntheticStreamConfig):
+        self._config = config
+        self._random = random.Random(config.seed)
+
+    def generate(self) -> List[Triple]:
+        config = self._config
+        size = config.window_size
+        sensor_count = config.primary_count or max(8, size // 8)
+        zone_count = config.secondary_count or max(4, size // 25)
+        sensors = [f"sensor_{index}" for index in range(sensor_count)]
+        zones = [f"zone_{index}" for index in range(zone_count)]
+        predicates = list(config.input_predicates)
+
+        triples: List[Triple] = []
+        for index in range(size):
+            predicate = self._random.choice(predicates)
+            triples.append(self._make_triple(predicate, sensors, zones, float(index)))
+        return triples
+
+    # ------------------------------------------------------------------ #
+    def _make_triple(
+        self, predicate: str, sensors: Sequence[str], zones: Sequence[str], timestamp: float
+    ) -> Triple:
+        roll = self._random
+        if predicate == "reading":
+            return Triple(roll.choice(sensors), predicate, roll.randrange(0, 120), timestamp)
+        if predicate == "located":
+            return Triple(roll.choice(sensors), predicate, roll.choice(zones), timestamp)
+        if predicate == "ventilated":
+            return Triple(roll.choice(zones), predicate, "true", timestamp)
+        if predicate == "registered":
+            return Triple(roll.choice(sensors), predicate, "true", timestamp)
+        bound = max(1, self._config.window_size)
+        return Triple(roll.randrange(bound), predicate, roll.randrange(bound), timestamp)
+
+
 def generate_window(config: SyntheticStreamConfig) -> List[Triple]:
     """Generate one window of triples according to ``config``."""
     if config.scheme == "uniform":
         return UniformTripleGenerator(config).generate()
+    if config.scheme == "fraud":
+        return FraudScenarioGenerator(config).generate()
+    if config.scheme == "iot":
+        return IotScenarioGenerator(config).generate()
     return TrafficScenarioGenerator(config).generate()

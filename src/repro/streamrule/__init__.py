@@ -31,6 +31,9 @@
   (the grey box of Figure 6), now a deprecated shim over the session.
 * :mod:`repro.streamrule.pipeline` -- the legacy end-to-end pipeline,
   likewise a deprecated shim over the session.
+* :mod:`repro.streamrule.server` -- the multi-tenant :class:`QueryServer`:
+  many named standing queries over one shared backend, with shared-
+  subprogram grounding, a fairness scheduler, and a Prometheus endpoint.
 
 The architecture guide (``docs/architecture.md``) walks the full layer
 stack; ``docs/api.md`` is the annotated index of this public surface.
@@ -50,7 +53,13 @@ from repro.streamrule.backends import (
 from repro.streamrule.compat import reset_deprecation_warnings
 from repro.streamrule.errors import BackendConnectionError, BackendError, HandshakeError, ProtocolError
 from repro.streamrule.fleet import WorkerEndpoint, WorkerFleet
-from repro.streamrule.metrics import IngestionStats, LatencyBreakdown, ReasonerMetrics, Timer
+from repro.streamrule.metrics import (
+    IngestionStats,
+    LatencyBreakdown,
+    ReasonerMetrics,
+    TenantStats,
+    Timer,
+)
 from repro.streamrule.net import PROTOCOL_VERSION, WireStats, WorkerClient
 from repro.streamrule.parallel import ParallelReasoner
 from repro.streamrule.pipeline import StreamRulePipeline
@@ -85,13 +94,17 @@ __all__ = [
     "PlacementStrategy",
     "ProcessPoolBackend",
     "ProtocolError",
+    "QueryResult",
+    "QueryServer",
     "SharedMemoryBackend",
     "Reasoner",
     "ReasonerMetrics",
     "ReasonerResult",
+    "StandingQuery",
     "StreamRulePipeline",
     "StreamSession",
     "TcpBackend",
+    "TenantStats",
     "ThreadPoolBackend",
     "Timer",
     "WindowSolution",
@@ -111,10 +124,18 @@ __all__ = [
 #: already imported by this package (runpy would warn and re-execute it).
 _LAZY_WORKER_EXPORTS = ("LocalWorkerProcess", "WorkerServer", "spawn_local_workers")
 
+#: Query-server names resolved lazily: the server package imports this
+#: package's session/backends modules, so eager re-export would cycle.
+_LAZY_SERVER_EXPORTS = ("QueryServer", "StandingQuery", "QueryResult")
+
 
 def __getattr__(name: str):
     if name in _LAZY_WORKER_EXPORTS:
         from repro.streamrule import worker
 
         return getattr(worker, name)
+    if name in _LAZY_SERVER_EXPORTS:
+        from repro.streamrule import server
+
+        return getattr(server, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -230,6 +230,18 @@ class ExecutionBackend(abc.ABC):
         with self._depth_lock:
             return self._inflight_high_water
 
+    def transport_statistics(self) -> Dict[str, float]:
+        """Transport-level traffic counters, uniformly named.
+
+        In-process backends have no transport and return ``{}``; the TCP
+        backend answers with its :meth:`TcpBackend.wire_statistics` and the
+        shared-memory backend with its
+        :meth:`SharedMemoryBackend.shm_statistics`.  The uniform spelling is
+        what the query server's metrics endpoint exports, whatever backend
+        it happens to run on.
+        """
+        return {}
+
     @abc.abstractmethod
     def _submit(self, item: WorkItem) -> "Future[ReasonerResult]":
         """Transport hook: schedule ``item`` and return its future."""
@@ -668,6 +680,10 @@ class TcpBackend(ExecutionBackend):
             return {}
         return self._fleet.pending_items()
 
+    def transport_statistics(self) -> Dict[str, float]:
+        """The fleet's wire counters (the uniform transport spelling)."""
+        return self.wire_statistics()
+
     def wire_statistics(self) -> Dict[str, float]:
         """Fleet traffic counters: frames, payload bytes, reroutes, liveness.
 
@@ -781,6 +797,10 @@ class SharedMemoryBackend(ExecutionBackend):
         self._require_started()
         assert self._slots is not None
         self._slots[slot].kill()
+
+    def transport_statistics(self) -> Dict[str, float]:
+        """The ring counters (the uniform transport spelling)."""
+        return self.shm_statistics()
 
     def shm_statistics(self) -> Dict[str, float]:
         """Ring traffic counters summed over the slots.

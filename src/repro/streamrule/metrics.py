@@ -9,10 +9,16 @@ classes below therefore keep a full breakdown.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
-__all__ = ["IngestionStats", "LatencyBreakdown", "ReasonerMetrics", "Timer"]
+__all__ = ["IngestionStats", "LatencyBreakdown", "ReasonerMetrics", "TenantStats", "Timer"]
+
+#: How many recent per-window latencies a :class:`TenantStats` retains for
+#: its percentile estimates.  Bounded so a long-lived tenant costs O(1)
+#: memory; 512 windows is plenty for a stable p95.
+TENANT_LATENCY_WINDOW = 512
 
 
 class Timer:
@@ -108,6 +114,61 @@ class IngestionStats:
             "dispatched_ahead": float(self.dispatched_ahead),
             "backpressure_stalls": float(self.backpressure_stalls),
             "backpressure_wait_seconds": self.backpressure_wait_seconds,
+        }
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant serving record of the multi-tenant query server.
+
+    One instance per registered tenant: how many of its lane windows were
+    dispatched and completed, how many of those evaluations also served
+    other tenants (``windows_shared`` -- the amortization the shared
+    grounding tracks buy), the answer sets delivered to its subscription,
+    and a bounded reservoir of recent per-window latencies for the p50/p95
+    estimates the ops endpoint exports.
+    """
+
+    tenant: str = ""
+    windows_dispatched: int = 0
+    windows_completed: int = 0
+    windows_shared: int = 0
+    answer_sets: int = 0
+    scheduler_boosts: int = 0
+    _latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=TENANT_LATENCY_WINDOW), repr=False
+    )
+
+    def observe_latency(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Nearest-rank percentile over the retained latencies (seconds)."""
+        if not self._latencies:
+            return 0.0
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        ordered = sorted(self._latencies)
+        rank = min(len(ordered) - 1, max(0, int(round(quantile * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def p50_latency_seconds(self) -> float:
+        return self.latency_percentile(0.5)
+
+    @property
+    def p95_latency_seconds(self) -> float:
+        return self.latency_percentile(0.95)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "windows_dispatched": float(self.windows_dispatched),
+            "windows_completed": float(self.windows_completed),
+            "windows_shared": float(self.windows_shared),
+            "answer_sets": float(self.answer_sets),
+            "scheduler_boosts": float(self.scheduler_boosts),
+            "p50_latency_seconds": self.p50_latency_seconds,
+            "p95_latency_seconds": self.p95_latency_seconds,
         }
 
 

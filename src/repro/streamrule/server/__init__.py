@@ -1,0 +1,47 @@
+"""The multi-tenant query server: many standing queries, one shared fleet.
+
+See :mod:`repro.streamrule.server.server` for the architecture overview and
+``docs/query-server.md`` for the operator's guide.
+"""
+
+from repro.streamrule.server.metrics_export import (
+    MetricFamily,
+    MetricsEndpoint,
+    render_prometheus,
+)
+from repro.streamrule.server.registry import (
+    QueryRegistry,
+    QueryResult,
+    StandingQuery,
+    Subscription,
+)
+from repro.streamrule.server.scheduler import FairScheduler, ScheduledKeyStats
+from repro.streamrule.server.server import QueryConflictError, QueryServer
+from repro.streamrule.server.subprogram import (
+    ProgramSignature,
+    normalize_rule,
+    program_signature,
+    rule_fingerprint,
+    shared_fraction,
+    union_conflicts,
+)
+
+__all__ = [
+    "FairScheduler",
+    "MetricFamily",
+    "MetricsEndpoint",
+    "ProgramSignature",
+    "QueryConflictError",
+    "QueryRegistry",
+    "QueryResult",
+    "QueryServer",
+    "ScheduledKeyStats",
+    "StandingQuery",
+    "Subscription",
+    "normalize_rule",
+    "program_signature",
+    "render_prometheus",
+    "rule_fingerprint",
+    "shared_fraction",
+    "union_conflicts",
+]

@@ -1,0 +1,177 @@
+"""Prometheus-text-format export of the server's counters.
+
+Two halves, kept separable on purpose:
+
+* a tiny renderer -- :class:`MetricFamily` plus :func:`render_prometheus`
+  -- producing the text exposition format (version 0.0.4: ``# HELP`` /
+  ``# TYPE`` headers, escaped label values) from plain Python values, and
+* :class:`MetricsEndpoint`, a stdlib ``ThreadingHTTPServer`` serving
+  ``GET /metrics`` (the rendered families) and ``GET /healthz`` (a JSON
+  liveness probe) on a daemon thread.
+
+No third-party client library: the exposition format is a few lines of
+escaping rules, and the scrape path must not import anything the worker
+containers do not already have.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["MetricFamily", "MetricsEndpoint", "render_prometheus"]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+@dataclass
+class MetricFamily:
+    """One exported metric: name, kind, help text, labelled samples."""
+
+    name: str
+    kind: str  # "counter" | "gauge"
+    help: str
+    samples: List[Tuple[Mapping[str, str], float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not _METRIC_NAME.match(self.name):
+            raise ValueError(f"invalid metric name {self.name!r}")
+        if self.kind not in ("counter", "gauge"):
+            raise ValueError(f"unsupported metric kind {self.kind!r}")
+
+    def add(self, value: float, **labels: str) -> "MetricFamily":
+        self.samples.append((labels, float(value)))
+        return self
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(families: List[MetricFamily]) -> str:
+    """Render metric families in the text exposition format (0.0.4)."""
+    lines: List[str] = []
+    for family in families:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, value in family.samples:
+            for label in labels:
+                if not _LABEL_NAME.match(label):
+                    raise ValueError(f"invalid label name {label!r} on {family.name}")
+            if labels:
+                rendered = ",".join(
+                    f'{label}="{_escape_label_value(str(labels[label]))}"' for label in sorted(labels)
+                )
+                lines.append(f"{family.name}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{family.name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The endpoint is scraped, not browsed: keep request logging quiet.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        endpoint: "MetricsEndpoint" = self.server.endpoint  # type: ignore[attr-defined]
+        if self.path.split("?", 1)[0] == "/metrics":
+            try:
+                body = render_prometheus(endpoint.collect()).encode("utf-8")
+            except Exception as error:  # pragma: no cover - defensive
+                self._respond(500, "text/plain", f"collection failed: {error}".encode("utf-8"))
+                return
+            self._respond(200, "text/plain; version=0.0.4; charset=utf-8", body)
+            return
+        if self.path.split("?", 1)[0] == "/healthz":
+            body = json.dumps(endpoint.health()).encode("utf-8")
+            self._respond(200, "application/json", body)
+            return
+        self._respond(404, "text/plain", b"not found (try /metrics or /healthz)")
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class MetricsEndpoint:
+    """A daemon-threaded HTTP server around a metric-family collector.
+
+    ``collect`` is called per scrape (so the numbers are live), ``health``
+    per ``/healthz`` probe.  ``port=0`` binds an ephemeral port; read
+    :attr:`port` / :attr:`url` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        collect: Callable[[], List[MetricFamily]],
+        *,
+        health: Optional[Callable[[], Dict[str, object]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.collect = collect
+        self.health = health or (lambda: {"status": "ok"})
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsEndpoint":
+        if self._server is not None:
+            return self
+        server = ThreadingHTTPServer((self._host, self._requested_port), _Handler)
+        server.daemon_threads = True
+        server.endpoint = self  # type: ignore[attr-defined]
+        self._server = server
+        self._thread = threading.Thread(target=server.serve_forever, name="metrics-endpoint", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("endpoint is not started")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}/metrics"
+
+    def __enter__(self) -> "MetricsEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

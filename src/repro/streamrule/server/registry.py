@@ -1,0 +1,181 @@
+"""Standing queries, their registry, and per-query result subscriptions.
+
+A :class:`StandingQuery` is what a tenant registers with the query server:
+a name, an ASP program, a count-window policy over the shared stream, the
+input predicates that select the tenant's slice of that stream, and the
+output predicates its subscribers care about.  The
+:class:`QueryRegistry` is the bookkeeping half of the server -- thread-safe
+register/unregister/list plus one bounded :class:`Subscription` per query
+into which the server routes projected :class:`QueryResult` records.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.asp.syntax.atoms import Atom
+from repro.asp.syntax.program import Program
+from repro.streaming.triples import Triple
+from repro.streaming.window import CountWindow
+from repro.streamrule.metrics import ReasonerMetrics
+
+__all__ = ["QueryRegistry", "QueryResult", "StandingQuery", "Subscription"]
+
+#: Results a subscription retains before dropping its oldest.  A subscriber
+#: that stops draining must not grow the server's memory without bound; the
+#: drop counter records how much it missed.
+DEFAULT_SUBSCRIPTION_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class StandingQuery:
+    """One tenant's continuously-evaluated query.
+
+    ``input_predicates`` select the tenant's slice of the shared stream
+    (``None`` = everything); ``output_predicates`` are what its results are
+    projected onto (``None`` = the program's derived predicates).
+    ``weight`` is the tenant's share in the fairness scheduler.  Windows
+    are count windows: the server's lanes window the shared stream by
+    arrival order, the semantics under which shared evaluation across
+    tenants is well-defined.
+    """
+
+    tenant: str
+    name: str
+    program: Program
+    window: CountWindow
+    input_predicates: Optional[Tuple[str, ...]] = None
+    output_predicates: Optional[Tuple[str, ...]] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.tenant or "/" in self.tenant:
+            raise ValueError("tenant must be a non-empty name without '/'")
+        if not self.name:
+            raise ValueError("query name must be non-empty")
+        if not isinstance(self.window, CountWindow):
+            raise TypeError("standing queries window by count (pass a CountWindow)")
+        if self.weight <= 0.0:
+            raise ValueError("weight must be positive")
+        if self.input_predicates is not None:
+            object.__setattr__(self, "input_predicates", tuple(self.input_predicates))
+        if self.output_predicates is not None:
+            object.__setattr__(self, "output_predicates", tuple(self.output_predicates))
+
+    @property
+    def key(self) -> str:
+        """The registry key, ``tenant/name``."""
+        return f"{self.tenant}/{self.name}"
+
+    def effective_inputs(self) -> Optional[frozenset]:
+        return frozenset(self.input_predicates) if self.input_predicates is not None else None
+
+    def effective_outputs(self) -> frozenset:
+        if self.output_predicates is not None:
+            return frozenset(self.output_predicates)
+        return frozenset(self.program.idb_predicates())
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One window's answers for one standing query (already projected)."""
+
+    query_key: str
+    tenant: str
+    window_index: int
+    window_size: int
+    answers: Tuple[frozenset, ...]
+    solution_triples: Tuple[Triple, ...]
+    latency_seconds: float
+    #: How many standing queries this evaluation served (1 = unshared).
+    shared_with: int
+    metrics: ReasonerMetrics
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The distinct answer atoms, sorted for stable display."""
+        return tuple(sorted({atom for answer in self.answers for atom in answer}, key=str))
+
+
+class Subscription:
+    """A bounded, thread-safe queue of one query's results."""
+
+    def __init__(self, query_key: str, capacity: int = DEFAULT_SUBSCRIPTION_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.query_key = query_key
+        self._results: Deque[QueryResult] = deque()
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        #: Results dropped because the subscriber stopped draining.
+        self.dropped = 0
+        #: Results ever delivered into this subscription.
+        self.delivered = 0
+
+    def publish(self, result: QueryResult) -> None:
+        with self._lock:
+            if len(self._results) >= self._capacity:
+                self._results.popleft()
+                self.dropped += 1
+            self._results.append(result)
+            self.delivered += 1
+
+    def drain(self) -> List[QueryResult]:
+        """Remove and return everything queued, oldest first."""
+        with self._lock:
+            drained = list(self._results)
+            self._results.clear()
+            return drained
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+
+class QueryRegistry:
+    """Thread-safe register/unregister/list of standing queries."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._queries: Dict[str, StandingQuery] = {}
+        self._subscriptions: Dict[str, Subscription] = {}
+
+    def register(self, query: StandingQuery) -> Subscription:
+        with self._lock:
+            if query.key in self._queries:
+                raise ValueError(f"standing query {query.key!r} is already registered")
+            self._queries[query.key] = query
+            subscription = Subscription(query.key)
+            self._subscriptions[query.key] = subscription
+            return subscription
+
+    def unregister(self, key: str) -> StandingQuery:
+        with self._lock:
+            if key not in self._queries:
+                raise KeyError(f"no standing query {key!r}")
+            self._subscriptions.pop(key, None)
+            return self._queries.pop(key)
+
+    def get(self, key: str) -> StandingQuery:
+        with self._lock:
+            return self._queries[key]
+
+    def subscription(self, key: str) -> Subscription:
+        with self._lock:
+            return self._subscriptions[key]
+
+    def list_queries(self) -> List[StandingQuery]:
+        """The registered queries in registration order."""
+        with self._lock:
+            return list(self._queries.values())
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._queries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queries)

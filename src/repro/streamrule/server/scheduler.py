@@ -1,0 +1,197 @@
+"""The fairness scheduler apportioning the in-flight budget across tenants.
+
+The query server has one bounded in-flight budget (the session's
+``max_inflight``) and many tenants producing ready windows at different
+rates.  Something has to decide whose window dispatches next; this module
+is that something, kept deliberately free of clocks, threads, and I/O so
+its behaviour is a deterministic function of the call sequence -- which is
+what lets the hypothesis interleaving tests state real guarantees.
+
+:class:`FairScheduler` implements weighted round-robin with three teeth:
+
+*Credits (weighted shares).*  Every ``select`` round, each key with ready
+work earns its ``weight`` in credits; the chosen key pays the whole round's
+earnings back.  Over any busy stretch, dispatches converge to shares
+proportional to the weights.
+
+*Per-key quotas.*  No key may hold more than ``quota_fraction`` of the
+budget's slots in flight at once (always at least one).  A greedy tenant
+with a deep backlog can saturate its quota, never the whole pipeline.
+
+*Starvation guard.*  A key passed over ``starvation_rounds`` consecutive
+times while eligible is boosted to the front regardless of credits, so even
+a weight-1 tenant among weight-100 neighbours is served within a bounded
+number of rounds.  Boosts are counted (``boosts``) and exported by the
+metrics endpoint -- a rising count is the ops signal that the configured
+weights are starving someone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["FairScheduler", "ScheduledKeyStats"]
+
+
+@dataclass
+class _KeyState:
+    weight: float = 1.0
+    pending: Deque[object] = field(default_factory=deque)
+    in_flight: int = 0
+    credits: float = 0.0
+    skipped: int = 0
+    dispatched: int = 0
+    boosts: int = 0
+
+
+@dataclass(frozen=True)
+class ScheduledKeyStats:
+    """Snapshot row of one scheduled key (see :meth:`FairScheduler.snapshot`)."""
+
+    key: Hashable
+    weight: float
+    pending: int
+    in_flight: int
+    dispatched: int
+    boosts: int
+    credits: float
+
+
+class FairScheduler:
+    """Deterministic weighted round-robin with quotas and a starvation guard.
+
+    Keys are opaque (the server schedules window *lanes*; a lane's weight is
+    the sum of its member tenants' weights).  The protocol is::
+
+        scheduler.configure(key, weight=2.0)   # (re)declare a key
+        scheduler.enqueue(key, item)           # a window became ready
+        picked = scheduler.select(budget)      # -> (key, item) or None
+        ...                                    # dispatch the item
+        scheduler.complete(key)                # its evaluation finished
+
+    ``select`` returns ``None`` when nothing is ready or every ready key is
+    at its quota -- the caller gathers a finished window (freeing a slot)
+    and retries.  The class is not thread-safe by itself; the query server
+    serializes calls under its own lock.
+    """
+
+    def __init__(self, *, quota_fraction: float = 0.5, starvation_rounds: int = 8):
+        if not 0.0 < quota_fraction <= 1.0:
+            raise ValueError("quota_fraction must be in (0, 1]")
+        if starvation_rounds < 1:
+            raise ValueError("starvation_rounds must be at least 1")
+        self.quota_fraction = quota_fraction
+        self.starvation_rounds = starvation_rounds
+        self._keys: "Dict[Hashable, _KeyState]" = {}
+
+    # ------------------------------------------------------------------ #
+    # Key management
+    # ------------------------------------------------------------------ #
+    def configure(self, key: Hashable, weight: float = 1.0) -> None:
+        """Declare ``key`` (or update its weight; queue state is kept)."""
+        if weight <= 0.0:
+            raise ValueError("weight must be positive")
+        state = self._keys.setdefault(key, _KeyState())
+        state.weight = weight
+
+    def remove(self, key: Hashable) -> List[object]:
+        """Forget ``key``; returns its still-pending items (never dispatched)."""
+        state = self._keys.pop(key, None)
+        return list(state.pending) if state is not None else []
+
+    def keys(self) -> List[Hashable]:
+        return list(self._keys)
+
+    # ------------------------------------------------------------------ #
+    # The scheduling cycle
+    # ------------------------------------------------------------------ #
+    def enqueue(self, key: Hashable, item: object) -> None:
+        """A window of ``key`` became ready for dispatch."""
+        if key not in self._keys:
+            self.configure(key)
+        self._keys[key].pending.append(item)
+
+    def has_pending(self) -> bool:
+        return any(state.pending for state in self._keys.values())
+
+    def pending_count(self, key: Optional[Hashable] = None) -> int:
+        if key is not None:
+            state = self._keys.get(key)
+            return len(state.pending) if state is not None else 0
+        return sum(len(state.pending) for state in self._keys.values())
+
+    def in_flight_count(self, key: Hashable) -> int:
+        state = self._keys.get(key)
+        return state.in_flight if state is not None else 0
+
+    def quota(self, budget: int) -> int:
+        """Most in-flight slots one key may hold out of ``budget``."""
+        return max(1, int(budget * self.quota_fraction))
+
+    def select(self, budget: int) -> Optional[Tuple[Hashable, object]]:
+        """Pick the next (key, item) to dispatch, or ``None``.
+
+        ``budget`` is the total in-flight bound the caller is working under;
+        it parameterizes the per-key quota.  The caller is responsible for
+        not calling ``select`` when it has no free slot at all.
+        """
+        ready = [(key, state) for key, state in self._keys.items() if state.pending]
+        if not ready:
+            return None
+        quota = self.quota(budget)
+        eligible = [(key, state) for key, state in ready if state.in_flight < quota]
+        if not eligible:
+            return None
+
+        # Everyone with ready work earns this round; the winner pays the
+        # round's total back, so long-run shares track the weights.
+        round_weight = sum(state.weight for _, state in ready)
+        for _, state in ready:
+            state.credits += state.weight
+
+        starving = [
+            (key, state) for key, state in eligible if state.skipped >= self.starvation_rounds
+        ]
+        if starving:
+            chosen_key, chosen = max(starving, key=lambda pair: (pair[1].skipped, pair[1].credits))
+            chosen.boosts += 1
+        else:
+            chosen_key, chosen = max(eligible, key=lambda pair: pair[1].credits)
+
+        chosen.credits -= round_weight
+        # Bound the credit drift so a key idle at its quota for a long
+        # stretch cannot bank unbounded priority (or debt).
+        bound = round_weight * (self.starvation_rounds + 1)
+        for _, state in ready:
+            state.credits = max(-bound, min(bound, state.credits))
+        for key, state in eligible:
+            state.skipped = 0 if key == chosen_key else state.skipped + 1
+
+        chosen.in_flight += 1
+        chosen.dispatched += 1
+        return chosen_key, chosen.pending.popleft()
+
+    def complete(self, key: Hashable) -> None:
+        """One of ``key``'s dispatched windows finished evaluation."""
+        state = self._keys.get(key)
+        if state is not None and state.in_flight > 0:
+            state.in_flight -= 1
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> List[ScheduledKeyStats]:
+        return [
+            ScheduledKeyStats(
+                key=key,
+                weight=state.weight,
+                pending=len(state.pending),
+                in_flight=state.in_flight,
+                dispatched=state.dispatched,
+                boosts=state.boosts,
+                credits=state.credits,
+            )
+            for key, state in self._keys.items()
+        ]

@@ -137,6 +137,9 @@ class WindowSolution:
     answers: Tuple[frozenset, ...]
     solution_triples: Tuple[Triple, ...]
     metrics: ReasonerMetrics
+    #: The ``tag`` given to :meth:`StreamSession.push_window`, ``None`` for
+    #: windows produced by the session's own windowing.
+    tag: Optional[object] = None
 
 
 @dataclass
@@ -157,6 +160,9 @@ class PendingWindow:
     submissions: List[Tuple[WorkItem, Optional["Future[ReasonerResult]"]]]
     partitioning_seconds: float
     dispatched_at: float
+    #: Opaque caller token threaded through to the :class:`WindowSolution`
+    #: (the query server uses it to route solutions back to their lane).
+    tag: Optional[object] = None
 
     def done(self) -> bool:
         """Whether every dispatched partition has finished (or was refused)."""
@@ -185,6 +191,7 @@ class StreamSession:
         inline_fallback: bool = True,
         eager_time_windows: bool = False,
         max_inflight: Optional[int] = None,
+        owns_backend: bool = True,
     ):
         """Create a session for ``program``.
 
@@ -209,7 +216,11 @@ class StreamSession:
         (``None``) resolves to :data:`DEFAULT_MAX_INFLIGHT` on pipelined
         backends and to 1 (fully synchronous) on inline evaluation, and
         ``max_inflight=1`` always reproduces the synchronous behaviour
-        exactly.
+        exactly.  ``owns_backend=False`` detaches the backend's lifecycle
+        from the session's: :meth:`close` still drains the in-flight
+        windows but leaves the backend running, for callers (the
+        multi-tenant :class:`~repro.streamrule.server.QueryServer`) that
+        roll sessions over one long-lived shared backend.
         """
         if isinstance(program, Reasoner):
             if input_predicates is not None or output_predicates is not None:
@@ -243,6 +254,7 @@ class StreamSession:
         self.max_combinations = max_combinations
         self.inline_fallback = inline_fallback
         self.eager_time_windows = eager_time_windows
+        self.owns_backend = owns_backend
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
         self.max_inflight = max_inflight
@@ -271,12 +283,16 @@ class StreamSession:
         :meth:`results`.  Pass ``drain=False`` to abandon them instead --
         the exception-unwind path, where blocking on (or raising from)
         half-finished futures would mask the error already propagating.
+
+        A session created with ``owns_backend=False`` leaves the backend
+        running -- its owner closes it.
         """
         try:
             if drain:
                 self._drain_inflight()
         finally:
-            self.backend.close()
+            if self.owns_backend:
+                self.backend.close()
 
     def __enter__(self) -> "StreamSession":
         return self
@@ -420,17 +436,58 @@ class StreamSession:
             return self.max_inflight
         return DEFAULT_MAX_INFLIGHT if self.backend.pipelined else 1
 
+    @property
+    def inflight_count(self) -> int:
+        """How many windows are dispatched but not yet gathered."""
+        return len(self._inflight)
+
+    def push_window(
+        self,
+        items: Iterable[StreamItem],
+        *,
+        delta: Optional[WindowDelta] = None,
+        index: Optional[int] = None,
+        tag: Optional[object] = None,
+        track_base: int = 0,
+    ) -> None:
+        """Dispatch one externally-windowed window through the pipeline.
+
+        The caller owns the windowing policy: ``items`` is a complete
+        window, ``delta`` its :class:`~repro.streaming.window.WindowDelta`
+        when the window is the next slide of an overlapping stream (which
+        enables delta grounding / incremental solving exactly as the
+        session's own windowing would).  ``tag`` is an opaque token copied
+        onto the produced :class:`WindowSolution`; ``track_base`` offsets
+        the partition tracks, giving each caller-side stream its own
+        disjoint cache-track namespace -- the seam the multi-tenant
+        :class:`~repro.streamrule.server.QueryServer` uses to run many
+        window lanes over one session without colliding their per-track
+        grounding/solver states.  The ``max_inflight`` bound applies: once
+        it is reached, the call blocks gathering the oldest window
+        (backpressure), so check :attr:`inflight_count` first to dispatch
+        without blocking.
+        """
+        if index is None:
+            index = self._push_index
+            self._push_index += 1
+        self._dispatch_into(self._inflight, index, list(items), delta, tag=tag, track_base=track_base)
+        limit = self.effective_max_inflight()
+        while len(self._inflight) >= limit:
+            self._gather_oldest(backpressure=True)
+
     def _dispatch_into(
         self,
         inflight: "Deque[PendingWindow]",
         index: int,
         items: List[StreamItem],
         delta: Optional[WindowDelta],
+        tag: Optional[object] = None,
+        track_base: int = 0,
     ) -> None:
         """Dispatch one window into an in-flight queue, keeping the stats."""
         if inflight:
             self.ingestion.dispatched_ahead += 1
-        inflight.append(self._dispatch_window(index, items, delta))
+        inflight.append(self._dispatch_window(index, items, delta, tag=tag, track_base=track_base))
         self.ingestion.inflight_high_water = max(self.ingestion.inflight_high_water, len(inflight))
 
     def _enqueue_window(self, index: int, items: List[StreamItem], delta: Optional[WindowDelta]) -> None:
@@ -529,12 +586,23 @@ class StreamSession:
         return self._gather_solution(self._dispatch_window(index, window_items, delta))
 
     def _dispatch_window(
-        self, index: int, window_items: List[StreamItem], delta: Optional[WindowDelta]
+        self,
+        index: int,
+        window_items: List[StreamItem],
+        delta: Optional[WindowDelta],
+        tag: Optional[object] = None,
+        track_base: int = 0,
     ) -> PendingWindow:
         """Filter and dispatch one stream window (the facade's dispatch half)."""
         filtered = self.query_processor.process(window_items) if self.query_processor else window_items
         self.ingestion.windows_dispatched += 1
-        return self._dispatch_evaluation(filtered, delta=delta, epoch=index, index=index)
+        # Tagged windows come from an external windowing authority whose
+        # lane-local indexes repeat across lanes; let the session's own
+        # monotonic epoch counter keep cache bookkeeping globally ordered.
+        epoch = None if tag is not None else index
+        return self._dispatch_evaluation(
+            filtered, delta=delta, epoch=epoch, index=index, tag=tag, track_base=track_base
+        )
 
     def _gather_solution(self, pending: PendingWindow) -> WindowSolution:
         """Gather one dispatched window into its :class:`WindowSolution`."""
@@ -550,6 +618,7 @@ class StreamSession:
             answers=tuple(result.answers),
             solution_triples=solution_triples,
             metrics=result.metrics,
+            tag=pending.tag,
         )
 
     def evaluate_window(
@@ -590,6 +659,8 @@ class StreamSession:
         delta: Optional[WindowDelta],
         epoch: Optional[int],
         index: Optional[int] = None,
+        tag: Optional[object] = None,
+        track_base: int = 0,
     ) -> PendingWindow:
         """Partition one window and submit its work items (non-blocking).
 
@@ -602,7 +673,9 @@ class StreamSession:
         -- exactly what the unpartitioned reasoner returns for that window.
         Each batch keeps its partition index as its *track*: the stable
         identity under which grounding caches store per-partition delta
-        states and placement strategies pin worker slots.
+        states and placement strategies pin worker slots.  ``track_base``
+        shifts the whole layout, so independent window lanes multiplexed
+        over one session occupy disjoint track namespaces.
         """
         window = list(window)
         if epoch is None:
@@ -626,7 +699,7 @@ class StreamSession:
         if not batches:
             batches = [(0, [])]
         items = [
-            WorkItem(facts=tuple(batch), track=track, epoch=epoch, incremental=incremental)
+            WorkItem(facts=tuple(batch), track=track_base + track, epoch=epoch, incremental=incremental)
             for track, batch in batches
         ]
         dispatched_at = time.perf_counter()
@@ -649,6 +722,7 @@ class StreamSession:
             submissions=submissions,
             partitioning_seconds=partitioning_timer.seconds,
             dispatched_at=dispatched_at,
+            tag=tag,
         )
 
     def _gather_evaluation(self, pending: PendingWindow) -> ParallelResult:

@@ -1,0 +1,213 @@
+"""The fairness scheduler: quotas, weighted shares, and no starvation.
+
+The hypothesis tests state the scheduler's actual guarantees over arbitrary
+interleavings rather than example traces: a greedy key cannot starve a
+competitor (bounded service delay), and no key ever exceeds its quota of
+the in-flight budget, whatever the enqueue/complete pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streamrule.server import FairScheduler
+
+
+class TestBasics:
+    def test_empty_scheduler_selects_nothing(self):
+        scheduler = FairScheduler()
+        assert scheduler.select(4) is None
+        assert not scheduler.has_pending()
+
+    def test_fifo_within_one_key(self):
+        scheduler = FairScheduler()
+        for item in ("a", "b", "c"):
+            scheduler.enqueue("k", item)
+        picked = [scheduler.select(8)[1] for _ in range(3)]
+        assert picked == ["a", "b", "c"]
+
+    def test_remove_returns_pending_items(self):
+        scheduler = FairScheduler()
+        scheduler.enqueue("k", 1)
+        scheduler.enqueue("k", 2)
+        assert scheduler.remove("k") == [1, 2]
+        assert scheduler.select(4) is None
+        assert scheduler.remove("k") == []  # idempotent
+
+    def test_complete_on_unknown_key_is_noop(self):
+        FairScheduler().complete("ghost")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FairScheduler(quota_fraction=0.0)
+        with pytest.raises(ValueError):
+            FairScheduler(starvation_rounds=0)
+        with pytest.raises(ValueError):
+            FairScheduler().configure("k", weight=0.0)
+
+
+class TestQuota:
+    def test_single_key_capped_at_quota(self):
+        scheduler = FairScheduler(quota_fraction=0.5)
+        for item in range(10):
+            scheduler.enqueue("greedy", item)
+        budget = 4
+        dispatched = 0
+        while scheduler.select(budget) is not None:
+            dispatched += 1
+        assert dispatched == scheduler.quota(budget) == 2
+
+    def test_quota_is_at_least_one(self):
+        scheduler = FairScheduler(quota_fraction=0.1)
+        assert scheduler.quota(1) == 1
+        scheduler.enqueue("k", "item")
+        assert scheduler.select(1) is not None
+
+    def test_complete_frees_quota_slots(self):
+        scheduler = FairScheduler(quota_fraction=0.5)
+        for item in range(4):
+            scheduler.enqueue("k", item)
+        assert scheduler.select(2) is not None
+        assert scheduler.select(2) is None  # quota(2) == 1, slot held
+        scheduler.complete("k")
+        assert scheduler.select(2) is not None
+
+
+class TestWeightedShares:
+    def test_dispatches_track_weights(self):
+        scheduler = FairScheduler(quota_fraction=1.0)
+        scheduler.configure("heavy", weight=3.0)
+        scheduler.configure("light", weight=1.0)
+        counts = {"heavy": 0, "light": 0}
+        for _ in range(400):
+            scheduler.enqueue("heavy", object())
+            scheduler.enqueue("light", object())
+            key, _ = scheduler.select(4)
+            scheduler.complete(key)
+            counts[key] += 1
+        share = counts["heavy"] / (counts["heavy"] + counts["light"])
+        assert 0.70 <= share <= 0.80  # 3:1 weights -> ~75% of dispatches
+
+    def test_equal_weights_alternate(self):
+        scheduler = FairScheduler(quota_fraction=1.0)
+        picks = []
+        for _ in range(20):
+            scheduler.enqueue("a", object())
+            scheduler.enqueue("b", object())
+            key, _ = scheduler.select(2)
+            scheduler.complete(key)
+            picks.append(key)
+        assert abs(picks.count("a") - picks.count("b")) <= 2
+
+
+class TestNoStarvation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        greedy_weight=st.floats(min_value=1.0, max_value=100.0),
+        victim_weight=st.floats(min_value=0.01, max_value=1.0),
+        greedy_backlog=st.integers(min_value=1, max_value=30),
+        budget=st.integers(min_value=1, max_value=8),
+        starvation_rounds=st.integers(min_value=1, max_value=8),
+    )
+    def test_greedy_tenant_cannot_starve_victim(
+        self, greedy_weight, victim_weight, greedy_backlog, budget, starvation_rounds
+    ):
+        """Whatever the weights and backlog, the victim is served within
+        ``starvation_rounds + #keys + 1`` select rounds."""
+        scheduler = FairScheduler(quota_fraction=1.0, starvation_rounds=starvation_rounds)
+        scheduler.configure("greedy", weight=greedy_weight)
+        scheduler.configure("victim", weight=victim_weight)
+        for item in range(greedy_backlog):
+            scheduler.enqueue("greedy", item)
+        scheduler.enqueue("victim", "the-one-window")
+        rounds_until_served = None
+        for round_index in range(starvation_rounds + 3):
+            # The greedy tenant keeps its backlog deep.
+            scheduler.enqueue("greedy", object())
+            picked = scheduler.select(budget)
+            assert picked is not None
+            key, _ = picked
+            scheduler.complete(key)
+            if key == "victim":
+                rounds_until_served = round_index
+                break
+        assert rounds_until_served is not None
+        assert rounds_until_served <= starvation_rounds + 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        interleaving=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3), st.booleans()),
+            min_size=1,
+            max_size=80,
+        ),
+        budget=st.integers(min_value=1, max_value=6),
+        quota_fraction=st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_quota_never_exceeded_under_arbitrary_interleavings(
+        self, interleaving, budget, quota_fraction
+    ):
+        """No key holds more than ``quota(budget)`` slots, whatever the
+        enqueue/select/complete interleaving."""
+        scheduler = FairScheduler(quota_fraction=quota_fraction)
+        in_flight = {key: 0 for key in range(4)}
+        for key, also_select in interleaving:
+            scheduler.enqueue(key, object())
+            if also_select:
+                picked = scheduler.select(budget)
+                if picked is not None:
+                    in_flight[picked[0]] += 1
+                    assert in_flight[picked[0]] <= scheduler.quota(budget)
+                    assert in_flight[picked[0]] == scheduler.in_flight_count(picked[0])
+        # Drain: completes free slots, selects refill them, cap holds.
+        for _ in range(200):
+            for key in list(in_flight):
+                if in_flight[key]:
+                    scheduler.complete(key)
+                    in_flight[key] -= 1
+            picked = scheduler.select(budget)
+            if picked is None:
+                if not scheduler.has_pending():
+                    break
+                continue
+            in_flight[picked[0]] += 1
+            assert in_flight[picked[0]] <= scheduler.quota(budget)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        weights=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=5),
+        rounds=st.integers(min_value=20, max_value=120),
+    )
+    def test_every_always_ready_key_is_served(self, weights, rounds):
+        """With every key always ready, nobody is shut out entirely."""
+        scheduler = FairScheduler(quota_fraction=1.0, starvation_rounds=4)
+        for index, weight in enumerate(weights):
+            scheduler.configure(index, weight=weight)
+        counts = {index: 0 for index in range(len(weights))}
+        for _ in range(rounds):
+            for index in counts:
+                scheduler.enqueue(index, object())
+            key, _ = scheduler.select(len(weights))
+            scheduler.complete(key)
+            counts[key] += 1
+        if rounds >= len(weights) * (4 + 2):
+            assert all(count > 0 for count in counts.values())
+
+    def test_boosts_are_counted(self):
+        scheduler = FairScheduler(quota_fraction=1.0, starvation_rounds=2)
+        scheduler.configure("heavy", weight=1000.0)
+        scheduler.configure("light", weight=0.001)
+        for _ in range(12):
+            scheduler.enqueue("heavy", object())
+            scheduler.enqueue("light", object())
+            key, _ = scheduler.select(2)
+            scheduler.complete(key)
+        rows = {row.key: row for row in scheduler.snapshot()}
+        assert rows["light"].dispatched > 0
+        assert rows["light"].boosts > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

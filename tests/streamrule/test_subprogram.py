@@ -1,0 +1,151 @@
+"""Rule normalization, program signatures, and union compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asp.syntax.parser import parse_program, parse_rule
+from repro.programs.fraud import fraud_program, fraud_program_extended
+from repro.programs.iot import iot_program, iot_program_extended
+from repro.programs.traffic import traffic_program, traffic_program_prime
+from repro.streamrule.server import (
+    normalize_rule,
+    program_signature,
+    rule_fingerprint,
+    shared_fraction,
+    union_conflicts,
+)
+
+
+class TestNormalizeRule:
+    def test_alpha_variants_normalize_identically(self):
+        first = parse_rule("linked(A, B) :- sent(A, T), received(B, T).")
+        second = parse_rule("linked(X, Y) :- sent(X, Txn), received(Y, Txn).")
+        assert str(normalize_rule(first)) == str(normalize_rule(second))
+        assert rule_fingerprint(first) == rule_fingerprint(second)
+
+    def test_body_reordering_normalizes_identically(self):
+        first = parse_rule("jam(X) :- slow(X), crowded(X), not light(X).")
+        second = parse_rule("jam(X) :- not light(X), crowded(X), slow(X).")
+        assert rule_fingerprint(first) == rule_fingerprint(second)
+
+    def test_combined_rename_and_reorder(self):
+        first = parse_rule("chain(A, C) :- chain(A, B), linked(B, C).")
+        second = parse_rule("chain(U, W) :- linked(V, W), chain(U, V).")
+        assert rule_fingerprint(first) == rule_fingerprint(second)
+
+    def test_different_rules_fingerprint_differently(self):
+        first = parse_rule("alert(X) :- risky(X).")
+        second = parse_rule("alert(X) :- risky(X), not safe(X).")
+        third = parse_rule("warn(X) :- risky(X).")
+        prints = {rule_fingerprint(rule) for rule in (first, second, third)}
+        assert len(prints) == 3
+
+    def test_comparison_bodies_normalize(self):
+        first = parse_rule("big(T) :- amount(T, X), X > 500.")
+        second = parse_rule("big(Txn) :- amount(Txn, V), V > 500.")
+        different = parse_rule("big(T) :- amount(T, X), X > 501.")
+        assert rule_fingerprint(first) == rule_fingerprint(second)
+        assert rule_fingerprint(first) != rule_fingerprint(different)
+
+    def test_normalization_preserves_semantics_shape(self):
+        rule = parse_rule("overheat(Z) :- located(S, Z), hot(S), not vented(Z).")
+        normalized = normalize_rule(rule)
+        assert len(normalized.body) == len(rule.body)
+        assert {str(atom.predicate) for atom in normalized.head} == {"overheat"}
+
+
+class TestProgramSignature:
+    def test_fingerprints_and_definitions(self):
+        program = parse_program(
+            """
+            a(X) :- b(X), c(X).
+            a(X) :- d(X).
+            e(X) :- a(X).
+            """
+        )
+        signature = program_signature(program, name="test")
+        assert len(signature.fingerprints) == 3
+        assert len(signature.definitions["a"]) == 2
+        assert len(signature.definitions["e"]) == 1
+        assert {"a", "b", "c", "d", "e"} <= set(signature.mentioned)
+
+    def test_shared_fraction_of_scenario_pairs(self):
+        base = program_signature(fraud_program()).fingerprints
+        extended = program_signature(fraud_program_extended()).fingerprints
+        assert shared_fraction(base, extended) == 1.0  # extension is a superset
+        iot_base = program_signature(iot_program()).fingerprints
+        assert shared_fraction(base, iot_base) == 0.0  # disjoint scenarios
+        assert shared_fraction((), ()) == 0.0
+
+    def test_traffic_p_and_p_prime_share_most_rules(self):
+        p = program_signature(traffic_program()).fingerprints
+        p_prime = program_signature(traffic_program_prime()).fingerprints
+        assert shared_fraction(p, p_prime) == 1.0  # P' = P + r7
+
+
+class TestUnionConflicts:
+    def test_identical_programs_never_conflict(self):
+        signatures = {
+            "a/q": program_signature(traffic_program(), name="a/q"),
+            "b/q": program_signature(traffic_program(), name="b/q"),
+        }
+        assert union_conflicts(signatures) == []
+
+    def test_superset_extension_is_compatible(self):
+        signatures = {
+            "fraud/base": program_signature(fraud_program(), name="fraud/base"),
+            "fraud/ext": program_signature(fraud_program_extended(), name="fraud/ext"),
+            "iot/base": program_signature(iot_program(), name="iot/base"),
+            "iot/ext": program_signature(iot_program_extended(), name="iot/ext"),
+        }
+        assert union_conflicts(signatures) == []
+
+    def test_p_prime_conflicts_with_p(self):
+        # P' adds rule r7 for traffic_jam, which P mentions but lacks: the
+        # union would change P's notifications.
+        signatures = {
+            "a/p": program_signature(traffic_program(), name="a/p"),
+            "b/pp": program_signature(traffic_program_prime(), name="b/pp"),
+        }
+        conflicts = union_conflicts(signatures)
+        assert conflicts
+        assert any("traffic_jam" in conflict for conflict in conflicts)
+
+    def test_disjoint_predicates_are_compatible(self):
+        signatures = {
+            "x": program_signature(parse_program("p(X) :- q(X)."), name="x"),
+            "y": program_signature(parse_program("r(X) :- s(X)."), name="y"),
+        }
+        assert union_conflicts(signatures) == []
+
+    def test_unshared_constraint_conflicts(self):
+        with_constraint = parse_program(
+            """
+            p(X) :- q(X).
+            :- p(X), bad(X).
+            """
+        )
+        without = parse_program("p(X) :- q(X).")
+        signatures = {
+            "strict": program_signature(with_constraint, name="strict"),
+            "lax": program_signature(without, name="lax"),
+        }
+        conflicts = union_conflicts(signatures)
+        assert conflicts
+        assert any("constraint" in conflict for conflict in conflicts)
+
+    def test_shared_constraint_is_compatible(self):
+        text = """
+        p(X) :- q(X).
+        :- p(X), bad(X).
+        """
+        signatures = {
+            "one": program_signature(parse_program(text), name="one"),
+            "two": program_signature(parse_program(text), name="two"),
+        }
+        assert union_conflicts(signatures) == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

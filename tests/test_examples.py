@@ -52,6 +52,16 @@ class TestExamples:
         assert "Figure 8: accuracy (program P)" in output
         assert "PR_Dep" in output
 
+    def test_multi_tenant_query_server(self):
+        output = run_example("multi_tenant.py", "--windows", "2", "--window-size", "100")
+        assert "the two traffic tenants share one" in output
+        assert "(evaluation shared by 2)" in output
+        assert "unregistering fraud_desk/alerts mid-stream" in output
+        assert "(unregistered -- no further results)" in output
+        # The metrics sample is real Prometheus text exposition output.
+        assert 'streamrule_tenant_windows_dispatched_total{tenant="city"}' in output
+        assert "# TYPE streamrule_queries_registered gauge" in output
+
     @pytest.mark.slow  # spawns shared-memory worker processes
     def test_shared_memory_survives_a_worker_kill(self):
         output = run_example("shared_memory.py", "--windows", "4", "--window-size", "300")
