@@ -27,6 +27,13 @@
 * :mod:`repro.streamrule.session` -- the unified :class:`StreamSession`
   facade: window policy -> partitioning handler -> backend dispatch ->
   combining handler -> solution triples.
+* :mod:`repro.streamrule.adaptive` -- the AIMD
+  :class:`AdaptiveInflightController` deriving the session's in-flight
+  bound from observed stalls, queue depth, and gather latency
+  (``max_inflight="adaptive"``).
+* :mod:`repro.streamrule.aio` -- the asyncio-native serving surface:
+  :class:`AsyncStreamSession` and :class:`AioTcpBackend` multiplex many
+  sessions over one event loop and one worker fleet.
 * :mod:`repro.streamrule.parallel` -- the parallel reasoner ``PR``
   (the grey box of Figure 6), now a deprecated shim over the session.
 * :mod:`repro.streamrule.pipeline` -- the legacy end-to-end pipeline,
@@ -39,6 +46,13 @@ The architecture guide (``docs/architecture.md``) walks the full layer
 stack; ``docs/api.md`` is the annotated index of this public surface.
 """
 
+from repro.streamrule.adaptive import DEFAULT_CEILING, AdaptiveInflightController
+from repro.streamrule.aio import (
+    AioTcpBackend,
+    AsyncStreamSession,
+    AsyncWorkerClient,
+    AsyncWorkerFleet,
+)
 from repro.streamrule.backends import (
     ExecutionBackend,
     ExecutionMode,
@@ -75,9 +89,15 @@ from repro.streamrule.session import (
 from repro.streamrule.work import WorkItem
 
 __all__ = [
+    "AdaptiveInflightController",
+    "AioTcpBackend",
+    "AsyncStreamSession",
+    "AsyncWorkerClient",
+    "AsyncWorkerFleet",
     "BackendConnectionError",
     "BackendError",
     "ConsistentHashPlacement",
+    "DEFAULT_CEILING",
     "DEFAULT_MAX_INFLIGHT",
     "ExecutionBackend",
     "ExecutionMode",

@@ -1,0 +1,213 @@
+"""AIMD adaptive in-flight control for pipelined ingestion.
+
+``StreamSession(max_inflight=N)`` fixes the dispatch-ahead bound at a
+constant, which is the wrong constant most of the time: too low and a
+fast fleet idles between windows, too high and every window queues behind
+``N-1`` predecessors on an overloaded fleet -- dispatch-to-gather latency
+grows linearly with the bound while throughput stays flat.  This module
+derives the bound from observation instead, with the classic TCP
+congestion-control shape (additive increase, multiplicative decrease):
+
+* every *clean* gather -- no backpressure stall, no fallback, queue depth
+  and latency healthy -- earns ``increase`` more in-flight budget, up to
+  ``ceiling``;
+* any congestion signal -- a backpressure stall (the bound was reached
+  while the head window was still evaluating), an inline fallback (the
+  transport degraded), the backend's ``queue_depth()`` rising well above
+  its smoothed history (work piling up behind the dispatchers), or the
+  gather latency jumping above *its* smoothed history -- cuts the target
+  multiplicatively (``decrease``), never below ``floor``.
+
+The multiplicative cut reacts within one gather to an overload; the
+additive ramp then probes capacity back one window at a time, so the
+target oscillates just under the true capacity instead of camping on a
+constant.  The controller is deliberately clock-free and deterministic:
+it sees only the numbers the caller feeds it (:meth:`observe_gather`),
+which is what lets the unit tests drive it with scripted traces and a
+hypothesis property over arbitrary observation sequences.
+
+Both session surfaces feed it from the same seam: the synchronous
+:class:`~repro.streamrule.session.StreamSession` (pass
+``max_inflight="adaptive"`` or a controller instance) and the asyncio
+:class:`~repro.streamrule.aio.AsyncStreamSession` call it once per
+gathered window with the window's dispatch-to-gather latency, the
+backend's queue depth, and the stall/fallback flags.  The resulting
+state is exported through :class:`~repro.streamrule.metrics.IngestionStats`
+(``inflight_target``, ``aimd_increases``, ``aimd_backoffs``) and from
+there the query server's Prometheus endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["AdaptiveInflightController", "DEFAULT_CEILING"]
+
+#: Default ceiling of the adaptive target.  High enough to keep a large
+#: fleet's slots busy, low enough that a runaway ramp cannot buffer an
+#: unbounded number of windows before the first congestion signal.
+DEFAULT_CEILING = 32
+
+
+class AdaptiveInflightController:
+    """AIMD controller for the session's in-flight window bound.
+
+    The protocol is one call per gathered window::
+
+        controller.observe_gather(
+            latency_seconds=...,   # the window's dispatch-to-gather span
+            queue_depth=...,       # backend.queue_depth() at gather time
+            stalled=...,           # did backpressure block the producer?
+            failed=...,            # did any partition fall back inline?
+        )
+        limit = controller.target  # the bound for the next dispatch
+
+    ``target`` is always an int within ``[floor, ceiling]``.  Congestion
+    is judged from four independent signals (any one suffices):
+
+    * ``stalled`` -- the producer blocked on the head window;
+    * ``failed`` -- the transport degraded to an inline fallback;
+    * ``queue_depth > depth_factor * EWMA(queue_depth)`` once the smoothed
+      depth has warmed up -- the backend's queue *rising* well above its
+      recent history (the absolute depth is meaningless to one session
+      when the backend is shared by hundreds: whatever the steady level,
+      only a jump signals congestion);
+    * ``latency_seconds > latency_factor * EWMA`` once the smoothed
+      latency has warmed up (``warmup`` observations) -- the gather
+      latency jumped above its recent history.
+
+    ``backoffs`` counts congestion observations (including those clamped
+    at the floor -- the signal fired either way); ``increases`` counts
+    ramps that actually raised the integer target, so a controller parked
+    at the ceiling stops counting.
+    """
+
+    def __init__(
+        self,
+        *,
+        initial: Optional[int] = None,
+        floor: int = 1,
+        ceiling: int = DEFAULT_CEILING,
+        increase: float = 1.0,
+        decrease: float = 0.5,
+        depth_factor: float = 2.0,
+        latency_factor: float = 2.0,
+        ewma_alpha: float = 0.2,
+        warmup: int = 3,
+    ):
+        if floor < 1:
+            raise ValueError("floor must be at least 1")
+        if ceiling < floor:
+            raise ValueError("ceiling must be at least the floor")
+        if increase <= 0.0:
+            raise ValueError("increase must be positive")
+        if not 0.0 < decrease < 1.0:
+            raise ValueError("decrease must be in (0, 1)")
+        if depth_factor <= 1.0:
+            raise ValueError("depth_factor must exceed 1")
+        if latency_factor <= 1.0:
+            raise ValueError("latency_factor must exceed 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if warmup < 1:
+            raise ValueError("warmup must be at least 1")
+        self.floor = floor
+        self.ceiling = ceiling
+        self.increase = increase
+        self.decrease = decrease
+        self.depth_factor = depth_factor
+        self.latency_factor = latency_factor
+        self.ewma_alpha = ewma_alpha
+        self.warmup = warmup
+        if initial is None:
+            initial = min(ceiling, max(floor, 4))
+        if not floor <= initial <= ceiling:
+            raise ValueError("initial must be within [floor, ceiling]")
+        self._target = float(initial)
+        self._latency_ewma: Optional[float] = None
+        self._depth_ewma: Optional[float] = None
+        self._observations = 0
+        #: Ramps that raised the integer target (additive increases).
+        self.increases = 0
+        #: Congestion observations that cut the target (multiplicative
+        #: decreases), floor-clamped cuts included.
+        self.backoffs = 0
+
+    @property
+    def target(self) -> int:
+        """The current in-flight bound, an int in ``[floor, ceiling]``."""
+        return max(self.floor, min(self.ceiling, int(self._target)))
+
+    def observe_gather(
+        self,
+        *,
+        latency_seconds: float = 0.0,
+        queue_depth: Optional[int] = None,
+        stalled: bool = False,
+        failed: bool = False,
+    ) -> int:
+        """Feed one gathered window's record; returns the new target."""
+        congested = stalled or failed
+        if (
+            not congested
+            and queue_depth is not None
+            and self._depth_ewma is not None
+            and self._observations >= self.warmup
+            and queue_depth > self.depth_factor * max(self._depth_ewma, 1.0)
+        ):
+            congested = True
+        if (
+            not congested
+            and self._latency_ewma is not None
+            and self._observations >= self.warmup
+            and latency_seconds > self.latency_factor * self._latency_ewma
+        ):
+            congested = True
+
+        if congested:
+            self.backoffs += 1
+            self._target = max(float(self.floor), self._target * self.decrease)
+            # A congested window's latency and depth are queueing, not
+            # capacity; keep them out of the smoothed histories so one
+            # stall does not poison the baseline the next windows are
+            # judged against.
+        else:
+            before = self.target
+            self._target = min(float(self.ceiling), self._target + self.increase)
+            if self.target > before:
+                self.increases += 1
+            if queue_depth is not None:
+                if self._depth_ewma is None:
+                    self._depth_ewma = float(queue_depth)
+                else:
+                    self._depth_ewma += self.ewma_alpha * (queue_depth - self._depth_ewma)
+            if latency_seconds > 0.0:
+                if self._latency_ewma is None:
+                    self._latency_ewma = latency_seconds
+                else:
+                    self._latency_ewma += self.ewma_alpha * (latency_seconds - self._latency_ewma)
+            if latency_seconds > 0.0 or queue_depth is not None:
+                self._observations += 1
+        return self.target
+
+    @property
+    def latency_ewma_seconds(self) -> float:
+        """The smoothed clean-gather latency (0.0 until the first sample)."""
+        return self._latency_ewma or 0.0
+
+    @property
+    def depth_ewma(self) -> float:
+        """The smoothed clean-gather queue depth (0.0 until the first sample)."""
+        return self._depth_ewma or 0.0
+
+    def reset_latency(self) -> None:
+        """Forget the smoothed histories (e.g. after a program/window change)."""
+        self._latency_ewma = None
+        self._depth_ewma = None
+        self._observations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdaptiveInflightController(target={self.target}, "
+            f"increases={self.increases}, backoffs={self.backoffs})"
+        )

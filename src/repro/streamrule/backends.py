@@ -220,9 +220,18 @@ class ExecutionBackend(abc.ABC):
             self._inflight_items -= 1
 
     def queue_depth(self) -> int:
-        """Work items submitted but not yet finished (0 while idle/closed)."""
-        with self._depth_lock:
-            return self._inflight_items
+        """Work items submitted but not yet finished (0 while idle/closed).
+
+        A lock-free read: the counter is a plain int mutated under
+        ``_depth_lock`` on the submit/done side, and a bare load of an int
+        attribute is atomic in CPython.  The depth is an instantaneous
+        observation that is stale the moment it returns anyway -- taking the
+        lock here bought no extra consistency, only contention between the
+        observers (the adaptive in-flight controller reads this once per
+        gathered window, the metrics endpoint on every scrape) and the
+        dispatch hot path.
+        """
+        return self._inflight_items
 
     @property
     def queue_high_water(self) -> int:

@@ -39,7 +39,23 @@ from repro.streamrule.net import WireStats, WorkerClient
 from repro.streamrule.reasoner import ReasonerResult
 from repro.streamrule.work import WorkItem
 
-__all__ = ["EndpointLike", "WorkerEndpoint", "WorkerFleet"]
+__all__ = ["EndpointLike", "WorkerEndpoint", "WorkerFleet", "initial_slot_owners", "rerouted_owner"]
+
+
+def initial_slot_owners(slot_count: int, endpoint_count: int) -> List[int]:
+    """The canonical slot -> endpoint layout: slot ``i`` on endpoint ``i % n``.
+
+    Shared by :class:`WorkerFleet` and its asyncio sibling
+    (:class:`repro.streamrule.aio.AsyncWorkerFleet`) so the two route a
+    given slot to the same worker -- which keeps a track's cache state on
+    one machine whichever client drives the fleet.
+    """
+    return [index % endpoint_count for index in range(slot_count)]
+
+
+def rerouted_owner(slot: int, alive: Sequence[int]) -> int:
+    """Where a slot lands when its owner is dead: round-robin over survivors."""
+    return alive[slot % len(alive)]
 
 
 @dataclass(frozen=True)
@@ -145,7 +161,7 @@ class WorkerFleet:
         self._payload: Optional[bytes] = None
         self._clients: List[Optional[WorkerClient]] = [None] * len(self.endpoints)
         self._dead: List[bool] = [False] * len(self.endpoints)
-        self._slot_owner: List[int] = [index % len(self.endpoints) for index in range(self.slot_count)]
+        self._slot_owner: List[int] = initial_slot_owners(self.slot_count, len(self.endpoints))
         self._retired_stats = WireStats()
         #: How many slot reassignments dead workers have caused.
         self.reroutes = 0
@@ -191,7 +207,7 @@ class WorkerFleet:
         with self._lock:
             clients, self._clients = self._clients, [None] * len(self.endpoints)
             self._dead = [False] * len(self.endpoints)
-            self._slot_owner = [index % len(self.endpoints) for index in range(self.slot_count)]
+            self._slot_owner = initial_slot_owners(self.slot_count, len(self.endpoints))
             self._payload = None
         for client in clients:
             if client is not None:
@@ -325,7 +341,7 @@ class WorkerFleet:
             alive = self._alive_indexes()
             if not alive:
                 return None, owner
-            new_owner = alive[slot % len(alive)]
+            new_owner = rerouted_owner(slot, alive)
             if new_owner != owner:
                 self._slot_owner[slot] = new_owner
                 self.reroutes += 1
@@ -344,7 +360,7 @@ class WorkerFleet:
             return
         for slot, owner in enumerate(self._slot_owner):
             if owner == index:
-                self._slot_owner[slot] = alive[slot % len(alive)]
+                self._slot_owner[slot] = rerouted_owner(slot, alive)
                 self.reroutes += 1
 
     def _handle_connection_loss(self, index: int) -> None:

@@ -97,6 +97,12 @@ class IngestionStats:
         waiting and is not a stall).
     ``backpressure_wait_seconds``
         Wall-clock the producer spent inside those stalls.
+
+    With adaptive in-flight control (``max_inflight="adaptive"``, see
+    :class:`~repro.streamrule.adaptive.AdaptiveInflightController`) three
+    more fields mirror the controller after every gather: the current
+    ``inflight_target`` and the cumulative ``aimd_increases`` /
+    ``aimd_backoffs`` counters.  They stay 0 on fixed-bound sessions.
     """
 
     windows_dispatched: int = 0
@@ -105,6 +111,9 @@ class IngestionStats:
     dispatched_ahead: int = 0
     backpressure_stalls: int = 0
     backpressure_wait_seconds: float = 0.0
+    inflight_target: int = 0
+    aimd_increases: int = 0
+    aimd_backoffs: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -114,6 +123,9 @@ class IngestionStats:
             "dispatched_ahead": float(self.dispatched_ahead),
             "backpressure_stalls": float(self.backpressure_stalls),
             "backpressure_wait_seconds": self.backpressure_wait_seconds,
+            "inflight_target": float(self.inflight_target),
+            "aimd_increases": float(self.aimd_increases),
+            "aimd_backoffs": float(self.aimd_backoffs),
         }
 
 

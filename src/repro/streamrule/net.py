@@ -124,9 +124,12 @@ __all__ = [
     "WorkerClient",
     "apply_facts_diff",
     "apply_id_runs",
+    "build_hello",
     "connect_with_backoff",
+    "decode_result",
     "diff_facts",
     "diff_id_runs",
+    "parse_welcome",
     "recv_frame",
     "send_frame",
     "serve_worker_connection",
@@ -603,6 +606,67 @@ class WireStats:
 
 
 # --------------------------------------------------------------------------- #
+# Handshake grammar shared by the sync and asyncio clients
+# --------------------------------------------------------------------------- #
+def build_hello(delta_shipping: bool, symbol_ids: bool) -> Tuple[bytes, Dict[str, bool]]:
+    """Build the ``HELLO`` payload; returns ``(payload, offered)``.
+
+    One spelling of the capability offer for every client implementation
+    (:class:`WorkerClient` and the asyncio client in
+    :mod:`repro.streamrule.aio`), so the two cannot drift.
+    """
+    offered = dict(DEFAULT_CAPABILITIES)
+    offered["delta_shipping"] = delta_shipping
+    offered["symbol_ids"] = symbol_ids
+    return _dumps({"protocol": PROTOCOL_VERSION, "capabilities": offered}), offered
+
+
+def parse_welcome(
+    kind: FrameKind, payload: bytes, offered: Dict[str, bool], address: Tuple[str, int]
+) -> Dict[str, bool]:
+    """Validate the server's handshake answer; returns the active capabilities.
+
+    Raises :class:`HandshakeError` on a ``REJECT`` or a protocol-version
+    mismatch and :class:`ProtocolError` on any other frame kind.  A
+    capability is active only when both the offer and the ``WELCOME``
+    named it.
+    """
+    if kind is FrameKind.REJECT:
+        reject = pickle.loads(payload)
+        raise HandshakeError(
+            f"worker {address[0]}:{address[1]} rejected the handshake: "
+            f"{reject.get('reason', 'unspecified')} "
+            f"(worker protocol {reject.get('protocol')}, ours {PROTOCOL_VERSION})"
+        )
+    if kind is not FrameKind.WELCOME:
+        raise ProtocolError(f"expected WELCOME, got {kind.name}")
+    welcome = pickle.loads(payload)
+    if welcome.get("protocol") != PROTOCOL_VERSION:
+        raise HandshakeError(
+            f"worker {address[0]}:{address[1]} speaks protocol "
+            f"{welcome.get('protocol')}, this client speaks {PROTOCOL_VERSION}"
+        )
+    return {name: True for name, on in welcome.get("capabilities", {}).items() if on and offered.get(name)}
+
+
+def decode_result(payload: bytes, address: Tuple[str, int]) -> ReasonerResult:
+    """Unpickle a ``RESULT`` payload, re-raising wrapped worker failures.
+
+    Raises :class:`ProtocolError` on an undecodable payload (the caller
+    must then abort the connection -- the stream can no longer be trusted)
+    and the original worker-side exception when the payload is a
+    :class:`RemoteFailure`.
+    """
+    try:
+        value = pickle.loads(payload)
+    except Exception as error:
+        raise ProtocolError(f"undecodable RESULT payload from {address}: {error!r}") from error
+    if isinstance(value, RemoteFailure):
+        raise value.rebuild()
+    return value
+
+
+# --------------------------------------------------------------------------- #
 # Connecting with bounded exponential backoff
 # --------------------------------------------------------------------------- #
 def connect_with_backoff(
@@ -751,31 +815,14 @@ class WorkerClient:
     def _handshake(self, reasoner_payload: bytes, delta_shipping: bool, symbol_ids: bool) -> Dict[str, bool]:
         sock = self._sock
         assert sock is not None
-        offered = dict(DEFAULT_CAPABILITIES)
-        offered["delta_shipping"] = delta_shipping
-        offered["symbol_ids"] = symbol_ids
+        hello, offered = build_hello(delta_shipping, symbol_ids)
         try:
             sock.sendall(MAGIC)
-            send_frame(sock, FrameKind.HELLO, _dumps({"protocol": PROTOCOL_VERSION, "capabilities": offered}))
+            send_frame(sock, FrameKind.HELLO, hello)
             kind, payload = recv_frame(sock)
         except (OSError, EOFError) as error:
             raise BackendConnectionError(f"handshake with {self.address} failed: {error!r}") from error
-        if kind is FrameKind.REJECT:
-            reject = pickle.loads(payload)
-            raise HandshakeError(
-                f"worker {self.address[0]}:{self.address[1]} rejected the handshake: "
-                f"{reject.get('reason', 'unspecified')} "
-                f"(worker protocol {reject.get('protocol')}, ours {PROTOCOL_VERSION})"
-            )
-        if kind is not FrameKind.WELCOME:
-            raise ProtocolError(f"expected WELCOME, got {kind.name}")
-        welcome = pickle.loads(payload)
-        if welcome.get("protocol") != PROTOCOL_VERSION:
-            raise HandshakeError(
-                f"worker {self.address[0]}:{self.address[1]} speaks protocol "
-                f"{welcome.get('protocol')}, this client speaks {PROTOCOL_VERSION}"
-            )
-        accepted = {name: True for name, on in welcome.get("capabilities", {}).items() if on and offered.get(name)}
+        accepted = parse_welcome(kind, payload, offered, self.address)
         try:
             send_frame(sock, FrameKind.REASONER, reasoner_payload)
             kind, _ = recv_frame(sock)
@@ -916,14 +963,10 @@ class WorkerClient:
             self._abort(failure)
             raise failure
         try:
-            value = pickle.loads(response)
-        except Exception as error:
-            failure = ProtocolError(f"undecodable RESULT payload from {self.address}: {error!r}")
+            return decode_result(response, self.address)
+        except ProtocolError as failure:
             self._abort(failure)
-            raise failure from error
-        if isinstance(value, RemoteFailure):
-            raise value.rebuild()
-        return value
+            raise
 
     def ping(self) -> float:
         """Heartbeat round trip; returns the latency in seconds.

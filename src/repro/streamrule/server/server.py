@@ -139,7 +139,7 @@ class QueryServer:
         grounding_cache: Optional[GroundingCache] = None,
         solver_cache=None,
         scheduler: Optional[FairScheduler] = None,
-        max_inflight: Optional[int] = None,
+        max_inflight: Union[int, str, None] = None,
         max_models: Optional[int] = None,
         max_combinations: Optional[int] = 64,
         track_stride: int = DEFAULT_TRACK_STRIDE,
@@ -604,6 +604,9 @@ class QueryServer:
                     "dispatched_ahead": "counter",
                     "backpressure_stalls": "counter",
                     "backpressure_wait_seconds": "counter",
+                    "inflight_target": "gauge",
+                    "aimd_increases": "counter",
+                    "aimd_backoffs": "counter",
                 }
                 for stat, value in ingestion.items():
                     families.append(

@@ -95,6 +95,7 @@ from repro.streaming.format import DataFormatProcessor
 from repro.streaming.processor import StreamQueryProcessor
 from repro.streaming.triples import Triple
 from repro.streaming.window import CountWindow, CountWindowStepper, TimeWindow, TimeWindowStepper, WindowDelta
+from repro.streamrule.adaptive import AdaptiveInflightController
 from repro.streamrule.backends import BackendConnectionError, ExecutionBackend, InlineBackend
 from repro.streamrule.metrics import IngestionStats, LatencyBreakdown, ReasonerMetrics, Timer
 from repro.streamrule.placement import PlacementStrategy
@@ -190,8 +191,9 @@ class StreamSession:
         format_processor: Optional[DataFormatProcessor] = None,
         inline_fallback: bool = True,
         eager_time_windows: bool = False,
-        max_inflight: Optional[int] = None,
+        max_inflight: Union[int, str, AdaptiveInflightController, None] = None,
         owns_backend: bool = True,
+        track_base: int = 0,
     ):
         """Create a session for ``program``.
 
@@ -216,11 +218,20 @@ class StreamSession:
         (``None``) resolves to :data:`DEFAULT_MAX_INFLIGHT` on pipelined
         backends and to 1 (fully synchronous) on inline evaluation, and
         ``max_inflight=1`` always reproduces the synchronous behaviour
-        exactly.  ``owns_backend=False`` detaches the backend's lifecycle
+        exactly.  Pass the string ``"adaptive"`` (or an
+        :class:`~repro.streamrule.adaptive.AdaptiveInflightController`
+        instance with custom knobs) to derive the bound from observed
+        stalls, queue depth, and latency instead of a constant (AIMD;
+        see :mod:`repro.streamrule.adaptive`) -- the controller's state is
+        mirrored into :attr:`ingestion` after every gather.  ``owns_backend=False`` detaches the backend's lifecycle
         from the session's: :meth:`close` still drains the in-flight
         windows but leaves the backend running, for callers (the
         multi-tenant :class:`~repro.streamrule.server.QueryServer`) that
-        roll sessions over one long-lived shared backend.
+        roll sessions over one long-lived shared backend.  ``track_base``
+        offsets every dispatched partition's cache track (see
+        :meth:`push_window`): give each session multiplexed over one shared
+        reasoner/backend its own base so their per-track grounding/solver
+        states never collide (the asyncio serving layer assigns these).
         """
         if isinstance(program, Reasoner):
             if input_predicates is not None or output_predicates is not None:
@@ -255,7 +266,19 @@ class StreamSession:
         self.inline_fallback = inline_fallback
         self.eager_time_windows = eager_time_windows
         self.owns_backend = owns_backend
-        if max_inflight is not None and max_inflight < 1:
+        self.track_base = track_base
+        #: The AIMD controller driving the in-flight bound, ``None`` on
+        #: fixed-bound sessions.
+        self.inflight_controller: Optional[AdaptiveInflightController] = None
+        if isinstance(max_inflight, AdaptiveInflightController):
+            self.inflight_controller = max_inflight
+            max_inflight = None
+        elif isinstance(max_inflight, str):
+            if max_inflight != "adaptive":
+                raise ValueError(f"unknown max_inflight policy {max_inflight!r} (use 'adaptive')")
+            self.inflight_controller = AdaptiveInflightController()
+            max_inflight = None
+        elif max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
         self.max_inflight = max_inflight
         #: How many partition evaluations fell back inline after a backend
@@ -263,6 +286,8 @@ class StreamSession:
         self.fallbacks = 0
         #: Producer-side pipelining record (dispatch-ahead, backpressure).
         self.ingestion = IngestionStats()
+        if self.inflight_controller is not None:
+            self.ingestion.inflight_target = self.inflight_controller.target
         self._buffer: List[StreamItem] = []  # time-window (and windowless) staging
         self._stepper: Optional[CountWindowStepper] = None  # count-window incremental driver
         self._time_stepper: Optional[TimeWindowStepper] = None  # eager time-window driver
@@ -418,20 +443,29 @@ class StreamSession:
         preserve; the alternative (blocking ``push`` instead) would only
         move the same work earlier.
         """
-        while self._ready or self._inflight:
-            if self._ready:
-                yield self._ready.popleft()
-                continue
+        # Idle-drain fast path: already-gathered solutions yield without
+        # probing anything, and with nothing in flight the iterator never
+        # touches a future's lock or the backend at all.  The query server
+        # (and any push loop) calls ``results(wait=False)`` after every
+        # push, so the no-work case must cost a deque check, not a lock.
+        while self._ready:
+            yield self._ready.popleft()
+        while self._inflight:
             if not wait and not self._inflight[0].done():
                 return
             self._gather_oldest()
+            while self._ready:
+                yield self._ready.popleft()
 
     # ------------------------------------------------------------------ #
     # Pipelined dispatch bookkeeping
     # ------------------------------------------------------------------ #
     def effective_max_inflight(self) -> int:
-        """The resolved in-flight bound: the explicit ``max_inflight``, else
+        """The resolved in-flight bound: the adaptive controller's current
+        target when one is attached, else the explicit ``max_inflight``, else
         :data:`DEFAULT_MAX_INFLIGHT` on a pipelined backend and 1 otherwise."""
+        if self.inflight_controller is not None:
+            return self.inflight_controller.target if self.backend.pipelined else 1
         if self.max_inflight is not None:
             return self.max_inflight
         return DEFAULT_MAX_INFLIGHT if self.backend.pipelined else 1
@@ -448,7 +482,7 @@ class StreamSession:
         delta: Optional[WindowDelta] = None,
         index: Optional[int] = None,
         tag: Optional[object] = None,
-        track_base: int = 0,
+        track_base: Optional[int] = None,
     ) -> None:
         """Dispatch one externally-windowed window through the pipeline.
 
@@ -471,8 +505,10 @@ class StreamSession:
             index = self._push_index
             self._push_index += 1
         self._dispatch_into(self._inflight, index, list(items), delta, tag=tag, track_base=track_base)
-        limit = self.effective_max_inflight()
-        while len(self._inflight) >= limit:
+        # Re-resolve the bound every iteration: an adaptive controller may
+        # cut its target mid-loop (a stalled gather is a congestion signal),
+        # and the loop must then drain down to the *new* bound.
+        while len(self._inflight) >= self.effective_max_inflight():
             self._gather_oldest(backpressure=True)
 
     def _dispatch_into(
@@ -482,7 +518,7 @@ class StreamSession:
         items: List[StreamItem],
         delta: Optional[WindowDelta],
         tag: Optional[object] = None,
-        track_base: int = 0,
+        track_base: Optional[int] = None,
     ) -> None:
         """Dispatch one window into an in-flight queue, keeping the stats."""
         if inflight:
@@ -499,14 +535,15 @@ class StreamSession:
         synchronous dispatch-then-gather loop.
         """
         self._dispatch_into(self._inflight, index, items, delta)
-        limit = self.effective_max_inflight()
-        while len(self._inflight) >= limit:
+        while len(self._inflight) >= self.effective_max_inflight():
             self._gather_oldest(backpressure=True)
 
     def _gather_oldest(self, backpressure: bool = False) -> None:
         """Gather the oldest in-flight window into the results queue."""
         pending = self._inflight.popleft()
-        if backpressure and not pending.done():
+        stalled = backpressure and not pending.done()
+        fallbacks_before = self.fallbacks
+        if stalled:
             # The bound was hit while the head window was still being
             # evaluated: the backend genuinely fell behind the producer.
             self.ingestion.backpressure_stalls += 1
@@ -515,7 +552,29 @@ class StreamSession:
             self.ingestion.backpressure_wait_seconds += stall.seconds
         else:
             solution = self._gather_solution(pending)
+        self._observe_gather(pending, stalled=stalled, failed=self.fallbacks > fallbacks_before)
         self._ready.append(solution)
+
+    def _observe_gather(self, pending: PendingWindow, *, stalled: bool, failed: bool) -> None:
+        """Feed one gathered window's record to the adaptive controller.
+
+        A no-op on fixed-bound sessions, so the gather path never probes the
+        backend's queue depth unless a controller is actually listening.
+        The asyncio surface calls this too -- adaptation is a property of
+        the shared gather seam, not of either facade.
+        """
+        controller = self.inflight_controller
+        if controller is None or not self.backend.pipelined:
+            return
+        controller.observe_gather(
+            latency_seconds=time.perf_counter() - pending.dispatched_at,
+            queue_depth=self.backend.queue_depth(),
+            stalled=stalled,
+            failed=failed,
+        )
+        self.ingestion.inflight_target = controller.target
+        self.ingestion.aimd_increases = controller.increases
+        self.ingestion.aimd_backoffs = controller.backoffs
 
     def _drain_inflight(self) -> None:
         """Gather every in-flight window into the results queue."""
@@ -591,7 +650,7 @@ class StreamSession:
         window_items: List[StreamItem],
         delta: Optional[WindowDelta],
         tag: Optional[object] = None,
-        track_base: int = 0,
+        track_base: Optional[int] = None,
     ) -> PendingWindow:
         """Filter and dispatch one stream window (the facade's dispatch half)."""
         filtered = self.query_processor.process(window_items) if self.query_processor else window_items
@@ -660,7 +719,7 @@ class StreamSession:
         epoch: Optional[int],
         index: Optional[int] = None,
         tag: Optional[object] = None,
-        track_base: int = 0,
+        track_base: Optional[int] = None,
     ) -> PendingWindow:
         """Partition one window and submit its work items (non-blocking).
 
@@ -678,6 +737,8 @@ class StreamSession:
         over one session occupy disjoint track namespaces.
         """
         window = list(window)
+        if track_base is None:
+            track_base = self.track_base
         if epoch is None:
             epoch = self._epoch
         self._epoch = max(self._epoch, epoch) + 1

@@ -1,0 +1,286 @@
+"""The AIMD in-flight controller: scripted traces, clamps, session wiring.
+
+:class:`~repro.streamrule.adaptive.AdaptiveInflightController` is
+deliberately clock-free -- every input arrives through
+``observe_gather(...)`` -- so its dynamics are testable as plain scripted
+traces: a run of clean gathers must ramp the target additively, one
+congestion signal must cut it multiplicatively, and no trace whatsoever may
+push the target above the ceiling or starve it below the floor (the
+hypothesis property at the bottom).  The second half pins the session
+wiring (``max_inflight="adaptive"``, ingestion mirroring) and the
+idle-drain fast path: ``results(wait=False)`` on a session with nothing in
+flight must return without touching the gather machinery at all -- no
+backend probe, no stall accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program
+from repro.streaming.generator import SyntheticStreamConfig, generate_window
+from repro.streaming.window import CountWindow
+from repro.streamrule.adaptive import DEFAULT_CEILING, AdaptiveInflightController
+from repro.streamrule.backends import InlineBackend, ThreadPoolBackend
+from repro.streamrule.reasoner import Reasoner
+from repro.streamrule.session import StreamSession
+
+
+def traffic_stream(length, seed=23):
+    config = SyntheticStreamConfig(
+        window_size=length, input_predicates=INPUT_PREDICATES, scheme="traffic", seed=seed
+    )
+    return generate_window(config)
+
+
+def traffic_reasoner():
+    return Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+
+
+class TestScriptedTraces:
+    def test_clean_gathers_ramp_additively_to_the_ceiling(self):
+        controller = AdaptiveInflightController(initial=4, ceiling=8)
+        trajectory = [controller.observe_gather() for _ in range(10)]
+        # Monotone +1 per clean gather until the ceiling, then flat.
+        assert trajectory == [5, 6, 7, 8, 8, 8, 8, 8, 8, 8]
+        assert controller.increases == 4  # only actual raises count
+        assert controller.backoffs == 0
+
+    def test_stall_cuts_multiplicatively(self):
+        controller = AdaptiveInflightController(initial=8, ceiling=16)
+        assert controller.observe_gather(stalled=True) == 4
+        assert controller.observe_gather(stalled=True) == 2
+        assert controller.observe_gather(stalled=True) == 1
+        assert controller.backoffs == 3
+
+    def test_fallback_counts_as_congestion(self):
+        controller = AdaptiveInflightController(initial=8)
+        assert controller.observe_gather(failed=True) == 4
+        assert controller.backoffs == 1
+
+    def test_rising_backend_queue_counts_as_congestion(self):
+        controller = AdaptiveInflightController(
+            initial=4, ceiling=64, depth_factor=2.0, ewma_alpha=1.0, warmup=3
+        )
+        # A steady depth -- however high -- is the baseline, not congestion:
+        # a session sharing its backend with hundreds of others sees their
+        # load in every probe.
+        for _ in range(4):
+            controller.observe_gather(queue_depth=40)
+        assert controller.backoffs == 0
+        before = controller.target
+        # The depth *jumping* above its smoothed history is congestion.
+        controller.observe_gather(queue_depth=100)
+        assert controller.backoffs == 1
+        assert controller.target < before
+
+    def test_congested_depth_does_not_poison_the_ewma(self):
+        controller = AdaptiveInflightController(initial=4, ewma_alpha=1.0, warmup=1)
+        controller.observe_gather(queue_depth=10)
+        controller.observe_gather(queue_depth=10)
+        baseline = controller.depth_ewma
+        controller.observe_gather(queue_depth=500, stalled=True)
+        assert controller.depth_ewma == baseline
+
+    def test_latency_jump_counts_as_congestion_after_warmup(self):
+        controller = AdaptiveInflightController(
+            initial=2, ceiling=64, latency_factor=2.0, ewma_alpha=1.0, warmup=3
+        )
+        for _ in range(4):  # establish the EWMA past the warmup
+            controller.observe_gather(latency_seconds=0.010)
+        assert controller.backoffs == 0
+        before = controller.target
+        controller.observe_gather(latency_seconds=0.100)  # 10x jump
+        assert controller.backoffs == 1
+        assert controller.target < before
+
+    def test_congested_latency_does_not_poison_the_ewma(self):
+        controller = AdaptiveInflightController(initial=4, ewma_alpha=1.0, warmup=1)
+        controller.observe_gather(latency_seconds=0.010)
+        baseline = controller.latency_ewma_seconds
+        # A stalled gather's latency measures queueing, not capacity: the
+        # EWMA must ignore it, or the jump detector calibrates itself to
+        # the congestion it is meant to detect.
+        controller.observe_gather(latency_seconds=5.0, stalled=True)
+        assert controller.latency_ewma_seconds == baseline
+
+    def test_floor_holds_under_sustained_congestion(self):
+        controller = AdaptiveInflightController(initial=4, floor=2)
+        for _ in range(20):
+            controller.observe_gather(stalled=True)
+        assert controller.target == 2
+        assert controller.backoffs == 20  # every congestion event counts
+
+    def test_recovery_after_backoff(self):
+        controller = AdaptiveInflightController(initial=8, ceiling=8)
+        controller.observe_gather(stalled=True)  # cut to 4
+        trajectory = [controller.observe_gather() for _ in range(6)]
+        assert trajectory == [5, 6, 7, 8, 8, 8]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveInflightController(floor=0)
+        with pytest.raises(ValueError):
+            AdaptiveInflightController(floor=8, ceiling=4)
+        with pytest.raises(ValueError):
+            AdaptiveInflightController(initial=99, ceiling=8)
+        with pytest.raises(ValueError):
+            AdaptiveInflightController(decrease=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveInflightController(increase=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveInflightController(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveInflightController(depth_factor=1.0)
+
+    def test_default_initial_is_clamped_into_the_band(self):
+        assert AdaptiveInflightController().target == 4
+        assert AdaptiveInflightController(ceiling=2).target == 2
+        assert AdaptiveInflightController(floor=6).target == 6
+
+
+class TestBoundednessProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        floor=st.integers(min_value=1, max_value=4),
+        ceiling_extra=st.integers(min_value=0, max_value=12),
+        events=st.lists(
+            st.tuples(
+                st.booleans(),  # stalled
+                st.booleans(),  # failed
+                st.integers(min_value=0, max_value=64),  # queue depth
+                st.floats(min_value=0.0, max_value=1.0),  # latency
+            ),
+            max_size=60,
+        ),
+    )
+    def test_target_never_leaves_the_floor_ceiling_band(self, floor, ceiling_extra, events):
+        """No observation sequence starves the pipe or overruns the ceiling."""
+        ceiling = floor + ceiling_extra
+        controller = AdaptiveInflightController(floor=floor, ceiling=ceiling)
+        for stalled, failed, depth, latency in events:
+            target = controller.observe_gather(
+                latency_seconds=latency, queue_depth=depth, stalled=stalled, failed=failed
+            )
+            assert floor <= target <= ceiling
+            assert controller.target == target
+
+
+class TestSessionWiring:
+    def test_adaptive_policy_string_builds_a_controller(self):
+        session = StreamSession(traffic_reasoner(), max_inflight="adaptive")
+        assert isinstance(session.inflight_controller, AdaptiveInflightController)
+        assert session.inflight_controller.ceiling == DEFAULT_CEILING
+        assert session.max_inflight is None
+
+    def test_unknown_policy_string_is_rejected(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            StreamSession(traffic_reasoner(), max_inflight="turbo")
+
+    def test_a_controller_instance_is_adopted(self):
+        controller = AdaptiveInflightController(initial=2, ceiling=4)
+        session = StreamSession(traffic_reasoner(), max_inflight=controller)
+        assert session.inflight_controller is controller
+        assert session.ingestion.inflight_target == 2
+
+    def test_adaptive_on_a_non_pipelined_backend_degenerates_to_one(self):
+        session = StreamSession(
+            traffic_reasoner(), backend=InlineBackend(simulated=False), max_inflight="adaptive"
+        )
+        assert session.effective_max_inflight() == 1
+
+    def test_adaptive_bound_follows_the_controller(self):
+        controller = AdaptiveInflightController(initial=4, ceiling=8)
+        with StreamSession(
+            traffic_reasoner(), backend=ThreadPoolBackend(max_workers=2), max_inflight=controller
+        ) as session:
+            assert session.effective_max_inflight() == 4
+            controller.observe_gather(stalled=True)
+            assert session.effective_max_inflight() == 2
+
+    def test_ingestion_mirrors_the_controller_counters(self):
+        with StreamSession(
+            traffic_reasoner(),
+            window=CountWindow(size=10, slide=10),
+            backend=ThreadPoolBackend(max_workers=2),
+            max_inflight="adaptive",
+        ) as session:
+            session.push(traffic_stream(60))
+            session.finish()
+            list(session.results())
+            controller = session.inflight_controller
+            assert session.ingestion.inflight_target == controller.target
+            assert session.ingestion.aimd_increases == controller.increases
+            assert session.ingestion.aimd_backoffs == controller.backoffs
+            assert controller.increases + controller.backoffs > 0
+
+    def test_fixed_bound_sessions_keep_the_aimd_counters_at_zero(self):
+        with StreamSession(
+            traffic_reasoner(),
+            window=CountWindow(size=10, slide=10),
+            backend=ThreadPoolBackend(max_workers=2),
+            max_inflight=4,
+        ) as session:
+            session.push(traffic_stream(40))
+            session.finish()
+            list(session.results())
+            assert session.ingestion.inflight_target == 0
+            assert session.ingestion.aimd_increases == 0
+            assert session.ingestion.aimd_backoffs == 0
+
+
+class _ProbeCountingBackend(ThreadPoolBackend):
+    """A pipelined backend that counts ``queue_depth`` probes."""
+
+    name = "probe-counting"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.depth_probes = 0
+
+    def queue_depth(self) -> int:
+        self.depth_probes += 1
+        return super().queue_depth()
+
+
+class TestIdleDrainFastPath:
+    """``results(wait=False)`` with nothing to gather is free of side effects."""
+
+    def test_idle_drain_touches_no_gather_machinery(self):
+        backend = _ProbeCountingBackend(max_workers=2)
+        with StreamSession(
+            traffic_reasoner(),
+            window=CountWindow(size=10, slide=10),
+            backend=backend,
+            max_inflight="adaptive",
+        ) as session:
+            session.push(traffic_stream(40))
+            session.finish()
+            emitted = list(session.results())
+            assert emitted
+            stalls_before = session.ingestion.backpressure_stalls
+            probes_before = backend.depth_probes
+            # An idle poll loop -- the serving shape between bursts -- must
+            # not enter the gather path: no stall accounting, no backend
+            # probes, nothing for the adaptive controller to misread.
+            for _ in range(50):
+                assert list(session.results(wait=False)) == []
+            assert session.ingestion.backpressure_stalls == stalls_before
+            assert backend.depth_probes == probes_before
+
+    def test_nonblocking_drain_stops_at_the_first_unfinished_window(self):
+        backend = _ProbeCountingBackend(max_workers=1)
+        reasoner = traffic_reasoner()
+        with StreamSession(
+            reasoner, window=CountWindow(size=10, slide=10), backend=backend, max_inflight=8
+        ) as session:
+            session.push(traffic_stream(40))
+            drained = list(session.results(wait=False))
+            finished = len(drained)
+            session.finish()
+            rest = list(session.results())
+            indexes = [s.window_index for s in drained + rest]
+            assert indexes == sorted(indexes)
+            assert finished + len(rest) == len(indexes)

@@ -1,0 +1,159 @@
+"""Chaos: 200 async sessions on one loop survive a mid-stream worker kill.
+
+The serving-layer fault story, end to end: one event loop multiplexes 200
+:class:`AsyncStreamSession` instances over a single shared
+:class:`AioTcpBackend` on a two-worker fleet; one worker is hard-killed
+with a full wave of windows on the wire.  The async fleet deliberately does
+*not* resubmit (``aio.py`` module docstring): every in-flight window on the
+dead connection fails its ticket, the session's inline fallback evaluates
+it locally, and every later dispatch reroutes to the survivor.  Asserted:
+
+* no session loses, duplicates, or reorders a window -- every one of the
+  200 emits exactly the reference solution trajectory;
+* the inline-fallback counters fire (the kill was actually absorbed, not
+  dodged), and the fleet reroutes onto the lone survivor;
+* the AIMD controllers back off on the failure wave and keep increasing
+  elsewhere -- and no controller ever leaves the [floor, ceiling] band.
+
+The fleet is always self-spawned (never ``STREAMRULE_WORKERS``): this test
+kills one of its daemons, so it must own them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.programs.traffic import EVENT_PREDICATES, INPUT_PREDICATES, traffic_program
+from repro.streaming.generator import SyntheticStreamConfig, generate_window
+from repro.streaming.window import CountWindow
+from repro.streamrule.aio import AioTcpBackend, AsyncStreamSession
+from repro.streamrule.backends import InlineBackend
+from repro.streamrule.reasoner import Reasoner
+from repro.streamrule.session import StreamSession
+from repro.streamrule.worker import spawn_local_workers
+
+SESSIONS = 200
+WINDOW = CountWindow(size=10, slide=10)
+STREAM_LENGTH = 30  # three windows per session
+FIRST_WAVE = 10  # one window in flight when the worker dies
+
+
+def traffic_stream():
+    config = SyntheticStreamConfig(
+        window_size=STREAM_LENGTH, input_predicates=INPUT_PREDICATES, scheme="traffic", seed=23
+    )
+    return generate_window(config)
+
+
+def traffic_reasoner():
+    return Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
+
+
+def fingerprint(solution):
+    return (
+        solution.window_index,
+        solution.window_size,
+        {frozenset(answer) for answer in solution.answers},
+        solution.solution_triples,
+    )
+
+
+def reference_solutions(stream):
+    with StreamSession(
+        traffic_reasoner(), window=WINDOW, backend=InlineBackend(simulated=False)
+    ) as session:
+        session.push(stream)
+        session.finish()
+        reference = [fingerprint(solution) for solution in session.results()]
+    assert len(reference) == 3
+    return reference
+
+
+@pytest.mark.slow
+def test_worker_kill_mid_stream_loses_nothing():
+    stream = traffic_stream()
+    reference = reference_solutions(stream)
+    workers = spawn_local_workers(2)
+    try:
+        endpoints = [worker.endpoint for worker in workers]
+
+        async def scenario():
+            reasoner = traffic_reasoner()
+            backend = AioTcpBackend(endpoints)
+            await backend.astart(reasoner)
+            sessions = [
+                AsyncStreamSession(
+                    reasoner,
+                    window=WINDOW,
+                    backend=backend,
+                    max_inflight="adaptive",
+                    owns_backend=False,
+                    track_base=100 * index,
+                )
+                for index in range(SESSIONS)
+            ]
+            try:
+                # Wave 1: every session dispatches one window; nothing is
+                # gathered (the adaptive bound starts above 1), so 200
+                # windows sit in flight across both workers.
+                await asyncio.gather(
+                    *(session.push(stream[:FIRST_WAVE]) for session in sessions)
+                )
+                # Two loop passes put the dispatch tasks' frames on the
+                # wire; the roundtrips cannot complete that fast, so the
+                # kill lands while wave 1 is genuinely in flight.
+                await asyncio.sleep(0)
+                await asyncio.sleep(0)
+                workers[0].kill()
+                # Waves 2-3 + drain: the survivor absorbs the rest.
+                await asyncio.gather(
+                    *(session.push(stream[FIRST_WAVE:]) for session in sessions)
+                )
+                await asyncio.gather(*(session.finish() for session in sessions))
+                per_session = []
+                for session in sessions:
+                    solutions = await session.results_list()
+                    per_session.append(
+                        (
+                            [fingerprint(solution) for solution in solutions],
+                            session.fallbacks,
+                            session.inflight_controller,
+                        )
+                    )
+                stats = backend.wire_statistics()
+            finally:
+                for session in sessions:
+                    await session.close(drain=False)
+                await backend.aclose()
+            return per_session, stats
+
+        per_session, stats = asyncio.run(scenario())
+    finally:
+        for worker in workers:
+            worker.terminate()
+
+    # No session lost, duplicated, or reordered a window.
+    for solutions, _fallbacks, _controller in per_session:
+        assert solutions == reference
+
+    # The kill was absorbed, not dodged: the in-flight wave fell back
+    # inline, and the fleet rerouted the dead worker's slots.
+    total_fallbacks = sum(fallbacks for _s, fallbacks, _c in per_session)
+    assert total_fallbacks > 0
+    assert stats["alive_workers"] == 1.0
+    assert stats["reroutes"] > 0
+
+    # AIMD: the failure wave backed targets off, clean gathers kept
+    # increasing elsewhere, and every target stayed inside its band.
+    total_backoffs = sum(controller.backoffs for _s, _f, controller in per_session)
+    total_increases = sum(controller.increases for _s, _f, controller in per_session)
+    assert total_backoffs > 0
+    assert total_increases > 0
+    for _solutions, _fallbacks, controller in per_session:
+        assert controller.floor <= controller.target <= controller.ceiling
+    # Recovery: a session that fell back (and was cut) still finished its
+    # stream on the survivor -- and across the fleet the post-kill gathers
+    # were overwhelmingly clean, not a congestion collapse.
+    assert total_increases > total_backoffs

@@ -117,7 +117,7 @@ class TestInterleavings:
     @given(data=st.data())
     def test_any_interleaving_matches_the_synchronous_path(self, data):
         """Chunked pushes, partial drains, any bound: identical solutions."""
-        max_inflight = data.draw(st.sampled_from([1, 2, 8]), label="max_inflight")
+        max_inflight = data.draw(st.sampled_from([1, 2, 8, "adaptive"]), label="max_inflight")
         stream = traffic_stream(STREAM_LENGTH)
         chunk_sizes = data.draw(
             st.lists(st.integers(min_value=1, max_value=25), min_size=1, max_size=8),
@@ -144,7 +144,11 @@ class TestInterleavings:
             session.push(stream[cursor:])
             session.finish()
             collected.extend(session.results())
-            assert session.ingestion.inflight_high_water <= max_inflight
+            if isinstance(max_inflight, int):
+                assert session.ingestion.inflight_high_water <= max_inflight
+            else:
+                bound = session.inflight_controller.ceiling
+                assert session.ingestion.inflight_high_water <= bound
         assert [fingerprint(solution) for solution in collected] == reference_solutions()
 
     def test_nonblocking_drain_keeps_the_pipeline_full(self):
