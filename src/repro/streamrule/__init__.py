@@ -27,6 +27,12 @@
 * :mod:`repro.streamrule.session` -- the unified :class:`StreamSession`
   facade: window policy -> partitioning handler -> backend dispatch ->
   combining handler -> solution triples.
+* :mod:`repro.streamrule.autoscale` -- the backpressure-driven
+  :class:`FleetAutoscaler` growing/shrinking a live TCP fleet from
+  sustained stall and AIMD-backoff streaks.
+* :mod:`repro.streamrule.codec` -- the restricted (non-pickle) wire
+  dialect for untrusted peers: programs as text, facts and results as
+  typed JSON + packed-id frames.
 * :mod:`repro.streamrule.adaptive` -- the AIMD
   :class:`AdaptiveInflightController` deriving the session's in-flight
   bound from observed stalls, queue depth, and gather latency
@@ -66,7 +72,7 @@ from repro.streamrule.backends import (
 )
 from repro.streamrule.compat import reset_deprecation_warnings
 from repro.streamrule.errors import BackendConnectionError, BackendError, HandshakeError, ProtocolError
-from repro.streamrule.fleet import WorkerEndpoint, WorkerFleet
+from repro.streamrule.fleet import FleetRegistry, WorkerEndpoint, WorkerFleet
 from repro.streamrule.metrics import (
     IngestionStats,
     LatencyBreakdown,
@@ -101,6 +107,8 @@ __all__ = [
     "DEFAULT_MAX_INFLIGHT",
     "ExecutionBackend",
     "ExecutionMode",
+    "FleetAutoscaler",
+    "FleetRegistry",
     "HandshakeError",
     "IngestionStats",
     "InlineBackend",
@@ -144,6 +152,10 @@ __all__ = [
 #: already imported by this package (runpy would warn and re-execute it).
 _LAZY_WORKER_EXPORTS = ("LocalWorkerProcess", "WorkerServer", "spawn_local_workers")
 
+#: The autoscaler imports the worker module, so it is lazy for the same
+#: runpy reason.
+_LAZY_AUTOSCALE_EXPORTS = ("FleetAutoscaler",)
+
 #: Query-server names resolved lazily: the server package imports this
 #: package's session/backends modules, so eager re-export would cycle.
 _LAZY_SERVER_EXPORTS = ("QueryServer", "StandingQuery", "QueryResult")
@@ -154,6 +166,10 @@ def __getattr__(name: str):
         from repro.streamrule import worker
 
         return getattr(worker, name)
+    if name in _LAZY_AUTOSCALE_EXPORTS:
+        from repro.streamrule import autoscale
+
+        return getattr(autoscale, name)
     if name in _LAZY_SERVER_EXPORTS:
         from repro.streamrule import server
 

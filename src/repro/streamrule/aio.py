@@ -35,15 +35,18 @@ stream.  This module is the many-cheap-sessions shape of the same facade:
     per session: per-slot ordering is kept by *chaining* each slot's
     dispatch tasks instead of dedicating a dispatcher thread per slot.
 
-Failure semantics of the async fleet (deliberately simpler than the sync
-fleet's): a roundtrip that hits a dead connection marks the endpoint dead
-and re-raises :class:`~repro.streamrule.errors.BackendConnectionError`
-instead of resubmitting -- the session's inline fallback evaluates the
-affected partitions locally (``fallbacks`` counts them), so no window is
-lost and none duplicated (the dead connection never delivered a result),
-while every *subsequent* dispatch reroutes to the survivors.  Dead
-endpoints stay dead for the backend's lifetime, exactly like the sync
-fleet.
+Failure semantics of the async fleet now match the sync fleet's
+resubmission discipline: a roundtrip that hits a dead connection marks
+the endpoint dead, reroutes the slot, and *resubmits the item on the
+survivors* -- each endpoint is tried at most once, so a cascading outage
+still terminates in :class:`~repro.streamrule.errors.BackendConnectionError`.
+Only when no worker survives does the error reach the session's inline
+fallback (which evaluates on the loop -- the one degraded-mode blocking
+path, see below).  Previously the async fleet propagated the *first*
+connection loss straight to that fallback, so every in-flight item of a
+dead worker blocked the event loop on a local evaluation even though
+healthy survivors were sitting idle; the equivalence suite now pins the
+resubmission behaviour instead.
 
 Adaptive backpressure composes with both transports: construct the session
 with ``max_inflight="adaptive"`` and the shared gather seam feeds the AIMD
@@ -60,11 +63,11 @@ facade stops being non-blocking; see ``docs/async-serving.md``.
 from __future__ import annotations
 
 import asyncio
-import pickle
+import ssl
 import time
 from collections import deque
 from concurrent.futures import Future
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.streamrule.backends import ExecutionBackend
 from repro.streamrule.errors import (
@@ -88,9 +91,13 @@ from repro.streamrule.net import (
     WireStats,
     _FRAME_HEADER,
     _dumps,
+    auth_mac,
     build_hello,
     decode_result,
-    parse_welcome,
+    dumps_json,
+    encode_reasoner_payload,
+    loads_control,
+    parse_welcome_fields,
 )
 from repro.streamrule.placement import PlacementStrategy
 from repro.streamrule.reasoner import ReasonerResult
@@ -127,11 +134,21 @@ class AsyncWorkerClient:
     """
 
     def __init__(
-        self, address: Tuple[str, int], reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        address: Tuple[str, int],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        auth_token: Optional[str] = None,
+        codec: str = "pickle",
     ):
+        if codec not in ("pickle", "restricted"):
+            raise ValueError(f"codec must be 'pickle' or 'restricted', got {codec!r}")
         self.address = address
+        self.codec = codec
         self.stats = WireStats()
         self.capabilities: Dict[str, bool] = {}
+        self._auth_token = auth_token
         self._reader = reader
         self._writer = writer
         self._closed = False
@@ -140,7 +157,8 @@ class AsyncWorkerClient:
         #: is send order.
         self._send_lock = asyncio.Lock()
         self._pending: Deque["asyncio.Future[Tuple[FrameKind, bytes]]"] = deque()
-        self._shipper: Optional[DeltaShipper] = None
+        self._shipper: Optional[Any] = None
+        self._decode_result: Callable[[bytes, Tuple[str, int]], ReasonerResult] = decode_result
         self._reader_task: Optional["asyncio.Task[None]"] = None
 
     @classmethod
@@ -155,22 +173,55 @@ class AsyncWorkerClient:
         base_delay: float = 0.05,
         max_delay: float = 2.0,
         connect_timeout: float = 5.0,
+        ssl_context: Optional[ssl.SSLContext] = None,
+        server_hostname: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        codec: str = "pickle",
     ) -> "AsyncWorkerClient":
-        """Connect with bounded exponential backoff and run the handshake."""
+        """Connect with bounded exponential backoff and run the handshake.
+
+        Mirrors the sync client's security surface: ``ssl_context`` wraps
+        the connection in TLS (``server_hostname`` overrides the
+        SNI/verification name), ``auth_token`` answers the worker's
+        ``AUTH`` challenge, and ``codec="restricted"`` requires the
+        restricted (non-pickle) dialect.  An :class:`ssl.SSLError` during
+        the TLS handshake is a :class:`HandshakeError` immediately -- a
+        certificate or protocol mismatch is a deployment bug that retrying
+        cannot fix.
+        """
         if attempts < 1:
             raise ValueError("at least one connection attempt is required")
         delay = base_delay
         failure: Optional[Exception] = None
         reader = writer = None
+        tls_kwargs: Dict[str, object] = {}
+        if ssl_context is not None:
+            tls_kwargs["ssl"] = ssl_context
+            if server_hostname is not None:
+                tls_kwargs["server_hostname"] = server_hostname
         for attempt in range(attempts):
             if attempt:
                 await asyncio.sleep(delay)
                 delay = min(max_delay, delay * 2)
             try:
                 reader, writer = await asyncio.wait_for(
-                    asyncio.open_connection(address[0], address[1]), timeout=connect_timeout
+                    asyncio.open_connection(address[0], address[1], **tls_kwargs),
+                    timeout=connect_timeout,
                 )
                 break
+            except ssl.SSLError as error:
+                raise HandshakeError(
+                    f"TLS handshake with worker {address[0]}:{address[1]} failed: {error!r}"
+                ) from error
+            except (ConnectionResetError, BrokenPipeError) as error:
+                if ssl_context is not None:
+                    # The TCP connect succeeded and the peer then hung up on
+                    # our ClientHello: it is not speaking TLS (e.g. a
+                    # plaintext SRW1 daemon) -- permanent, don't retry.
+                    raise HandshakeError(
+                        f"TLS handshake with worker {address[0]}:{address[1]} failed: {error!r}"
+                    ) from error
+                failure = error
             except (OSError, asyncio.TimeoutError) as error:
                 failure = error
         if reader is None or writer is None:
@@ -178,7 +229,7 @@ class AsyncWorkerClient:
                 f"could not connect to worker {address[0]}:{address[1]} "
                 f"after {attempts} attempts: {failure!r}"
             ) from failure
-        client = cls(address, reader, writer)
+        client = cls(address, reader, writer, auth_token=auth_token, codec=codec)
         try:
             await client._handshake(reasoner_payload, delta_shipping, symbol_ids)
         except BaseException:
@@ -186,9 +237,17 @@ class AsyncWorkerClient:
             raise
         use_delta = bool(client.capabilities.get("delta_shipping"))
         use_ids = bool(client.capabilities.get("symbol_ids"))
-        client._shipper = (
-            DeltaShipper(delta_shipping=use_delta, symbol_ids=use_ids) if (use_delta or use_ids) else None
-        )
+        if client.capabilities.get("restricted_codec"):
+            from repro.streamrule.codec import RestrictedResultDecoder, RestrictedShipper
+
+            client._shipper = RestrictedShipper(delta_shipping=use_delta)
+            client._decode_result = RestrictedResultDecoder().decode
+        else:
+            client._shipper = (
+                DeltaShipper(delta_shipping=use_delta, symbol_ids=use_ids)
+                if (use_delta or use_ids)
+                else None
+            )
         client._reader_task = asyncio.get_running_loop().create_task(client._read_loop())
         return client
 
@@ -260,21 +319,53 @@ class AsyncWorkerClient:
 
     # -- handshake ------------------------------------------------------- #
     async def _handshake(self, reasoner_payload: bytes, delta_shipping: bool, symbol_ids: bool) -> None:
-        hello, offered = build_hello(delta_shipping, symbol_ids)
+        """Run the client half of the handshake (MAGIC .. READY).
+
+        Mirrors the sync client exactly, including the error taxonomy: a
+        transport failure mid-handshake is a :class:`HandshakeError` (a
+        plaintext client against a TLS daemon fails loudly here instead of
+        being endlessly re-dialed), a worker demanding auth we cannot
+        answer is a :class:`HandshakeError`, and a ``REJECT`` after the
+        ``REASONER`` (bad token, refused codec) is one too.
+        """
+        restricted = self.codec == "restricted"
+        hello, offered = build_hello(delta_shipping, symbol_ids, restricted=restricted)
         try:
             self._writer.write(MAGIC)
             self._write_frame(FrameKind.HELLO, hello)
             await self._writer.drain()
             kind, payload = await self._recv_frame()
         except (OSError, EOFError, asyncio.IncompleteReadError, ConnectionError) as error:
-            raise BackendConnectionError(f"handshake with {self.address} failed: {error!r}") from error
-        self.capabilities = parse_welcome(kind, payload, offered, self.address)
+            raise HandshakeError(f"handshake with {self.address} failed: {error!r}") from error
+        accepted, welcome = parse_welcome_fields(
+            kind, payload, offered, self.address, allow_pickle=not restricted
+        )
+        self.capabilities = accepted
+        if restricted and not accepted.get("restricted_codec"):
+            raise HandshakeError(
+                f"worker {self.address[0]}:{self.address[1]} did not accept the restricted codec; "
+                "refusing to fall back to pickle"
+            )
+        nonce = welcome.get("nonce")
         try:
+            if nonce is not None:
+                if not self._auth_token:
+                    raise HandshakeError(
+                        f"worker {self.address[0]}:{self.address[1]} requires token auth "
+                        "and this client has no token"
+                    )
+                self._write_frame(FrameKind.AUTH, dumps_json({"mac": auth_mac(self._auth_token, str(nonce))}))
             self._write_frame(FrameKind.REASONER, reasoner_payload)
             await self._writer.drain()
-            kind, _ = await self._recv_frame()
+            kind, payload = await self._recv_frame()
         except (OSError, EOFError, asyncio.IncompleteReadError, ConnectionError) as error:
-            raise BackendConnectionError(f"handshake with {self.address} failed: {error!r}") from error
+            raise HandshakeError(f"handshake with {self.address} failed: {error!r}") from error
+        if kind is FrameKind.REJECT:
+            reject = loads_control(payload, allow_pickle=not restricted)
+            raise HandshakeError(
+                f"worker {self.address[0]}:{self.address[1]} rejected the handshake: "
+                f"{reject.get('reason', 'unspecified')}"
+            )
         if kind is not FrameKind.READY:
             raise ProtocolError(f"expected READY, got {kind.name}")
 
@@ -343,7 +434,7 @@ class AsyncWorkerClient:
             self.abort(failure)
             raise failure
         try:
-            return decode_result(response, self.address)
+            return self._decode_result(response, self.address)
         except ProtocolError as failure:
             self.abort(failure)
             raise
@@ -359,11 +450,13 @@ class AsyncWorkerFleet:
     sharing its layout helpers (slot ``i`` starts on endpoint ``i % n``;
     dead owners reroute round-robin over the survivors) but none of its
     locks -- everything runs on one event loop, so plain attribute state is
-    already serialized.  Failure semantics are intentionally simpler than
-    the sync fleet's (no mid-stream reconnect, no resubmission): a failed
-    roundtrip retires the endpoint and propagates
-    :class:`BackendConnectionError`, which the session answers with its
-    inline fallback; later dispatches reroute to the survivors.
+    already serialized.  Failure semantics match the sync fleet's
+    resubmission discipline: a failed roundtrip retires the endpoint and
+    resubmits the item on the survivors (each endpoint tried at most
+    once); only a fleet-wide outage propagates
+    :class:`BackendConnectionError` to the session's inline fallback.
+    There is still no mid-stream *reconnect* here -- dead endpoints stay
+    dead for the backend's lifetime.
     """
 
     def __init__(
@@ -377,6 +470,10 @@ class AsyncWorkerFleet:
         base_delay: float = 0.05,
         max_delay: float = 2.0,
         connect_timeout: float = 5.0,
+        ssl_context: Optional[ssl.SSLContext] = None,
+        server_hostname: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        codec: str = "pickle",
     ):
         self.endpoints: List[WorkerEndpoint] = [WorkerEndpoint.parse(endpoint) for endpoint in endpoints]
         if not self.endpoints:
@@ -390,6 +487,10 @@ class AsyncWorkerFleet:
         self.base_delay = base_delay
         self.max_delay = max_delay
         self.connect_timeout = connect_timeout
+        self.ssl_context = ssl_context
+        self.server_hostname = server_hostname
+        self.auth_token = auth_token
+        self.codec = codec
         self._clients: List[Optional[AsyncWorkerClient]] = [None] * len(self.endpoints)
         self._dead: List[bool] = [False] * len(self.endpoints)
         self._slot_owner: List[int] = initial_slot_owners(self.slot_count, len(self.endpoints))
@@ -445,6 +546,10 @@ class AsyncWorkerFleet:
             base_delay=self.base_delay,
             max_delay=self.max_delay,
             connect_timeout=self.connect_timeout,
+            ssl_context=self.ssl_context,
+            server_hostname=self.server_hostname,
+            auth_token=self.auth_token,
+            codec=self.codec,
         )
 
     def abort(self) -> None:
@@ -467,25 +572,36 @@ class AsyncWorkerFleet:
 
     # -- dispatch -------------------------------------------------------- #
     async def roundtrip(self, slot: int, item: WorkItem) -> ReasonerResult:
-        """Evaluate ``item`` on ``slot``'s worker (no resubmission on loss).
+        """Evaluate ``item`` on ``slot``'s worker, resubmitting on survivors.
 
-        A :class:`BackendConnectionError` retires the endpoint (later
-        dispatches reroute off it) and propagates to the caller -- under a
-        session that means the inline fallback evaluates this partition, so
-        the window is neither lost nor duplicated.
+        The async spelling of the sync fleet's resubmission loop: a
+        :class:`BackendConnectionError` retires the endpoint, reroutes the
+        slot, and retries the item there -- each endpoint at most once, so
+        a cascading outage terminates instead of spinning.  This covers
+        *pending* dispatches too: when a worker dies with several frames
+        outstanding, every awaiting roundtrip gets the failure from the
+        client's ticket queue and re-enters this loop, so a mid-burst
+        crash loses no window and duplicates none (the dead connection
+        never delivered their results).  Only a fleet-wide outage
+        propagates -- under a session that means the inline fallback (the
+        one path that blocks the loop; previously *every* in-flight item
+        of a dead worker took it, idling healthy survivors).
         """
         if not 0 <= slot < self.slot_count:
             raise ValueError(f"slot {slot} out of range for a {self.slot_count}-slot fleet")
-        client, owner = self._client_for_slot(slot)
-        if client is None:
-            raise BackendConnectionError(
-                f"no live worker left for slot {slot} (fleet {[str(e) for e in self.endpoints]})"
-            )
-        try:
-            return await client.submit_item(item)
-        except BackendConnectionError:
-            self._mark_dead(owner)
-            raise
+        failure: Optional[BackendConnectionError] = None
+        for _ in range(len(self.endpoints) + 1):
+            client, owner = self._client_for_slot(slot)
+            if client is None:
+                break
+            try:
+                return await client.submit_item(item)
+            except BackendConnectionError as error:
+                failure = error
+                self._mark_dead(owner)
+        raise BackendConnectionError(
+            f"no live worker left for slot {slot} (fleet {[str(e) for e in self.endpoints]})"
+        ) from failure
 
     # -- introspection ---------------------------------------------------- #
     @property
@@ -595,6 +711,10 @@ class AioTcpBackend(ExecutionBackend):
         base_delay: float = 0.05,
         max_delay: float = 2.0,
         connect_timeout: float = 5.0,
+        ssl_context: Optional[ssl.SSLContext] = None,
+        server_hostname: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        codec: str = "pickle",
     ):
         super().__init__(placement)
         self.endpoints = [WorkerEndpoint.parse(endpoint) for endpoint in endpoints]
@@ -605,6 +725,10 @@ class AioTcpBackend(ExecutionBackend):
         self.base_delay = base_delay
         self.max_delay = max_delay
         self.connect_timeout = connect_timeout
+        self.ssl_context = ssl_context
+        self.server_hostname = server_hostname
+        self.auth_token = auth_token
+        self.codec = codec
         self._fleet: Optional[AsyncWorkerFleet] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._slot_tails: Optional[List[Optional["asyncio.Task[ReasonerResult]"]]] = None
@@ -631,8 +755,12 @@ class AioTcpBackend(ExecutionBackend):
             base_delay=self.base_delay,
             max_delay=self.max_delay,
             connect_timeout=self.connect_timeout,
+            ssl_context=self.ssl_context,
+            server_hostname=self.server_hostname,
+            auth_token=self.auth_token,
+            codec=self.codec,
         )
-        await fleet.start(pickle.dumps(reasoner, protocol=pickle.HIGHEST_PROTOCOL))
+        await fleet.start(encode_reasoner_payload(reasoner, self.codec))
         self._fleet = fleet
         self._loop = asyncio.get_running_loop()
         self._slot_tails = [None] * fleet.slot_count

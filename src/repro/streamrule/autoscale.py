@@ -1,0 +1,221 @@
+"""Backpressure-driven fleet elasticity: the :class:`FleetAutoscaler`.
+
+The distributed tier already *survives* load (adaptive in-flight control
+throttles the producer, backpressure stalls it) -- this module makes it
+*chase* load instead.  A :class:`FleetAutoscaler` sits on the session's
+gather seam (``StreamSession(autoscaler=...)`` feeds it one observation
+per gathered window, sync and async facades alike) and turns two sustained
+distress signals into capacity:
+
+* a **stall streak** -- consecutive gathers on which the producer had to
+  wait out the ``max_inflight`` bound because the backend genuinely fell
+  behind (the same events ``IngestionStats.backpressure_stalls`` counts);
+* an **AIMD backoff streak** -- consecutive gathers on which the adaptive
+  controller (:mod:`repro.streamrule.adaptive`) cut its in-flight target,
+  i.e. the feedback loop is actively shedding load.
+
+Either streak reaching its threshold spawns one local worker daemon
+(:func:`~repro.streamrule.worker.spawn_local_workers`) and adopts it into
+the running fleet (:meth:`~repro.streamrule.fleet.WorkerFleet.adopt_endpoint`)
+-- no backend restart, the new worker picks up the slots of the widened
+canonical layout on the next dispatch.  A sustained **calm streak**
+(consecutive gathers with neither signal) retires the youngest
+autoscaler-spawned worker again (:meth:`~repro.streamrule.fleet.WorkerFleet.retire_endpoint`,
+then ``SIGTERM``).  The scaler only ever retires workers it spawned
+itself: the operator's fleet is a floor, not a suggestion.
+
+Every decision is cooldown-gated (a scale step must be given time to show
+up in the stall signal before the next one) and bounded by
+``max_workers``.  The scaler mirrors itself into
+:class:`~repro.streamrule.metrics.IngestionStats` (``autoscale_ups`` /
+``autoscale_downs`` / ``fleet_size``) after every observation, so the
+Prometheus endpoint exports the elasticity story alongside the
+backpressure story at no extra wiring cost.
+
+Scale-ups run *synchronously* on the gather path by design: the producer
+is stalled when one triggers (that is the trigger), so the subprocess
+start it pays for is hidden inside a wait that was already happening --
+and tests get deterministic scaling without sleeping.  See
+``docs/deployment-security.md`` for the knobs and the operational
+guidance.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Callable, List, Sequence
+
+from repro.streamrule.fleet import WorkerEndpoint
+from repro.streamrule.worker import LocalWorkerProcess, spawn_local_workers
+
+__all__ = ["FleetAutoscaler"]
+
+logger = logging.getLogger("repro.streamrule.autoscale")
+
+
+class FleetAutoscaler:
+    """Spawn/retire local workers from sustained backpressure signals.
+
+    Parameters
+    ----------
+    backend:
+        The fleet-owning backend (a
+        :class:`~repro.streamrule.backends.TcpBackend`; anything with a
+        ``fleet`` attribute answering ``adopt_endpoint`` /
+        ``retire_endpoint`` works).  The scaler observes but never starts
+        or closes it.
+    max_workers:
+        Hard ceiling on *extra* workers this scaler may have alive at
+        once (default 2).
+    scale_up_stall_streak / scale_up_backoff_streak:
+        Consecutive stalled (resp. AIMD-backoff) gathers that trigger a
+        scale-up (defaults 3 and 2 -- backoffs are the rarer, stronger
+        signal).
+    scale_down_calm_streak:
+        Consecutive calm gathers (no stall, no backoff) after which the
+        youngest spawned worker is retired (default 50).
+    cooldown:
+        Gathers to ignore after any scale step, so one decision's effect
+        is observed before the next is taken (default 10).
+    spawner:
+        Injection point for tests: a callable with
+        :func:`spawn_local_workers`'s signature.
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        max_workers: int = 2,
+        scale_up_stall_streak: int = 3,
+        scale_up_backoff_streak: int = 2,
+        scale_down_calm_streak: int = 50,
+        cooldown: int = 10,
+        spawner: Callable[..., Sequence[LocalWorkerProcess]] = spawn_local_workers,
+    ):
+        if max_workers < 0:
+            raise ValueError("max_workers must be non-negative")
+        if min(scale_up_stall_streak, scale_up_backoff_streak, scale_down_calm_streak) < 1:
+            raise ValueError("streak thresholds must be at least 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.backend = backend
+        self.max_workers = max_workers
+        self.scale_up_stall_streak = scale_up_stall_streak
+        self.scale_up_backoff_streak = scale_up_backoff_streak
+        self.scale_down_calm_streak = scale_down_calm_streak
+        self.cooldown = cooldown
+        self._spawner = spawner
+        self._spawned: List[LocalWorkerProcess] = []
+        self._lock = threading.Lock()
+        self._stall_streak = 0
+        self._backoff_streak = 0
+        self._calm_streak = 0
+        self._cooldown_left = 0
+        self._last_backoffs = 0
+        #: Cumulative scale decisions (mirrored into IngestionStats).
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def spawned_workers(self) -> List[LocalWorkerProcess]:
+        """The extra workers currently alive (youngest last)."""
+        with self._lock:
+            return list(self._spawned)
+
+    @property
+    def fleet_size(self) -> int:
+        """Endpoints the backend's fleet currently routes over (0 unstarted)."""
+        fleet = getattr(self.backend, "fleet", None)
+        if fleet is None:
+            return 0
+        return len(fleet.endpoints) - len(fleet.dead_endpoints)
+
+    # ------------------------------------------------------------------ #
+    def observe(self, *, stalled: bool, aimd_backoffs: int = 0) -> None:
+        """Feed one gathered window's distress signals; maybe scale.
+
+        ``stalled`` is the gather's backpressure verdict; ``aimd_backoffs``
+        is the session's *cumulative* backoff counter (the scaler
+        differences it itself, so callers just mirror their
+        ``IngestionStats`` field).  Called from the gather path --
+        synchronous, at most one scale step per call.
+        """
+        with self._lock:
+            backed_off = aimd_backoffs > self._last_backoffs
+            self._last_backoffs = max(self._last_backoffs, aimd_backoffs)
+            self._stall_streak = self._stall_streak + 1 if stalled else 0
+            self._backoff_streak = self._backoff_streak + 1 if backed_off else 0
+            self._calm_streak = 0 if (stalled or backed_off) else self._calm_streak + 1
+            if self._cooldown_left > 0:
+                self._cooldown_left -= 1
+                return
+            if (
+                self._stall_streak >= self.scale_up_stall_streak
+                or self._backoff_streak >= self.scale_up_backoff_streak
+            ) and len(self._spawned) < self.max_workers:
+                self._scale_up()
+            elif self._calm_streak >= self.scale_down_calm_streak and self._spawned:
+                self._scale_down()
+
+    def close(self) -> None:
+        """Terminate every worker this scaler spawned (idempotent)."""
+        with self._lock:
+            spawned, self._spawned = self._spawned, []
+        for worker in spawned:
+            worker.terminate()
+
+    def __enter__(self) -> "FleetAutoscaler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _scale_up(self) -> None:
+        fleet = getattr(self.backend, "fleet", None)
+        if fleet is None:
+            return  # backend not started (or already closed): nothing to grow
+        try:
+            worker = self._spawner(1)[0]
+        except Exception as error:  # noqa: BLE001 - a failed spawn must not kill the gather path
+            logger.warning("autoscale: could not spawn a worker: %s", error)
+            self._cooldown_left = self.cooldown
+            return
+        try:
+            fleet.adopt_endpoint(worker.endpoint)
+        except Exception as error:  # noqa: BLE001 - ditto: degrade, don't crash
+            logger.warning("autoscale: could not adopt %s: %s", worker.endpoint, error)
+            worker.terminate()
+            self._cooldown_left = self.cooldown
+            return
+        self._spawned.append(worker)
+        self.scale_ups += 1
+        self._stall_streak = 0
+        self._backoff_streak = 0
+        self._cooldown_left = self.cooldown
+        logger.info("autoscale: spawned and adopted worker %s", worker.endpoint)
+
+    def _scale_down(self) -> None:
+        fleet = getattr(self.backend, "fleet", None)
+        worker = self._spawned.pop()
+        if fleet is not None:
+            try:
+                index = fleet.endpoints.index(WorkerEndpoint.parse(worker.endpoint))
+                fleet.retire_endpoint(index)
+            except Exception as error:  # noqa: BLE001 - retire is best-effort; the kill below settles it
+                logger.warning("autoscale: could not retire %s cleanly: %s", worker.endpoint, error)
+        worker.terminate()
+        self.scale_downs += 1
+        self._calm_streak = 0
+        self._cooldown_left = self.cooldown
+        logger.info("autoscale: retired worker %s", worker.endpoint)
+
+    # ------------------------------------------------------------------ #
+    def mirror_into(self, ingestion) -> None:
+        """Copy the scaler's counters into an ``IngestionStats`` record."""
+        ingestion.autoscale_ups = self.scale_ups
+        ingestion.autoscale_downs = self.scale_downs
+        ingestion.fleet_size = self.fleet_size

@@ -50,14 +50,22 @@ import enum
 import os
 import pickle
 import socket
+import ssl
 import threading
 import weakref
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.streamrule.errors import BackendConnectionError, BackendError
-from repro.streamrule.fleet import EndpointLike, WorkerEndpoint, WorkerFleet
-from repro.streamrule.net import FrameKind, RemoteFailure, WireStats, recv_frame, send_frame
+from repro.streamrule.fleet import EndpointLike, FleetRegistry, WorkerEndpoint, WorkerFleet
+from repro.streamrule.net import (
+    FrameKind,
+    RemoteFailure,
+    WireStats,
+    encode_reasoner_payload,
+    recv_frame,
+    send_frame,
+)
 from repro.streamrule.placement import PinnedPlacement, PlacementStrategy
 from repro.streamrule.reasoner import (
     Reasoner,
@@ -590,6 +598,20 @@ class TcpBackend(ExecutionBackend):
         Bounded-exponential-backoff budgets for the initial connect and for
         mid-stream reconnects (see
         :func:`~repro.streamrule.net.connect_with_backoff`).
+    ssl_context / server_hostname / auth_token / codec:
+        Security surface, threaded through to the fleet's
+        :class:`~repro.streamrule.net.WorkerClient` connections: TLS
+        wrapping, the shared-token ``AUTH`` response, and the
+        pickle-vs-restricted wire dialect (see
+        ``docs/deployment-security.md``).
+    registry:
+        Push rediscovery: ``True`` starts a
+        :class:`~repro.streamrule.fleet.FleetRegistry` on an ephemeral
+        localhost port (``backend.registry.address`` tells workers where
+        to ``--announce``); a ``"host:port"`` string or address pair binds
+        it there.  Dead endpoints are also re-probed on every heartbeat,
+        so the registry is an optimization (instant rejoin), not a
+        requirement.
     """
 
     name = "tcp"
@@ -612,6 +634,11 @@ class TcpBackend(ExecutionBackend):
         base_delay: float = 0.05,
         max_delay: float = 2.0,
         connect_timeout: float = 5.0,
+        ssl_context: Optional[ssl.SSLContext] = None,
+        server_hostname: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        codec: str = "pickle",
+        registry: Union[bool, str, Tuple[str, int]] = False,
     ):
         super().__init__(placement)
         self.endpoints = [WorkerEndpoint.parse(endpoint) for endpoint in endpoints]
@@ -624,6 +651,12 @@ class TcpBackend(ExecutionBackend):
         self.base_delay = base_delay
         self.max_delay = max_delay
         self.connect_timeout = connect_timeout
+        self.ssl_context = ssl_context
+        self.server_hostname = server_hostname
+        self.auth_token = auth_token
+        self.codec = codec
+        self._registry_spec = registry
+        self._registry: Optional[FleetRegistry] = None
         self._fleet: Optional[WorkerFleet] = None
         self._dispatchers: Optional[List[ThreadPoolExecutor]] = None
         self._finalizer: Optional[weakref.finalize] = None
@@ -636,6 +669,11 @@ class TcpBackend(ExecutionBackend):
         """The live fleet coordinator (``None`` while closed)."""
         return self._fleet
 
+    @property
+    def registry(self) -> Optional[FleetRegistry]:
+        """The live announce listener (``None`` unless started with one)."""
+        return self._registry
+
     def _start(self, reasoner: Reasoner) -> None:
         fleet = WorkerFleet(
             self.endpoints,
@@ -647,8 +685,19 @@ class TcpBackend(ExecutionBackend):
             base_delay=self.base_delay,
             max_delay=self.max_delay,
             connect_timeout=self.connect_timeout,
+            ssl_context=self.ssl_context,
+            server_hostname=self.server_hostname,
+            auth_token=self.auth_token,
+            codec=self.codec,
         )
-        fleet.start(pickle.dumps(reasoner))
+        fleet.start(encode_reasoner_payload(reasoner, self.codec))
+        if self._registry_spec:
+            if self._registry_spec is True:
+                registry_host, registry_port = "127.0.0.1", 0
+            else:
+                bind = WorkerEndpoint.parse(self._registry_spec)
+                registry_host, registry_port = bind.host, bind.port
+            self._registry = FleetRegistry(fleet, registry_host, registry_port)
         dispatchers = [
             ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"tcp-dispatch-{slot}")
             for slot in range(fleet.slot_count)
@@ -671,6 +720,11 @@ class TcpBackend(ExecutionBackend):
         while not stop.wait(interval):
             try:
                 fleet.ping()
+                # Pull rediscovery: probe every dead endpoint once per
+                # beat, so a worker restarted on the same address rejoins
+                # (and gets its canonical slots back) within one interval
+                # even without an announce registry.
+                fleet.readopt_dead()
             except BackendError:
                 # Liveness probing must never die: whatever a probe hit
                 # (the fleet handles connection losses itself), keep the
@@ -714,10 +768,16 @@ class TcpBackend(ExecutionBackend):
             "bytes_in": float(stats.bytes_in),
             "pings": float(stats.pings),
             "reroutes": float(self._fleet.reroutes),
+            "readoptions": float(self._fleet.readoptions),
+            "adoptions": float(self._fleet.adoptions),
+            "retirements": float(self._fleet.retirements),
             "alive_workers": float(len(self._fleet.alive_endpoints)),
         }
 
     def _close(self) -> None:
+        registry, self._registry = self._registry, None
+        if registry is not None:
+            registry.close()
         stop, self._heartbeat_stop = self._heartbeat_stop, None
         thread, self._heartbeat_thread = self._heartbeat_thread, None
         if stop is not None:

@@ -22,24 +22,58 @@ worker dies mid-stream the fleet
 Rerouted tracks land on a worker whose grounding cache has no state for
 them; the first item after a reroute is shipped as a full fact set (fresh
 delta-shipping state per connection) and grounds from scratch, after which
-delta shipping and delta grounding resume on the new worker.  Endpoints
-marked dead stay dead for the lifetime of the fleet ``start``; restart the
-backend (or construct a new session) to re-adopt a revived worker.
+delta shipping and delta grounding resume on the new worker.
+
+Endpoints marked dead are no longer dead forever: a revived worker is
+**re-adopted** without a backend restart, through any of three doors --
+
+* :meth:`WorkerFleet.readopt` reconnects one named dead endpoint and hands
+  it back the slots of its canonical layout (``slot % n``);
+* :meth:`WorkerFleet.readopt_dead` probes every dead endpoint once (the
+  TCP backend's heartbeat thread calls this each beat, so a worker
+  restarted on the same address rejoins within one heartbeat interval);
+* a :class:`FleetRegistry` listener accepts ``ANNOUNCE`` frames from
+  workers started with ``--announce`` and readopts the matching endpoint
+  the moment it calls home (push rediscovery, no heartbeat latency).
+
+The fleet can also *grow and shrink* mid-stream for the autoscaler:
+:meth:`WorkerFleet.adopt_endpoint` appends a brand-new endpoint and gives
+it the slots of the widened canonical layout, and
+:meth:`WorkerFleet.retire_endpoint` drains one back out (its slots
+reroute exactly like a death, minus the corpse).
 """
 
 from __future__ import annotations
 
+import socket
+import ssl
 import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.streamrule.errors import BackendConnectionError, HandshakeError
-from repro.streamrule.net import WireStats, WorkerClient
+from repro.streamrule.errors import BackendConnectionError, HandshakeError, ProtocolError
+from repro.streamrule.net import (
+    MAGIC,
+    FrameKind,
+    WireStats,
+    WorkerClient,
+    parse_announce,
+    recv_exactly,
+    recv_frame,
+    send_frame,
+)
 from repro.streamrule.reasoner import ReasonerResult
 from repro.streamrule.work import WorkItem
 
-__all__ = ["EndpointLike", "WorkerEndpoint", "WorkerFleet", "initial_slot_owners", "rerouted_owner"]
+__all__ = [
+    "EndpointLike",
+    "FleetRegistry",
+    "WorkerEndpoint",
+    "WorkerFleet",
+    "initial_slot_owners",
+    "rerouted_owner",
+]
 
 
 def initial_slot_owners(slot_count: int, endpoint_count: int) -> List[int]:
@@ -123,6 +157,17 @@ class WorkerFleet:
     connect_attempts / reconnect_attempts:
         Backoff budgets for the initial connect and for reviving a dead
         endpoint mid-stream.
+    ssl_context / server_hostname:
+        TLS-wrap every worker connection (``server_hostname`` overrides
+        the SNI/verification name, for certs not issued to the literal
+        endpoint host).
+    auth_token:
+        Shared token for the ``AUTH`` challenge/response; required when
+        the daemons were started with one.
+    codec:
+        ``"pickle"`` (default, trusted networks) or ``"restricted"``
+        (JSON/packed-id codec; the fleet refuses workers that do not
+        accept it).
     """
 
     def __init__(
@@ -138,6 +183,10 @@ class WorkerFleet:
         max_delay: float = 2.0,
         connect_timeout: float = 5.0,
         sleep: Callable[[float], None] = time.sleep,
+        ssl_context: Optional[ssl.SSLContext] = None,
+        server_hostname: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        codec: str = "pickle",
     ):
         self.endpoints: List[WorkerEndpoint] = [WorkerEndpoint.parse(endpoint) for endpoint in endpoints]
         if not self.endpoints:
@@ -152,6 +201,10 @@ class WorkerFleet:
         self.base_delay = base_delay
         self.max_delay = max_delay
         self.connect_timeout = connect_timeout
+        self.ssl_context = ssl_context
+        self.server_hostname = server_hostname
+        self.auth_token = auth_token
+        self.codec = codec
         self._sleep = sleep
         self._lock = threading.Lock()
         #: One lock per endpoint serializing reconnect attempts, so a slow
@@ -165,6 +218,11 @@ class WorkerFleet:
         self._retired_stats = WireStats()
         #: How many slot reassignments dead workers have caused.
         self.reroutes = 0
+        #: How many dead endpoints were revived and given their slots back.
+        self.readoptions = 0
+        #: How many endpoints the autoscaler adopted / retired mid-stream.
+        self.adoptions = 0
+        self.retirements = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -311,6 +369,127 @@ class WorkerFleet:
             merged = merged.merged_with(client.stats)
         return merged
 
+    @property
+    def dead_endpoints(self) -> List[WorkerEndpoint]:
+        with self._lock:
+            return [self.endpoints[index] for index, dead in enumerate(self._dead) if dead]
+
+    # ------------------------------------------------------------------ #
+    # Elasticity: readoption, adoption, retirement
+    # ------------------------------------------------------------------ #
+    def readopt(self, index: int, *, attempts: Optional[int] = None) -> bool:
+        """Re-adopt dead endpoint ``index`` if it answers; returns success.
+
+        On success the endpoint gets back every slot of its canonical
+        layout (``slot % n == index``) -- the same slots a fresh ``start``
+        would give it -- so a revived worker resumes exactly the tracks it
+        owned before the kill.  Its delta/symbol state is fresh (new
+        connection), so the first window per track ships full and grounds
+        from scratch, after which the steady-state paths resume.  A still-
+        unreachable endpoint stays dead and the probe cost is one bounded
+        connect.  Never raises on an unreachable or version-skewed peer.
+        """
+        if not 0 <= index < len(self.endpoints):
+            raise ValueError(f"endpoint index {index} out of range")
+        with self._endpoint_locks[index]:
+            with self._lock:
+                if not self._dead[index] or self._payload is None:
+                    return False
+                payload = self._payload
+            budget = attempts if attempts is not None else self.reconnect_attempts
+            try:
+                revived = self._connect(index, budget, payload)
+            except (HandshakeError, BackendConnectionError):
+                return False
+            with self._lock:
+                if not self._dead[index]:  # someone else won the race
+                    revived.close()
+                    return False
+                self._dead[index] = False
+                self._clients[index] = revived
+                for slot in range(self.slot_count):
+                    if slot % len(self.endpoints) == index and self._slot_owner[slot] != index:
+                        self._slot_owner[slot] = index
+                self.readoptions += 1
+        return True
+
+    def readopt_dead(self, *, attempts: int = 1) -> List[WorkerEndpoint]:
+        """Probe every dead endpoint once; returns the ones revived.
+
+        The heartbeat thread's rediscovery hook: one cheap connect attempt
+        per dead endpoint per beat, so a worker restarted on its old
+        address rejoins within a heartbeat interval even without a
+        registry.
+        """
+        with self._lock:
+            dead = [index for index, is_dead in enumerate(self._dead) if is_dead]
+        return [
+            self.endpoints[index] for index in dead if self.readopt(index, attempts=attempts)
+        ]
+
+    def adopt_endpoint(self, endpoint: "EndpointLike", *, attempts: Optional[int] = None) -> int:
+        """Grow the fleet by one endpoint mid-stream; returns its index.
+
+        The new endpoint receives the slots of the *widened* canonical
+        layout (``slot % (n+1) == n``) -- slots it steals were until now
+        served by survivors, whose caches simply stop seeing those tracks.
+        Raises :class:`BackendConnectionError` (or :class:`HandshakeError`)
+        when the endpoint cannot be handshaken; the fleet is unchanged in
+        that case.
+        """
+        parsed = WorkerEndpoint.parse(endpoint)
+        with self._lock:
+            if self._payload is None:
+                raise RuntimeError("adopt_endpoint requires a started fleet")
+            payload = self._payload
+            index = len(self.endpoints)
+            if any(existing == parsed for existing in self.endpoints):
+                raise ValueError(f"endpoint {parsed} is already part of the fleet")
+        client = WorkerClient(
+            (parsed.host, parsed.port),
+            payload,
+            delta_shipping=self.delta_shipping,
+            symbol_ids=self.symbol_ids,
+            attempts=attempts if attempts is not None else self.connect_attempts,
+            base_delay=self.base_delay,
+            max_delay=self.max_delay,
+            connect_timeout=self.connect_timeout,
+            sleep=self._sleep,
+            ssl_context=self.ssl_context,
+            server_hostname=self.server_hostname,
+            auth_token=self.auth_token,
+            codec=self.codec,
+        )
+        with self._lock:
+            index = len(self.endpoints)
+            self.endpoints.append(parsed)
+            self._clients.append(client)
+            self._dead.append(False)
+            self._endpoint_locks.append(threading.Lock())
+            count = len(self.endpoints)
+            for slot in range(self.slot_count):
+                if slot % count == index:
+                    self._slot_owner[slot] = index
+            self.adoptions += 1
+        return index
+
+    def retire_endpoint(self, index: int) -> None:
+        """Drain endpoint ``index`` out of the fleet (autoscaler scale-down).
+
+        Its slots reroute over the survivors exactly as if it had died --
+        in-flight items on the retired connection fail over through the
+        normal resubmission path -- but the endpoint is *not* marked
+        permanently dead, so a later :meth:`readopt` (or announce) can
+        bring it back.
+        """
+        if not 0 <= index < len(self.endpoints):
+            raise ValueError(f"endpoint index {index} out of range")
+        with self._lock:
+            if self._clients[index] is None and self._dead[index]:
+                return
+            self._mark_dead(index)
+            self.retirements += 1
+
     # ------------------------------------------------------------------ #
     # Internals (callers hold no lock)
     # ------------------------------------------------------------------ #
@@ -326,6 +505,10 @@ class WorkerFleet:
             max_delay=self.max_delay,
             connect_timeout=self.connect_timeout,
             sleep=self._sleep,
+            ssl_context=self.ssl_context,
+            server_hostname=self.server_hostname,
+            auth_token=self.auth_token,
+            codec=self.codec,
         )
 
     def _alive_indexes(self) -> List[int]:
@@ -405,3 +588,93 @@ class WorkerFleet:
                     revived.close()
                 else:
                     self._clients[index] = revived
+
+
+# --------------------------------------------------------------------------- #
+# The announce registry: push rediscovery for revived workers
+# --------------------------------------------------------------------------- #
+class FleetRegistry:
+    """A lightweight listener workers ``ANNOUNCE`` themselves to.
+
+    The pull half of rediscovery is the heartbeat probe
+    (:meth:`WorkerFleet.readopt_dead`); this is the push half.  A worker
+    daemon started with ``--announce HOST:PORT`` calls home every few
+    seconds (``MAGIC`` + one ``ANNOUNCE`` frame, answered with ``PONG``),
+    and an announce matching a *dead* fleet endpoint triggers an immediate
+    :meth:`WorkerFleet.readopt` -- so a revived worker rejoins as soon as
+    it boots instead of waiting out a heartbeat interval.  Announces for
+    unknown or healthy endpoints are acknowledged and ignored; the frame
+    is JSON-only and nothing from it is ever unpickled or executed.
+
+    The registry holds the fleet by reference and runs one daemon thread
+    per accepted connection (announces are one-frame conversations, so
+    the thread count is bounded by announce concurrency, not fleet size).
+    """
+
+    def __init__(self, fleet: WorkerFleet, host: str = "127.0.0.1", port: int = 0):
+        self._fleet = fleet
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        #: Announce frames accepted (readopted or not), for tests/metrics.
+        self.announces = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._accept_loop, name="streamrule-registry", daemon=True)
+        self._thread.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FleetRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return
+            handler = threading.Thread(
+                target=self._handle, args=(connection,), name="streamrule-registry-conn", daemon=True
+            )
+            handler.start()
+
+    def _handle(self, connection: socket.socket) -> None:
+        try:
+            connection.settimeout(5.0)
+            if recv_exactly(connection, len(MAGIC)) != MAGIC:
+                return
+            kind, payload = recv_frame(connection)
+            if kind is not FrameKind.ANNOUNCE:
+                return
+            host, port = parse_announce(payload)
+            self.announces += 1
+            send_frame(connection, FrameKind.PONG)
+        except (OSError, EOFError, ProtocolError):
+            return
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        announced = WorkerEndpoint(host, port)
+        fleet = self._fleet
+        with fleet._lock:
+            try:
+                index = fleet.endpoints.index(announced)
+            except ValueError:
+                return
+            if not fleet._dead[index]:
+                return
+        fleet.readopt(index)

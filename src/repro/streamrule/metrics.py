@@ -103,6 +103,13 @@ class IngestionStats:
     more fields mirror the controller after every gather: the current
     ``inflight_target`` and the cumulative ``aimd_increases`` /
     ``aimd_backoffs`` counters.  They stay 0 on fixed-bound sessions.
+
+    With a :class:`~repro.streamrule.autoscale.FleetAutoscaler` attached
+    (``StreamSession(autoscaler=...)``) three more fields mirror the
+    scaler after every gather: cumulative ``autoscale_ups`` /
+    ``autoscale_downs`` and the current ``fleet_size``.  They stay 0 on
+    fixed fleets -- and, through :meth:`as_dict`, flow into the Prometheus
+    endpoint like every other ingestion counter.
     """
 
     windows_dispatched: int = 0
@@ -114,6 +121,9 @@ class IngestionStats:
     inflight_target: int = 0
     aimd_increases: int = 0
     aimd_backoffs: int = 0
+    autoscale_ups: int = 0
+    autoscale_downs: int = 0
+    fleet_size: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -126,6 +136,9 @@ class IngestionStats:
             "inflight_target": float(self.inflight_target),
             "aimd_increases": float(self.aimd_increases),
             "aimd_backoffs": float(self.aimd_backoffs),
+            "autoscale_ups": float(self.autoscale_ups),
+            "autoscale_downs": float(self.autoscale_downs),
+            "fleet_size": float(self.fleet_size),
         }
 
 

@@ -82,16 +82,45 @@ any desync kills the connection and both sides restart from empty tables.
 
 Security
 --------
-The payloads are **pickles**: unpickling executes arbitrary code by design.
-Run workers only on trusted networks (see ``docs/deployment.md``).
+In the default (``pickle``) codec the payloads are **pickles**: unpickling
+executes arbitrary code by design, so run pickle-codec workers only on
+trusted networks.  Three hardening layers are available for everything
+else (see ``docs/deployment-security.md``):
+
+* **TLS** -- pass an :class:`ssl.SSLContext` to the client
+  (``ssl_context=``) and the daemon (``--tls-cert/--tls-key``); the TCP
+  stream is wrapped before the first protocol byte.
+* **Token auth** -- when the daemon holds a shared token, its ``WELCOME``
+  carries a ``nonce`` and the client must answer with an ``AUTH`` frame
+  containing ``HMAC-SHA256(token, nonce)`` before the reasoner is
+  accepted; a bad or missing MAC is ``REJECT``\\ ed (a loud
+  :class:`HandshakeError` at the client, never a hang).
+* **Restricted codec** -- the ``restricted_codec`` capability switches
+  every payload after the handshake to a JSON/packed-id schema
+  (:mod:`repro.streamrule.codec`): the program ships as *text*, facts as
+  structural encodings + u32 id arrays, results as packed ids against a
+  worker-mastered response table.  A restricted peer never calls
+  ``pickle.loads`` on network bytes; anything that would require pickle is
+  ``REJECT``\\ ed instead.
+
+Control frames (``HELLO``/``WELCOME``/``REJECT``) are self-describing:
+new peers send compact JSON (first byte ``{``), old peers pickled dicts
+(first byte ``\\x80``), and each side answers in the encoding it was
+addressed in -- so the two generations interoperate without a protocol
+version bump.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
+import hmac
+import json
 import pickle
 import queue
+import secrets
 import socket
+import ssl
 import struct
 import threading
 import time
@@ -122,14 +151,20 @@ __all__ = [
     "RemoteFailure",
     "WireStats",
     "WorkerClient",
+    "announce_endpoint",
     "apply_facts_diff",
     "apply_id_runs",
+    "auth_mac",
+    "build_announce",
     "build_hello",
     "connect_with_backoff",
     "decode_result",
     "diff_facts",
     "diff_id_runs",
+    "encode_reasoner_payload",
+    "parse_announce",
     "parse_welcome",
+    "parse_welcome_fields",
     "recv_frame",
     "send_frame",
     "serve_worker_connection",
@@ -173,6 +208,8 @@ class FrameKind(enum.IntEnum):
     PING = 9  #: either direction: heartbeat probe (empty payload)
     PONG = 10  #: heartbeat reply (empty payload)
     SYMBOLS = 11  #: client -> server: pickled :class:`SymbolDelta`; one-way, no response
+    ANNOUNCE = 12  #: worker -> registry: JSON ``{host, port, protocol}``; answered with ``PONG``
+    AUTH = 13  #: client -> server: JSON ``{mac}`` proving knowledge of the shared token
 
 
 # --------------------------------------------------------------------------- #
@@ -209,6 +246,47 @@ def recv_frame(connection: socket.socket) -> Tuple[FrameKind, bytes]:
 
 def _dumps(value: Any) -> bytes:
     return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# --------------------------------------------------------------------------- #
+# Control-frame encoding (HELLO / WELCOME / REJECT / AUTH / ANNOUNCE)
+# --------------------------------------------------------------------------- #
+def dumps_json(value: Any) -> bytes:
+    """Compact JSON control payload (first byte is always ``{``)."""
+    return json.dumps(value, separators=(",", ":")).encode("utf-8")
+
+
+def loads_control(payload: bytes, *, allow_pickle: bool = True) -> Dict[str, Any]:
+    """Decode a control payload, sniffing JSON (``{``) vs pickle (``\\x80``).
+
+    JSON is what current peers send; pickled dicts are the pre-auth
+    spelling and stay accepted in the default trust model.  A restricted
+    peer passes ``allow_pickle=False`` and never touches ``pickle.loads``
+    for network bytes: a pickled control frame raises
+    :class:`ProtocolError` instead of being decoded.
+    """
+    if payload[:1] == b"{":
+        try:
+            value = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"undecodable JSON control payload: {error!r}") from error
+    elif allow_pickle:
+        value = pickle.loads(payload)
+    else:
+        raise ProtocolError("pickled control frame refused (restricted codec)")
+    if not isinstance(value, dict):
+        raise ProtocolError(f"control payload must be a mapping, got {type(value).__name__}")
+    return value
+
+
+def auth_mac(token: str, nonce: str) -> str:
+    """The ``AUTH`` proof: hex ``HMAC-SHA256(token, nonce)``.
+
+    The token itself never crosses the wire; the server challenges with a
+    fresh nonce per connection, so a captured MAC cannot be replayed
+    against a later handshake.
+    """
+    return hmac.new(token.encode("utf-8"), nonce.encode("utf-8"), hashlib.sha256).hexdigest()
 
 
 @dataclass
@@ -608,31 +686,44 @@ class WireStats:
 # --------------------------------------------------------------------------- #
 # Handshake grammar shared by the sync and asyncio clients
 # --------------------------------------------------------------------------- #
-def build_hello(delta_shipping: bool, symbol_ids: bool) -> Tuple[bytes, Dict[str, bool]]:
+def build_hello(
+    delta_shipping: bool, symbol_ids: bool, *, restricted: bool = False
+) -> Tuple[bytes, Dict[str, bool]]:
     """Build the ``HELLO`` payload; returns ``(payload, offered)``.
 
     One spelling of the capability offer for every client implementation
     (:class:`WorkerClient` and the asyncio client in
-    :mod:`repro.streamrule.aio`), so the two cannot drift.
+    :mod:`repro.streamrule.aio`), so the two cannot drift.  ``restricted``
+    additionally offers the ``restricted_codec`` capability -- the client
+    must then refuse the connection (:class:`HandshakeError`) if the
+    server's ``WELCOME`` does not accept it.
     """
     offered = dict(DEFAULT_CAPABILITIES)
     offered["delta_shipping"] = delta_shipping
     offered["symbol_ids"] = symbol_ids
-    return _dumps({"protocol": PROTOCOL_VERSION, "capabilities": offered}), offered
+    if restricted:
+        offered["restricted_codec"] = True
+    return dumps_json({"protocol": PROTOCOL_VERSION, "capabilities": offered}), offered
 
 
-def parse_welcome(
-    kind: FrameKind, payload: bytes, offered: Dict[str, bool], address: Tuple[str, int]
-) -> Dict[str, bool]:
-    """Validate the server's handshake answer; returns the active capabilities.
+def parse_welcome_fields(
+    kind: FrameKind,
+    payload: bytes,
+    offered: Dict[str, bool],
+    address: Tuple[str, int],
+    *,
+    allow_pickle: bool = True,
+) -> Tuple[Dict[str, bool], Dict[str, Any]]:
+    """Validate the server's handshake answer.
 
-    Raises :class:`HandshakeError` on a ``REJECT`` or a protocol-version
-    mismatch and :class:`ProtocolError` on any other frame kind.  A
-    capability is active only when both the offer and the ``WELCOME``
-    named it.
+    Returns ``(accepted capabilities, raw welcome fields)`` -- the raw
+    fields carry handshake extensions such as the auth ``nonce``.  Raises
+    :class:`HandshakeError` on a ``REJECT`` or a protocol-version mismatch
+    and :class:`ProtocolError` on any other frame kind.  A capability is
+    active only when both the offer and the ``WELCOME`` named it.
     """
     if kind is FrameKind.REJECT:
-        reject = pickle.loads(payload)
+        reject = loads_control(payload, allow_pickle=allow_pickle)
         raise HandshakeError(
             f"worker {address[0]}:{address[1]} rejected the handshake: "
             f"{reject.get('reason', 'unspecified')} "
@@ -640,13 +731,40 @@ def parse_welcome(
         )
     if kind is not FrameKind.WELCOME:
         raise ProtocolError(f"expected WELCOME, got {kind.name}")
-    welcome = pickle.loads(payload)
+    welcome = loads_control(payload, allow_pickle=allow_pickle)
     if welcome.get("protocol") != PROTOCOL_VERSION:
         raise HandshakeError(
             f"worker {address[0]}:{address[1]} speaks protocol "
             f"{welcome.get('protocol')}, this client speaks {PROTOCOL_VERSION}"
         )
-    return {name: True for name, on in welcome.get("capabilities", {}).items() if on and offered.get(name)}
+    accepted = {
+        name: True for name, on in welcome.get("capabilities", {}).items() if on and offered.get(name)
+    }
+    return accepted, welcome
+
+
+def parse_welcome(
+    kind: FrameKind, payload: bytes, offered: Dict[str, bool], address: Tuple[str, int]
+) -> Dict[str, bool]:
+    """Capabilities-only view of :func:`parse_welcome_fields` (stable API)."""
+    accepted, _ = parse_welcome_fields(kind, payload, offered, address)
+    return accepted
+
+
+def encode_reasoner_payload(reasoner: Reasoner, codec: str = "pickle") -> bytes:
+    """Build the ``REASONER`` frame payload for the given codec.
+
+    The one place the pickle/restricted fork of the reasoner-shipping path
+    lives: ``"pickle"`` ships the object itself, ``"restricted"`` ships
+    the textual spec (:func:`repro.streamrule.codec.encode_reasoner_spec`)
+    the worker rebuilds by *parsing*.  Both backends (sync and asyncio)
+    call this so the two cannot drift.
+    """
+    if codec == "restricted":
+        from repro.streamrule.codec import encode_reasoner_spec
+
+        return encode_reasoner_spec(reasoner)
+    return pickle.dumps(reasoner, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def decode_result(payload: bytes, address: Tuple[str, int]) -> ReasonerResult:
@@ -677,6 +795,8 @@ def connect_with_backoff(
     max_delay: float = 2.0,
     connect_timeout: float = 5.0,
     sleep: Callable[[float], None] = time.sleep,
+    ssl_context: Optional[ssl.SSLContext] = None,
+    server_hostname: Optional[str] = None,
 ) -> socket.socket:
     """TCP-connect to ``address``, retrying with exponential backoff.
 
@@ -684,6 +804,13 @@ def connect_with_backoff(
     by a ``min(max_delay, base_delay * 2**(i-1))`` pause.  Raises
     :class:`BackendConnectionError` once the budget is exhausted.  ``sleep``
     is injectable so tests can assert the schedule without waiting it out.
+
+    With ``ssl_context`` the socket is TLS-wrapped (and the TLS handshake
+    completed, still under ``connect_timeout``) before it is returned.  A
+    TLS *negotiation* failure -- certificate rejected, or the peer is
+    speaking plaintext SRW1 -- is permanent, not transient, so it raises
+    :class:`HandshakeError` immediately instead of burning the retry
+    budget.
     """
     if attempts < 1:
         raise ValueError("at least one connection attempt is required")
@@ -695,13 +822,90 @@ def connect_with_backoff(
             delay = min(max_delay, delay * 2)
         try:
             connection = socket.create_connection(address, timeout=connect_timeout)
-            connection.settimeout(None)  # evaluations may legitimately take long
-            return connection
         except OSError as error:
             failure = error
+            continue
+        if ssl_context is not None:
+            try:
+                connection = ssl_context.wrap_socket(
+                    connection, server_hostname=server_hostname or address[0]
+                )
+            except (ssl.SSLError, OSError) as error:
+                # A reset here means the peer is not speaking TLS at all
+                # (e.g. a plaintext SRW1 daemon read our ClientHello as bad
+                # magic) -- as permanent as a certificate rejection.
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+                raise HandshakeError(
+                    f"TLS handshake with worker {address[0]}:{address[1]} failed: {error!r}"
+                ) from error
+        connection.settimeout(None)  # evaluations may legitimately take long
+        return connection
     raise BackendConnectionError(
         f"could not connect to worker {address[0]}:{address[1]} after {attempts} attempts: {failure!r}"
     ) from failure
+
+
+# --------------------------------------------------------------------------- #
+# Worker announce (registry rejoin)
+# --------------------------------------------------------------------------- #
+def build_announce(host: str, port: int) -> bytes:
+    """The ``ANNOUNCE`` payload a worker sends to a fleet registry."""
+    return dumps_json({"host": host, "port": int(port), "protocol": PROTOCOL_VERSION})
+
+
+def parse_announce(payload: bytes) -> Tuple[str, int]:
+    """Validate an ``ANNOUNCE`` payload; returns ``(host, port)``.
+
+    Announce frames are always JSON -- a registry never unpickles, whatever
+    its codec, because announces arrive from the *unauthenticated* edge of
+    the fleet (the whole point is hearing from workers we lost).
+    """
+    fields = loads_control(payload, allow_pickle=False)
+    if fields.get("protocol") != PROTOCOL_VERSION:
+        raise ProtocolError(f"ANNOUNCE speaks protocol {fields.get('protocol')}, not {PROTOCOL_VERSION}")
+    host, port = fields.get("host"), fields.get("port")
+    if not isinstance(host, str) or not isinstance(port, int) or not (0 < port < 65536):
+        raise ProtocolError(f"malformed ANNOUNCE fields: host={host!r} port={port!r}")
+    return host, port
+
+
+def announce_endpoint(
+    registry_address: Tuple[str, int],
+    worker_address: Tuple[str, int],
+    *,
+    timeout: float = 2.0,
+    ssl_context: Optional[ssl.SSLContext] = None,
+    server_hostname: Optional[str] = None,
+) -> bool:
+    """One worker->registry announce round trip; ``True`` when acknowledged.
+
+    Best-effort by design: the registry may not be up (yet, or anymore),
+    so every failure is swallowed into ``False`` and the worker's announce
+    loop simply tries again next interval.
+    """
+    try:
+        connection = socket.create_connection(registry_address, timeout=timeout)
+    except OSError:
+        return False
+    try:
+        if ssl_context is not None:
+            connection = ssl_context.wrap_socket(
+                connection, server_hostname=server_hostname or registry_address[0]
+            )
+        connection.sendall(MAGIC)
+        send_frame(connection, FrameKind.ANNOUNCE, build_announce(*worker_address))
+        kind, _ = recv_frame(connection)
+        return kind is FrameKind.PONG
+    except (OSError, EOFError, ProtocolError):
+        return False
+    finally:
+        try:
+            connection.close()
+        except OSError:
+            pass
 
 
 # --------------------------------------------------------------------------- #
@@ -761,9 +965,17 @@ class WorkerClient:
         max_delay: float = 2.0,
         connect_timeout: float = 5.0,
         sleep: Callable[[float], None] = time.sleep,
+        ssl_context: Optional[ssl.SSLContext] = None,
+        server_hostname: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        codec: str = "pickle",
     ):
+        if codec not in ("pickle", "restricted"):
+            raise ValueError(f"codec must be 'pickle' or 'restricted', got {codec!r}")
         self.address = address
+        self.codec = codec
         self.stats = WireStats()
+        self._auth_token = auth_token
         #: Serializes frame *sends* (and the delta-shipper state, which must
         #: advance in wire order).
         self._send_lock = threading.Lock()
@@ -780,6 +992,8 @@ class WorkerClient:
             max_delay=max_delay,
             connect_timeout=connect_timeout,
             sleep=sleep,
+            ssl_context=ssl_context,
+            server_hostname=server_hostname,
         )
         try:
             self.capabilities = self._handshake(reasoner_payload, delta_shipping, symbol_ids)
@@ -788,9 +1002,20 @@ class WorkerClient:
             raise
         use_delta = bool(self.capabilities.get("delta_shipping"))
         use_ids = bool(self.capabilities.get("symbol_ids"))
-        self._shipper = (
-            DeltaShipper(delta_shipping=use_delta, symbol_ids=use_ids) if (use_delta or use_ids) else None
-        )
+        if self.capabilities.get("restricted_codec"):
+            from repro.streamrule.codec import RestrictedResultDecoder, RestrictedShipper
+
+            self._shipper: Any = RestrictedShipper(delta_shipping=use_delta)
+            self._decode_result: Callable[[bytes, Tuple[str, int]], ReasonerResult] = (
+                RestrictedResultDecoder().decode
+            )
+        else:
+            self._shipper = (
+                DeltaShipper(delta_shipping=use_delta, symbol_ids=use_ids)
+                if (use_delta or use_ids)
+                else None
+            )
+            self._decode_result = decode_result
 
     # -- lifecycle ------------------------------------------------------- #
     @property
@@ -813,21 +1038,51 @@ class WorkerClient:
 
     # -- handshake ------------------------------------------------------- #
     def _handshake(self, reasoner_payload: bytes, delta_shipping: bool, symbol_ids: bool) -> Dict[str, bool]:
+        """Run the client half of the handshake (MAGIC .. READY).
+
+        A transport failure *here* -- the peer hung up mid-handshake, or
+        fed us garbage -- is a :class:`HandshakeError`, not a retriable
+        :class:`BackendConnectionError`: this is how a plaintext client
+        talking to a TLS daemon (or vice versa) fails loudly instead of
+        being endlessly re-dialed by the fleet's reconnect machinery.
+        """
         sock = self._sock
         assert sock is not None
-        hello, offered = build_hello(delta_shipping, symbol_ids)
+        restricted = self.codec == "restricted"
+        hello, offered = build_hello(delta_shipping, symbol_ids, restricted=restricted)
         try:
             sock.sendall(MAGIC)
             send_frame(sock, FrameKind.HELLO, hello)
             kind, payload = recv_frame(sock)
         except (OSError, EOFError) as error:
-            raise BackendConnectionError(f"handshake with {self.address} failed: {error!r}") from error
-        accepted = parse_welcome(kind, payload, offered, self.address)
+            raise HandshakeError(f"handshake with {self.address} failed: {error!r}") from error
+        accepted, welcome = parse_welcome_fields(
+            kind, payload, offered, self.address, allow_pickle=not restricted
+        )
+        if restricted and not accepted.get("restricted_codec"):
+            raise HandshakeError(
+                f"worker {self.address[0]}:{self.address[1]} did not accept the restricted codec; "
+                "refusing to fall back to pickle"
+            )
+        nonce = welcome.get("nonce")
         try:
+            if nonce is not None:
+                if not self._auth_token:
+                    raise HandshakeError(
+                        f"worker {self.address[0]}:{self.address[1]} requires token auth "
+                        "and this client has no token"
+                    )
+                send_frame(sock, FrameKind.AUTH, dumps_json({"mac": auth_mac(self._auth_token, str(nonce))}))
             send_frame(sock, FrameKind.REASONER, reasoner_payload)
-            kind, _ = recv_frame(sock)
+            kind, payload = recv_frame(sock)
         except (OSError, EOFError) as error:
-            raise BackendConnectionError(f"handshake with {self.address} failed: {error!r}") from error
+            raise HandshakeError(f"handshake with {self.address} failed: {error!r}") from error
+        if kind is FrameKind.REJECT:
+            reject = loads_control(payload, allow_pickle=not restricted)
+            raise HandshakeError(
+                f"worker {self.address[0]}:{self.address[1]} rejected the handshake: "
+                f"{reject.get('reason', 'unspecified')}"
+            )
         if kind is not FrameKind.READY:
             raise ProtocolError(f"expected READY, got {kind.name}")
         return accepted
@@ -963,7 +1218,7 @@ class WorkerClient:
             self._abort(failure)
             raise failure
         try:
-            return decode_result(response, self.address)
+            return self._decode_result(response, self.address)
         except ProtocolError as failure:
             self._abort(failure)
             raise
@@ -1021,6 +1276,8 @@ def serve_worker_connection(
     protocol_version: int = PROTOCOL_VERSION,
     reasoner_factory: Callable[[bytes], Reasoner] = pickle.loads,
     read_ahead: int = 8,
+    auth_token: Optional[str] = None,
+    codec: str = "pickle",
 ) -> ServedConnection:
     """Serve one coordinator connection until it closes.
 
@@ -1041,9 +1298,21 @@ def serve_worker_connection(
     stops reading, the kernel's receive window fills, and the coordinator's
     sends block -- which is exactly how worker-side overload propagates back
     through the session's ``max_inflight`` bound to stall the producer.
+
+    ``auth_token`` arms the challenge/response: the ``WELCOME`` carries a
+    fresh nonce and the peer must answer with a valid ``AUTH`` MAC before
+    its ``REASONER`` is looked at.  ``codec="restricted"`` *requires* the
+    ``restricted_codec`` capability (rejecting pickle peers outright) and
+    never unpickles a network byte; ``codec="pickle"`` still *speaks*
+    restricted when the peer asks for it -- the capability decides the
+    connection's dialect.
     """
+    if codec not in ("pickle", "restricted"):
+        raise ValueError(f"codec must be 'pickle' or 'restricted', got {codec!r}")
     record = ServedConnection()
+    restricted_only = codec == "restricted"
     supported = dict(DEFAULT_CAPABILITIES) if capabilities is None else dict(capabilities)
+    supported.setdefault("restricted_codec", True)
     try:
         try:
             magic = recv_exactly(connection, len(MAGIC))
@@ -1056,28 +1325,100 @@ def serve_worker_connection(
         if kind is not FrameKind.HELLO:
             record.rejected = f"expected HELLO, got {kind.name}"
             return record
-        hello = pickle.loads(payload)
+        # Answer in the encoding the HELLO arrived in: JSON peers get JSON
+        # control frames, legacy pickle peers get pickled ones.
+        reply_dumps: Callable[[Any], bytes] = dumps_json if payload[:1] == b"{" else _dumps
+        try:
+            hello = loads_control(payload, allow_pickle=not restricted_only)
+        except ProtocolError:
+            record.rejected = "restricted codec required"
+            send_frame(
+                connection,
+                FrameKind.REJECT,
+                dumps_json({"protocol": protocol_version, "reason": "restricted codec required"}),
+            )
+            return record
         if hello.get("protocol") != protocol_version:
             record.rejected = f"protocol {hello.get('protocol')} != {protocol_version}"
             send_frame(
                 connection,
                 FrameKind.REJECT,
-                _dumps({"protocol": protocol_version, "reason": "protocol version mismatch"}),
+                reply_dumps({"protocol": protocol_version, "reason": "protocol version mismatch"}),
             )
             return record
         accepted = {
             name: True for name, on in hello.get("capabilities", {}).items() if on and supported.get(name)
         }
+        restricted = bool(accepted.get("restricted_codec"))
+        if restricted_only and not restricted:
+            record.rejected = "restricted codec required"
+            send_frame(
+                connection,
+                FrameKind.REJECT,
+                reply_dumps({"protocol": protocol_version, "reason": "restricted codec required"}),
+            )
+            return record
         record.capabilities = accepted
-        send_frame(connection, FrameKind.WELCOME, _dumps({"protocol": protocol_version, "capabilities": accepted}))
+        welcome: Dict[str, Any] = {"protocol": protocol_version, "capabilities": accepted}
+        nonce: Optional[str] = None
+        if auth_token is not None:
+            nonce = secrets.token_hex(16)
+            welcome["nonce"] = nonce
+        send_frame(connection, FrameKind.WELCOME, reply_dumps(welcome))
         kind, payload = recv_frame(connection)
+        if nonce is not None:
+            if kind is not FrameKind.AUTH:
+                record.rejected = "authentication required"
+                send_frame(
+                    connection,
+                    FrameKind.REJECT,
+                    reply_dumps({"protocol": protocol_version, "reason": "authentication required"}),
+                )
+                return record
+            try:
+                mac = loads_control(payload, allow_pickle=False).get("mac")
+            except ProtocolError:
+                mac = None
+            if not isinstance(mac, str) or not hmac.compare_digest(mac, auth_mac(auth_token, nonce)):
+                record.rejected = "authentication failed"
+                send_frame(
+                    connection,
+                    FrameKind.REJECT,
+                    reply_dumps({"protocol": protocol_version, "reason": "authentication failed"}),
+                )
+                return record
+            kind, payload = recv_frame(connection)
         if kind is not FrameKind.REASONER:
             record.rejected = f"expected REASONER, got {kind.name}"
             return record
-        reasoner = reasoner_factory(payload)
+        if restricted:
+            from repro.streamrule.codec import RestrictedServerCodec, reasoner_from_spec
+
+            server_codec: Optional["RestrictedServerCodec"] = RestrictedServerCodec()
+            reasoner = reasoner_from_spec(payload)
+        else:
+            server_codec = None
+            reasoner = reasoner_factory(payload)
         send_frame(connection, FrameKind.READY)
 
-        decoder = DeltaDecoder()
+        def encode_response(response: object) -> bytes:
+            if server_codec is not None:
+                if isinstance(response, RemoteFailure):
+                    return server_codec.encode_error(response.error)
+                try:
+                    return server_codec.encode_result(response)  # type: ignore[arg-type]
+                except Exception as error:  # noqa: BLE001 - encoding failures ship as errors
+                    return server_codec.encode_error(
+                        BackendError(f"unencodable worker response ({error!r})")
+                    )
+            try:
+                return _dumps(response)
+            except Exception as error:  # noqa: BLE001 - pickling raises Type/Attribute errors too
+                return _dumps(
+                    RemoteFailure(BackendError(f"unpicklable worker response ({error!r}): {response!r}"))
+                )
+
+        decoder: Any = server_codec if server_codec is not None else DeltaDecoder()
         frames: "queue.Queue[Tuple[Optional[FrameKind], Any]]" = queue.Queue(maxsize=max(1, read_ahead))
         done = threading.Event()
 
@@ -1141,7 +1482,7 @@ def serve_worker_connection(
                     if item is not None:
                         # Decode failure: best-effort error report first.
                         try:
-                            send_frame(connection, FrameKind.RESULT, _dumps(RemoteFailure(item)))
+                            send_frame(connection, FrameKind.RESULT, encode_response(RemoteFailure(item)))
                         except (OSError, TypeError, ValueError, pickle.PicklingError):
                             pass
                     return record
@@ -1154,12 +1495,7 @@ def serve_worker_connection(
                     response = reasoner.reason_item(item)
                 except BaseException as error:  # noqa: BLE001 - shipped back to the caller
                     response = RemoteFailure(error)
-                try:
-                    response_payload = _dumps(response)
-                except Exception as error:  # noqa: BLE001 - pickling raises Type/Attribute errors too
-                    response_payload = _dumps(
-                        RemoteFailure(BackendError(f"unpicklable worker response ({error!r}): {response!r}"))
-                    )
+                response_payload = encode_response(response)
                 record.items += 1
                 if kind is FrameKind.DELTA:
                     record.deltas += 1

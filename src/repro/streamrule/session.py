@@ -194,6 +194,7 @@ class StreamSession:
         max_inflight: Union[int, str, AdaptiveInflightController, None] = None,
         owns_backend: bool = True,
         track_base: int = 0,
+        autoscaler=None,
     ):
         """Create a session for ``program``.
 
@@ -232,6 +233,13 @@ class StreamSession:
         :meth:`push_window`): give each session multiplexed over one shared
         reasoner/backend its own base so their per-track grounding/solver
         states never collide (the asyncio serving layer assigns these).
+        ``autoscaler`` attaches a
+        :class:`~repro.streamrule.autoscale.FleetAutoscaler` to the gather
+        seam: every gathered window's stall/AIMD-backoff verdict feeds it,
+        and its counters are mirrored into :attr:`ingestion`
+        (``autoscale_ups`` / ``autoscale_downs`` / ``fleet_size``).  The
+        session observes but does not own it -- close the scaler yourself
+        (it terminates the workers it spawned).
         """
         if isinstance(program, Reasoner):
             if input_predicates is not None or output_predicates is not None:
@@ -267,6 +275,8 @@ class StreamSession:
         self.eager_time_windows = eager_time_windows
         self.owns_backend = owns_backend
         self.track_base = track_base
+        #: Optional FleetAutoscaler fed from the gather seam (not owned).
+        self.autoscaler = autoscaler
         #: The AIMD controller driving the in-flight bound, ``None`` on
         #: fixed-bound sessions.
         self.inflight_controller: Optional[AdaptiveInflightController] = None
@@ -564,17 +574,22 @@ class StreamSession:
         the shared gather seam, not of either facade.
         """
         controller = self.inflight_controller
-        if controller is None or not self.backend.pipelined:
-            return
-        controller.observe_gather(
-            latency_seconds=time.perf_counter() - pending.dispatched_at,
-            queue_depth=self.backend.queue_depth(),
-            stalled=stalled,
-            failed=failed,
-        )
-        self.ingestion.inflight_target = controller.target
-        self.ingestion.aimd_increases = controller.increases
-        self.ingestion.aimd_backoffs = controller.backoffs
+        if controller is not None and self.backend.pipelined:
+            controller.observe_gather(
+                latency_seconds=time.perf_counter() - pending.dispatched_at,
+                queue_depth=self.backend.queue_depth(),
+                stalled=stalled,
+                failed=failed,
+            )
+            self.ingestion.inflight_target = controller.target
+            self.ingestion.aimd_increases = controller.increases
+            self.ingestion.aimd_backoffs = controller.backoffs
+        if self.autoscaler is not None:
+            # Elasticity rides the same seam: the scaler differences the
+            # cumulative backoff counter itself, so fixed-bound sessions
+            # (aimd_backoffs pinned at 0) still feed it stall verdicts.
+            self.autoscaler.observe(stalled=stalled, aimd_backoffs=self.ingestion.aimd_backoffs)
+            self.autoscaler.mirror_into(self.ingestion)
 
     def _drain_inflight(self) -> None:
         """Gather every in-flight window into the results queue."""

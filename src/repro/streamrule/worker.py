@@ -19,9 +19,18 @@ importable.  Run it like::
 ``listening on HOST:PORT`` (flushed) once ready, which is what
 :func:`spawn_local_workers` -- the helper the tests, benchmarks, and
 ``examples/distributed_fleet.py`` use to stand up a local fleet -- waits
-for.  See ``docs/deployment.md`` for the operational guide (and for why
-workers must only ever listen on trusted networks: the wire protocol ships
-pickles).
+for.  See ``docs/deployment.md`` for the operational guide.
+
+By default the wire protocol ships pickles, so a plain daemon must only
+listen on trusted networks.  Three hardening flags change that posture
+(see ``docs/deployment-security.md``): ``--tls-cert``/``--tls-key`` wrap
+every connection in TLS, ``--auth-token`` (or ``$STREAMRULE_AUTH_TOKEN``)
+demands an HMAC challenge/response in the handshake, and ``--restricted``
+refuses pickle entirely -- programs arrive as text and facts as typed
+frames, so even an authenticated coordinator cannot execute code on the
+worker.  ``--announce HOST:PORT`` makes the daemon call home to a
+coordinator's :class:`~repro.streamrule.fleet.FleetRegistry` so a revived
+worker rejoins its fleet the moment it boots.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ import os
 import select
 import signal
 import socket
+import ssl
 import subprocess
 import sys
 import threading
@@ -40,7 +50,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.streamrule.fleet import WorkerEndpoint
-from repro.streamrule.net import serve_worker_connection
+from repro.streamrule.net import announce_endpoint, serve_worker_connection
 
 __all__ = ["LocalWorkerProcess", "WorkerServer", "main", "parse_listen_address", "spawn_local_workers"]
 
@@ -77,6 +87,14 @@ class WorkerServer:
     connection receives and decodes ahead of its evaluation loop (the
     server half of connection pipelining -- see
     :func:`~repro.streamrule.net.serve_worker_connection`).
+
+    Hardening knobs (all optional, see ``docs/deployment-security.md``):
+    ``ssl_context`` TLS-wraps every accepted connection (a plaintext
+    client then fails its handshake instead of talking to the reasoner),
+    ``auth_token`` demands the HMAC ``AUTH`` response after ``WELCOME``,
+    and ``codec="restricted"`` refuses pickle entirely -- programs arrive
+    as text and facts as typed frames, so an untrusted coordinator cannot
+    execute code here.
     """
 
     def __init__(
@@ -87,12 +105,18 @@ class WorkerServer:
         capabilities: Optional[Dict[str, bool]] = None,
         protocol_version: Optional[int] = None,
         read_ahead: int = 8,
+        ssl_context: Optional[ssl.SSLContext] = None,
+        auth_token: Optional[str] = None,
+        codec: str = "pickle",
     ):
         self.host = host
         self.port = port
         self.capabilities = capabilities
         self.protocol_version = protocol_version
         self.read_ahead = read_ahead
+        self.ssl_context = ssl_context
+        self.auth_token = auth_token
+        self.codec = codec
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._connections: List[socket.socket] = []
@@ -183,11 +207,35 @@ class WorkerServer:
             ).start()
 
     def _serve(self, connection: socket.socket, peer) -> None:
+        accepted = connection
         try:
+            if self.ssl_context is not None:
+                # Wrap here, on the per-connection thread, so a client
+                # stalling its TLS handshake (or a plaintext client whose
+                # bytes are not a ClientHello) never blocks the accept
+                # loop.  A failed wrap just drops the connection -- the
+                # plaintext peer sees EOF and raises HandshakeError on
+                # its side.
+                try:
+                    connection = self.ssl_context.wrap_socket(connection, server_side=True)
+                except (ssl.SSLError, OSError) as error:
+                    logger.warning("TLS handshake with %s:%s failed: %s", peer[0], peer[1], error)
+                    try:
+                        accepted.close()
+                    except OSError:
+                        pass
+                    return
+                # wrap_socket took over the file descriptor: track (and
+                # later close) the TLS socket, not the detached shell.
+                with self._lock:
+                    if accepted in self._connections:
+                        self._connections[self._connections.index(accepted)] = connection
             record = serve_worker_connection(
                 connection,
                 capabilities=self.capabilities,
                 read_ahead=self.read_ahead,
+                auth_token=self.auth_token,
+                codec=self.codec,
                 **({"protocol_version": self.protocol_version} if self.protocol_version is not None else {}),
             )
             if record.rejected:
@@ -259,6 +307,11 @@ def spawn_local_workers(
     """
     source_root = str(Path(__file__).resolve().parents[2])
     environment = dict(os.environ)
+    # A self-spawned fleet is private: hardening applies only when the
+    # caller passes the flags via ``extra_arguments``.  Without this, an
+    # ambient STREAMRULE_AUTH_TOKEN (set for a *pre-launched* CI fleet)
+    # would make these daemons demand auth their own callers never send.
+    environment.pop("STREAMRULE_AUTH_TOKEN", None)
     python_path = environment.get("PYTHONPATH")
     environment["PYTHONPATH"] = source_root if not python_path else source_root + os.pathsep + python_path
     workers: List[LocalWorkerProcess] = []
@@ -339,6 +392,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="frames each connection receives and decodes ahead of its evaluation loop "
         "(bounds per-connection memory; 1 disables read-ahead; default 8)",
     )
+    parser.add_argument(
+        "--tls-cert",
+        metavar="PEM",
+        help="serve TLS with this certificate chain (requires --tls-key unless the key is in the same file)",
+    )
+    parser.add_argument("--tls-key", metavar="PEM", help="private key for --tls-cert")
+    parser.add_argument(
+        "--auth-token",
+        metavar="TOKEN",
+        default=os.environ.get("STREAMRULE_AUTH_TOKEN") or None,
+        help="require HMAC token auth in the handshake "
+        "(defaults to $STREAMRULE_AUTH_TOKEN; prefer the variable -- argv leaks into `ps`)",
+    )
+    parser.add_argument(
+        "--restricted",
+        action="store_true",
+        help="refuse pickle entirely: only restricted-codec coordinators (program as text, "
+        "facts as typed frames) are accepted",
+    )
+    parser.add_argument(
+        "--announce",
+        type=parse_listen_address,
+        metavar="HOST:PORT",
+        help="periodically announce this worker to a coordinator FleetRegistry at HOST:PORT",
+    )
+    parser.add_argument(
+        "--announce-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between --announce attempts (default 2.0)",
+    )
     parser.add_argument("--verbose", "-v", action="store_true", help="log connections and handshakes to stderr")
     arguments = parser.parse_args(argv)
 
@@ -349,6 +434,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if arguments.read_ahead < 1:
         parser.error("--read-ahead must be at least 1")
+    if arguments.tls_key and not arguments.tls_cert:
+        parser.error("--tls-key requires --tls-cert")
+    if arguments.announce_interval <= 0:
+        parser.error("--announce-interval must be positive")
+    ssl_context: Optional[ssl.SSLContext] = None
+    if arguments.tls_cert:
+        ssl_context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        try:
+            ssl_context.load_cert_chain(arguments.tls_cert, arguments.tls_key)
+        except (OSError, ssl.SSLError) as error:
+            parser.error(f"cannot load TLS certificate: {error}")
     capabilities = {
         "delta_shipping": not arguments.no_delta,
         "symbol_ids": not arguments.no_symbol_ids,
@@ -358,11 +454,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         arguments.listen[1],
         capabilities=capabilities,
         read_ahead=arguments.read_ahead,
+        ssl_context=ssl_context,
+        auth_token=arguments.auth_token,
+        codec="restricted" if arguments.restricted else "pickle",
     )
     host, port = server.start()
     print(f"listening on {host}:{port}", flush=True)
 
     stop = threading.Event()
+
+    if arguments.announce is not None:
+        registry_address = arguments.announce
+
+        def announce_loop() -> None:
+            # Announce immediately (a revived worker should rejoin the
+            # fleet now, not an interval from now), then keep calling
+            # home; announce_endpoint swallows every failure into False,
+            # so a registry that is not up yet just means "try again".
+            while not stop.is_set():
+                acknowledged = announce_endpoint(registry_address, (host, port))
+                logger.info(
+                    "announce to %s:%s %s", registry_address[0], registry_address[1],
+                    "acknowledged" if acknowledged else "unanswered",
+                )
+                stop.wait(arguments.announce_interval)
+
+        threading.Thread(target=announce_loop, name="streamrule-worker-announce", daemon=True).start()
 
     def handle_signal(signum, frame) -> None:
         stop.set()

@@ -1,0 +1,52 @@
+"""Shared fixtures/helpers for the streamrule test package.
+
+The daemon-backed suites (tcp equivalence, asyncio, query server, chaos)
+either spawn their own local workers or -- in CI's ``distributed`` /
+``query-server`` / ``chaos`` jobs -- connect to pre-launched daemons named
+by ``STREAMRULE_WORKERS``.  Two more variables let those same jobs run in
+the hardened configuration without touching any test body:
+
+``STREAMRULE_TLS_CA``
+    Path to a PEM CA (the daemons' self-signed cert): every coordinator
+    connection is TLS-wrapped and verified against it.
+``STREAMRULE_AUTH_TOKEN``
+    Shared token: every coordinator answers the daemons' ``AUTH``
+    challenge with it.
+
+Tests pass ``**worker_security_kwargs()`` wherever they build a
+``TcpBackend`` / ``AioTcpBackend`` / ``WorkerClient`` against the
+``worker_endpoints`` fixture; on a plain local run both variables are
+unset and the call collapses to ``{}``.
+"""
+
+from __future__ import annotations
+
+import os
+import ssl
+from typing import Any, Dict
+
+
+def client_ssl_context(ca_file: str) -> ssl.SSLContext:
+    """A client context trusting ``ca_file``, with hostname checks off.
+
+    The CI certs are self-signed for ``127.0.0.1`` with throwaway subject
+    names, so the chain is verified (``CERT_REQUIRED``) but the hostname
+    match is not -- the trust anchor being *our* CA is the whole check.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    context.load_verify_locations(cafile=ca_file)
+    context.check_hostname = False
+    context.verify_mode = ssl.CERT_REQUIRED
+    return context
+
+
+def worker_security_kwargs() -> Dict[str, Any]:
+    """TLS/auth kwargs for coordinator-side constructors, from the env."""
+    kwargs: Dict[str, Any] = {}
+    ca_file = os.environ.get("STREAMRULE_TLS_CA")
+    if ca_file:
+        kwargs["ssl_context"] = client_ssl_context(ca_file)
+    token = os.environ.get("STREAMRULE_AUTH_TOKEN")
+    if token:
+        kwargs["auth_token"] = token
+    return kwargs

@@ -37,6 +37,7 @@ from repro.streamrule.errors import BackendError
 from repro.streamrule.reasoner import Reasoner
 from repro.streamrule.session import StreamSession
 from repro.streamrule.worker import spawn_local_workers
+from tests.streamrule.conftest import worker_security_kwargs
 
 
 def traffic_stream(length, seed=23):
@@ -230,12 +231,12 @@ def worker_endpoints():
 class TestAioTcp:
     @pytest.mark.parametrize("max_inflight", [1, 2, 8, "adaptive"], ids=str)
     def test_aio_tcp_matches_the_synchronous_path(self, worker_endpoints, max_inflight):
-        backend = AioTcpBackend(worker_endpoints)
+        backend = AioTcpBackend(worker_endpoints, **worker_security_kwargs())
         result = asyncio.run(matrix_scenario(backend, max_inflight))
         assert result == reference_solutions()
 
     def test_items_actually_travel_the_wire(self, worker_endpoints):
-        backend = AioTcpBackend(worker_endpoints)
+        backend = AioTcpBackend(worker_endpoints, **worker_security_kwargs())
 
         async def scenario():
             async with AsyncStreamSession(
@@ -255,12 +256,12 @@ class TestAioTcp:
         assert backend.wire_statistics() == stats
 
     def test_sync_start_is_rejected_with_guidance(self, worker_endpoints):
-        backend = AioTcpBackend(worker_endpoints)
+        backend = AioTcpBackend(worker_endpoints, **worker_security_kwargs())
         with pytest.raises(BackendError, match="astart"):
             backend.start(traffic_reasoner())
 
     def test_astart_is_idempotent_per_reasoner(self, worker_endpoints):
-        backend = AioTcpBackend(worker_endpoints)
+        backend = AioTcpBackend(worker_endpoints, **worker_security_kwargs())
         reasoner = traffic_reasoner()
 
         async def scenario():
@@ -275,7 +276,7 @@ class TestAioTcp:
         asyncio.run(scenario())
 
     def test_dispatch_off_the_owning_loop_is_rejected(self, worker_endpoints):
-        backend = AioTcpBackend(worker_endpoints)
+        backend = AioTcpBackend(worker_endpoints, **worker_security_kwargs())
         reasoner = traffic_reasoner()
         asyncio.run(backend.astart(reasoner))
         # The loop that started the backend is gone; dispatching from
@@ -284,6 +285,42 @@ class TestAioTcp:
         with pytest.raises(BackendError, match="event loop"):
             item_source.evaluate_window(traffic_stream(10))
         backend.close()
+
+
+class TestAsyncFleetResubmission:
+    """Regression: a dead worker's in-flight items must be resubmitted to
+    the survivors on the event loop, not dropped to the inline fallback
+    (which runs solver work synchronously and blocks the loop)."""
+
+    def test_dead_worker_items_reroute_to_survivors(self):
+        workers = spawn_local_workers(2)
+        try:
+            backend = AioTcpBackend([worker.endpoint for worker in workers])
+
+            async def scenario():
+                async with AsyncStreamSession(
+                    traffic_reasoner(), window=WINDOW, backend=backend, max_inflight=4
+                ) as session:
+                    stream = traffic_stream(STREAM_LENGTH)
+                    half = len(stream) // 2
+                    await session.push(stream[:half])
+                    # Kill one worker while its connections are live; the
+                    # remaining windows (and any in-flight retries) must be
+                    # absorbed by the survivor.
+                    workers[0].terminate()
+                    await session.push(stream[half:])
+                    await session.finish()
+                    collected = await session.results_list()
+                    reroutes = backend.fleet.reroutes
+                    return collected, session.fallbacks, reroutes
+
+            collected, fallbacks, reroutes = asyncio.run(scenario())
+        finally:
+            for worker in workers:
+                worker.terminate()
+        assert [fingerprint(solution) for solution in collected] == reference_solutions()
+        assert fallbacks == 0  # the survivor answered; inline never ran
+        assert reroutes >= 1  # the dead worker's slots were remapped
 
 
 class TestManySessionsOneLoop:

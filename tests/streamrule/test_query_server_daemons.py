@@ -27,6 +27,7 @@ from repro.streamrule.backends import TcpBackend
 from repro.streamrule.server import QueryServer, StandingQuery
 from repro.streamrule.worker import spawn_local_workers
 
+from tests.streamrule.conftest import worker_security_kwargs
 from tests.streamrule.test_query_server import isolated_answers
 
 pytestmark = pytest.mark.slow  # spawns worker subprocesses when unconfigured
@@ -102,7 +103,7 @@ class TestQueryServerOverDaemons:
     def test_three_tenants_over_the_fleet(self, worker_endpoints):
         queries = three_tenants()
         stream = combined_stream()
-        server = QueryServer(backend=TcpBackend(worker_endpoints))
+        server = QueryServer(backend=TcpBackend(worker_endpoints, **worker_security_kwargs()))
         try:
             subs = {q.key: server.register(q) for q in queries}
             server.push(stream)

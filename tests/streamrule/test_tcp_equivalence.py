@@ -27,6 +27,7 @@ from repro.streamrule.placement import ConsistentHashPlacement
 from repro.streamrule.reasoner import Reasoner
 from repro.streamrule.session import StreamSession
 from repro.streamrule.worker import spawn_local_workers
+from tests.streamrule.conftest import worker_security_kwargs
 
 pytestmark = pytest.mark.slow  # spawns worker subprocesses
 
@@ -76,7 +77,7 @@ class TestTcpEquivalenceMatrix:
         window_policy = WINDOW_SCENARIOS[window_kind]
         partitioner = HashPartitioner(3)
         expected = scratch_answers_per_window(window_policy, stream, partitioner)
-        backend = TcpBackend(worker_endpoints)
+        backend = TcpBackend(worker_endpoints, **worker_security_kwargs())
         reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
         with StreamSession(reasoner, partitioner=partitioner, backend=backend) as session:
             if use_delta:
@@ -97,7 +98,7 @@ class TestTcpEquivalenceMatrix:
         window_policy = CountWindow(size=60, slide=30)
         partitioner = DependencyPartitioner(plan_p)
         expected = scratch_answers_per_window(window_policy, stream, partitioner)
-        backend = TcpBackend(worker_endpoints, placement=ConsistentHashPlacement())
+        backend = TcpBackend(worker_endpoints, placement=ConsistentHashPlacement(), **worker_security_kwargs())
         reasoner = Reasoner(traffic_program(), INPUT_PREDICATES, EVENT_PREDICATES)
         with StreamSession(reasoner, partitioner=partitioner, backend=backend) as session:
             actual = [
@@ -115,7 +116,7 @@ class TestTcpEquivalenceMatrix:
             reasoner,
             window=window_policy,
             partitioner=HashPartitioner(2),
-            backend=TcpBackend(worker_endpoints),
+            backend=TcpBackend(worker_endpoints, **worker_security_kwargs()),
         ) as session:
             session.push(stream)
             session.finish()
